@@ -1,0 +1,352 @@
+(* Command-line driver: compile, inspect, simulate and reproduce the
+   paper's experiments from a terminal. *)
+
+open Cmdliner
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Transform = Casted_detect.Transform
+module Schedule = Casted_sched.Schedule
+module Simulator = Casted_sim.Simulator
+module Outcome = Casted_sim.Outcome
+module Montecarlo = Casted_sim.Montecarlo
+module Report = Casted_report
+
+let find_workload name =
+  match Registry.find name with
+  | Some w -> w
+  | None ->
+      Printf.eprintf "unknown benchmark %s (try: %s)\n" name
+        (String.concat ", " (Registry.names ()));
+      exit 2
+
+(* Common options. *)
+
+let bench_arg =
+  let doc = "Benchmark name (see $(b,casted list))." in
+  Arg.(value & opt string "cjpeg" & info [ "w"; "benchmark" ] ~doc)
+
+let scheme_arg =
+  let parse s =
+    match Scheme.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg ("unknown scheme " ^ s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Scheme.name s) in
+  let scheme_conv = Arg.conv (parse, print) in
+  let doc = "Scheme: NOED, SCED, DCED or CASTED." in
+  Arg.(value & opt scheme_conv Scheme.Casted & info [ "s"; "scheme" ] ~doc)
+
+let issue_arg =
+  Arg.(value & opt int 2 & info [ "issue" ] ~doc:"Issue width per cluster.")
+
+let delay_arg =
+  Arg.(value & opt int 2 & info [ "delay" ] ~doc:"Inter-cluster delay.")
+
+let size_arg =
+  let parse = function
+    | "perf" -> Ok W.Perf
+    | "fault" -> Ok W.Fault
+    | s -> Error (`Msg ("unknown size " ^ s))
+  in
+  let print ppf s = Format.pp_print_string ppf (W.size_name s) in
+  let size_conv = Arg.conv (parse, print) in
+  Arg.(
+    value
+    & opt size_conv W.Fault
+    & info [ "size" ] ~doc:"Input size: fault (small) or perf (large).")
+
+let trials_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "trials" ] ~doc:"Monte-Carlo trials per campaign.")
+
+(* Subcommands. *)
+
+let list_cmd =
+  let run () =
+    print_string (Report.Static_tables.table2 ());
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available benchmarks (Table II)")
+    Term.(const run $ const ())
+
+let compile_cmd =
+  let run bench scheme issue delay size dump_ir dump_sched =
+    let w = find_workload bench in
+    let program = w.W.build size in
+    let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
+    Format.printf "%s / %s on %a@." bench (Scheme.name scheme)
+      Casted_machine.Config.pp compiled.Pipeline.config;
+    Format.printf "instrumentation: %a (expansion %.2fx)@." Transform.pp_stats
+      compiled.Pipeline.stats
+      (Transform.expansion compiled.Pipeline.stats);
+    if dump_ir then
+      Format.printf "@.%a@." Casted_ir.Program.pp compiled.Pipeline.program;
+    if dump_sched then
+      List.iter
+        (fun (_, fs) -> Format.printf "@.%a@." Schedule.pp_func fs)
+        compiled.Pipeline.schedule.Schedule.funcs;
+    0
+  in
+  let dump_ir =
+    Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the hardened IR.")
+  in
+  let dump_sched =
+    Arg.(value & flag & info [ "dump-schedule" ] ~doc:"Print the schedules.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Run the detection + assignment + scheduling pipeline")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
+      $ dump_ir $ dump_sched)
+
+let run_cmd =
+  let run bench scheme issue delay size =
+    let w = find_workload bench in
+    let program = w.W.build size in
+    let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
+    let r = Simulator.run compiled.Pipeline.schedule in
+    Format.printf "%s / %s on %a@." bench (Scheme.name scheme)
+      Casted_machine.Config.pp compiled.Pipeline.config;
+    Format.printf "%a@." Outcome.pp r;
+    Format.printf "dynamic roles: %d original, %d replica, %d check, %d copy@."
+      r.Outcome.dyn_by_role.(0) r.Outcome.dyn_by_role.(1)
+      r.Outcome.dyn_by_role.(2) r.Outcome.dyn_by_role.(3);
+    Format.printf "cache: %a@." Casted_cache.Hierarchy.pp_stats r.Outcome.cache;
+    0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark under one scheme")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg)
+
+let sweep_cmd =
+  let run benches size =
+    let benchmarks = if benches = [] then None else Some benches in
+    let sweep = Report.Perf_sweep.run ~size ?benchmarks () in
+    print_string (Report.Perf_sweep.render_all sweep);
+    print_string
+      (Report.Perf_sweep.render_summary (Report.Perf_sweep.summarize sweep));
+    0
+  in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmarks (default: all).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Reproduce Figs. 6-7: slowdowns over issue widths and delays")
+    Term.(const run $ benches $ size_arg)
+
+let scaling_cmd =
+  let run benches size =
+    let benchmarks = if benches = [] then None else Some benches in
+    let sweep = Report.Perf_sweep.run ~size ?benchmarks () in
+    print_string (Report.Scaling.render_all sweep);
+    0
+  in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmarks (default: all).")
+  in
+  Cmd.v (Cmd.info "scaling" ~doc:"Reproduce Fig. 8: ILP scaling")
+    Term.(const run $ benches $ size_arg)
+
+let faults_cmd =
+  let run fig trials bench =
+    let rows =
+      match fig with
+      | 9 -> Report.Coverage.fig9 ~trials ()
+      | 10 -> Report.Coverage.fig10 ~trials ~benchmark:bench ()
+      | n ->
+          Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
+          exit 2
+    in
+    print_string (Report.Coverage.render rows);
+    0
+  in
+  let fig =
+    Arg.(
+      value & opt int 9
+      & info [ "fig" ] ~doc:"Which figure to reproduce: 9 or 10.")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Reproduce Figs. 9-10: Monte-Carlo fault coverage")
+    Term.(const run $ fig $ trials_arg $ bench_arg)
+
+let tables_cmd =
+  let run issue delay =
+    let config = Casted_machine.Config.dual_core ~issue_width:issue ~delay in
+    print_endline "Table I: processor configuration";
+    print_string (Report.Static_tables.table1 config);
+    print_endline "\nTable II: benchmarks";
+    print_string (Report.Static_tables.table2 ());
+    print_endline "\nTable III: compiler-based error detection schemes";
+    print_string (Report.Static_tables.table3 ());
+    0
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Print the paper's static tables (I-III)")
+    Term.(const run $ issue_arg $ delay_arg)
+
+let campaign_cmd =
+  let run bench scheme issue delay trials =
+    let row =
+      Report.Coverage.campaign ~trials ~benchmark:bench ~scheme ~issue ~delay
+        ()
+    in
+    Format.printf "%s / %s issue %d delay %d@." bench (Scheme.name scheme)
+      issue delay;
+    Format.printf "%a@." Montecarlo.pp row.Report.Coverage.result;
+    0
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run one Monte-Carlo fault campaign")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg)
+
+let recover_cmd =
+  let run bench issue delay trials =
+    let w = find_workload bench in
+    let program = w.W.build W.Fault in
+    let hardened, stats =
+      Casted_detect.Recover.program Casted_detect.Options.default program
+    in
+    let config = Casted_machine.Config.dual_core ~issue_width:issue ~delay in
+    let schedule =
+      Casted_sched.List_scheduler.schedule_program config
+        (Casted_sched.Assign.Adaptive Casted_sched.Bug.default_options)
+        hardened
+    in
+    Format.printf "%s / CASTED-R on %a@." bench Casted_machine.Config.pp
+      config;
+    Format.printf "instrumentation: %a@." Casted_detect.Recover.pp_stats stats;
+    let r = Simulator.run schedule in
+    Format.printf "golden: %a@." Outcome.pp r;
+    let mc = Montecarlo.run ~trials schedule in
+    Format.printf "faults: %a@." Montecarlo.pp mc;
+    0
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Run the CASTED-R extension (triplication + majority voting) on a \
+          benchmark")
+    Term.(const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg)
+
+let placement_cmd =
+  let run bench issue size =
+    print_string
+      (Report.Utilization.placement_table ~benchmark:bench ~size
+         ~issue_width:issue ~delays:[ 1; 2; 3; 4 ]);
+    0
+  in
+  Cmd.v
+    (Cmd.info "placement"
+       ~doc:"Show how DCED and CASTED distribute code across clusters")
+    Term.(const run $ bench_arg $ issue_arg $ size_arg)
+
+let profile_cmd =
+  let run bench scheme issue delay size n =
+    let w = find_workload bench in
+    let program = w.W.build size in
+    let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
+    let profile = Casted_sim.Profile.create () in
+    let r = Simulator.run ~profile compiled.Pipeline.schedule in
+    Format.printf "%s / %s: %a@.@." bench (Scheme.name scheme) Outcome.pp r;
+    print_string (Casted_sim.Profile.render_top ~n profile);
+    0
+  in
+  let top =
+    Arg.(value & opt int 12 & info [ "top" ] ~doc:"How many blocks to show.")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Per-block execution profile of a benchmark")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
+      $ top)
+
+let pressure_cmd =
+  let run bench =
+    let w = find_workload bench in
+    let program = w.W.build W.Fault in
+    let plain = Casted_ir.Pressure.of_program program in
+    let hardened, _ =
+      Casted_detect.Transform.program Casted_detect.Options.default program
+    in
+    let det = Casted_ir.Pressure.of_program hardened in
+    Format.printf "%s register pressure:@." bench;
+    Format.printf "  original: %a@." Casted_ir.Pressure.pp plain;
+    Format.printf "  hardened: %a@." Casted_ir.Pressure.pp det;
+    Format.printf "  spills on a 64/64/32 file (Table I): %b@."
+      (Casted_ir.Pressure.exceeds det ~gp:64 ~fp:64 ~pr:32);
+    0
+  in
+  Cmd.v
+    (Cmd.info "pressure"
+       ~doc:"Register pressure of the original vs hardened code")
+    Term.(const run $ bench_arg)
+
+let asm_cmd =
+  let run file scheme issue delay emit =
+    let text =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    match Casted_ir.Asm.parse text with
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" file msg;
+        1
+    | Ok program -> (
+        match Casted_ir.Validate.check_program program with
+        | _ :: _ as errs ->
+            List.iter (Printf.eprintf "%s: %s\n" file) errs;
+            1
+        | [] ->
+            let compiled =
+              Pipeline.compile ~scheme ~issue_width:issue ~delay program
+            in
+            if emit then
+              print_string (Casted_ir.Asm.print compiled.Pipeline.program)
+            else begin
+              let r = Simulator.run compiled.Pipeline.schedule in
+              Format.printf "%s / %s: %a@." file (Scheme.name scheme)
+                Outcome.pp r
+            end;
+            0)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Assembly (.casted) file.")
+  in
+  let emit =
+    Arg.(
+      value & flag
+      & info [ "emit" ]
+          ~doc:"Print the hardened assembly instead of simulating.")
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:"Parse a .casted assembly file, then harden and simulate it")
+    Term.(const run $ file $ scheme_arg $ issue_arg $ delay_arg $ emit)
+
+let main =
+  let doc = "CASTED: core-adaptive software transient error detection" in
+  Cmd.group
+    (Cmd.info "casted" ~doc ~version:"1.0.0")
+    [
+      list_cmd; compile_cmd; run_cmd; sweep_cmd; scaling_cmd; faults_cmd;
+      campaign_cmd; tables_cmd; recover_cmd; placement_cmd; profile_cmd;
+      pressure_cmd; asm_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

@@ -1,0 +1,1 @@
+examples/adaptive_vs_fixed.ml: Array Casted_detect Casted_ir Casted_sched Casted_sim Casted_workloads Format Int64 List String

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Casted_detect Casted_ir Casted_sim Casted_workloads Format Int64 List Printf

@@ -1,0 +1,1 @@
+examples/fault_injection_demo.ml: Casted_detect Casted_sim Casted_workloads Format List Option

@@ -1,0 +1,1 @@
+examples/opt_and_asm.ml: Casted_detect Casted_ir Casted_machine Casted_opt Casted_sched Casted_sim Format List Printf String

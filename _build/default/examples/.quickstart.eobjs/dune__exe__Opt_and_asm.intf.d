@@ -1,0 +1,1 @@
+examples/opt_and_asm.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Casted_detect Casted_ir Casted_sim Casted_workloads Format Int64 List String

@@ -1,0 +1,97 @@
+(* Defining your own workload: an 8x8 integer matrix-multiply kernel,
+   plugged into the same sweep machinery the paper benchmarks use.
+
+   Run with: dune exec examples/custom_workload.exe *)
+
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+module W = Casted_workloads.Workload
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Simulator = Casted_sim.Simulator
+module Outcome = Casted_sim.Outcome
+
+let n = 16 (* matrix dimension *)
+let a_base = 0x1000
+let b_base = a_base + (n * n * 8)
+let c_base = b_base + (n * n * 8)
+
+let build (_ : W.size) =
+  let b = B.create ~name:"main" () in
+  let am = B.movi b (Int64.of_int a_base) in
+  let bm = B.movi b (Int64.of_int b_base) in
+  let cm = B.movi b (Int64.of_int c_base) in
+  let acc_chk = B.movi b 0L in
+  B.counted_loop b ~name:"i" ~from:0L ~until:(Int64.of_int n) (fun b i ->
+      let arow_off = B.muli b i (Int64.of_int (8 * n)) in
+      let arow = B.add b am arow_off in
+      let crow = B.add b cm arow_off in
+      B.counted_loop b ~name:"j" ~from:0L ~until:(Int64.of_int n) (fun b j ->
+          let j8 = B.muli b j 8L in
+          let bcol = B.add b bm j8 in
+          let sum = B.movi b 0L in
+          B.counted_loop b ~name:"k" ~from:0L ~until:(Int64.of_int n)
+            (fun b k ->
+              let k8 = B.muli b k 8L in
+              let a_at = B.add b arow k8 in
+              let av = B.ld b Opcode.W8 a_at 0L in
+              let brow_off = B.muli b k (Int64.of_int (8 * n)) in
+              let b_at = B.add b bcol brow_off in
+              let bv = B.ld b Opcode.W8 b_at 0L in
+              let p = B.mul b av bv in
+              let (_ : Reg.t) = B.add b ~dst:sum sum p in
+              ());
+          let c_at = B.add b crow j8 in
+          B.st b Opcode.W8 ~value:sum ~base:c_at 0L;
+          let (_ : Reg.t) = B.add b ~dst:acc_chk acc_chk sum in
+          ()));
+  let out = B.movi b (Int64.of_int (c_base + (n * n * 8))) in
+  B.st b Opcode.W8 ~value:acc_chk ~base:out 0L;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let rng = Casted_workloads.Gen.create ~seed:42 in
+  let mat () =
+    Casted_workloads.Gen.le64
+      (List.init (n * n) (fun _ ->
+           Int64.of_int (Casted_workloads.Gen.int rng 1000)))
+  in
+  Program.make ~funcs:[ B.finish b ] ~entry:"main" ~mem_size:(1 lsl 18)
+    ~data:[ (a_base, mat ()); (b_base, mat ()) ]
+    ~output_base:c_base
+    ~output_len:((n * n * 8) + 8)
+    ()
+
+let workload =
+  {
+    W.name = "matmul";
+    suite = "custom";
+    description = Printf.sprintf "%dx%d integer matrix multiply" n n;
+    build;
+  }
+
+let () =
+  let program = workload.W.build W.Fault in
+  Casted_ir.Validate.check_exn program;
+  Format.printf "benchmark: %s (%s)@.@." workload.W.name
+    workload.W.description;
+  Format.printf "%-8s" "issue";
+  List.iter (fun s -> Format.printf "  %-7s" (Scheme.name s)) Scheme.all;
+  Format.printf "@.";
+  List.iter
+    (fun issue ->
+      Format.printf "%-8d" issue;
+      let noed = ref 0 in
+      List.iter
+        (fun scheme ->
+          let compiled =
+            Pipeline.compile ~scheme ~issue_width:issue ~delay:2 program
+          in
+          let r = Simulator.run compiled.Pipeline.schedule in
+          if scheme = Scheme.Noed then noed := r.Outcome.cycles;
+          Format.printf "  %-7.2f"
+            (float_of_int r.Outcome.cycles /. float_of_int !noed))
+        Scheme.all;
+      Format.printf "@.")
+    [ 1; 2; 3; 4 ]

@@ -1,0 +1,52 @@
+(* Fault injection walkthrough: inject specific single-bit faults into a
+   hardened run and watch the checks catch them, then run a small
+   Monte-Carlo campaign comparing NOED and CASTED coverage.
+
+   Run with: dune exec examples/fault_injection_demo.exe *)
+
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Simulator = Casted_sim.Simulator
+module Outcome = Casted_sim.Outcome
+module Fault = Casted_sim.Fault
+module Montecarlo = Casted_sim.Montecarlo
+
+let () =
+  let w = Option.get (Registry.find "h263dec") in
+  let program = w.W.build W.Fault in
+  let hardened =
+    Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 program
+  in
+  let golden = Simulator.run hardened.Pipeline.schedule in
+  Format.printf "golden run: %a@." Outcome.pp golden;
+  Format.printf "injection population: %d defining instructions@.@."
+    golden.Outcome.dyn_defs;
+  (* Inject a handful of hand-picked faults: one early, one in the
+     middle, one late; different bits. *)
+  let fuel = 10 * golden.Outcome.dyn_insns in
+  List.iter
+    (fun (target_def, bit) ->
+      let fault = { Fault.target_def; def_slot = 0; bit } in
+      let r = Simulator.run ~fault ~fuel hardened.Pipeline.schedule in
+      Format.printf "%a -> %a (%s)@." Fault.pp fault Outcome.pp_termination
+        r.Outcome.termination
+        (Montecarlo.class_name (Montecarlo.classify ~golden r)))
+    [
+      (10, 0); (10, 63);
+      (golden.Outcome.dyn_defs / 2, 5);
+      (golden.Outcome.dyn_defs / 2, 40);
+      (golden.Outcome.dyn_defs - 5, 1);
+    ];
+  (* Small campaigns: the hardened binary turns silent corruptions into
+     detections. *)
+  Format.printf "@.Monte-Carlo (200 trials each):@.";
+  List.iter
+    (fun scheme ->
+      let compiled =
+        Pipeline.compile ~scheme ~issue_width:2 ~delay:2 program
+      in
+      let result = Montecarlo.run ~trials:200 compiled.Pipeline.schedule in
+      Format.printf "%-7s %a@." (Scheme.name scheme) Montecarlo.pp result)
+    [ Scheme.Noed; Scheme.Casted ]

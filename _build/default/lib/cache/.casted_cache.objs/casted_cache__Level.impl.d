@@ -1,0 +1,1 @@
+lib/cache/level.ml: Array Casted_machine

@@ -1,0 +1,1 @@
+lib/cache/level.mli: Casted_machine

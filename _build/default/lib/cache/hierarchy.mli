@@ -1,0 +1,33 @@
+(** Three-level cache hierarchy plus main memory (paper Table I).
+
+    [access] returns the access latency in cycles: the latency of the
+    innermost level that hits (or memory latency on a full miss), matching
+    the cumulative per-level latencies the paper lists. Caches are
+    non-blocking in the paper; the simulator reproduces that by charging
+    each load its own latency without serialising misses. *)
+
+type t
+
+type stats = {
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  l3_hits : int;
+  l3_misses : int;
+  writebacks : int;
+}
+
+val create : Casted_machine.Config.cache_config -> t
+
+(** Latency in cycles of a read or write to [addr]. *)
+val access : t -> addr:int -> write:bool -> int
+
+(** An ideal hierarchy: every access hits in L1. Used by the
+    perfect-cache ablation. *)
+val perfect : Casted_machine.Config.cache_config -> t
+
+val stats : t -> stats
+val reset : t -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

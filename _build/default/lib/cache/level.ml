@@ -1,0 +1,106 @@
+type way = { mutable tag : int; mutable dirty : bool; mutable stamp : int }
+(* tag = -1 encodes an invalid way. *)
+
+type t = {
+  sets : way array array;
+  block_bytes : int;
+  block_shift : int;
+  n_sets : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writebacks : int;
+}
+
+type outcome = Hit | Miss of { evicted_dirty : bool }
+
+let log2_exact n =
+  let rec go k = if 1 lsl k = n then k else if 1 lsl k > n then -1 else go (k + 1) in
+  go 0
+
+let create ~size_bytes ~block_bytes ~assoc =
+  if size_bytes <= 0 || block_bytes <= 0 || assoc <= 0 then
+    invalid_arg "Level.create: non-positive parameter";
+  if size_bytes mod (block_bytes * assoc) <> 0 then
+    invalid_arg "Level.create: size not divisible by block * assoc";
+  let block_shift = log2_exact block_bytes in
+  if block_shift < 0 then invalid_arg "Level.create: block size not a power of 2";
+  let n_sets = size_bytes / (block_bytes * assoc) in
+  let sets =
+    Array.init n_sets (fun _ ->
+        Array.init assoc (fun _ -> { tag = -1; dirty = false; stamp = 0 }))
+  in
+  {
+    sets;
+    block_bytes;
+    block_shift;
+    n_sets;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    writebacks = 0;
+  }
+
+let of_config (c : Casted_machine.Config.cache_level) =
+  create ~size_bytes:c.Casted_machine.Config.size_bytes
+    ~block_bytes:c.Casted_machine.Config.block_bytes
+    ~assoc:c.Casted_machine.Config.assoc
+
+let locate t addr =
+  let block = addr lsr t.block_shift in
+  let set = block mod t.n_sets in
+  let tag = block / t.n_sets in
+  (set, tag)
+
+let access t ~addr ~write =
+  if addr < 0 then invalid_arg "Level.access: negative address";
+  t.clock <- t.clock + 1;
+  let set_idx, tag = locate t addr in
+  let set = t.sets.(set_idx) in
+  let hit = Array.find_opt (fun w -> w.tag = tag) set in
+  match hit with
+  | Some w ->
+      w.stamp <- t.clock;
+      if write then w.dirty <- true;
+      t.hits <- t.hits + 1;
+      Hit
+  | None ->
+      t.misses <- t.misses + 1;
+      (* Evict the LRU way (invalid ways have stamp 0, oldest). *)
+      let victim = ref set.(0) in
+      Array.iter (fun w -> if w.stamp < !victim.stamp then victim := w) set;
+      let evicted_dirty = !victim.tag >= 0 && !victim.dirty in
+      if evicted_dirty then t.writebacks <- t.writebacks + 1;
+      !victim.tag <- tag;
+      !victim.dirty <- write;
+      !victim.stamp <- t.clock;
+      Miss { evicted_dirty }
+
+let probe t ~addr =
+  let set_idx, tag = locate t addr in
+  Array.exists (fun w -> w.tag = tag) t.sets.(set_idx)
+
+let hits t = t.hits
+let misses t = t.misses
+let writebacks t = t.writebacks
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.writebacks <- 0
+
+let clear t =
+  Array.iter
+    (fun set ->
+      Array.iter
+        (fun w ->
+          w.tag <- -1;
+          w.dirty <- false;
+          w.stamp <- 0)
+        set)
+    t.sets;
+  t.clock <- 0;
+  reset_stats t
+
+let num_sets t = t.n_sets
+let block_bytes t = t.block_bytes

@@ -1,0 +1,30 @@
+(** One set-associative cache level.
+
+    Write-back, write-allocate, LRU replacement. Only tags are tracked —
+    the simulator keeps data in a flat arena, the cache model only decides
+    latencies — which is exactly what the paper's timing results need. *)
+
+type t
+
+type outcome = Hit | Miss of { evicted_dirty : bool }
+
+val create : size_bytes:int -> block_bytes:int -> assoc:int -> t
+
+val of_config : Casted_machine.Config.cache_level -> t
+
+(** [access t ~addr ~write] looks the block containing [addr] up,
+    allocates it on a miss (evicting the LRU way) and marks it dirty on
+    writes. *)
+val access : t -> addr:int -> write:bool -> outcome
+
+(** Lookup without allocation or LRU update (used by tests). *)
+val probe : t -> addr:int -> bool
+
+val hits : t -> int
+val misses : t -> int
+val writebacks : t -> int
+val reset_stats : t -> unit
+val clear : t -> unit
+
+val num_sets : t -> int
+val block_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/detect/options.ml:

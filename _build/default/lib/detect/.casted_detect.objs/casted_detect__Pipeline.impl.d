@@ -1,0 +1,1 @@
+lib/detect/pipeline.ml: Casted_ir Casted_machine Casted_opt Casted_sched Options Scheme Transform

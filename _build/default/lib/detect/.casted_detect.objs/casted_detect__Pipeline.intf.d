@@ -1,0 +1,1 @@
+lib/detect/pipeline.mli: Casted_ir Casted_machine Casted_sched Options Scheme Transform

@@ -1,0 +1,1 @@
+lib/detect/recover.ml: Array Casted_ir Format List Options

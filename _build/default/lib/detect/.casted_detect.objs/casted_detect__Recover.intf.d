@@ -1,0 +1,1 @@
+lib/detect/recover.mli: Casted_ir Format Options

@@ -1,0 +1,1 @@
+lib/detect/scheme.ml: Casted_machine Casted_sched String

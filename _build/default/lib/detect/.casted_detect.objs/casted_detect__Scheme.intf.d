@@ -1,0 +1,1 @@
+lib/detect/scheme.mli: Casted_machine Casted_sched

@@ -1,0 +1,1 @@
+lib/detect/selective.ml: Array Casted_ir Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/detect/selective.mli: Casted_ir Hashtbl

@@ -1,0 +1,1 @@
+lib/detect/transform.ml: Array Casted_ir Format Hashtbl List Option Options Selective

@@ -1,0 +1,1 @@
+lib/detect/transform.mli: Casted_ir Format Options

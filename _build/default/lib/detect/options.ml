@@ -1,0 +1,18 @@
+type scope = Full | Store_slice
+
+type t = {
+  check_stores : bool;
+  check_branches : bool;
+  check_calls : bool;
+  shadow_params : bool;
+  scope : scope;
+}
+
+let default =
+  {
+    check_stores = true;
+    check_branches = true;
+    check_calls = true;
+    shadow_params = true;
+    scope = Full;
+  }

@@ -1,0 +1,32 @@
+module Config = Casted_machine.Config
+module Assign = Casted_sched.Assign
+module List_scheduler = Casted_sched.List_scheduler
+module Schedule = Casted_sched.Schedule
+module Program = Casted_ir.Program
+
+type compiled = {
+  scheme : Scheme.t;
+  config : Config.t;
+  program : Program.t;
+  schedule : Schedule.t;
+  stats : Transform.stats;
+}
+
+let compile ?(options = Options.default) ?bug_options ?(optimize = false)
+    ~scheme ~issue_width ~delay program =
+  let config = Scheme.machine scheme ~issue_width ~delay in
+  let program =
+    if optimize then fst (Casted_opt.Pass.run_program Casted_opt.Pass.standard program)
+    else program
+  in
+  let program, stats =
+    if Scheme.hardened scheme then Transform.program options program
+    else (Casted_ir.Clone.program program, Transform.zero_stats)
+  in
+  let strategy =
+    match (Scheme.strategy scheme, bug_options) with
+    | Assign.Adaptive _, Some opts -> Assign.Adaptive opts
+    | s, _ -> s
+  in
+  let schedule = List_scheduler.schedule_program config strategy program in
+  { scheme; config; program; schedule; stats }

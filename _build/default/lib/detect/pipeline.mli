@@ -1,0 +1,31 @@
+(** The full compiler pipeline: detection pass, cluster assignment,
+    instruction scheduling (paper Fig. 5). *)
+
+type compiled = {
+  scheme : Scheme.t;
+  config : Casted_machine.Config.t;
+  program : Casted_ir.Program.t;  (** hardened program (or the input for NOED) *)
+  schedule : Casted_sched.Schedule.t;
+  stats : Transform.stats;
+}
+
+(** [compile ~scheme ~issue_width ~delay program] runs the detection pass
+    (for hardened schemes), picks the scheme's machine and placement
+    strategy, and schedules every function. The input program is not
+    modified.
+
+    [optimize] (default false) runs the standard scalar optimisation
+    pipeline ({!Casted_opt.Pass.standard}) {e before} the detection pass,
+    matching the paper's pass ordering (Fig. 5) where -O1 optimisations
+    precede the CASTED passes. No pass runs after detection: the paper
+    disables the late CSE/DCE precisely because they would delete the
+    replicated code (SS IV-A). *)
+val compile :
+  ?options:Options.t ->
+  ?bug_options:Casted_sched.Bug.options ->
+  ?optimize:bool ->
+  scheme:Scheme.t ->
+  issue_width:int ->
+  delay:int ->
+  Casted_ir.Program.t ->
+  compiled

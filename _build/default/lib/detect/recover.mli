@@ -1,0 +1,34 @@
+(** CASTED-R: triplication with majority voting (an extension in the
+    spirit of SWIFT-R, beyond the paper's detection-only scheme).
+
+    Where Algorithm 1 emits one replica and traps on divergence, this
+    pass emits {e two} replicas and, before every non-replicated
+    instruction, {e votes}: if the two shadow copies of a register agree,
+    their value is used (the original copy must be the corrupted one);
+    otherwise the original value is used. The voted value is also written
+    back into all three copies, so a single transient error is repaired
+    instead of merely detected and the program runs to completion.
+
+    Voting is expressed with ordinary IR instructions (compare + select +
+    moves), so it needs no new hardware. Select only exists for
+    general-purpose registers; floating-point and predicate operands of
+    non-replicated instructions fall back to a detection check, which is
+    recorded in the statistics.
+
+    The triple-stream code is role-annotated like the detection pass
+    ([Replica] for both shadow streams, [Check] for the voting sequences),
+    so all three placement strategies — and in particular the adaptive
+    BUG assignment — apply unchanged. *)
+
+type stats = {
+  originals : int;
+  replicas : int;  (** two per replicable instruction *)
+  votes : int;  (** majority-vote sequences emitted *)
+  fallback_checks : int;  (** non-GP operands still only checked *)
+  shadow_copies : int;
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Harden a clone of the program with triplication + voting. *)
+val program : Options.t -> Casted_ir.Program.t -> Casted_ir.Program.t * stats

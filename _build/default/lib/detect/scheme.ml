@@ -1,0 +1,33 @@
+module Config = Casted_machine.Config
+module Assign = Casted_sched.Assign
+module Bug = Casted_sched.Bug
+
+type t = Noed | Sced | Dced | Casted
+
+let all = [ Noed; Sced; Dced; Casted ]
+
+let name = function
+  | Noed -> "NOED"
+  | Sced -> "SCED"
+  | Dced -> "DCED"
+  | Casted -> "CASTED"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "NOED" -> Some Noed
+  | "SCED" -> Some Sced
+  | "DCED" -> Some Dced
+  | "CASTED" -> Some Casted
+  | _ -> None
+
+let hardened = function Noed -> false | Sced | Dced | Casted -> true
+
+let machine t ~issue_width ~delay =
+  match t with
+  | Noed | Sced -> Config.single_core ~issue_width
+  | Dced | Casted -> Config.dual_core ~issue_width ~delay
+
+let strategy = function
+  | Noed | Sced -> Assign.Single_cluster
+  | Dced -> Assign.Dual_fixed
+  | Casted -> Assign.Adaptive Bug.default_options

@@ -1,0 +1,25 @@
+(** The four schemes the paper evaluates (§IV-B).
+
+    - [Noed]: unmodified code on a single cluster (the normalisation
+      baseline);
+    - [Sced]: detection code, all of it on a single cluster;
+    - [Dced]: detection code, original stream on cluster 0 and redundant
+      stream on cluster 1 (fixed placement);
+    - [Casted]: detection code, adaptive BUG placement over both
+      clusters. *)
+
+type t = Noed | Sced | Dced | Casted
+
+val all : t list
+val name : t -> string
+val of_string : string -> t option
+
+(** Does the scheme run the error-detection pass? *)
+val hardened : t -> bool
+
+(** The machine the scheme targets at a given configuration point.
+    NOED and SCED run on one cluster; DCED and CASTED on two. *)
+val machine :
+  t -> issue_width:int -> delay:int -> Casted_machine.Config.t
+
+val strategy : t -> Casted_sched.Assign.strategy

@@ -1,0 +1,46 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Func = Casted_ir.Func
+
+let store_slice func =
+  (* defs_of.(r) = every instruction that may define r, anywhere in the
+     function (flow-insensitive: loops make any def reach any use). *)
+  let defs_of : Insn.t list Reg.Tbl.t = Reg.Tbl.create 64 in
+  Func.iter_insns func (fun _ insn ->
+      Array.iter
+        (fun r ->
+          let old = Option.value ~default:[] (Reg.Tbl.find_opt defs_of r) in
+          Reg.Tbl.replace defs_of r (insn :: old))
+        insn.Insn.defs);
+  let marked : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let seed_reg r = Queue.add r work in
+  (* Seeds: operands of stores (value and address). *)
+  Func.iter_insns func (fun _ insn ->
+      if Opcode.is_store insn.Insn.op then
+        Array.iter seed_reg insn.Insn.uses);
+  let seen_regs = Reg.Tbl.create 64 in
+  while not (Queue.is_empty work) do
+    let r = Queue.pop work in
+    if not (Reg.Tbl.mem seen_regs r) then begin
+      Reg.Tbl.replace seen_regs r ();
+      List.iter
+        (fun (insn : Insn.t) ->
+          if
+            (not (Hashtbl.mem marked insn.Insn.id))
+            && Opcode.replicable insn.Insn.op
+          then begin
+            Hashtbl.replace marked insn.Insn.id ();
+            Array.iter seed_reg insn.Insn.uses
+          end)
+        (Option.value ~default:[] (Reg.Tbl.find_opt defs_of r))
+    end
+  done;
+  marked
+
+let slice_fraction func =
+  let marked = store_slice func in
+  let total = Func.num_insns func in
+  if total = 0 then 0.0
+  else float_of_int (Hashtbl.length marked) /. float_of_int total

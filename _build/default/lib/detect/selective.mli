@@ -1,0 +1,18 @@
+(** Selective (Shoestring-style) replication scope.
+
+    The paper's Table III contrasts CASTED with partial-redundancy
+    schemes (Shoestring, compiler-assisted ED) that replicate only part
+    of the program to trade coverage for overhead. This module computes
+    such a scope: the backward slice of the {e store operands} — every
+    instruction whose value can reach memory. Instructions outside the
+    slice (pure address arithmetic for loads, branch-only counters, ...)
+    are left unreplicated; faults there must surface as symptoms
+    (exceptions, hangs) or stay benign, exactly Shoestring's bet. *)
+
+(** Ids of the instructions in the backward slice of every store's value
+    and address operands, over the whole function (fixpoint across
+    blocks and loops). *)
+val store_slice : Casted_ir.Func.t -> (int, unit) Hashtbl.t
+
+(** Fraction of a function's instructions inside the slice. *)
+val slice_fraction : Casted_ir.Func.t -> float

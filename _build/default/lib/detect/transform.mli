@@ -1,0 +1,43 @@
+(** The error-detection pass (paper Algorithm 1).
+
+    Three steps, applied per function:
+
+    + {b replicate}: every replicable instruction gets an exact duplicate
+      emitted just before it;
+    + {b rename}: the duplicate stream is isolated by renaming every
+      register it writes (and its uses) through a per-function bijection
+      into a fresh "shadow" register space; registers defined by
+      non-replicated instructions are copied into their shadow after the
+      defining instruction, and incoming parameters are copied at entry;
+    + {b checks}: before every non-replicated instruction, each register
+      it reads is compared against its shadow with a [Chk]
+      (compare-and-trap) instruction.
+
+    Functions with [protect = false] (binary-only "library" code) are
+    left untouched, as in the paper. *)
+
+type stats = {
+  originals : int;
+  replicas : int;
+  checks : int;
+  shadow_copies : int;
+}
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Code-size expansion factor ((originals + detection code) /
+    originals). The paper reports 2.4x on average. *)
+val expansion : stats -> float
+
+(** [func options f] transforms [f] in place (blocks are replaced;
+    fresh registers and ids are drawn from [f]'s counters) and returns
+    the instrumentation statistics. *)
+val func : Options.t -> Casted_ir.Func.t -> stats
+
+(** [program options p] clones [p], hardens every protected function of
+    the clone and returns it with aggregate statistics. The input program
+    is not modified. *)
+val program : Options.t -> Casted_ir.Program.t -> Casted_ir.Program.t * stats

@@ -1,0 +1,1 @@
+lib/ir/asm.ml: Array Block Buffer Char Cond Format Func Hashtbl Insn Int64 List Opcode Printf Program Reg String

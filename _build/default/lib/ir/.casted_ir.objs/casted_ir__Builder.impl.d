@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Block Cond Func Insn List Opcode Printf Reg

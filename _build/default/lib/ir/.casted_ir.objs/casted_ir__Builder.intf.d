@@ -1,0 +1,1 @@
+lib/ir/builder.mli: Cond Func Opcode Reg

@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Array Block Func List Program

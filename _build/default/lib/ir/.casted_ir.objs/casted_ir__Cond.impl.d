@@ -1,0 +1,1 @@
+lib/ir/cond.ml: Format Int64

@@ -1,0 +1,1 @@
+lib/ir/cond.mli: Format

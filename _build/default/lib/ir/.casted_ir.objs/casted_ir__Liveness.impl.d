@@ -1,0 +1,1 @@
+lib/ir/liveness.ml: Array Block Cfg Insn List Reg

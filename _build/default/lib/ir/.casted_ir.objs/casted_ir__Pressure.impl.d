@@ -1,0 +1,1 @@
+lib/ir/pressure.ml: Array Cfg Format List Liveness Program Reg

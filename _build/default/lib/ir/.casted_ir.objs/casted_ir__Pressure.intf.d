@@ -1,0 +1,1 @@
+lib/ir/pressure.mli: Format Func Program

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Block Format Func Hashtbl Insn List Opcode Printf Program Reg String

@@ -1,0 +1,30 @@
+type t = {
+  label : string;
+  mutable body : Insn.t list;
+  mutable term : Insn.t;
+}
+
+let make ~label ~body ~term =
+  if not (Insn.is_terminator term) then
+    invalid_arg
+      (Printf.sprintf "Block.make: %s is not a terminator"
+         (Opcode.mnemonic term.Insn.op));
+  { label; body; term }
+
+let insns t = t.body @ [ t.term ]
+let num_insns t = List.length t.body + 1
+
+let successors t =
+  match t.term.Insn.op with
+  | Opcode.Br -> [ t.term.Insn.target ]
+  | Opcode.Brc _ -> [ t.term.Insn.target; t.term.Insn.target2 ]
+  | Opcode.Ret | Opcode.Halt -> []
+  | op ->
+      invalid_arg
+        (Printf.sprintf "Block.successors: bad terminator %s"
+           (Opcode.mnemonic op))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s:" t.label;
+  List.iter (fun i -> Format.fprintf ppf "@,  %a" Insn.pp i) (insns t);
+  Format.fprintf ppf "@]"

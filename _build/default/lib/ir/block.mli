@@ -1,0 +1,24 @@
+(** Basic blocks.
+
+    A block is a straight-line [body] followed by exactly one terminator
+    ([Br], [Brc], [Ret] or [Halt]). [Call] instructions live in the body:
+    control returns to the instruction after the call. *)
+
+type t = {
+  label : string;
+  mutable body : Insn.t list;
+  mutable term : Insn.t;
+}
+
+val make : label:string -> body:Insn.t list -> term:Insn.t -> t
+
+(** Body followed by the terminator. *)
+val insns : t -> Insn.t list
+
+val num_insns : t -> int
+
+(** Labels this block can transfer control to, in order
+    (taken target first for conditional branches). *)
+val successors : t -> string list
+
+val pp : Format.formatter -> t -> unit

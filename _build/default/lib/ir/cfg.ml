@@ -1,0 +1,71 @@
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  succs : int list array;
+  preds : int list array;
+}
+
+let index_table blocks =
+  let tbl = Hashtbl.create (Array.length blocks * 2) in
+  Array.iteri (fun i b -> Hashtbl.replace tbl b.Block.label i) blocks;
+  tbl
+
+let of_func func =
+  let blocks = Array.of_list func.Func.blocks in
+  let tbl = index_table blocks in
+  let n = Array.length blocks in
+  let succs = Array.make n [] in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        List.map
+          (fun label ->
+            match Hashtbl.find_opt tbl label with
+            | Some j -> j
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Cfg.of_func: %s: unknown target %s"
+                     func.Func.name label))
+          (Block.successors b)
+      in
+      succs.(i) <- ss;
+      List.iter (fun j -> preds.(j) <- i :: preds.(j)) ss)
+    blocks;
+  { func; blocks; succs; preds }
+
+let block_index t label =
+  let rec find i =
+    if i >= Array.length t.blocks then raise Not_found
+    else if t.blocks.(i).Block.label = label then i
+    else find (i + 1)
+  in
+  find 0
+
+let num_blocks t = Array.length t.blocks
+
+let reachable t =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.succs.(i)
+    end
+  in
+  if n > 0 then go 0;
+  seen
+
+let reverse_postorder t =
+  let n = Array.length t.blocks in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.succs.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then go 0;
+  Array.of_list !order

@@ -1,0 +1,19 @@
+(** Control-flow graph of a function, with blocks indexed densely. *)
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;
+  succs : int list array;
+  preds : int list array;
+}
+
+val of_func : Func.t -> t
+
+val block_index : t -> string -> int
+val num_blocks : t -> int
+
+(** Indices of blocks reachable from the entry. *)
+val reachable : t -> bool array
+
+(** Reverse postorder over reachable blocks, starting at the entry. *)
+val reverse_postorder : t -> int array

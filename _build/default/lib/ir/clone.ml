@@ -1,0 +1,12 @@
+let block (b : Block.t) =
+  Block.make ~label:b.Block.label ~body:b.Block.body ~term:b.Block.term
+
+let func (f : Func.t) =
+  {
+    f with
+    Func.blocks = List.map block f.Func.blocks;
+    next_reg = Array.copy f.Func.next_reg;
+  }
+
+let program (p : Program.t) =
+  { p with Program.funcs = List.map func p.Program.funcs }

@@ -1,0 +1,10 @@
+(** Deep copies of functions and programs.
+
+    Instructions are immutable, so cloning only needs to rebuild the
+    mutable block and function shells. Passes clone their input and
+    transform the copy, leaving the original available for differential
+    testing (original vs. hardened program must compute the same
+    output). *)
+
+val func : Func.t -> Func.t
+val program : Program.t -> Program.t

@@ -1,0 +1,52 @@
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+let all = [ Eq; Ne; Lt; Le; Gt; Ge ]
+
+let eval_int t a b =
+  let c = Int64.compare a b in
+  match t with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Lt -> c < 0
+  | Le -> c <= 0
+  | Gt -> c > 0
+  | Ge -> c >= 0
+
+let eval_float t a b =
+  (* Float comparison follows IEEE semantics: comparisons with NaN are
+     false, so [Ne] is implemented directly rather than via [negate]. *)
+  match t with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let swap = function
+  | Eq -> Eq
+  | Ne -> Ne
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,20 @@
+(** Comparison conditions used by compare instructions. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val all : t list
+
+(** Signed 64-bit integer comparison. *)
+val eval_int : t -> int64 -> int64 -> bool
+
+val eval_float : t -> float -> float -> bool
+
+(** [negate c] satisfies [eval_int (negate c) a b = not (eval_int c a b)]. *)
+val negate : t -> t
+
+(** [swap c] satisfies [eval_int (swap c) a b = eval_int c b a]. *)
+val swap : t -> t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

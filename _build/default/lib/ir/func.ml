@@ -1,0 +1,72 @@
+type t = {
+  name : string;
+  params : Reg.t list;
+  ret_cls : Reg.cls option;
+  mutable blocks : Block.t list;
+  protect : bool;
+  mutable next_reg : int array;
+  mutable next_id : int;
+}
+
+let make ~name ?(params = []) ?(ret_cls = None) ?(protect = true) () =
+  let next_reg = [| 0; 0; 0 |] in
+  List.iter
+    (fun r ->
+      let k = Reg.cls_index (Reg.cls r) in
+      next_reg.(k) <- max next_reg.(k) (Reg.idx r + 1))
+    params;
+  { name; params; ret_cls; blocks = []; protect; next_reg; next_id = 0 }
+
+let entry t =
+  match t.blocks with
+  | [] -> invalid_arg ("Func.entry: empty function " ^ t.name)
+  | b :: _ -> b
+
+let find_block t label =
+  match List.find_opt (fun b -> b.Block.label = label) t.blocks with
+  | Some b -> b
+  | None -> raise Not_found
+
+let fresh_reg t cls =
+  let k = Reg.cls_index cls in
+  let idx = t.next_reg.(k) in
+  t.next_reg.(k) <- idx + 1;
+  Reg.make cls idx
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let reg_count t cls = t.next_reg.(Reg.cls_index cls)
+
+let iter_insns t f =
+  List.iter (fun b -> List.iter (f b) (Block.insns b)) t.blocks
+
+let all_insns t =
+  List.concat_map (fun b -> Block.insns b) t.blocks
+
+let num_insns t =
+  List.fold_left (fun acc b -> acc + Block.num_insns b) 0 t.blocks
+
+let normalize_reg_counts t =
+  let see r =
+    let k = Reg.cls_index (Reg.cls r) in
+    t.next_reg.(k) <- max t.next_reg.(k) (Reg.idx r + 1)
+  in
+  iter_insns t (fun _ i ->
+      Array.iter see i.Insn.defs;
+      Array.iter see i.Insn.uses);
+  List.iter see t.params;
+  let see_id i = t.next_id <- max t.next_id (i.Insn.id + 1) in
+  iter_insns t (fun _ i -> see_id i)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>func %s(%a)%s:" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Reg.pp)
+    t.params
+    (if t.protect then "" else " [unprotected]");
+  List.iter (fun b -> Format.fprintf ppf "@,%a" Block.pp b) t.blocks;
+  Format.fprintf ppf "@]"

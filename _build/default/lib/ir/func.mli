@@ -1,0 +1,49 @@
+(** IR functions.
+
+    A function owns its virtual-register and instruction-id namespaces.
+    The first block in [blocks] is the entry block. Functions flagged
+    [protect = false] model binary-only library code: the detection pass
+    skips them, which is the paper's explanation for residual
+    silent-data-corruption (§IV-C). *)
+
+type t = {
+  name : string;
+  params : Reg.t list;  (** parameter registers, defined on entry *)
+  ret_cls : Reg.cls option;  (** class of the returned value, if any *)
+  mutable blocks : Block.t list;
+  protect : bool;
+  mutable next_reg : int array;  (** next free index per register class *)
+  mutable next_id : int;  (** next free instruction id *)
+}
+
+val make :
+  name:string ->
+  ?params:Reg.t list ->
+  ?ret_cls:Reg.cls option ->
+  ?protect:bool ->
+  unit ->
+  t
+
+val entry : t -> Block.t
+val find_block : t -> string -> Block.t
+
+(** Fresh virtual register of the given class. *)
+val fresh_reg : t -> Reg.cls -> Reg.t
+
+(** Fresh instruction id. *)
+val fresh_id : t -> int
+
+(** Number of registers allocated so far in the given class
+    (valid indices are [0 .. reg_count - 1]). *)
+val reg_count : t -> Reg.cls -> int
+
+val iter_insns : t -> (Block.t -> Insn.t -> unit) -> unit
+val all_insns : t -> Insn.t list
+val num_insns : t -> int
+
+(** Bump the register counters so that every register mentioned by the
+    current instructions is below [next_reg]. Call after building a
+    function by hand with explicit register indices. *)
+val normalize_reg_counts : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,75 @@
+type t = {
+  cfg : Cfg.t;
+  live_in : Reg.Set.t array;
+  live_out : Reg.Set.t array;
+}
+
+let insn_uses (i : Insn.t) = Array.to_list i.Insn.uses
+let insn_defs (i : Insn.t) = Array.to_list i.Insn.defs
+
+(* Block-local [gen] (used before defined) and [kill] (defined) sets. *)
+let gen_kill block =
+  List.fold_left
+    (fun (gen, kill) i ->
+      let gen =
+        List.fold_left
+          (fun gen r -> if Reg.Set.mem r kill then gen else Reg.Set.add r gen)
+          gen (insn_uses i)
+      in
+      let kill =
+        List.fold_left (fun kill r -> Reg.Set.add r kill) kill (insn_defs i)
+      in
+      (gen, kill))
+    (Reg.Set.empty, Reg.Set.empty)
+    (Block.insns block)
+
+let compute cfg =
+  let n = Cfg.num_blocks cfg in
+  let gens = Array.make n Reg.Set.empty in
+  let kills = Array.make n Reg.Set.empty in
+  Array.iteri
+    (fun i b ->
+      let g, k = gen_kill b in
+      gens.(i) <- g;
+      kills.(i) <- k)
+    cfg.Cfg.blocks;
+  let live_in = Array.make n Reg.Set.empty in
+  let live_out = Array.make n Reg.Set.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc j -> Reg.Set.union acc live_in.(j))
+          Reg.Set.empty cfg.Cfg.succs.(i)
+      in
+      let inn = Reg.Set.union gens.(i) (Reg.Set.diff out kills.(i)) in
+      if
+        (not (Reg.Set.equal out live_out.(i)))
+        || not (Reg.Set.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { cfg; live_in; live_out }
+
+let live_before t bi =
+  let block = t.cfg.Cfg.blocks.(bi) in
+  let insns = Block.insns block in
+  (* Walk backwards accumulating liveness, then reverse. *)
+  let rec go acc live = function
+    | [] -> acc
+    | i :: rest ->
+        let live =
+          List.fold_left (fun s r -> Reg.Set.remove r s) live (insn_defs i)
+        in
+        let live =
+          List.fold_left (fun s r -> Reg.Set.add r s) live (insn_uses i)
+        in
+        go (live :: acc) live rest
+  in
+  go [] t.live_out.(bi) (List.rev insns)

@@ -1,0 +1,43 @@
+type t = { max_gp : int; max_fp : int; max_pr : int }
+
+let count_classes set =
+  Reg.Set.fold
+    (fun r (gp, fp, pr) ->
+      match Reg.cls r with
+      | Reg.Gp -> (gp + 1, fp, pr)
+      | Reg.Fp -> (gp, fp + 1, pr)
+      | Reg.Pr -> (gp, fp, pr + 1))
+    set (0, 0, 0)
+
+let of_func func =
+  let cfg = Cfg.of_func func in
+  let live = Liveness.compute cfg in
+  let worst = ref (0, 0, 0) in
+  let bump set =
+    let gp, fp, pr = count_classes set in
+    let wg, wf, wp = !worst in
+    worst := (max wg gp, max wf fp, max wp pr)
+  in
+  Array.iteri
+    (fun i _ -> List.iter bump (Liveness.live_before live i))
+    cfg.Cfg.blocks;
+  let gp, fp, pr = !worst in
+  { max_gp = gp; max_fp = fp; max_pr = pr }
+
+let of_program program =
+  List.fold_left
+    (fun acc f ->
+      let p = of_func f in
+      {
+        max_gp = max acc.max_gp p.max_gp;
+        max_fp = max acc.max_fp p.max_fp;
+        max_pr = max acc.max_pr p.max_pr;
+      })
+    { max_gp = 0; max_fp = 0; max_pr = 0 }
+    program.Program.funcs
+
+let exceeds t ~gp ~fp ~pr = t.max_gp > gp || t.max_fp > fp || t.max_pr > pr
+
+let pp ppf t =
+  Format.fprintf ppf "%d gp, %d fp, %d pr live at peak" t.max_gp t.max_fp
+    t.max_pr

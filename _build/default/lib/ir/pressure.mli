@@ -1,0 +1,24 @@
+(** Register-pressure analysis.
+
+    Maximum number of simultaneously live registers per class across a
+    function. The paper attributes part of the SCED slowdown variance to
+    spilling caused by the detection code (§IV-B1); this repo simulates
+    unbounded virtual registers, so pressure is reported instead: the
+    hardened pressure against the Table-I file sizes (64 GP / 64 FP /
+    32 PR per cluster) shows where the paper's compiler would have
+    spilled. *)
+
+type t = {
+  max_gp : int;
+  max_fp : int;
+  max_pr : int;
+}
+
+val of_func : Func.t -> t
+
+val of_program : Program.t -> t
+
+(** Would this pressure spill on a register file of the given sizes? *)
+val exceeds : t -> gp:int -> fp:int -> pr:int -> bool
+
+val pp : Format.formatter -> t -> unit

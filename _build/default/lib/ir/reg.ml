@@ -1,0 +1,50 @@
+type cls = Gp | Fp | Pr
+
+type t = { cls : cls; idx : int }
+
+let make cls idx =
+  if idx < 0 then invalid_arg "Reg.make: negative index";
+  { cls; idx }
+
+let gp idx = make Gp idx
+let fp idx = make Fp idx
+let pr idx = make Pr idx
+
+let cls t = t.cls
+let idx t = t.idx
+
+let cls_index = function Gp -> 0 | Fp -> 1 | Pr -> 2
+let all_classes = [ Gp; Fp; Pr ]
+
+let cls_equal a b = cls_index a = cls_index b
+
+let equal a b = cls_equal a.cls b.cls && a.idx = b.idx
+
+let compare a b =
+  let c = Int.compare (cls_index a.cls) (cls_index b.cls) in
+  if c <> 0 then c else Int.compare a.idx b.idx
+
+let hash t = (cls_index t.cls * 1_000_003) + t.idx
+
+let pp_cls ppf c =
+  Format.pp_print_string ppf (match c with Gp -> "r" | Fp -> "f" | Pr -> "p")
+
+let pp ppf t = Format.fprintf ppf "%a%d" pp_cls t.cls t.idx
+let to_string t = Format.asprintf "%a" pp t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

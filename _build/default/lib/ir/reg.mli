@@ -1,0 +1,38 @@
+(** Virtual registers.
+
+    The IR uses an unbounded supply of virtual registers in three classes,
+    mirroring the Itanium register files the paper injects faults into:
+    general-purpose ([Gp], 64-bit integers), floating-point ([Fp], 64-bit
+    floats) and predicate ([Pr], booleans written by compare
+    instructions). *)
+
+type cls = Gp | Fp | Pr
+
+type t = private { cls : cls; idx : int }
+
+val gp : int -> t
+val fp : int -> t
+val pr : int -> t
+val make : cls -> int -> t
+
+val cls : t -> cls
+val idx : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val pp_cls : Format.formatter -> cls -> unit
+val cls_equal : cls -> cls -> bool
+
+(** Total order on classes, used to index per-class arrays. *)
+val cls_index : cls -> int
+
+val all_classes : cls list
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,179 @@
+let err fmt = Format.asprintf fmt
+
+let check_signature func (i : Insn.t) =
+  let classes regs = List.map Reg.cls (Array.to_list regs) in
+  let bad expected =
+    [
+      err "%s: insn %d (%s): signature mismatch (expected defs/uses %s)"
+        func.Func.name i.Insn.id (Opcode.mnemonic i.Insn.op) expected;
+    ]
+  in
+  let show (ds, us) =
+    let s cs =
+      String.concat ""
+        (List.map (fun c -> Format.asprintf "%a" Reg.pp_cls c) cs)
+    in
+    Printf.sprintf "[%s]/[%s]" (s ds) (s us)
+  in
+  match Opcode.signature i.Insn.op with
+  | Some (ds, us) ->
+      if classes i.Insn.defs = ds && classes i.Insn.uses = us then []
+      else bad (show (ds, us))
+  | None -> (
+      match i.Insn.op with
+      | Opcode.Chk -> (
+          match classes i.Insn.defs, classes i.Insn.uses with
+          | [], [ a; b ] when Reg.cls_equal a b -> []
+          | _ -> bad "[]/two same-class regs")
+      | Opcode.Halt | Opcode.Ret -> (
+          match classes i.Insn.defs, Array.length i.Insn.uses with
+          | [], (0 | 1) -> []
+          | _ -> bad "[]/at most one reg")
+      | Opcode.Call ->
+          if Array.length i.Insn.defs <= 1 then [] else bad "at most one def"
+      | _ -> [])
+
+let check_call program func (i : Insn.t) =
+  if not (Opcode.equal i.Insn.op Opcode.Call) then []
+  else
+    match List.find_opt (fun f -> f.Func.name = i.Insn.target) program.Program.funcs with
+    | None ->
+        [ err "%s: call to unknown function %s" func.Func.name i.Insn.target ]
+    | Some callee ->
+        let arg_classes = List.map Reg.cls (Array.to_list i.Insn.uses) in
+        let param_classes = List.map Reg.cls callee.Func.params in
+        let sig_errs =
+          if arg_classes <> param_classes then
+            [
+              err "%s: call %s: argument classes do not match parameters"
+                func.Func.name i.Insn.target;
+            ]
+          else []
+        in
+        let ret_errs =
+          match Array.to_list i.Insn.defs, callee.Func.ret_cls with
+          | [], _ -> []
+          | [ d ], Some c when Reg.cls_equal (Reg.cls d) c -> []
+          | [ _ ], Some _ ->
+              [
+                err "%s: call %s: result register class mismatch"
+                  func.Func.name i.Insn.target;
+              ]
+          | [ _ ], None ->
+              [
+                err "%s: call %s: callee returns no value" func.Func.name
+                  i.Insn.target;
+              ]
+          | _ -> [ err "%s: call %s: multiple defs" func.Func.name i.Insn.target ]
+        in
+        sig_errs @ ret_errs
+
+let check_reg_bounds func (i : Insn.t) =
+  let bad r =
+    Reg.idx r >= func.Func.next_reg.(Reg.cls_index (Reg.cls r))
+  in
+  let regs = Array.to_list i.Insn.defs @ Array.to_list i.Insn.uses in
+  List.filter_map
+    (fun r ->
+      if bad r then
+        Some
+          (err "%s: insn %d uses register %a beyond the allocation counter"
+             func.Func.name i.Insn.id Reg.pp r)
+      else None)
+    regs
+
+let check_func program func =
+  let errs = ref [] in
+  let add es = errs := es @ !errs in
+  if func.Func.blocks = [] then
+    add [ err "%s: function has no blocks" func.Func.name ];
+  (* Unique labels. *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let l = b.Block.label in
+      if Hashtbl.mem labels l then
+        add [ err "%s: duplicate label %s" func.Func.name l ]
+      else Hashtbl.replace labels l ())
+    func.Func.blocks;
+  (* Unique instruction ids. *)
+  let ids = Hashtbl.create 64 in
+  Func.iter_insns func (fun _ i ->
+      if Hashtbl.mem ids i.Insn.id then
+        add [ err "%s: duplicate instruction id %d" func.Func.name i.Insn.id ]
+      else Hashtbl.replace ids i.Insn.id ());
+  (* Per-instruction checks. *)
+  Func.iter_insns func (fun b i ->
+      add (check_signature func i);
+      add (check_call program func i);
+      add (check_reg_bounds func i);
+      if Opcode.is_terminator i.Insn.op && not (Insn.is_terminator b.Block.term && i.Insn.id = b.Block.term.Insn.id)
+      then
+        add
+          [
+            err "%s: %s: terminator %s in block body" func.Func.name
+              b.Block.label (Opcode.mnemonic i.Insn.op);
+          ]);
+  (* Branch targets resolve. *)
+  List.iter
+    (fun b ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem labels l) then
+            add
+              [
+                err "%s: %s: branch to unknown label %s" func.Func.name
+                  b.Block.label l;
+              ])
+        (Block.successors b))
+    func.Func.blocks;
+  (* Terminator of the function's exits: Ret must carry a value iff the
+     function declares one. *)
+  List.iter
+    (fun b ->
+      match b.Block.term.Insn.op with
+      | Opcode.Ret -> (
+          match Array.length b.Block.term.Insn.uses, func.Func.ret_cls with
+          | 0, None -> ()
+          | 1, Some c
+            when Reg.cls_equal (Reg.cls b.Block.term.Insn.uses.(0)) c ->
+              ()
+          | _ ->
+              add
+                [
+                  err "%s: %s: ret value does not match declared return class"
+                    func.Func.name b.Block.label;
+                ])
+      | _ -> ())
+    func.Func.blocks;
+  List.rev !errs
+
+let check_program program =
+  let errs = ref [] in
+  let add es = errs := es @ !errs in
+  (match
+     List.find_opt
+       (fun f -> f.Func.name = program.Program.entry)
+       program.Program.funcs
+   with
+  | None -> add [ err "entry function %s not found" program.Program.entry ]
+  | Some f ->
+      if f.Func.params <> [] then
+        add [ err "entry function %s must not take parameters" f.Func.name ]);
+  List.iter (fun f -> add (check_func program f)) program.Program.funcs;
+  List.iter
+    (fun (addr, bytes) ->
+      if addr < 0 || addr + String.length bytes > program.Program.mem_size
+      then add [ err "data segment at %d out of bounds" addr ])
+    program.Program.data;
+  if
+    program.Program.output_base < 0
+    || program.Program.output_base + program.Program.output_len
+       > program.Program.mem_size
+  then add [ err "output region out of bounds" ];
+  List.rev !errs
+
+let check_exn program =
+  match check_program program with
+  | [] -> ()
+  | errs -> invalid_arg ("Validate: " ^ String.concat "; " errs)

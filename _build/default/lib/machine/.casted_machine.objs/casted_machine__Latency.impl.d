@@ -1,0 +1,1 @@
+lib/machine/latency.ml: Casted_ir

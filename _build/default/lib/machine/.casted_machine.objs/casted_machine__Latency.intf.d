@@ -1,0 +1,1 @@
+lib/machine/latency.mli: Casted_ir

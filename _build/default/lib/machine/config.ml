@@ -1,0 +1,66 @@
+type cache_level = {
+  size_bytes : int;
+  block_bytes : int;
+  assoc : int;
+  latency : int;
+}
+
+type cache_config = {
+  l1 : cache_level;
+  l2 : cache_level;
+  l3 : cache_level;
+  mem_latency : int;
+}
+
+type t = {
+  clusters : int;
+  issue_width : int;
+  delay : int;
+  latencies : Latency.t;
+  cache : cache_config;
+}
+
+let itanium2_cache =
+  {
+    l1 = { size_bytes = 16 * 1024; block_bytes = 64; assoc = 4; latency = 1 };
+    l2 =
+      { size_bytes = 256 * 1024; block_bytes = 128; assoc = 8; latency = 5 };
+    l3 =
+      {
+        size_bytes = 3 * 1024 * 1024;
+        block_bytes = 128;
+        assoc = 12;
+        latency = 12;
+      };
+    mem_latency = 150;
+  }
+
+let make ?(clusters = 2) ?(issue_width = 2) ?(delay = 1)
+    ?(latencies = Latency.default) ?(cache = itanium2_cache) () =
+  if clusters < 1 then invalid_arg "Config.make: clusters < 1";
+  if issue_width < 1 then invalid_arg "Config.make: issue_width < 1";
+  if delay < 0 then invalid_arg "Config.make: negative delay";
+  { clusters; issue_width; delay; latencies; cache }
+
+let single_core ~issue_width = make ~clusters:1 ~issue_width ~delay:0 ()
+let dual_core ~issue_width ~delay = make ~clusters:2 ~issue_width ~delay ()
+
+let pp ppf t =
+  Format.fprintf ppf "%d cluster%s x issue %d, delay %d" t.clusters
+    (if t.clusters > 1 then "s" else "")
+    t.issue_width t.delay
+
+let describe t =
+  let lvl l =
+    Printf.sprintf "%dK / %dB blocks / %d-way / %d cy" (l.size_bytes / 1024)
+      l.block_bytes l.assoc l.latency
+  in
+  [
+    ("Clusters", string_of_int t.clusters);
+    ("Issue width (per cluster)", string_of_int t.issue_width);
+    ("Inter-cluster delay (cycles)", string_of_int t.delay);
+    ("L1", lvl t.cache.l1);
+    ("L2", lvl t.cache.l2);
+    ("L3", lvl t.cache.l3);
+    ("Memory latency (cycles)", string_of_int t.cache.mem_latency);
+  ]

@@ -1,0 +1,53 @@
+(** Machine configuration (paper Table I).
+
+    A machine is a set of identical clusters (the paper evaluates 2)
+    operating in lockstep. Each cluster issues up to [issue_width]
+    instructions per cycle; reading a register produced on another cluster
+    costs an extra [delay] cycles. *)
+
+type cache_level = {
+  size_bytes : int;
+  block_bytes : int;
+  assoc : int;
+  latency : int;  (** total access latency of this level, cycles *)
+}
+
+type cache_config = {
+  l1 : cache_level;
+  l2 : cache_level;
+  l3 : cache_level;
+  mem_latency : int;
+}
+
+type t = {
+  clusters : int;
+  issue_width : int;  (** per cluster *)
+  delay : int;  (** inter-cluster communication delay, cycles *)
+  latencies : Latency.t;
+  cache : cache_config;
+}
+
+(** The Table-I hierarchy: 16K/64B/4-way/1cy L1, 256K/128B/8-way/5cy L2,
+    3M/128B/12-way/12cy L3, 150-cycle memory. *)
+val itanium2_cache : cache_config
+
+val make :
+  ?clusters:int ->
+  ?issue_width:int ->
+  ?delay:int ->
+  ?latencies:Latency.t ->
+  ?cache:cache_config ->
+  unit ->
+  t
+
+(** Single cluster of the given width — the machine NOED and SCED run on. *)
+val single_core : issue_width:int -> t
+
+(** Two clusters — the machine DCED and CASTED run on. *)
+val dual_core : issue_width:int -> delay:int -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Multi-row description of the configuration, one [(field, value)] pair
+    per row; used to regenerate paper Table I. *)
+val describe : t -> (string * string) list

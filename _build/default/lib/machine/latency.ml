@@ -1,0 +1,62 @@
+module Opcode = Casted_ir.Opcode
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  cvt : int;
+  load : int;
+  store : int;
+  branch : int;
+  compare : int;
+  move : int;
+  sel : int;
+  check : int;
+  call : int;
+}
+
+let default =
+  {
+    alu = 1;
+    mul = 3;
+    div = 20;
+    fadd = 4;
+    fmul = 4;
+    fdiv = 24;
+    cvt = 2;
+    load = 1;
+    store = 1;
+    branch = 1;
+    compare = 1;
+    move = 1;
+    sel = 1;
+    check = 1;
+    call = 1;
+  }
+
+let of_op t (op : Opcode.t) =
+  let l =
+    match op with
+    | Add | Sub | And | Or | Xor | Shl | Shr | Sra | Addi | Andi | Xori
+    | Shli | Shri | Srai ->
+        t.alu
+    | Mul | Muli -> t.mul
+    | Div | Rem -> t.div
+    | Mov | Movi | Fmov | Fmovi -> t.move
+    | Cmp _ | Cmpi _ | Fcmp _ -> t.compare
+    | Sel -> t.sel
+    | Fadd | Fsub -> t.fadd
+    | Fmul -> t.fmul
+    | Fdiv -> t.fdiv
+    | Itof | Ftoi -> t.cvt
+    | Ld _ | Lds _ | Fld -> t.load
+    | St _ | Fst -> t.store
+    | Br | Brc _ | Ret | Halt -> t.branch
+    | Call -> t.call
+    | Chk -> t.check
+    | Nop -> 1
+  in
+  max 1 l

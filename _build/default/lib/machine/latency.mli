@@ -1,0 +1,29 @@
+(** Instruction latencies, in cycles.
+
+    The defaults are modelled on the Itanium2 pipeline the paper targets:
+    single-cycle integer ALU and compares, multi-cycle multiply/divide,
+    4-cycle pipelined floating point, 1-cycle L1 load-use (cache misses add
+    dynamic stalls in the simulator, not here). *)
+
+type t = {
+  alu : int;
+  mul : int;
+  div : int;
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  cvt : int;  (** int/float conversions *)
+  load : int;  (** L1-hit load-use latency *)
+  store : int;
+  branch : int;
+  compare : int;
+  move : int;
+  sel : int;
+  check : int;  (** the [Chk] compare-and-trap emitted by the pass *)
+  call : int;
+}
+
+val default : t
+
+(** Latency of an opcode under this table. Always >= 1. *)
+val of_op : t -> Casted_ir.Opcode.t -> int

@@ -1,0 +1,69 @@
+type t = {
+  n_clusters : int;
+  width : int;
+  mutable slots : int array array;  (* cluster -> cycle -> used count *)
+  mutable capacity : int;
+  mutable horizon : int;
+}
+
+let create ~clusters ~issue_width =
+  if clusters < 1 || issue_width < 1 then
+    invalid_arg "Reservation.create: bad dimensions";
+  {
+    n_clusters = clusters;
+    width = issue_width;
+    slots = Array.init clusters (fun _ -> Array.make 64 0);
+    capacity = 64;
+    horizon = 0;
+  }
+
+let clusters t = t.n_clusters
+let issue_width t = t.width
+
+let ensure t cycle =
+  if cycle >= t.capacity then begin
+    let cap = ref t.capacity in
+    while cycle >= !cap do
+      cap := !cap * 2
+    done;
+    t.slots <-
+      Array.map
+        (fun row ->
+          let row' = Array.make !cap 0 in
+          Array.blit row 0 row' 0 t.capacity;
+          row')
+        t.slots;
+    t.capacity <- !cap
+  end
+
+let check_cluster t cluster =
+  if cluster < 0 || cluster >= t.n_clusters then
+    invalid_arg "Reservation: cluster out of range"
+
+let used t ~cluster ~cycle =
+  check_cluster t cluster;
+  if cycle < 0 then invalid_arg "Reservation.used: negative cycle";
+  if cycle >= t.capacity then 0 else t.slots.(cluster).(cycle)
+
+let is_free t ~cluster ~cycle = used t ~cluster ~cycle < t.width
+
+let first_free t ~cluster ~from =
+  let rec go c = if is_free t ~cluster ~cycle:c then c else go (c + 1) in
+  go (max 0 from)
+
+let reserve t ~cluster ~cycle =
+  check_cluster t cluster;
+  if cycle < 0 then invalid_arg "Reservation.reserve: negative cycle";
+  ensure t cycle;
+  if t.slots.(cluster).(cycle) >= t.width then
+    invalid_arg "Reservation.reserve: cycle full";
+  t.slots.(cluster).(cycle) <- t.slots.(cluster).(cycle) + 1;
+  t.horizon <- max t.horizon (cycle + 1)
+
+let release t ~cluster ~cycle =
+  check_cluster t cluster;
+  if cycle < 0 || cycle >= t.capacity || t.slots.(cluster).(cycle) = 0 then
+    invalid_arg "Reservation.release: nothing reserved";
+  t.slots.(cluster).(cycle) <- t.slots.(cluster).(cycle) - 1
+
+let horizon t = t.horizon

@@ -1,0 +1,29 @@
+(** Issue-slot reservation table (paper Algorithm 2, line 17).
+
+    Tracks, per cluster and cycle, how many of the [issue_width] slots are
+    taken. Grows on demand: schedules are finite but their horizon is not
+    known in advance. *)
+
+type t
+
+val create : clusters:int -> issue_width:int -> t
+
+val clusters : t -> int
+val issue_width : t -> int
+
+(** Slots already taken at (cluster, cycle). *)
+val used : t -> cluster:int -> cycle:int -> int
+
+val is_free : t -> cluster:int -> cycle:int -> bool
+
+(** Earliest cycle [>= from] with a free slot on [cluster]. *)
+val first_free : t -> cluster:int -> from:int -> int
+
+(** Take one slot. Raises [Invalid_argument] when the cycle is full. *)
+val reserve : t -> cluster:int -> cycle:int -> unit
+
+(** Release one slot (used by BUG when revisiting a tentative choice). *)
+val release : t -> cluster:int -> cycle:int -> unit
+
+(** One past the last cycle with any reservation. *)
+val horizon : t -> int

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Casted_ir Hashtbl Int64 List Versions

@@ -1,0 +1,1 @@
+lib/opt/constfold.mli: Casted_ir

@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Array Casted_ir Hashtbl List Versions

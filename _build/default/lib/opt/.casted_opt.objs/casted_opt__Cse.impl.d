@@ -1,0 +1,1 @@
+lib/opt/cse.ml: Array Casted_ir Hashtbl List Versions

@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Casted_ir Constfold Copyprop Cse Dce List Simplify_cfg

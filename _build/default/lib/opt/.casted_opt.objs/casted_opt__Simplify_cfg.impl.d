@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Array Casted_ir Hashtbl List

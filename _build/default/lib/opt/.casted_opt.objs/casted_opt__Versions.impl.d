@@ -1,0 +1,1 @@
+lib/opt/versions.ml: Casted_ir Option

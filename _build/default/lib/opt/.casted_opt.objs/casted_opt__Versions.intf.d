@@ -1,0 +1,1 @@
+lib/opt/versions.mli: Casted_ir

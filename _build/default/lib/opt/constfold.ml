@@ -1,0 +1,115 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+
+let is_pow2 v = Int64.compare v 0L > 0 && Int64.logand v (Int64.sub v 1L) = 0L
+
+let log2 v =
+  let rec go k x = if Int64.equal x 1L then k else go (k + 1) (Int64.shift_right_logical x 1) in
+  go 0 v
+
+(* Fold one instruction given the block-local constant environment.
+   Returns the rewritten instruction (possibly unchanged). *)
+let fold_insn lookup (insn : Insn.t) =
+  let const r = lookup r in
+  let movi v =
+    { insn with Insn.op = Opcode.Movi; uses = [||]; imm = v }
+  in
+  let mov src = { insn with Insn.op = Opcode.Mov; uses = [| src |]; imm = 0L } in
+  match insn.Insn.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.And | Opcode.Or
+  | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Sra -> (
+      match (const insn.Insn.uses.(0), const insn.Insn.uses.(1)) with
+      | Some a, Some b ->
+          (* Pure operations only; this match cannot see Div/Rem. *)
+          let v =
+            match insn.Insn.op with
+            | Opcode.Add -> Int64.add a b
+            | Opcode.Sub -> Int64.sub a b
+            | Opcode.Mul -> Int64.mul a b
+            | Opcode.And -> Int64.logand a b
+            | Opcode.Or -> Int64.logor a b
+            | Opcode.Xor -> Int64.logxor a b
+            | Opcode.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+            | Opcode.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+            | Opcode.Sra -> Int64.shift_right a (Int64.to_int b land 63)
+            | _ -> assert false
+          in
+          movi v
+      | _ -> insn)
+  | Opcode.Addi -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.add a insn.Insn.imm)
+      | None ->
+          if Int64.equal insn.Insn.imm 0L then mov insn.Insn.uses.(0)
+          else insn)
+  | Opcode.Muli -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.mul a insn.Insn.imm)
+      | None ->
+          if Int64.equal insn.Insn.imm 1L then mov insn.Insn.uses.(0)
+          else if Int64.equal insn.Insn.imm 0L then movi 0L
+          else if is_pow2 insn.Insn.imm then
+            {
+              insn with
+              Insn.op = Opcode.Shli;
+              imm = Int64.of_int (log2 insn.Insn.imm);
+            }
+          else insn)
+  | Opcode.Andi -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.logand a insn.Insn.imm)
+      | None -> if Int64.equal insn.Insn.imm 0L then movi 0L else insn)
+  | Opcode.Xori -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.logxor a insn.Insn.imm)
+      | None ->
+          if Int64.equal insn.Insn.imm 0L then mov insn.Insn.uses.(0)
+          else insn)
+  | Opcode.Shli -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.shift_left a (Int64.to_int insn.Insn.imm land 63))
+      | None ->
+          if Int64.equal insn.Insn.imm 0L then mov insn.Insn.uses.(0)
+          else insn)
+  | Opcode.Shri -> (
+      match const insn.Insn.uses.(0) with
+      | Some a ->
+          movi (Int64.shift_right_logical a (Int64.to_int insn.Insn.imm land 63))
+      | None ->
+          if Int64.equal insn.Insn.imm 0L then mov insn.Insn.uses.(0)
+          else insn)
+  | Opcode.Srai -> (
+      match const insn.Insn.uses.(0) with
+      | Some a -> movi (Int64.shift_right a (Int64.to_int insn.Insn.imm land 63))
+      | None ->
+          if Int64.equal insn.Insn.imm 0L then mov insn.Insn.uses.(0)
+          else insn)
+  (* [Mov] of a known constant is deliberately left alone: rewriting it
+     to [Movi] would ping-pong with CSE, which rewrites duplicate [Movi]
+     into [Mov]. Copy propagation plus DCE subsume the fold anyway. *)
+  | _ -> insn
+
+let run_block block =
+  let consts : (Reg.t * int, int64) Hashtbl.t = Hashtbl.create 32 in
+  let versions = Versions.create () in
+  let lookup r = Hashtbl.find_opt consts (Versions.key versions r) in
+  let changed = ref 0 in
+  let step (insn : Insn.t) =
+    let insn' = fold_insn lookup insn in
+    if not (insn' == insn) then incr changed;
+    (* Record definitions after the rewrite. *)
+    Array.iter (fun r -> Versions.bump versions r) insn'.Insn.defs;
+    (match (insn'.Insn.op, insn'.Insn.defs) with
+    | Opcode.Movi, [| d |] ->
+        Hashtbl.replace consts (Versions.key versions d) insn'.Insn.imm
+    | _ -> ());
+    insn'
+  in
+  block.Block.body <- List.map step block.Block.body;
+  !changed
+
+let run func =
+  List.fold_left (fun acc b -> acc + run_block b) 0 func.Func.blocks

@@ -1,0 +1,12 @@
+(** Block-local constant folding, propagation and algebraic
+    simplification.
+
+    Rewrites instructions whose integer operands are known constants into
+    [Movi], and applies strength reductions ([muli] by a power of two
+    becomes [shli], additions of zero become moves, ...). Division and
+    remainder are never folded: they can trap and the simulator's
+    semantics must be preserved exactly. Instruction ids and roles are
+    kept, so detection code stays attributed correctly. *)
+
+(** Returns the number of instructions rewritten. *)
+val run : Casted_ir.Func.t -> int

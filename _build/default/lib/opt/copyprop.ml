@@ -1,0 +1,54 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+
+let is_copy (insn : Insn.t) =
+  match insn.Insn.op with
+  | Opcode.Mov | Opcode.Fmov -> true
+  | _ -> false
+
+let run_block ~preserve_detection block =
+  (* copies: destination (at version) -> source (at its version). *)
+  let copies : (Reg.t * int, Reg.t * int) Hashtbl.t = Hashtbl.create 32 in
+  let versions = Versions.create () in
+  let changed = ref 0 in
+  let resolve r =
+    match Hashtbl.find_opt copies (Versions.key versions r) with
+    | Some (src, v) when Versions.get versions src = v -> src
+    | Some _ | None -> r
+  in
+  let step (insn : Insn.t) =
+    let uses' = Array.map resolve insn.Insn.uses in
+    let insn' =
+      if uses' = insn.Insn.uses then insn else { insn with Insn.uses = uses' }
+    in
+    if not (insn' == insn) then incr changed;
+    Array.iter (fun r -> Versions.bump versions r) insn'.Insn.defs;
+    if
+      is_copy insn'
+      && not (preserve_detection && insn'.Insn.role = Insn.Shadow_copy)
+    then begin
+      let d = insn'.Insn.defs.(0) and s = insn'.Insn.uses.(0) in
+      if not (Reg.equal d s) then
+        Hashtbl.replace copies
+          (Versions.key versions d)
+          (Versions.key versions s)
+    end;
+    insn'
+  in
+  block.Block.body <- List.map step block.Block.body;
+  (* The terminator reads registers too. *)
+  let term = block.Block.term in
+  let uses' = Array.map resolve term.Insn.uses in
+  if uses' <> term.Insn.uses then begin
+    block.Block.term <- { term with Insn.uses = uses' };
+    incr changed
+  end;
+  !changed
+
+let run ~preserve_detection func =
+  List.fold_left
+    (fun acc b -> acc + run_block ~preserve_detection b)
+    0 func.Func.blocks

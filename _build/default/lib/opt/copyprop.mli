@@ -1,0 +1,12 @@
+(** Block-local copy propagation.
+
+    Rewrites uses of a copied register to the copy's source while both
+    stay unmodified ([mov d s; add x d y] becomes [mov d s; add x s y]).
+
+    When [preserve_detection] is set, copies created by the detection
+    pass ([Shadow_copy] role) are not propagated: forwarding the original
+    register into the shadow stream would defeat the register isolation
+    of paper Algorithm 1 — this is exactly why the paper disables the
+    late propagation/CSE passes after its own (§IV-A). *)
+
+val run : preserve_detection:bool -> Casted_ir.Func.t -> int

@@ -1,0 +1,101 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+
+(* Role class for the preservation mode: original code vs detection
+   code. Merging within a class is safe; across classes it destroys the
+   redundancy. *)
+let role_class (insn : Insn.t) =
+  match insn.Insn.role with
+  | Insn.Original -> 0
+  | Insn.Replica | Insn.Check | Insn.Shadow_copy -> 1
+
+(* Instructions eligible for value numbering: one definition, no side
+   effects, no trapping, deterministic. *)
+let eligible (insn : Insn.t) =
+  Array.length insn.Insn.defs = 1
+  && (not (Opcode.has_side_effect insn.Insn.op))
+  &&
+  match insn.Insn.op with
+  | Opcode.Div | Opcode.Rem | Opcode.Call | Opcode.Nop -> false
+  (* Copies belong to copy propagation; numbering them makes the two
+     passes rewrite each other's output forever. *)
+  | Opcode.Mov | Opcode.Fmov -> false
+  | _ -> true
+
+(* Loads are eligible but must be invalidated at memory barriers. *)
+let is_barrier (insn : Insn.t) =
+  Opcode.is_store insn.Insn.op || Opcode.equal insn.Insn.op Opcode.Call
+
+type key = {
+  op : Opcode.t;
+  args : (Reg.t * int) list;
+  imm : int64;
+  fimm : float;
+  epoch : int;  (* memory epoch, 0 for non-loads *)
+  cls : int;  (* role class under preservation, else 0 *)
+}
+
+let copy_op_for (insn : Insn.t) =
+  match Reg.cls insn.Insn.defs.(0) with
+  | Reg.Gp -> Some Opcode.Mov
+  | Reg.Fp -> Some Opcode.Fmov
+  | Reg.Pr -> None (* no predicate move instruction *)
+
+let run_block ~preserve_detection block =
+  let avail : (key, Reg.t * int) Hashtbl.t = Hashtbl.create 64 in
+  let versions = Versions.create () in
+  let epoch = ref 0 in
+  let changed = ref 0 in
+  (* The key must be computed before the definition bumps the register
+     versions, or instructions like [addi r r 1] would be keyed against
+     their own result. *)
+  let key_of (insn : Insn.t) =
+    {
+      op = insn.Insn.op;
+      args =
+        Array.to_list
+          (Array.map (fun r -> Versions.key versions r) insn.Insn.uses);
+      imm = insn.Insn.imm;
+      fimm = insn.Insn.fimm;
+      epoch = (if Opcode.is_load insn.Insn.op then !epoch else 0);
+      cls = (if preserve_detection then role_class insn else 0);
+    }
+  in
+  let step (insn : Insn.t) =
+    if is_barrier insn then incr epoch;
+    let insn', record_key =
+      if not (eligible insn) then (insn, None)
+      else
+        match copy_op_for insn with
+        | None -> (insn, None)
+        | Some copy_op -> (
+            let key = key_of insn in
+            match Hashtbl.find_opt avail key with
+            | Some (src, v)
+              when Versions.get versions src = v
+                   && not (Reg.equal src insn.Insn.defs.(0)) ->
+                incr changed;
+                ( { insn with Insn.op = copy_op; uses = [| src |]; imm = 0L },
+                  None )
+            | _ ->
+                (* Not yet available: remember it under this key. *)
+                (insn, Some key))
+    in
+    Array.iter (fun r -> Versions.bump versions r) insn'.Insn.defs;
+    (match record_key with
+    | Some key when not (Hashtbl.mem avail key) ->
+        Hashtbl.replace avail key
+          (insn'.Insn.defs.(0), Versions.get versions insn'.Insn.defs.(0))
+    | Some _ | None -> ());
+    insn'
+  in
+  block.Block.body <- List.map step block.Block.body;
+  !changed
+
+let run ~preserve_detection func =
+  List.fold_left
+    (fun acc b -> acc + run_block ~preserve_detection b)
+    0 func.Func.blocks

@@ -1,0 +1,63 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+module Cfg = Casted_ir.Cfg
+module Liveness = Casted_ir.Liveness
+
+let trivial_check (insn : Insn.t) =
+  Insn.is_check insn
+  && Array.length insn.Insn.uses = 2
+  && Reg.equal insn.Insn.uses.(0) insn.Insn.uses.(1)
+
+let removable ~preserve_detection live (insn : Insn.t) =
+  if (not preserve_detection) && trivial_check insn then true
+  else if Opcode.has_side_effect insn.Insn.op then false
+  else if Opcode.equal insn.Insn.op Opcode.Nop then true
+  else
+    Array.length insn.Insn.defs > 0
+    && Array.for_all (fun r -> not (Reg.Set.mem r live)) insn.Insn.defs
+
+(* One backward sweep over one block; returns removed count. *)
+let sweep_block ~preserve_detection live_out block =
+  let removed = ref 0 in
+  let keep = ref [] in
+  let live = ref live_out in
+  (* The terminator's uses are live. *)
+  Array.iter
+    (fun r -> live := Reg.Set.add r !live)
+    block.Block.term.Insn.uses;
+  List.iter
+    (fun (insn : Insn.t) ->
+      if removable ~preserve_detection !live insn then incr removed
+      else begin
+        keep := insn :: !keep;
+        Array.iter (fun r -> live := Reg.Set.remove r !live) insn.Insn.defs;
+        Array.iter (fun r -> live := Reg.Set.add r !live) insn.Insn.uses
+      end)
+    (List.rev block.Block.body);
+  block.Block.body <- !keep;
+  !removed
+
+let run ~preserve_detection func =
+  let total = ref 0 in
+  let continue_ = ref true in
+  (* Each round removes at least one instruction or stops, so this
+     terminates; cap the rounds defensively anyway. *)
+  let rounds = ref 0 in
+  while !continue_ && !rounds < 100 do
+    incr rounds;
+    let cfg = Cfg.of_func func in
+    let live = Liveness.compute cfg in
+    let removed = ref 0 in
+    Array.iteri
+      (fun i block ->
+        removed :=
+          !removed
+          + sweep_block ~preserve_detection live.Liveness.live_out.(i) block)
+      cfg.Cfg.blocks;
+    total := !total + !removed;
+    continue_ := !removed > 0
+  done;
+  !total

@@ -1,0 +1,12 @@
+(** Global dead-code elimination.
+
+    Removes instructions without side effects whose results are dead
+    (liveness-based, iterated to a fixpoint). Stores, control flow and
+    checks are side-effecting and never removed — with one exception:
+    when [preserve_detection] is false, {e trivial} checks comparing a
+    register against itself are deleted too. Such checks only appear
+    after cross-role CSE/copy-propagation has collapsed the redundant
+    stream onto the original one, so this models the "late DCE" of the
+    paper's §IV-A that finishes off the detection code. *)
+
+val run : preserve_detection:bool -> Casted_ir.Func.t -> int

@@ -1,0 +1,68 @@
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+module Clone = Casted_ir.Clone
+
+type t = {
+  name : string;
+  run : preserve_detection:bool -> Func.t -> int;
+}
+
+let constfold =
+  {
+    name = "constfold";
+    run = (fun ~preserve_detection:_ f -> Constfold.run f);
+  }
+
+let copyprop =
+  {
+    name = "copyprop";
+    run = (fun ~preserve_detection f -> Copyprop.run ~preserve_detection f);
+  }
+
+let cse =
+  {
+    name = "cse";
+    run = (fun ~preserve_detection f -> Cse.run ~preserve_detection f);
+  }
+
+let dce =
+  {
+    name = "dce";
+    run = (fun ~preserve_detection f -> Dce.run ~preserve_detection f);
+  }
+
+let simplify_cfg =
+  {
+    name = "simplify-cfg";
+    run = (fun ~preserve_detection:_ f -> Simplify_cfg.run f);
+  }
+
+let standard = [ constfold; copyprop; cse; dce; simplify_cfg ]
+
+let run_program ?(preserve_detection = true) passes program =
+  let program = Clone.program program in
+  let counts =
+    List.map
+      (fun pass ->
+        let n =
+          List.fold_left
+            (fun acc f -> acc + pass.run ~preserve_detection f)
+            0 program.Program.funcs
+        in
+        (pass.name, n))
+      passes
+  in
+  (program, counts)
+
+let run_to_fixpoint ?(preserve_detection = true) ?(max_rounds = 10) passes
+    program =
+  let rec go program rounds =
+    if rounds >= max_rounds then (program, rounds)
+    else
+      let program', counts =
+        run_program ~preserve_detection passes program
+      in
+      let changed = List.exists (fun (_, n) -> n > 0) counts in
+      if changed then go program' (rounds + 1) else (program', rounds)
+  in
+  go program 0

@@ -1,0 +1,107 @@
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+module Cfg = Casted_ir.Cfg
+
+let retarget_term (term : Insn.t) ~from ~to_ =
+  let target = if term.Insn.target = from then to_ else term.Insn.target in
+  let target2 = if term.Insn.target2 = from then to_ else term.Insn.target2 in
+  if target = term.Insn.target && target2 = term.Insn.target2 then term
+  else { term with Insn.target; target2 }
+
+let remove_unreachable func =
+  let cfg = Cfg.of_func func in
+  let reach = Cfg.reachable cfg in
+  let before = List.length func.Func.blocks in
+  func.Func.blocks <-
+    List.filteri (fun i _ -> reach.(i)) func.Func.blocks;
+  before - List.length func.Func.blocks
+
+(* A forwarding block: empty body, unconditional branch out. The entry
+   block is never removed (its label is the function entry point). *)
+let thread_jumps func =
+  match func.Func.blocks with
+  | [] -> 0
+  | entry :: rest ->
+      let forwards =
+        List.filter_map
+          (fun b ->
+            match (b.Block.body, b.Block.term.Insn.op) with
+            | [], Opcode.Br when b.Block.term.Insn.target <> b.Block.label ->
+                Some (b.Block.label, b.Block.term.Insn.target)
+            | _ -> None)
+          rest
+      in
+      (* Resolve forwarding chains (a -> b -> c becomes a -> c), cutting
+         cycles of empty blocks by bounding the walk. *)
+      let rec resolve seen label =
+        if List.mem_assoc label forwards && not (List.mem label seen) then
+          resolve (label :: seen) (List.assoc label forwards)
+        else label
+      in
+      let changed = ref 0 in
+      List.iter
+        (fun b ->
+          let term = b.Block.term in
+          let fix label =
+            if label = "" then label
+            else
+              let label' = resolve [] label in
+              if label' <> label then incr changed;
+              label'
+          in
+          let term' =
+            {
+              term with
+              Insn.target = fix term.Insn.target;
+              target2 = fix term.Insn.target2;
+            }
+          in
+          if term' <> term then b.Block.term <- term')
+        (entry :: rest);
+      !changed
+
+let merge_chains func =
+  let cfg = Cfg.of_func func in
+  let merged = ref 0 in
+  let removed = Hashtbl.create 8 in
+  Array.iteri
+    (fun i block ->
+      if not (Hashtbl.mem removed block.Block.label) then
+        match (block.Block.term.Insn.op, cfg.Cfg.succs.(i)) with
+        | Opcode.Br, [ j ] when j <> i ->
+            let succ = cfg.Cfg.blocks.(j) in
+            if
+              List.length cfg.Cfg.preds.(j) = 1
+              && (not (Hashtbl.mem removed succ.Block.label))
+              && j <> 0 (* never merge the entry away *)
+            then begin
+              block.Block.body <- block.Block.body @ succ.Block.body;
+              block.Block.term <- succ.Block.term;
+              Hashtbl.replace removed succ.Block.label ();
+              incr merged
+            end
+        | _ -> ())
+    cfg.Cfg.blocks;
+  func.Func.blocks <-
+    List.filter
+      (fun b -> not (Hashtbl.mem removed b.Block.label))
+      func.Func.blocks;
+  !merged
+
+let run func =
+  let before = List.length func.Func.blocks in
+  let continue_ = ref true in
+  (* Each transformation either strictly reduces the block count or
+     reaches a fixed point on retargeting, so the loop terminates. *)
+  while !continue_ do
+    let unreachable = remove_unreachable func in
+    let threaded = thread_jumps func in
+    let merged = merge_chains func in
+    continue_ := unreachable + threaded + merged > 0
+  done;
+  before - List.length func.Func.blocks
+
+(* Kept for future passes that rewrite single edges. *)
+let _ = retarget_term

@@ -1,0 +1,12 @@
+(** Control-flow graph clean-up.
+
+    Three transformations, iterated until stable:
+    - delete blocks unreachable from the entry;
+    - thread jumps through empty forwarding blocks (a block with no body
+      whose terminator is an unconditional branch);
+    - merge a block into its unique [Br] successor when that successor
+      has no other predecessor.
+
+    Returns the number of blocks eliminated. *)
+
+val run : Casted_ir.Func.t -> int

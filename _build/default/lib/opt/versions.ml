@@ -1,0 +1,11 @@
+module Reg = Casted_ir.Reg
+
+type t = int Reg.Tbl.t
+
+let create () = Reg.Tbl.create 64
+
+let get t r = Option.value ~default:0 (Reg.Tbl.find_opt t r)
+
+let bump t r = Reg.Tbl.replace t r (get t r + 1)
+
+let key t r = (r, get t r)

@@ -1,0 +1,22 @@
+(** Local register versioning.
+
+    The block-local optimisation passes (value numbering, copy and
+    constant propagation) need to know when a register has been
+    redefined. Instead of invalidating tables, each register carries a
+    monotonically increasing version; facts are keyed on
+    [(register, version)] pairs and silently expire on redefinition. *)
+
+module Reg = Casted_ir.Reg
+
+type t
+
+val create : unit -> t
+
+(** Current version of a register (0 before any definition). *)
+val get : t -> Reg.t -> int
+
+(** Bump the version (call when the register is defined). *)
+val bump : t -> Reg.t -> unit
+
+(** The register at its current version, as a hashable key. *)
+val key : t -> Reg.t -> Reg.t * int

@@ -1,0 +1,1 @@
+lib/report/coverage.ml: Casted_detect Casted_sim Casted_workloads List Table

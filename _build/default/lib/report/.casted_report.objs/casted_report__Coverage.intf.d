@@ -1,0 +1,1 @@
+lib/report/coverage.mli: Casted_detect Casted_sim

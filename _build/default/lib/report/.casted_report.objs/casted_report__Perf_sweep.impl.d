@@ -1,0 +1,1 @@
+lib/report/perf_sweep.ml: Buffer Casted_detect Casted_sim Casted_workloads Float Format List Printf String Table

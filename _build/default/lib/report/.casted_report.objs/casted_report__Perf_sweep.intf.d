@@ -1,0 +1,1 @@
+lib/report/perf_sweep.mli: Casted_detect Casted_workloads

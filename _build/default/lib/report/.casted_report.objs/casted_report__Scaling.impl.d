@@ -1,0 +1,1 @@
+lib/report/scaling.ml: Buffer Casted_detect List Perf_sweep Printf Table

@@ -1,0 +1,1 @@
+lib/report/scaling.mli: Casted_detect Perf_sweep

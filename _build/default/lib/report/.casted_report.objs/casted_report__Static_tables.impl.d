@@ -1,0 +1,1 @@
+lib/report/static_tables.ml: Casted_machine Casted_workloads List Table

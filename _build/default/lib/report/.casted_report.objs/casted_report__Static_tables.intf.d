@@ -1,0 +1,1 @@
+lib/report/static_tables.mli: Casted_machine

@@ -1,0 +1,1 @@
+lib/report/utilization.ml: Array Casted_detect Casted_ir Casted_machine Casted_sched Casted_workloads List Printf Table

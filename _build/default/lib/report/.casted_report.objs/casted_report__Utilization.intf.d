@@ -1,0 +1,1 @@
+lib/report/utilization.mli: Casted_sched Casted_workloads

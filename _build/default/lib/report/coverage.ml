@@ -1,0 +1,74 @@
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Workload = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Montecarlo = Casted_sim.Montecarlo
+
+type row = {
+  benchmark : string;
+  scheme : Scheme.t;
+  issue : int;
+  delay : int;
+  result : Montecarlo.result;
+}
+
+let campaign ?(seed = 0xCA57ED) ~trials ~benchmark ~scheme ~issue ~delay () =
+  let w =
+    match Registry.find benchmark with
+    | Some w -> w
+    | None -> invalid_arg ("Coverage: unknown benchmark " ^ benchmark)
+  in
+  let program = w.Workload.build Workload.Fault in
+  let compiled =
+    Pipeline.compile ~scheme ~issue_width:issue ~delay program
+  in
+  let result = Montecarlo.run ~seed ~trials compiled.Pipeline.schedule in
+  { benchmark; scheme; issue; delay; result }
+
+let fig9 ?seed ?(trials = 300) ?benchmarks () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> Registry.names ()
+  in
+  List.concat_map
+    (fun benchmark ->
+      List.map
+        (fun scheme ->
+          campaign ?seed ~trials ~benchmark ~scheme ~issue:2 ~delay:2 ())
+        Scheme.all)
+    benchmarks
+
+let fig10 ?seed ?(trials = 300) ?(benchmark = "h263dec")
+    ?(schemes = Scheme.all) () =
+  List.concat_map
+    (fun issue ->
+      List.concat_map
+        (fun delay ->
+          List.map
+            (fun scheme ->
+              campaign ?seed ~trials ~benchmark ~scheme ~issue ~delay ())
+            schemes)
+        [ 1; 2; 3; 4 ])
+    [ 1; 2; 3; 4 ]
+
+let render rows =
+  let headers =
+    [
+      "benchmark"; "scheme"; "issue"; "delay"; "benign"; "detected";
+      "exception"; "corrupt"; "timeout";
+    ]
+  in
+  let row r =
+    let p c = Table.pct (Montecarlo.percent r.result c) in
+    [
+      r.benchmark;
+      Scheme.name r.scheme;
+      string_of_int r.issue;
+      string_of_int r.delay;
+      p Montecarlo.Benign;
+      p Montecarlo.Detected;
+      p Montecarlo.Exception;
+      p Montecarlo.Data_corrupt;
+      p Montecarlo.Timeout;
+    ]
+  in
+  Table.render ~headers (List.map row rows)

@@ -1,0 +1,44 @@
+(** Fault-coverage experiments (paper Figs. 9 and 10).
+
+    Fig. 9: the five-way outcome breakdown for every benchmark under
+    NOED, SCED, DCED and CASTED at issue 2, delay 2.
+
+    Fig. 10: the same breakdown for one benchmark (h263dec in the paper)
+    across every (issue, delay) configuration, demonstrating that
+    adaptivity does not change the fault coverage. *)
+
+module Scheme = Casted_detect.Scheme
+module Montecarlo = Casted_sim.Montecarlo
+
+type row = {
+  benchmark : string;
+  scheme : Scheme.t;
+  issue : int;
+  delay : int;
+  result : Montecarlo.result;
+}
+
+(** Run one campaign. *)
+val campaign :
+  ?seed:int ->
+  trials:int ->
+  benchmark:string ->
+  scheme:Scheme.t ->
+  issue:int ->
+  delay:int ->
+  unit ->
+  row
+
+(** Fig. 9: all benchmarks x all schemes at (issue, delay) = (2, 2). *)
+val fig9 : ?seed:int -> ?trials:int -> ?benchmarks:string list -> unit -> row list
+
+(** Fig. 10: one benchmark across issue widths 1–4 x delays 1–4. *)
+val fig10 :
+  ?seed:int ->
+  ?trials:int ->
+  ?benchmark:string ->
+  ?schemes:Scheme.t list ->
+  unit ->
+  row list
+
+val render : row list -> string

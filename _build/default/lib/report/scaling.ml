@@ -1,0 +1,31 @@
+module Scheme = Casted_detect.Scheme
+
+let speedup sweep ~benchmark ~scheme ~issue ~delay =
+  let c1 = Perf_sweep.cycles sweep ~benchmark ~scheme ~issue:1 ~delay in
+  let ci = Perf_sweep.cycles sweep ~benchmark ~scheme ~issue ~delay in
+  float_of_int c1 /. float_of_int ci
+
+let render_panel sweep ~benchmark ~delay =
+  let issues = sweep.Perf_sweep.issues in
+  let headers =
+    "scheme" :: List.map (fun i -> Printf.sprintf "issue %d" i) issues
+  in
+  let row scheme =
+    Scheme.name scheme
+    :: List.map
+         (fun issue ->
+           Table.f2 (speedup sweep ~benchmark ~scheme ~issue ~delay))
+         issues
+  in
+  Printf.sprintf "%s (speedup vs issue 1, delay %d)\n%s" benchmark delay
+    (Table.render ~headers
+       [ row Scheme.Noed; row Scheme.Sced; row Scheme.Dced; row Scheme.Casted ])
+
+let render_all ?(delay = 1) sweep =
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun benchmark ->
+      Buffer.add_string buf (render_panel sweep ~benchmark ~delay);
+      Buffer.add_char buf '\n')
+    sweep.Perf_sweep.benchmarks;
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** ILP scaling (paper Fig. 8): per-scheme speedup as the issue width
+    grows, relative to the same scheme at issue width 1.
+
+    Derived from a {!Perf_sweep.t}; the paper plots this per benchmark to
+    show that SCED often scales better than NOED (the redundant stream's
+    extra ILP) while DCED starts ahead and flattens. *)
+
+val speedup :
+  Perf_sweep.t ->
+  benchmark:string ->
+  scheme:Casted_detect.Scheme.t ->
+  issue:int ->
+  delay:int ->
+  float
+
+(** One Fig-8 panel: rows = scheme, columns = issue width, at the given
+    delay (the paper does not state the delay; we record it). *)
+val render_panel : Perf_sweep.t -> benchmark:string -> delay:int -> string
+
+val render_all : ?delay:int -> Perf_sweep.t -> string

@@ -1,0 +1,27 @@
+module Config = Casted_machine.Config
+module Workload = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+let table1 config =
+  Table.render ~headers:[ "parameter"; "value" ]
+    (List.map (fun (k, v) -> [ k; v ]) (Config.describe config))
+
+let table2 () =
+  Table.render ~headers:[ "benchmark"; "suite"; "kernel" ]
+    (List.map
+       (fun w ->
+         [ w.Workload.name; w.Workload.suite; w.Workload.description ])
+       Registry.all)
+
+let table3 () =
+  Table.render
+    ~headers:[ "scheme"; "speed-up factors"; "target"; "code placement" ]
+    [
+      [ "EDDI"; "-"; "wide single-core"; "fixed" ];
+      [ "SWIFT"; "fewer checking points"; "wide single-core"; "fixed" ];
+      [ "Shoestring"; "partial redundancy"; "single-core"; "fixed" ];
+      [ "Compiler-assisted ED"; "partial redundancy"; "single-core"; "fixed" ];
+      [ "SRMT"; "partially synchronized threads"; "dual-core"; "fixed" ];
+      [ "DAFT"; "decoupled threads"; "dual-core"; "fixed" ];
+      [ "CASTED"; "adaptivity"; "tightly-coupled cores"; "adaptive" ];
+    ]

@@ -1,0 +1,12 @@
+(** The paper's static tables: processor configuration (Table I),
+    benchmark list (Table II) and the qualitative comparison of
+    compiler-based error-detection schemes (Table III). *)
+
+(** Table I for a given machine configuration. *)
+val table1 : Casted_machine.Config.t -> string
+
+(** Table II from the workload registry. *)
+val table2 : unit -> string
+
+(** Table III (static content from the paper's related-work survey). *)
+val table3 : unit -> string

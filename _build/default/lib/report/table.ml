@@ -1,0 +1,33 @@
+let render ~headers rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  let buf = Buffer.create 1024 in
+  let line row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        if i < cols - 1 then
+          Buffer.add_string buf
+            (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line headers;
+  line
+    (List.mapi (fun i _ -> String.make widths.(i) '-') headers);
+  List.iter line rows;
+  Buffer.contents buf
+
+let print ~headers rows = print_string (render ~headers rows)
+
+let f2 v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.1f%%" v

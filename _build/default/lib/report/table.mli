@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+(** [render ~headers rows] lays the table out with one space-padded
+    column per header, sized to the widest cell. *)
+val render : headers:string list -> string list list -> string
+
+val print : headers:string list -> string list list -> unit
+
+(** Format a float with 2 decimals (the paper's slowdown precision). *)
+val f2 : float -> string
+
+(** Format a percentage with 1 decimal. *)
+val pct : float -> string

@@ -1,0 +1,96 @@
+module Insn = Casted_ir.Insn
+module Schedule = Casted_sched.Schedule
+module Config = Casted_machine.Config
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Workload = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+type t = {
+  insns_per_cluster : int array;
+  detection_remote : int;
+  detection_total : int;
+  original_remote : int;
+  original_total : int;
+  slots_total : int;
+  slots_used : int;
+}
+
+let analyze (sched : Schedule.t) =
+  let clusters = sched.Schedule.config.Config.clusters in
+  let width = sched.Schedule.config.Config.issue_width in
+  let per_cluster = Array.make clusters 0 in
+  let detection_remote = ref 0 in
+  let detection_total = ref 0 in
+  let original_remote = ref 0 in
+  let original_total = ref 0 in
+  let slots_total = ref 0 in
+  let slots_used = ref 0 in
+  List.iter
+    (fun (_, fs) ->
+      Array.iter
+        (fun bs ->
+          slots_total :=
+            !slots_total + (Schedule.block_length bs * clusters * width);
+          Array.iter
+            (fun bundle ->
+              Array.iteri
+                (fun cluster insns ->
+                  Array.iter
+                    (fun (insn : Insn.t) ->
+                      slots_used := !slots_used + 1;
+                      per_cluster.(cluster) <- per_cluster.(cluster) + 1;
+                      match insn.Insn.role with
+                      | Insn.Original ->
+                          incr original_total;
+                          if cluster <> 0 then incr original_remote
+                      | Insn.Replica | Insn.Check | Insn.Shadow_copy ->
+                          incr detection_total;
+                          if cluster <> 0 then incr detection_remote)
+                    insns)
+                bundle)
+            bs.Schedule.bundles)
+        fs.Schedule.blocks)
+    sched.Schedule.funcs;
+  {
+    insns_per_cluster = per_cluster;
+    detection_remote = !detection_remote;
+    detection_total = !detection_total;
+    original_remote = !original_remote;
+    original_total = !original_total;
+    slots_total = !slots_total;
+    slots_used = !slots_used;
+  }
+
+let frac num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+let detection_remote_fraction t = frac t.detection_remote t.detection_total
+let original_remote_fraction t = frac t.original_remote t.original_total
+let occupancy t = frac t.slots_used t.slots_total
+
+let placement_table ~benchmark ~size ~issue_width ~delays =
+  let w =
+    match Registry.find benchmark with
+    | Some w -> w
+    | None -> invalid_arg ("Utilization: unknown benchmark " ^ benchmark)
+  in
+  let program = w.Workload.build size in
+  let row scheme =
+    Scheme.name scheme
+    :: List.map
+         (fun delay ->
+           let c = Pipeline.compile ~scheme ~issue_width ~delay program in
+           let u = analyze c.Pipeline.schedule in
+           Printf.sprintf "%.0f%% / %.0f%%"
+             (100.0 *. detection_remote_fraction u)
+             (100.0 *. original_remote_fraction u))
+         delays
+  in
+  let headers =
+    "scheme"
+    :: List.map (fun d -> Printf.sprintf "delay %d" d) delays
+  in
+  Printf.sprintf
+    "%s, issue %d: detection / original code placed on the remote cluster\n%s"
+    benchmark issue_width
+    (Table.render ~headers [ row Scheme.Dced; row Scheme.Casted ])

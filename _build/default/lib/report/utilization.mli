@@ -1,0 +1,36 @@
+(** Static placement and slot-utilisation analysis of a schedule.
+
+    Quantifies what the paper argues qualitatively in §IV-B6: DCED pins
+    the whole redundant stream on the remote cluster regardless of the
+    interconnect, while CASTED migrates code towards the home cluster as
+    the inter-core delay grows. *)
+
+type t = {
+  insns_per_cluster : int array;
+  detection_remote : int;
+      (** replicas/checks/copies placed on clusters other than 0 *)
+  detection_total : int;
+  original_remote : int;  (** original instructions placed off cluster 0 *)
+  original_total : int;
+  slots_total : int;  (** cycles x clusters x issue width *)
+  slots_used : int;
+}
+
+val analyze : Casted_sched.Schedule.t -> t
+
+(** Fraction of detection code placed on the remote cluster(s). *)
+val detection_remote_fraction : t -> float
+
+val original_remote_fraction : t -> float
+
+(** Static issue-slot occupancy. *)
+val occupancy : t -> float
+
+(** A table of remote-placement fractions per scheme and delay for one
+    benchmark — the "adaptivity visualised" report. *)
+val placement_table :
+  benchmark:string ->
+  size:Casted_workloads.Workload.size ->
+  issue_width:int ->
+  delays:int list ->
+  string

@@ -1,0 +1,1 @@
+lib/sched/assign.ml: Array Bug Casted_ir Casted_machine Dfg

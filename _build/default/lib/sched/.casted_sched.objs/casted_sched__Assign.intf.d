@@ -1,0 +1,1 @@
+lib/sched/assign.mli: Bug Casted_machine Dfg

@@ -1,0 +1,1 @@
+lib/sched/bug.ml: Array Casted_machine Dfg Int List

@@ -1,0 +1,1 @@
+lib/sched/bug.mli: Casted_machine Dfg

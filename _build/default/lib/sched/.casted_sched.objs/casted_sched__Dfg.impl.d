@@ -1,0 +1,1 @@
+lib/sched/dfg.ml: Array Casted_ir Format Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sched/dfg.mli: Casted_ir Format

@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.ml: Array Assign Casted_ir Casted_machine Dfg Hashtbl List Schedule

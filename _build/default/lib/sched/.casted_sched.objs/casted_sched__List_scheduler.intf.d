@@ -1,0 +1,1 @@
+lib/sched/list_scheduler.mli: Assign Casted_ir Casted_machine Dfg Schedule

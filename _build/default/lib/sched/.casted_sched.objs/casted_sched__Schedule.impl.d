@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Casted_ir Casted_machine Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Casted_ir Casted_machine Format Hashtbl

@@ -1,0 +1,23 @@
+module Insn = Casted_ir.Insn
+module Config = Casted_machine.Config
+
+type strategy = Single_cluster | Dual_fixed | Adaptive of Bug.options
+
+let strategy_name = function
+  | Single_cluster -> "single"
+  | Dual_fixed -> "dual-fixed"
+  | Adaptive _ -> "adaptive"
+
+let compute strategy (config : Config.t) (dfg : Dfg.t) =
+  match strategy with
+  | Single_cluster -> Array.make (Dfg.num_nodes dfg) 0
+  | Dual_fixed ->
+      if config.Config.clusters < 2 then
+        invalid_arg "Assign.compute: Dual_fixed needs >= 2 clusters";
+      Array.map
+        (fun (i : Insn.t) ->
+          match i.Insn.role with
+          | Insn.Original -> 0
+          | Insn.Replica | Insn.Check | Insn.Shadow_copy -> 1)
+        dfg.Dfg.insns
+  | Adaptive options -> Bug.assign options config dfg

@@ -1,0 +1,83 @@
+module Reservation = Casted_machine.Reservation
+module Config = Casted_machine.Config
+
+type tie_break = Prefer_lower | Prefer_critical_pred
+
+type options = { tie_break : tie_break }
+
+let default_options = { tie_break = Prefer_critical_pred }
+
+let assign options (config : Config.t) (dfg : Dfg.t) =
+  let n = Dfg.num_nodes dfg in
+  let clusters = config.Config.clusters in
+  let table =
+    Reservation.create ~clusters ~issue_width:config.Config.issue_width
+  in
+  let heights = Dfg.heights dfg in
+  let cluster = Array.make n (-1) in
+  let issue = Array.make n (-1) in
+  (* Operand arrival time of [node] on [c], and the cluster of the
+     predecessor that arrives last (the critical predecessor). *)
+  let arrival node c =
+    List.fold_left
+      (fun ((t, _) as acc) (e : Dfg.edge) ->
+        if cluster.(e.Dfg.src) < 0 then acc
+        else
+          let cross =
+            if
+              Dfg.kind_pays_delay e.Dfg.kind
+              && cluster.(e.Dfg.src) <> c
+            then config.Config.delay
+            else 0
+          in
+          let t' = issue.(e.Dfg.src) + e.Dfg.latency + cross in
+          if t' > t then (t', cluster.(e.Dfg.src)) else acc)
+      (0, -1) dfg.Dfg.preds.(node)
+  in
+  let rec bug node =
+    if cluster.(node) >= 0 then ()
+    else begin
+      (* Visit predecessors first, most critical first. *)
+      let preds =
+        List.sort
+          (fun (a : Dfg.edge) b ->
+            Int.compare heights.(b.Dfg.src) heights.(a.Dfg.src))
+          dfg.Dfg.preds.(node)
+      in
+      List.iter (fun (e : Dfg.edge) -> bug e.Dfg.src) preds;
+      (* Completion-cycle heuristic on every cluster. *)
+      let best = ref None in
+      for c = 0 to clusters - 1 do
+        let ready, crit_pred = arrival node c in
+        let cycle = Reservation.first_free table ~cluster:c ~from:ready in
+        let completion = cycle + dfg.Dfg.latency.(node) in
+        let better =
+          match !best with
+          | None -> true
+          | Some (bc, _, _, bp) -> (
+              if completion < bc then true
+              else if completion > bc then false
+              else
+                (* Tie: apply the configured preference. *)
+                match options.tie_break with
+                | Prefer_lower -> false (* keep the earlier (lower) cluster *)
+                | Prefer_critical_pred -> crit_pred = c && bp <> c && bp >= 0
+                )
+        in
+        if better then best := Some (completion, c, cycle, crit_pred)
+      done;
+      match !best with
+      | None -> assert false
+      | Some (_, c, cycle, _) ->
+          cluster.(node) <- c;
+          issue.(node) <- cycle;
+          Reservation.reserve table ~cluster:c ~cycle
+    end
+  in
+  (* Entry points: recursion from the sinks reaches every node (the
+     terminator is a universal sink), but iterate over all nodes to be
+     robust to degenerate graphs. *)
+  for i = n - 1 downto 0 do
+    bug i
+  done;
+  cluster

@@ -1,0 +1,24 @@
+(** Bottom-Up-Greedy cluster assignment (paper Algorithm 2, after Ellis'
+    Bulldog).
+
+    The DFG is visited in topological order, critical-path instructions
+    first (the recursion on predecessors sorted by height). Each
+    instruction is assigned to the cluster where its completion cycle —
+    operand arrival (inter-cluster delay included) plus the wait for a
+    free issue slot in the reservation table plus its own latency — is
+    smallest. The chosen slot is reserved so later decisions see the
+    occupancy. *)
+
+type tie_break =
+  | Prefer_lower  (** pick the lowest-numbered cluster on ties *)
+  | Prefer_critical_pred
+      (** pick the cluster of the predecessor that delivers its operand
+          last, avoiding a future cross-cluster move on the critical
+          path *)
+
+type options = { tie_break : tie_break }
+
+val default_options : options
+
+(** [assign options config dfg] maps each node to a cluster. *)
+val assign : options -> Casted_machine.Config.t -> Dfg.t -> int array

@@ -1,0 +1,64 @@
+module Insn = Casted_ir.Insn
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+
+type bundle = Insn.t array array
+
+type block_schedule = {
+  label : string;
+  bundles : bundle array;
+  issue_of : (int, int * int) Hashtbl.t;
+}
+
+type func_schedule = {
+  func : Func.t;
+  blocks : block_schedule array;
+}
+
+type t = {
+  program : Program.t;
+  config : Casted_machine.Config.t;
+  funcs : (string * func_schedule) list;
+}
+
+let block_length b = Array.length b.bundles
+
+let block_insns b =
+  Array.fold_left
+    (fun acc bundle ->
+      Array.fold_left (fun acc insns -> acc + Array.length insns) acc bundle)
+    0 b.bundles
+
+let find_func t name = List.assoc name t.funcs
+
+let find_block fs label =
+  let n = Array.length fs.blocks in
+  let rec go i =
+    if i >= n then raise Not_found
+    else if fs.blocks.(i).label = label then fs.blocks.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let static_length fs =
+  Array.fold_left (fun acc b -> acc + block_length b) 0 fs.blocks
+
+let pp_block ppf b =
+  Format.fprintf ppf "@[<v>%s: (%d cycles)" b.label (block_length b);
+  Array.iteri
+    (fun cycle bundle ->
+      Format.fprintf ppf "@,%3d |" cycle;
+      Array.iteri
+        (fun cluster insns ->
+          if cluster > 0 then Format.fprintf ppf " ||";
+          Array.iter
+            (fun i -> Format.fprintf ppf " [%s]" (Insn.to_string i))
+            insns)
+        bundle)
+    b.bundles;
+  Format.fprintf ppf "@]"
+
+let pp_func ppf fs =
+  Format.fprintf ppf "@[<v>schedule of %s:" fs.func.Func.name;
+  Array.iter (fun b -> Format.fprintf ppf "@,%a" pp_block b) fs.blocks;
+  Format.fprintf ppf "@]"

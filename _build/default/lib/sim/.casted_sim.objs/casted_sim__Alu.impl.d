@@ -1,0 +1,1 @@
+lib/sim/alu.ml: Casted_ir Int64 Trap

@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Bytes Casted_ir Int64 List String Trap

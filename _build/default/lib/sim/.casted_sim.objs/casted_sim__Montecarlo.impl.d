@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Array Fault Format Outcome Rng Simulator String

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Casted_sched Format Outcome

@@ -1,0 +1,1 @@
+lib/sim/outcome.ml: Casted_cache Format Trap

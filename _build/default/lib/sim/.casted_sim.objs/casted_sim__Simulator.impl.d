@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Alu Array Bool Casted_cache Casted_ir Casted_machine Casted_sched Fault Float Int64 List Memory Outcome Profile Trap

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Casted_sched Fault Outcome Profile

@@ -1,0 +1,1 @@
+lib/sim/trap.ml: Format Printf

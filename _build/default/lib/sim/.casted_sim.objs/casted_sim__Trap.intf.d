@@ -1,0 +1,1 @@
+lib/sim/trap.mli: Format

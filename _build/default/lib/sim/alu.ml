@@ -1,0 +1,47 @@
+module Opcode = Casted_ir.Opcode
+
+let shift_amount b = Int64.to_int b land 63
+
+let sdiv a b =
+  if Int64.equal b 0L then raise (Trap.Trap Trap.Div_by_zero)
+  else if Int64.equal b (-1L) && Int64.equal a Int64.min_int then Int64.min_int
+  else Int64.div a b
+
+let srem a b =
+  if Int64.equal b 0L then raise (Trap.Trap Trap.Div_by_zero)
+  else if Int64.equal b (-1L) && Int64.equal a Int64.min_int then 0L
+  else Int64.rem a b
+
+let int_binop (op : Opcode.t) a b =
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Div -> sdiv a b
+  | Rem -> srem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (shift_amount b)
+  | Shr -> Int64.shift_right_logical a (shift_amount b)
+  | Sra -> Int64.shift_right a (shift_amount b)
+  | _ -> invalid_arg ("Alu.int_binop: " ^ Opcode.mnemonic op)
+
+let int_immop (op : Opcode.t) a imm =
+  match op with
+  | Addi -> Int64.add a imm
+  | Muli -> Int64.mul a imm
+  | Andi -> Int64.logand a imm
+  | Xori -> Int64.logxor a imm
+  | Shli -> Int64.shift_left a (shift_amount imm)
+  | Shri -> Int64.shift_right_logical a (shift_amount imm)
+  | Srai -> Int64.shift_right a (shift_amount imm)
+  | _ -> invalid_arg ("Alu.int_immop: " ^ Opcode.mnemonic op)
+
+let float_binop (op : Opcode.t) a b =
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+  | _ -> invalid_arg ("Alu.float_binop: " ^ Opcode.mnemonic op)

@@ -1,0 +1,18 @@
+type t = { target_def : int; def_slot : int; bit : int }
+
+let random rng ~population =
+  if population <= 0 then invalid_arg "Fault.random: empty population";
+  {
+    target_def = Rng.int rng population;
+    def_slot = Rng.int rng 4;
+    bit = Rng.int rng 64;
+  }
+
+let flip_int ~bit v = Int64.logxor v (Int64.shift_left 1L (bit land 63))
+
+let flip_float ~bit v =
+  Int64.float_of_bits (flip_int ~bit (Int64.bits_of_float v))
+
+let pp ppf t =
+  Format.fprintf ppf "fault@@def#%d slot %d bit %d" t.target_def t.def_slot
+    t.bit

@@ -1,0 +1,26 @@
+(** Transient-fault specification (paper §IV-C).
+
+    A fault flips one random bit in one output register of one randomly
+    chosen dynamic instruction — exactly the paper's injection model. The
+    injection population is the stream of executed instructions that have
+    at least one output register (general-purpose, floating-point or
+    predicate). *)
+
+type t = {
+  target_def : int;
+      (** index into the dynamic stream of defining instructions *)
+  def_slot : int;  (** which output register (taken modulo the def count) *)
+  bit : int;  (** which bit to flip (modulo 64; predicates just negate) *)
+}
+
+(** Draw a fault uniformly over a population of [population] defining
+    instructions. *)
+val random : Rng.t -> population:int -> t
+
+(** Flip [bit] of an integer value. *)
+val flip_int : bit:int -> int64 -> int64
+
+(** Flip [bit] of a float's IEEE-754 representation. *)
+val flip_float : bit:int -> float -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+module Opcode = Casted_ir.Opcode
+
+type t = { bytes : Bytes.t; size : int }
+
+let create ~size =
+  if size <= 0 then invalid_arg "Memory.create: non-positive size";
+  { bytes = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let load_image t segments =
+  List.iter
+    (fun (addr, s) ->
+      if addr < 0 || addr + String.length s > t.size then
+        invalid_arg "Memory.load_image: segment out of bounds";
+      Bytes.blit_string s 0 t.bytes addr (String.length s))
+    segments
+
+let check t ~addr ~bytes =
+  if Int64.compare addr 0L < 0 || Int64.compare addr (Int64.of_int t.size) >= 0
+  then raise (Trap.Trap (Trap.Out_of_bounds addr));
+  let a = Int64.to_int addr in
+  if a + bytes > t.size then raise (Trap.Trap (Trap.Out_of_bounds addr));
+  if a mod bytes <> 0 then raise (Trap.Trap (Trap.Misaligned addr));
+  a
+
+let read t ~addr ~width ~signed =
+  let bytes = Opcode.width_bytes width in
+  let a = check t ~addr ~bytes in
+  match (width, signed) with
+  | Opcode.W1, false -> Int64.of_int (Bytes.get_uint8 t.bytes a)
+  | Opcode.W1, true -> Int64.of_int (Bytes.get_int8 t.bytes a)
+  | Opcode.W2, false -> Int64.of_int (Bytes.get_uint16_le t.bytes a)
+  | Opcode.W2, true -> Int64.of_int (Bytes.get_int16_le t.bytes a)
+  | Opcode.W4, false ->
+      Int64.logand (Int64.of_int32 (Bytes.get_int32_le t.bytes a)) 0xFFFF_FFFFL
+  | Opcode.W4, true -> Int64.of_int32 (Bytes.get_int32_le t.bytes a)
+  | Opcode.W8, _ -> Bytes.get_int64_le t.bytes a
+
+let write t ~addr ~width v =
+  let bytes = Opcode.width_bytes width in
+  let a = check t ~addr ~bytes in
+  match width with
+  | Opcode.W1 -> Bytes.set_uint8 t.bytes a (Int64.to_int v land 0xFF)
+  | Opcode.W2 -> Bytes.set_uint16_le t.bytes a (Int64.to_int v land 0xFFFF)
+  | Opcode.W4 -> Bytes.set_int32_le t.bytes a (Int64.to_int32 v)
+  | Opcode.W8 -> Bytes.set_int64_le t.bytes a v
+
+let read_float t ~addr =
+  Int64.float_of_bits (read t ~addr ~width:Opcode.W8 ~signed:false)
+
+let write_float t ~addr v =
+  write t ~addr ~width:Opcode.W8 (Int64.bits_of_float v)
+
+let extract t ~base ~len =
+  if base < 0 || len < 0 || base + len > t.size then
+    invalid_arg "Memory.extract: out of bounds";
+  Bytes.sub_string t.bytes base len

@@ -1,0 +1,26 @@
+(** Flat byte-addressable memory arena.
+
+    The arena has hard bounds so that corrupted address registers surface
+    as {!Trap.Trap} machine exceptions — the dominant fault outcome the
+    paper observes. All accesses are little-endian and must be aligned to
+    their width. *)
+
+type t
+
+val create : size:int -> t
+val size : t -> int
+
+(** Seed the arena from (address, bytes) segments. *)
+val load_image : t -> (int * string) list -> unit
+
+(** [read t ~addr ~width ~signed] returns the (sign- or zero-extended)
+    value. Raises {!Trap.Trap} on bounds or alignment violations. *)
+val read : t -> addr:int64 -> width:Casted_ir.Opcode.width -> signed:bool -> int64
+
+val write : t -> addr:int64 -> width:Casted_ir.Opcode.width -> int64 -> unit
+
+val read_float : t -> addr:int64 -> float
+val write_float : t -> addr:int64 -> float -> unit
+
+(** Copy of [len] bytes starting at [base] (bounds-checked). *)
+val extract : t -> base:int -> len:int -> string

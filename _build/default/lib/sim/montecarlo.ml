@@ -1,0 +1,89 @@
+type classification = Benign | Detected | Exception | Data_corrupt | Timeout
+
+let all_classes = [ Benign; Detected; Exception; Data_corrupt; Timeout ]
+
+let class_name = function
+  | Benign -> "benign"
+  | Detected -> "detected"
+  | Exception -> "exception"
+  | Data_corrupt -> "data-corrupt"
+  | Timeout -> "timeout"
+
+type result = {
+  trials : int;
+  benign : int;
+  detected : int;
+  exceptions : int;
+  corrupt : int;
+  timeouts : int;
+  golden_cycles : int;
+  golden_dyn : int;
+  population : int;
+}
+
+let count r = function
+  | Benign -> r.benign
+  | Detected -> r.detected
+  | Exception -> r.exceptions
+  | Data_corrupt -> r.corrupt
+  | Timeout -> r.timeouts
+
+let percent r c =
+  if r.trials = 0 then 0.0
+  else 100.0 *. float_of_int (count r c) /. float_of_int r.trials
+
+let classify ~golden (run : Outcome.run) =
+  match run.Outcome.termination with
+  | Outcome.Detected _ -> Detected
+  | Outcome.Trapped _ -> Exception
+  | Outcome.Timeout -> Timeout
+  | Outcome.Exit code ->
+      if
+        code = golden.Outcome.exit_code
+        && String.equal run.Outcome.output golden.Outcome.output
+      then Benign
+      else Data_corrupt
+
+let run ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials sched =
+  let golden = Simulator.run sched in
+  (match golden.Outcome.termination with
+  | Outcome.Exit _ -> ()
+  | t ->
+      invalid_arg
+        (Format.asprintf "Montecarlo.run: golden run did not exit cleanly: %a"
+           Outcome.pp_termination t));
+  let population = golden.Outcome.dyn_defs in
+  let fuel = fuel_factor * max 1 golden.Outcome.dyn_insns in
+  let rng = Rng.create ~seed in
+  let counts = Array.make 5 0 in
+  let idx = function
+    | Benign -> 0
+    | Detected -> 1
+    | Exception -> 2
+    | Data_corrupt -> 3
+    | Timeout -> 4
+  in
+  for _ = 1 to trials do
+    let fault = Fault.random rng ~population in
+    let faulty = Simulator.run ~fault ~fuel sched in
+    let c = classify ~golden faulty in
+    counts.(idx c) <- counts.(idx c) + 1
+  done;
+  {
+    trials;
+    benign = counts.(0);
+    detected = counts.(1);
+    exceptions = counts.(2);
+    corrupt = counts.(3);
+    timeouts = counts.(4);
+    golden_cycles = golden.Outcome.cycles;
+    golden_dyn = golden.Outcome.dyn_insns;
+    population;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "%d trials: %.1f%% benign, %.1f%% detected, %.1f%% exception, %.1f%% \
+     corrupt, %.1f%% timeout"
+    r.trials (percent r Benign) (percent r Detected) (percent r Exception)
+    (percent r Data_corrupt) (percent r Timeout)

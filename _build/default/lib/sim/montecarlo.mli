@@ -1,0 +1,43 @@
+(** Monte-Carlo fault-injection campaigns (paper §IV-C).
+
+    A campaign first executes the golden (fault-free) run to collect the
+    reference output and the injection population, then runs [trials]
+    faulty executions, classifying each into the paper's five outcome
+    categories. *)
+
+type classification = Benign | Detected | Exception | Data_corrupt | Timeout
+
+val all_classes : classification list
+val class_name : classification -> string
+
+type result = {
+  trials : int;
+  benign : int;
+  detected : int;
+  exceptions : int;
+  corrupt : int;
+  timeouts : int;
+  golden_cycles : int;
+  golden_dyn : int;
+  population : int;  (** dynamic defining instructions in the golden run *)
+}
+
+val count : result -> classification -> int
+
+(** Percentage of trials in a class. *)
+val percent : result -> classification -> float
+
+(** Classify one faulty run against the golden run. *)
+val classify : golden:Outcome.run -> Outcome.run -> classification
+
+(** [run ~seed ~trials schedule] runs the campaign. The fuel of each
+    faulty run is [fuel_factor] (default 10) times the golden dynamic
+    instruction count, reproducing the simulator time-out of the paper. *)
+val run :
+  ?seed:int ->
+  ?fuel_factor:int ->
+  trials:int ->
+  Casted_sched.Schedule.t ->
+  result
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,29 @@
+type termination =
+  | Exit of int
+  | Detected of int
+  | Trapped of Trap.t
+  | Timeout
+
+type run = {
+  termination : termination;
+  cycles : int;
+  dyn_insns : int;
+  dyn_defs : int;
+  dyn_by_role : int array;
+  output : string;
+  exit_code : int;
+  cache : Casted_cache.Hierarchy.stats;
+}
+
+let pp_termination ppf = function
+  | Exit c -> Format.fprintf ppf "exit %d" c
+  | Detected id -> Format.fprintf ppf "error detected (check %d)" id
+  | Trapped t -> Format.fprintf ppf "trap: %a" Trap.pp t
+  | Timeout -> Format.pp_print_string ppf "timeout"
+
+let ipc r =
+  if r.cycles = 0 then 0.0 else float_of_int r.dyn_insns /. float_of_int r.cycles
+
+let pp ppf r =
+  Format.fprintf ppf "%a in %d cycles, %d insns (ipc %.2f)" pp_termination
+    r.termination r.cycles r.dyn_insns (ipc r)

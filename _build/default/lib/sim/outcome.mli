@@ -1,0 +1,25 @@
+(** Results of a simulated run. *)
+
+type termination =
+  | Exit of int  (** [Halt] executed with this exit code *)
+  | Detected of int  (** a [Chk] fired; carries the check's insn id *)
+  | Trapped of Trap.t  (** machine exception *)
+  | Timeout  (** dynamic instruction budget exhausted *)
+
+type run = {
+  termination : termination;
+  cycles : int;  (** total execution cycles *)
+  dyn_insns : int;  (** dynamic instructions executed *)
+  dyn_defs : int;  (** dynamic instructions with >= 1 output register;
+                       the fault-injection population *)
+  dyn_by_role : int array;  (** dynamic count per {!Casted_ir.Insn.role} *)
+  output : string;  (** contents of the program's output region *)
+  exit_code : int;  (** exit code, or -1 when not [Exit] *)
+  cache : Casted_cache.Hierarchy.stats;
+}
+
+val pp_termination : Format.formatter -> termination -> unit
+val pp : Format.formatter -> run -> unit
+
+(** Instructions per cycle over the whole run. *)
+val ipc : run -> float

@@ -1,0 +1,34 @@
+type entry = { mutable visits : int; mutable cycles : int }
+
+type t = (string * string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 64
+
+let record t ~func ~label ~cycles =
+  let key = (func, label) in
+  match Hashtbl.find_opt t key with
+  | Some e ->
+      e.visits <- e.visits + 1;
+      e.cycles <- e.cycles + cycles
+  | None -> Hashtbl.replace t key { visits = 1; cycles }
+
+let entries t =
+  let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
+  List.sort (fun (_, a) (_, b) -> Int.compare b.cycles a.cycles) all
+
+let total_cycles t = Hashtbl.fold (fun _ e acc -> acc + e.cycles) t 0
+
+let render_top ?(n = 10) t =
+  let total = max 1 (total_cycles t) in
+  let rows =
+    List.filteri (fun i _ -> i < n) (entries t)
+    |> List.map (fun ((func, label), e) ->
+           Printf.sprintf "%-28s %10d %12d %6.1f%%"
+             (func ^ ":" ^ label)
+             e.visits e.cycles
+             (100.0 *. float_of_int e.cycles /. float_of_int total))
+  in
+  String.concat "\n"
+    (Printf.sprintf "%-28s %10s %12s %7s" "block" "visits" "cycles" "share"
+    :: rows)
+  ^ "\n"

@@ -1,0 +1,6 @@
+type t = Random.State.t
+
+let create ~seed = Random.State.make [| seed; 0x5EED; seed lxor 0x00CA57ED |]
+let int t bound = Random.State.int t bound
+let int64 t bound = Random.State.int64 t bound
+let split t = Random.State.split t

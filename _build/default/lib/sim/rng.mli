@@ -1,0 +1,11 @@
+(** Deterministic random numbers for the Monte-Carlo campaigns.
+
+    A thin wrapper over [Random.State] with explicit seeding so fault
+    campaigns are reproducible run to run. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+val int64 : t -> int64 -> int64
+val split : t -> t

@@ -1,0 +1,394 @@
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Cond = Casted_ir.Cond
+module Insn = Casted_ir.Insn
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+module Config = Casted_machine.Config
+module Latency = Casted_machine.Latency
+module Schedule = Casted_sched.Schedule
+module Hierarchy = Casted_cache.Hierarchy
+
+exception Halted of int
+exception Check_failed of int
+exception Out_of_fuel
+
+(* Per-call register file with scoreboard metadata: for every register we
+   track its value, the time it becomes readable and the cluster that
+   produced it (cross-cluster reads pay the interconnect delay). *)
+type frame = {
+  gp : int64 array;
+  fpv : float array;
+  prv : bool array;
+  gp_ready : int array;
+  fp_ready : int array;
+  pr_ready : int array;
+  gp_home : int array;
+  fp_home : int array;
+  pr_home : int array;
+}
+
+let make_frame func ~time =
+  let n c = max 1 (Func.reg_count func c) in
+  let ngp = n Reg.Gp and nfp = n Reg.Fp and npr = n Reg.Pr in
+  {
+    gp = Array.make ngp 0L;
+    fpv = Array.make nfp 0.0;
+    prv = Array.make npr false;
+    gp_ready = Array.make ngp time;
+    fp_ready = Array.make nfp time;
+    pr_ready = Array.make npr time;
+    gp_home = Array.make ngp (-1);
+    fp_home = Array.make nfp (-1);
+    pr_home = Array.make npr (-1);
+  }
+
+(* A value crossing a call boundary. *)
+type value = V_gp of int64 | V_fp of float | V_pr of bool
+
+type ctx = {
+  sched : Schedule.t;
+  config : Config.t;
+  mem : Memory.t;
+  hier : Hierarchy.t;
+  fuel : int;
+  fault : Fault.t option;
+  profile : Profile.t option;
+  mutable time : int;  (* issue time of the last issued bundle *)
+  mutable dyn : int;
+  mutable defs : int;
+  roles : int array;  (* dynamic count per role *)
+  mutable depth : int;
+}
+
+let role_index = function
+  | Insn.Original -> 0
+  | Insn.Replica -> 1
+  | Insn.Check -> 2
+  | Insn.Shadow_copy -> 3
+
+(* Operand access. *)
+
+let read_gp fr r = fr.gp.(Reg.idx r)
+let read_fp fr r = fr.fpv.(Reg.idx r)
+let read_pr fr r = fr.prv.(Reg.idx r)
+
+let reg_need ctx fr ~cluster r =
+  let idx = Reg.idx r in
+  let ready, home =
+    match Reg.cls r with
+    | Reg.Gp -> (fr.gp_ready.(idx), fr.gp_home.(idx))
+    | Reg.Fp -> (fr.fp_ready.(idx), fr.fp_home.(idx))
+    | Reg.Pr -> (fr.pr_ready.(idx), fr.pr_home.(idx))
+  in
+  if home >= 0 && home <> cluster then ready + ctx.config.Config.delay
+  else ready
+
+let write_gp fr r v ~ready ~home =
+  let i = Reg.idx r in
+  fr.gp.(i) <- v;
+  fr.gp_ready.(i) <- max fr.gp_ready.(i) ready;
+  fr.gp_home.(i) <- home
+
+let write_fp fr r v ~ready ~home =
+  let i = Reg.idx r in
+  fr.fpv.(i) <- v;
+  fr.fp_ready.(i) <- max fr.fp_ready.(i) ready;
+  fr.fp_home.(i) <- home
+
+let write_pr fr r v ~ready ~home =
+  let i = Reg.idx r in
+  fr.prv.(i) <- v;
+  fr.pr_ready.(i) <- max fr.pr_ready.(i) ready;
+  fr.pr_home.(i) <- home
+
+let read_value fr r =
+  match Reg.cls r with
+  | Reg.Gp -> V_gp (read_gp fr r)
+  | Reg.Fp -> V_fp (read_fp fr r)
+  | Reg.Pr -> V_pr (read_pr fr r)
+
+let write_value fr r v ~ready ~home =
+  match (Reg.cls r, v) with
+  | Reg.Gp, V_gp x -> write_gp fr r x ~ready ~home
+  | Reg.Fp, V_fp x -> write_fp fr r x ~ready ~home
+  | Reg.Pr, V_pr x -> write_pr fr r x ~ready ~home
+  | _ -> invalid_arg "Simulator: value class mismatch"
+
+(* Fault injection: flip one bit of one output of the instruction that
+   was just written back. *)
+let inject ctx fr (insn : Insn.t) =
+  match ctx.fault with
+  | Some f when ctx.defs = f.Fault.target_def + 1 ->
+      let ndefs = Array.length insn.Insn.defs in
+      let r = insn.Insn.defs.(f.Fault.def_slot mod ndefs) in
+      let i = Reg.idx r in
+      (match Reg.cls r with
+      | Reg.Gp -> fr.gp.(i) <- Fault.flip_int ~bit:f.Fault.bit fr.gp.(i)
+      | Reg.Fp -> fr.fpv.(i) <- Fault.flip_float ~bit:f.Fault.bit fr.fpv.(i)
+      | Reg.Pr -> fr.prv.(i) <- not fr.prv.(i))
+  | Some _ | None -> ()
+
+(* What a bundle instruction decided to do with control flow. *)
+type transfer = Fallthrough | Goto of string | Return of value option
+
+let max_call_depth = 10_000
+
+let rec exec_func ctx (fs : Schedule.func_schedule) (args : value list) :
+    value option =
+  ctx.depth <- ctx.depth + 1;
+  if ctx.depth > max_call_depth then raise (Trap.Trap Trap.Stack_overflow);
+  let func = fs.Schedule.func in
+  let fr = make_frame func ~time:(ctx.time + 1) in
+  List.iter2
+    (fun r v -> write_value fr r v ~ready:(ctx.time + 1) ~home:(-1))
+    func.Func.params args;
+  let block_of label =
+    let n = Array.length fs.Schedule.blocks in
+    let rec go i =
+      if i >= n then invalid_arg ("Simulator: unknown block " ^ label)
+      else if fs.Schedule.blocks.(i).Schedule.label = label then
+        fs.Schedule.blocks.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let rec run_block (b : Schedule.block_schedule) =
+    let transfer = ref Fallthrough in
+    (* The static schedule is authoritative for the in-order lockstep
+       machine: bundle [i] may not issue before [block_start + i]
+       (empty cycles are real NOPs). Dynamic stalls (cache misses,
+       cross-block operands) push it further. *)
+    let block_start = ctx.time + 1 in
+    Array.iteri
+      (fun idx bundle ->
+        exec_bundle ctx fr ~not_before:(block_start + idx) bundle transfer)
+      b.Schedule.bundles;
+    (match ctx.profile with
+    | Some profile ->
+        Profile.record profile ~func:func.Func.name ~label:b.Schedule.label
+          ~cycles:(ctx.time + 1 - block_start)
+    | None -> ());
+    match !transfer with
+    | Goto label -> run_block (block_of label)
+    | Return v ->
+        ctx.depth <- ctx.depth - 1;
+        v
+    | Fallthrough ->
+        invalid_arg "Simulator: block finished without control transfer"
+  in
+  run_block fs.Schedule.blocks.(0)
+
+and exec_bundle ctx fr ~not_before (bundle : Schedule.bundle) transfer =
+  let any = Array.exists (fun insns -> Array.length insns > 0) bundle in
+  if any then begin
+    (* Issue time: lockstep across clusters, so one maximum over all
+       operand arrival times of the whole bundle. *)
+    let t = ref (max not_before (ctx.time + 1)) in
+    Array.iteri
+      (fun cluster insns ->
+        Array.iter
+          (fun (insn : Insn.t) ->
+            Array.iter
+              (fun r -> t := max !t (reg_need ctx fr ~cluster r))
+              insn.Insn.uses)
+          insns)
+      bundle;
+    let t = !t in
+    ctx.time <- t;
+    (* Read phase: all operands (including loaded memory) are sampled
+       before any write of this bundle lands. *)
+    let lat op = Latency.of_op ctx.config.Config.latencies op in
+    Array.iteri
+      (fun cluster insns ->
+        Array.iter
+          (fun insn -> exec_insn ctx fr ~cluster ~t ~lat insn transfer)
+          insns)
+      bundle
+  end
+
+and exec_insn ctx fr ~cluster ~t ~lat (insn : Insn.t) transfer =
+  ctx.dyn <- ctx.dyn + 1;
+  if ctx.dyn > ctx.fuel then raise Out_of_fuel;
+  ctx.roles.(role_index insn.Insn.role) <-
+    ctx.roles.(role_index insn.Insn.role) + 1;
+  let op = insn.Insn.op in
+  let u i = insn.Insn.uses.(i) in
+  let d i = insn.Insn.defs.(i) in
+  let finish_def () =
+    if Array.length insn.Insn.defs > 0 then begin
+      ctx.defs <- ctx.defs + 1;
+      inject ctx fr insn
+    end
+  in
+  let set_gp r v ~latency =
+    write_gp fr r v ~ready:(t + latency) ~home:cluster
+  in
+  let set_fp r v ~latency =
+    write_fp fr r v ~ready:(t + latency) ~home:cluster
+  in
+  let set_pr r v ~latency =
+    write_pr fr r v ~ready:(t + latency) ~home:cluster
+  in
+  (match op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
+  | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
+  | Opcode.Sra ->
+      set_gp (d 0)
+        (Alu.int_binop op (read_gp fr (u 0)) (read_gp fr (u 1)))
+        ~latency:(lat op)
+  | Opcode.Addi | Opcode.Muli | Opcode.Andi | Opcode.Xori | Opcode.Shli
+  | Opcode.Shri | Opcode.Srai ->
+      set_gp (d 0)
+        (Alu.int_immop op (read_gp fr (u 0)) insn.Insn.imm)
+        ~latency:(lat op)
+  | Opcode.Mov -> set_gp (d 0) (read_gp fr (u 0)) ~latency:(lat op)
+  | Opcode.Movi -> set_gp (d 0) insn.Insn.imm ~latency:(lat op)
+  | Opcode.Cmp c ->
+      set_pr (d 0)
+        (Cond.eval_int c (read_gp fr (u 0)) (read_gp fr (u 1)))
+        ~latency:(lat op)
+  | Opcode.Cmpi c ->
+      set_pr (d 0)
+        (Cond.eval_int c (read_gp fr (u 0)) insn.Insn.imm)
+        ~latency:(lat op)
+  | Opcode.Sel ->
+      let v =
+        if read_pr fr (u 0) then read_gp fr (u 1) else read_gp fr (u 2)
+      in
+      set_gp (d 0) v ~latency:(lat op)
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv ->
+      set_fp (d 0)
+        (Alu.float_binop op (read_fp fr (u 0)) (read_fp fr (u 1)))
+        ~latency:(lat op)
+  | Opcode.Fmov -> set_fp (d 0) (read_fp fr (u 0)) ~latency:(lat op)
+  | Opcode.Fmovi -> set_fp (d 0) insn.Insn.fimm ~latency:(lat op)
+  | Opcode.Fcmp c ->
+      set_pr (d 0)
+        (Cond.eval_float c (read_fp fr (u 0)) (read_fp fr (u 1)))
+        ~latency:(lat op)
+  | Opcode.Itof ->
+      set_fp (d 0) (Int64.to_float (read_gp fr (u 0))) ~latency:(lat op)
+  | Opcode.Ftoi ->
+      let f = read_fp fr (u 0) in
+      let v =
+        if Float.is_nan f then 0L else Int64.of_float (Float.trunc f)
+      in
+      set_gp (d 0) v ~latency:(lat op)
+  | Opcode.Ld w | Opcode.Lds w ->
+      let signed = match op with Opcode.Lds _ -> true | _ -> false in
+      let addr = Int64.add (read_gp fr (u 0)) insn.Insn.imm in
+      let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
+      let v = Memory.read ctx.mem ~addr ~width:w ~signed in
+      set_gp (d 0) v ~latency
+  | Opcode.Fld ->
+      let addr = Int64.add (read_gp fr (u 0)) insn.Insn.imm in
+      let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
+      let v = Memory.read_float ctx.mem ~addr in
+      set_fp (d 0) v ~latency
+  | Opcode.St w ->
+      let addr = Int64.add (read_gp fr (u 1)) insn.Insn.imm in
+      Memory.write ctx.mem ~addr ~width:w (read_gp fr (u 0));
+      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true)
+  | Opcode.Fst ->
+      let addr = Int64.add (read_gp fr (u 1)) insn.Insn.imm in
+      Memory.write_float ctx.mem ~addr (read_fp fr (u 0));
+      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true)
+  | Opcode.Chk ->
+      let ok =
+        match Reg.cls (u 0) with
+        | Reg.Gp -> Int64.equal (read_gp fr (u 0)) (read_gp fr (u 1))
+        | Reg.Fp ->
+            Int64.equal
+              (Int64.bits_of_float (read_fp fr (u 0)))
+              (Int64.bits_of_float (read_fp fr (u 1)))
+        | Reg.Pr -> Bool.equal (read_pr fr (u 0)) (read_pr fr (u 1))
+      in
+      if not ok then raise (Check_failed insn.Insn.id)
+  | Opcode.Br -> transfer := Goto insn.Insn.target
+  | Opcode.Brc flag ->
+      let taken = Bool.equal (read_pr fr (u 0)) flag in
+      transfer :=
+        Goto (if taken then insn.Insn.target else insn.Insn.target2)
+  | Opcode.Ret ->
+      let v =
+        if Array.length insn.Insn.uses > 0 then Some (read_value fr (u 0))
+        else None
+      in
+      transfer := Return v
+  | Opcode.Halt ->
+      let code =
+        if Array.length insn.Insn.uses > 0 then
+          Int64.to_int (read_gp fr (u 0))
+        else 0
+      in
+      raise (Halted code)
+  | Opcode.Call ->
+      let callee = Schedule.find_func ctx.sched insn.Insn.target in
+      let args = List.map (read_value fr) (Array.to_list insn.Insn.uses) in
+      let result = exec_func ctx callee args in
+      (match (Array.length insn.Insn.defs, result) with
+      | 0, _ -> ()
+      | 1, Some v -> write_value fr (d 0) v ~ready:(ctx.time + 1) ~home:cluster
+      | 1, None -> invalid_arg "Simulator: call expected a return value"
+      | _ -> invalid_arg "Simulator: call with multiple defs")
+  | Opcode.Nop -> ());
+  finish_def ()
+
+and addr_int addr =
+  (* The cache model indexes by machine address; negative or huge
+     addresses would have trapped in Memory first, but the cache access
+     happens before the bounds check for loads, so clamp defensively. *)
+  if Int64.compare addr 0L < 0 then 0
+  else Int64.to_int (Int64.logand addr 0x3FFF_FFFFL)
+
+let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
+  let program = sched.Schedule.program in
+  let mem = Memory.create ~size:program.Program.mem_size in
+  Memory.load_image mem program.Program.data;
+  let hier =
+    let cc = sched.Schedule.config.Config.cache in
+    if perfect_cache then Hierarchy.perfect cc else Hierarchy.create cc
+  in
+  let ctx =
+    {
+      sched;
+      config = sched.Schedule.config;
+      mem;
+      hier;
+      fuel;
+      fault;
+      profile;
+      time = -1;
+      dyn = 0;
+      defs = 0;
+      roles = Array.make 4 0;
+      depth = 0;
+    }
+  in
+  let entry = Schedule.find_func sched program.Program.entry in
+  let termination =
+    try
+      let (_ : value option) = exec_func ctx entry [] in
+      (* Entry returned instead of halting: treat as exit 0. *)
+      Outcome.Exit 0
+    with
+    | Halted code -> Outcome.Exit code
+    | Check_failed id -> Outcome.Detected id
+    | Trap.Trap t -> Outcome.Trapped t
+    | Out_of_fuel -> Outcome.Timeout
+  in
+  let output =
+    Memory.extract mem ~base:program.Program.output_base
+      ~len:program.Program.output_len
+  in
+  {
+    Outcome.termination;
+    cycles = ctx.time + 1;
+    dyn_insns = ctx.dyn;
+    dyn_defs = ctx.defs;
+    dyn_by_role = ctx.roles;
+    output;
+    exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
+    cache = Hierarchy.stats hier;
+  }

@@ -1,0 +1,32 @@
+(** Cycle-accurate lockstep VLIW simulator.
+
+    Executes a scheduled program (the output of
+    {!Casted_detect.Pipeline.compile}) bundle by bundle. All clusters
+    issue in lockstep: a bundle's issue time is the maximum over its
+    instructions' operand-ready times, where an operand produced on a
+    different cluster arrives [delay] cycles late (the paper's
+    inter-cluster register-file read). Dynamic stalls come from cache
+    misses (Table-I hierarchy) and cross-cluster reads not visible to the
+    static scheduler (block boundaries, call returns).
+
+    Bundle semantics are VLIW-parallel: all operands are read before any
+    write of the same bundle lands.
+
+    Faults: when a {!Fault.t} is supplied, the n-th dynamic instruction
+    with output registers gets one bit of one of its outputs flipped right
+    after write-back — the paper's injection model (§IV-C). *)
+
+(** [run schedule] executes the program to termination.
+
+    @param fault optional single transient fault to inject.
+    @param fuel dynamic-instruction budget; exceeding it terminates the
+      run with {!Outcome.Timeout} (the paper's simulator time-out).
+    @param perfect_cache every access hits in L1 (ablation).
+    @param profile per-block visit/cycle profile, filled during the run. *)
+val run :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?perfect_cache:bool ->
+  ?profile:Profile.t ->
+  Casted_sched.Schedule.t ->
+  Outcome.run

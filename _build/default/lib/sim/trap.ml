@@ -1,0 +1,15 @@
+type t =
+  | Out_of_bounds of int64
+  | Misaligned of int64
+  | Div_by_zero
+  | Stack_overflow
+
+exception Trap of t
+
+let to_string = function
+  | Out_of_bounds a -> Printf.sprintf "out-of-bounds access at %Ld" a
+  | Misaligned a -> Printf.sprintf "misaligned access at %Ld" a
+  | Div_by_zero -> "division by zero"
+  | Stack_overflow -> "call stack overflow"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

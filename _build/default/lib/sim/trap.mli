@@ -1,0 +1,17 @@
+(** Machine exceptions.
+
+    In the paper's fault-injection taxonomy these are the "Exceptions"
+    category: symptoms of a transient error that the hardware/OS would
+    surface without any help from the detection code (e.g. a corrupted
+    address register pointing outside the address space). *)
+
+type t =
+  | Out_of_bounds of int64  (** memory access outside the arena *)
+  | Misaligned of int64  (** access not aligned to its width *)
+  | Div_by_zero
+  | Stack_overflow  (** call depth exceeded the frame limit *)
+
+exception Trap of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Buffer Char Int32 List String

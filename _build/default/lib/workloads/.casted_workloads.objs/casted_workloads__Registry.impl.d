@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: List String W_cjpeg W_h263dec W_h263enc W_mcf W_mpeg2dec W_parser W_vpr Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_cjpeg.ml: Array Casted_ir Gen Int64 Kernels List Workload

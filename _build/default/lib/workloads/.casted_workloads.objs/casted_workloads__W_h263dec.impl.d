@@ -1,0 +1,1 @@
+lib/workloads/w_h263dec.ml: Array Casted_ir Gen Int64 Kernels List Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_h263enc.ml: Array Casted_ir Gen Int64 Kernels Workload

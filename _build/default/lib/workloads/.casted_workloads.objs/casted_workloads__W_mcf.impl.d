@@ -1,0 +1,1 @@
+lib/workloads/w_mcf.ml: Array Buffer Casted_ir Gen Int64 Workload

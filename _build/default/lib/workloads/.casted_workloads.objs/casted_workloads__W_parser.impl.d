@@ -1,0 +1,1 @@
+lib/workloads/w_parser.ml: Array Casted_ir Gen Int64 List Workload

@@ -1,0 +1,1 @@
+lib/workloads/w_vpr.ml: Casted_ir Gen Int64 Kernels List Workload

@@ -1,0 +1,40 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed lor 1) land 0x7FFFFFFF }
+
+let bits t =
+  (* Park-Miller minimal standard generator. *)
+  t.state <- t.state * 48271 mod 0x7FFFFFFF;
+  t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Gen.int: non-positive bound";
+  bits t mod bound
+
+let bytes t n =
+  String.init n (fun _ -> Char.chr (int t 256))
+
+let le16 values =
+  let b = Buffer.create (2 * List.length values) in
+  List.iter (fun v -> Buffer.add_uint16_le b (v land 0xFFFF)) values;
+  Buffer.contents b
+
+let le32 values =
+  let b = Buffer.create (4 * List.length values) in
+  List.iter (fun v -> Buffer.add_int32_le b (Int32.of_int v)) values;
+  Buffer.contents b
+
+let le64 values =
+  let b = Buffer.create (8 * List.length values) in
+  List.iter (fun v -> Buffer.add_int64_le b v) values;
+  Buffer.contents b
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

@@ -1,0 +1,31 @@
+(** Deterministic input-data generation.
+
+    All workload inputs are produced by a fixed linear congruential
+    generator so every build of a program is byte-identical — a
+    requirement for differential testing (original vs. hardened must
+    produce the same output) and for reproducible fault campaigns. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Raw 32-bit step of the generator. *)
+val bits : t -> int
+
+(** [bytes t n] returns [n] pseudo-random bytes. *)
+val bytes : t -> int -> string
+
+(** Serialize 16-bit little-endian values. *)
+val le16 : int list -> string
+
+(** Serialize 32-bit little-endian values. *)
+val le32 : int list -> string
+
+(** Serialize 64-bit little-endian values. *)
+val le64 : int64 list -> string
+
+(** A pseudo-random permutation of [0 .. n-1] (Fisher-Yates). *)
+val permutation : t -> int -> int array

@@ -1,0 +1,111 @@
+module Builder = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module B = Builder
+
+let abs_ b x =
+  let s = B.srai b x 63L in
+  let t = B.xor b x s in
+  B.sub b t s
+
+let min_ b x y =
+  let p = B.cmp b Cond.Lt x y in
+  B.sel b p x y
+
+let max_ b x y =
+  let p = B.cmp b Cond.Gt x y in
+  B.sel b p x y
+
+let clamp b x ~lo ~hi =
+  let p1 = B.cmp b Cond.Lt x lo in
+  let t = B.sel b p1 lo x in
+  let p2 = B.cmp b Cond.Gt t hi in
+  B.sel b p2 hi t
+
+let mix b ~acc v =
+  let m = B.muli b acc 31L in
+  let s = B.add b m v in
+  let r = B.shri b acc 17L in
+  let (_ : Reg.t) = B.xor b ~dst:acc s r in
+  ()
+
+(* Fixed-point (Q10) cosine constants of the AAN-style butterfly. *)
+let c1 = 1004L (* cos(pi/16) * 1024 *)
+let c2 = 946L (* cos(2pi/16) *)
+let c3 = 851L
+let c5 = 569L
+let c6 = 392L
+let c7 = 200L
+
+let dct_1d b x =
+  assert (Array.length x = 8);
+  (* Stage 1: symmetric sums and differences. *)
+  let a0 = B.add b x.(0) x.(7) in
+  let a1 = B.add b x.(1) x.(6) in
+  let a2 = B.add b x.(2) x.(5) in
+  let a3 = B.add b x.(3) x.(4) in
+  let d0 = B.sub b x.(0) x.(7) in
+  let d1 = B.sub b x.(1) x.(6) in
+  let d2 = B.sub b x.(2) x.(5) in
+  let d3 = B.sub b x.(3) x.(4) in
+  (* Even half. *)
+  let s03 = B.add b a0 a3 in
+  let s12 = B.add b a1 a2 in
+  let m03 = B.sub b a0 a3 in
+  let m12 = B.sub b a1 a2 in
+  let y0 = B.add b s03 s12 in
+  let y4 = B.sub b s03 s12 in
+  let scaled coeff r = B.muli b r coeff in
+  let desc r = B.srai b r 10L in
+  let y2 =
+    let t = B.add b (scaled c2 m03) (scaled c6 m12) in
+    desc t
+  in
+  let y6 =
+    let t = B.sub b (scaled c6 m03) (scaled c2 m12) in
+    desc t
+  in
+  (* Odd half: 4-tap fixed-point dot products. *)
+  let dot k0 k1 k2 k3 =
+    let t01 = B.add b (scaled k0 d0) (scaled k1 d1) in
+    let t23 = B.add b (scaled k2 d2) (scaled k3 d3) in
+    desc (B.add b t01 t23)
+  in
+  let y1 = dot c1 c3 c5 c7 in
+  let y3 = dot c3 (Int64.neg c7) (Int64.neg c1) (Int64.neg c5) in
+  let y5 = dot c5 (Int64.neg c1) c7 c3 in
+  let y7 = dot c7 (Int64.neg c5) c3 (Int64.neg c1) in
+  [| y0; y1; y2; y3; y4; y5; y6; y7 |]
+
+let idct_1d b y =
+  assert (Array.length y = 8);
+  let scaled coeff r = B.muli b r coeff in
+  let desc r = B.srai b r 10L in
+  (* Even half. *)
+  let s03 = B.add b y.(0) y.(4) in
+  let s12 = B.sub b y.(0) y.(4) in
+  let m03 = desc (B.add b (scaled c2 y.(2)) (scaled c6 y.(6))) in
+  let m12 = desc (B.sub b (scaled c6 y.(2)) (scaled c2 y.(6))) in
+  let a0 = B.add b s03 m03 in
+  let a3 = B.sub b s03 m03 in
+  let a1 = B.add b s12 m12 in
+  let a2 = B.sub b s12 m12 in
+  (* Odd half. *)
+  let dot k0 k1 k2 k3 =
+    let t01 = B.add b (scaled k0 y.(1)) (scaled k1 y.(3)) in
+    let t23 = B.add b (scaled k2 y.(5)) (scaled k3 y.(7)) in
+    desc (B.add b t01 t23)
+  in
+  let d0 = dot c1 c3 c5 c7 in
+  let d1 = dot c3 (Int64.neg c7) (Int64.neg c1) (Int64.neg c5) in
+  let d2 = dot c5 (Int64.neg c1) c7 c3 in
+  let d3 = dot c7 (Int64.neg c5) c3 (Int64.neg c1) in
+  let x0 = B.add b a0 d0 in
+  let x7 = B.sub b a0 d0 in
+  let x1 = B.add b a1 d1 in
+  let x6 = B.sub b a1 d1 in
+  let x2 = B.add b a2 d2 in
+  let x5 = B.sub b a2 d2 in
+  let x3 = B.add b a3 d3 in
+  let x4 = B.sub b a3 d3 in
+  [| x0; x1; x2; x3; x4; x5; x6; x7 |]

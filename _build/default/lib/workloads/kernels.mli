@@ -1,0 +1,27 @@
+(** Shared IR-emission idioms used by several workloads. *)
+
+module Builder = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+
+(** Branchless absolute value: [(x lxor (x asr 63)) - (x asr 63)]. *)
+val abs_ : Builder.t -> Reg.t -> Reg.t
+
+(** [min_ b x y] via compare + select. *)
+val min_ : Builder.t -> Reg.t -> Reg.t -> Reg.t
+
+val max_ : Builder.t -> Reg.t -> Reg.t -> Reg.t
+
+(** [clamp b x ~lo ~hi] saturates [x] into [\[lo, hi\]]; the bounds are
+    registers so callers hoist the constants out of loops. *)
+val clamp : Builder.t -> Reg.t -> lo:Reg.t -> hi:Reg.t -> Reg.t
+
+(** [mix b ~acc v] folds [v] into the running checksum register [acc]
+    in place: [acc := (acc * 31 + v) lxor (acc lsr 17)]. *)
+val mix : Builder.t -> acc:Reg.t -> Reg.t -> unit
+
+(** 8-point forward integer DCT (butterfly form, fixed-point Q10
+    constants). Input and output are 8 registers. *)
+val dct_1d : Builder.t -> Reg.t array -> Reg.t array
+
+(** 8-point inverse transform with the same operation mix. *)
+val idct_1d : Builder.t -> Reg.t array -> Reg.t array

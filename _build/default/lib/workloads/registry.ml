@@ -1,0 +1,15 @@
+let all =
+  [
+    W_cjpeg.workload;
+    W_h263dec.workload;
+    W_mpeg2dec.workload;
+    W_h263enc.workload;
+    W_vpr.workload;
+    W_mcf.workload;
+    W_parser.workload;
+  ]
+
+let find name =
+  List.find_opt (fun w -> String.equal w.Workload.name name) all
+
+let names () = List.map (fun w -> w.Workload.name) all

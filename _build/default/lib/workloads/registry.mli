@@ -1,0 +1,6 @@
+(** The benchmark registry (paper Table II). *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t option
+val names : unit -> string list

@@ -1,0 +1,103 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let qrec_base = 0x400
+let tmp_base = 0x800 (* 8x8 of W4 row-transform results *)
+let in_base = 0x1000
+
+let dims = function
+  | Workload.Fault -> (16, 16)
+  | Workload.Perf -> (64, 64)
+
+let build size =
+  let width, height = dims size in
+  let bw = width / 8 and bh = height / 8 in
+  let n_blocks = bw * bh in
+  let out_base = in_base + (width * height) + 0x100 in
+  let out_len = (n_blocks * 128) + 8 in
+  let chk_addr = out_base + (n_blocks * 128) in
+  let b = B.create ~name:"main" () in
+  let in_reg = B.movi b (Int64.of_int in_base) in
+  let tmp = B.movi b (Int64.of_int tmp_base) in
+  let qreg = B.movi b (Int64.of_int qrec_base) in
+  let out_ptr = B.movi b (Int64.of_int out_base) in
+  let acc = B.movi b 0x9E3779B9L in
+  B.counted_loop b ~name:"by" ~from:0L ~until:(Int64.of_int bh) (fun b by ->
+      let row_off = B.muli b by (Int64.of_int (8 * width)) in
+      let row_base = B.add b in_reg row_off in
+      B.counted_loop b ~name:"bx" ~from:0L ~until:(Int64.of_int bw)
+        (fun b bx ->
+          let col_off = B.muli b bx 8L in
+          let base = B.add b row_base col_off in
+          (* Row pass: one 8-pixel 1-D DCT per iteration, results into
+             the scratch tile (W4, row-major, 32-byte rows). *)
+          B.counted_loop b ~name:"row" ~from:0L ~until:8L (fun b r ->
+              let px_off = B.muli b r (Int64.of_int width) in
+              let px_base = B.add b base px_off in
+              let x =
+                Array.init 8 (fun c ->
+                    let v = B.ld b Opcode.W1 px_base (Int64.of_int c) in
+                    B.addi b v (-128L))
+              in
+              let y = Kernels.dct_1d b x in
+              let t_off = B.muli b r 32L in
+              let t_base = B.add b tmp t_off in
+              Array.iteri
+                (fun j v ->
+                  B.st b Opcode.W4 ~value:v ~base:t_base
+                    (Int64.of_int (4 * j)))
+                y);
+          (* Column pass: transform, quantise against the reciprocal
+             table, emit coefficients and fold them into the checksum. *)
+          B.counted_loop b ~name:"col" ~from:0L ~until:8L (fun b c ->
+              let c4 = B.muli b c 4L in
+              let t_base = B.add b tmp c4 in
+              let x =
+                Array.init 8 (fun r ->
+                    B.lds b Opcode.W4 t_base (Int64.of_int (32 * r)))
+              in
+              let y = Kernels.dct_1d b x in
+              let c16 = B.muli b c 16L in
+              let q_base = B.add b qreg c16 in
+              let o_base = B.add b out_ptr c16 in
+              let folded = ref None in
+              Array.iteri
+                (fun r v ->
+                  let qr = B.lds b Opcode.W2 q_base (Int64.of_int (2 * r)) in
+                  let q0 = B.mul b v qr in
+                  let q = B.srai b q0 16L in
+                  B.st b Opcode.W2 ~value:q ~base:o_base
+                    (Int64.of_int (2 * r));
+                  folded :=
+                    Some
+                      (match !folded with
+                      | None -> q
+                      | Some f -> B.xor b f q))
+                y;
+              match !folded with
+              | Some f -> Kernels.mix b ~acc f
+              | None -> ());
+          let (_ : Reg.t) = B.addi b ~dst:out_ptr out_ptr 128L in
+          ()));
+  let chk = B.movi b (Int64.of_int chk_addr) in
+  B.st b Opcode.W8 ~value:acc ~base:chk 0L;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  let rng = Gen.create ~seed:(0x17E5 + width) in
+  let image = Gen.bytes rng (width * height) in
+  let qrecs = Gen.le16 (List.init 64 (fun _ -> 200 + Gen.int rng 700)) in
+  Program.make ~funcs:[ func ] ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:[ (qrec_base, qrecs); (in_base, image) ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "cjpeg";
+    suite = "MediaBench II";
+    description = "8x8 forward DCT + quantisation (high-ILP encoder kernel)";
+    build;
+  }

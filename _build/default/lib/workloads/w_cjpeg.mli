@@ -1,0 +1,9 @@
+(** cjpeg-like kernel (MediaBench II): 8x8 forward DCT + quantisation.
+
+    High-ILP straight-line block bodies (unrolled butterflies and
+    fixed-point quantisation), a store per output coefficient, and a
+    running checksum. The paper reports CASTED's largest wins on cjpeg
+    (up to 21.2%): plenty of redundant-stream ILP to spread across
+    clusters. *)
+
+val workload : Workload.t

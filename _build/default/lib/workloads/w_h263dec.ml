@@ -1,0 +1,139 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let tmp_base = 0x800
+let coef_base = 0x1000
+
+let dims = function
+  | Workload.Fault -> (16, 16)
+  | Workload.Perf -> (64, 48)
+
+(* The reference frame is padded by 4 pixels on every side so motion
+   vectors in [-2, 2] never leave the arena. *)
+let pad = 4
+
+let build size =
+  let width, height = dims size in
+  let bw = width / 8 and bh = height / 8 in
+  let n_blocks = bw * bh in
+  let rw = width + (2 * pad) and rh = height + (2 * pad) in
+  let mv_base = coef_base + (n_blocks * 128) in
+  let ref_base = mv_base + (n_blocks * 4) + 0x40 in
+  let out_base = ref_base + (rw * rh) + 0x100 in
+  let out_len = (width * height) + 8 in
+  let chk_addr = out_base + (width * height) in
+  let b = B.create ~name:"main" () in
+  let coef = B.movi b (Int64.of_int coef_base) in
+  let mvs = B.movi b (Int64.of_int mv_base) in
+  let refr = B.movi b (Int64.of_int ref_base) in
+  let out = B.movi b (Int64.of_int out_base) in
+  let tmp = B.movi b (Int64.of_int tmp_base) in
+  let zero = B.movi b 0L in
+  let c255 = B.movi b 255L in
+  let acc = B.movi b 0x0B5E55EDL in
+  let bi = B.movi b 0L in
+  B.counted_loop b ~name:"by" ~from:0L ~until:(Int64.of_int bh) (fun b by ->
+      B.counted_loop b ~name:"bx" ~from:0L ~until:(Int64.of_int bw)
+        (fun b bx ->
+          let cb_off = B.muli b bi 128L in
+          let cb = B.add b coef cb_off in
+          (* Motion vector of this block, components in [-2, 2]. *)
+          let mv_off = B.muli b bi 4L in
+          let mv_at = B.add b mvs mv_off in
+          let mvx = B.lds b Opcode.W2 mv_at 0L in
+          let mvy = B.lds b Opcode.W2 mv_at 2L in
+          (* Row pass: dequantise and inverse-transform each row. *)
+          B.counted_loop b ~name:"row" ~from:0L ~until:8L (fun b r ->
+              let r16 = B.muli b r 16L in
+              let rb = B.add b cb r16 in
+              let x =
+                Array.init 8 (fun c ->
+                    let v = B.lds b Opcode.W2 rb (Int64.of_int (2 * c)) in
+                    B.muli b v 13L)
+              in
+              let y = Kernels.idct_1d b x in
+              let t_off = B.muli b r 32L in
+              let t_base = B.add b tmp t_off in
+              Array.iteri
+                (fun j v ->
+                  B.st b Opcode.W4 ~value:v ~base:t_base
+                    (Int64.of_int (4 * j)))
+                y);
+          (* Column pass: inverse transform, add the motion-compensated
+             predictor, saturate to [0, 255] and store the pixel. *)
+          let px0 = B.muli b bx 8L in
+          let py0 = B.muli b by 8L in
+          let ry0 = B.add b py0 mvy in
+          let rx0 = B.add b px0 mvx in
+          B.counted_loop b ~name:"col" ~from:0L ~until:8L (fun b c ->
+              let c4 = B.muli b c 4L in
+              let t_base = B.add b tmp c4 in
+              let x =
+                Array.init 8 (fun r ->
+                    B.lds b Opcode.W4 t_base (Int64.of_int (32 * r)))
+              in
+              let y = Kernels.idct_1d b x in
+              (* Base address of this column in the padded reference. *)
+              let rx = B.add b rx0 c in
+              let ry_row = B.addi b ry0 (Int64.of_int pad) in
+              let ref_row0 = B.muli b ry_row (Int64.of_int rw) in
+              let ref_col = B.addi b rx (Int64.of_int pad) in
+              let ref_off = B.add b ref_row0 ref_col in
+              let ref_at = B.add b refr ref_off in
+              (* Output column base. *)
+              let ox = B.add b px0 c in
+              let oy_row = B.muli b py0 (Int64.of_int width) in
+              let o_off = B.add b oy_row ox in
+              let o_at = B.add b out o_off in
+              let folded = ref None in
+              Array.iteri
+                (fun r v ->
+                  let scaled = B.srai b v 6L in
+                  let pred =
+                    B.ld b Opcode.W1 ref_at (Int64.of_int (r * rw))
+                  in
+                  let s = B.add b scaled pred in
+                  let px = Kernels.clamp b s ~lo:zero ~hi:c255 in
+                  B.st b Opcode.W1 ~value:px ~base:o_at
+                    (Int64.of_int (r * width));
+                  folded :=
+                    Some
+                      (match !folded with
+                      | None -> px
+                      | Some f -> B.xor b f px))
+                y;
+              match !folded with
+              | Some f -> Kernels.mix b ~acc f
+              | None -> ());
+          let (_ : Reg.t) = B.addi b ~dst:bi bi 1L in
+          ()));
+  let chk = B.movi b (Int64.of_int chk_addr) in
+  B.st b Opcode.W8 ~value:acc ~base:chk 0L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  let rng = Gen.create ~seed:(0xDEC0 + width) in
+  let coefs =
+    Gen.le16 (List.init (n_blocks * 64) (fun _ -> Gen.int rng 64 - 32))
+  in
+  let mv_words =
+    Gen.le16
+      (List.concat
+         (List.init n_blocks (fun _ ->
+              [ Gen.int rng 5 - 2; Gen.int rng 5 - 2 ])))
+  in
+  let ref_frame = Gen.bytes rng (rw * rh) in
+  Program.make ~funcs:[ func ] ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:
+      [ (coef_base, coefs); (mv_base, mv_words); (ref_base, ref_frame) ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "h263dec";
+    suite = "MediaBench II";
+    description = "dequant + 8x8 IDCT + motion compensation (decoder kernel)";
+    build;
+  }

@@ -1,0 +1,8 @@
+(** h263dec-like kernel (MediaBench II): dequantisation, 8x8 inverse DCT
+    and motion compensation with saturation.
+
+    Decoder-shaped ILP: medium-sized loop bodies mixing loads from two
+    streams (coefficients and reference frame), select-based clamping and
+    a byte store per pixel. *)
+
+val workload : Workload.t

@@ -1,0 +1,128 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let cur_base = 0x1000
+let pad = 4
+let search = 2 (* candidates in [-search, search]^2 *)
+
+let dims = function
+  | Workload.Fault -> (8, 8)
+  | Workload.Perf -> (32, 24)
+
+let build size =
+  let width, height = dims size in
+  let bw = width / 8 and bh = height / 8 in
+  let n_blocks = bw * bh in
+  let rw = width + (2 * pad) and rh = height + (2 * pad) in
+  let ref_base = cur_base + (width * height) + 0x40 in
+  let out_base = ref_base + (rw * rh) + 0x100 in
+  let out_len = (n_blocks * 8) + 8 in
+  let chk_addr = out_base + (n_blocks * 8) in
+  let b = B.create ~name:"main" () in
+  let cur = B.movi b (Int64.of_int cur_base) in
+  let refr = B.movi b (Int64.of_int ref_base) in
+  let out = B.movi b (Int64.of_int out_base) in
+  let zero = B.movi b 0L in
+  let acc = B.movi b 0x536AD000L in
+  let bi = B.movi b 0L in
+  let span = Int64.of_int ((2 * search) + 1) in
+  B.counted_loop b ~name:"by" ~from:0L ~until:(Int64.of_int bh) (fun b by ->
+      B.counted_loop b ~name:"bx" ~from:0L ~until:(Int64.of_int bw)
+        (fun b bx ->
+          let px0 = B.muli b bx 8L in
+          let py0 = B.muli b by 8L in
+          let cur_row0 = B.muli b py0 (Int64.of_int width) in
+          let cur_off = B.add b cur_row0 px0 in
+          let cb = B.add b cur cur_off in
+          let best_sad = B.movi b 0x7FFFFFL in
+          let best_code = B.movi b (-1L) in
+          B.counted_loop b ~name:"dy" ~from:0L ~until:span (fun b dyi ->
+              B.counted_loop b ~name:"dx" ~from:0L ~until:span (fun b dxi ->
+                  (* Reference base of this candidate:
+                     (py0 + pad + dy) * rw + px0 + pad + dx. *)
+                  let ry = B.add b py0 dyi in
+                  let ry = B.addi b ry (Int64.of_int (pad - search)) in
+                  let rrow = B.muli b ry (Int64.of_int rw) in
+                  let rx = B.add b px0 dxi in
+                  let rx = B.addi b rx (Int64.of_int (pad - search)) in
+                  let roff = B.add b rrow rx in
+                  let rb = B.add b refr roff in
+                  (* Hand-rolled row loop with two exits: early abandon
+                     when the partial SAD already exceeds the best. *)
+                  let row_head = B.fresh_label b "row_head" in
+                  let row_body = B.fresh_label b "row_body" in
+                  let row_sum = B.fresh_label b "row_sum" in
+                  let cand_done = B.fresh_label b "cand_done" in
+                  let sad = B.movi b 0L in
+                  let r = B.movi b 0L in
+                  B.br b row_head;
+                  B.block b row_head;
+                  let p = B.cmpi b Cond.Lt r 8L in
+                  B.brc b p ~if_:row_body ~else_:row_sum;
+                  B.block b row_body;
+                  let crow_off = B.muli b r (Int64.of_int width) in
+                  let crow = B.add b cb crow_off in
+                  let rrow_off = B.muli b r (Int64.of_int rw) in
+                  let rrow = B.add b rb rrow_off in
+                  let diffs =
+                    Array.init 8 (fun c ->
+                        let a = B.ld b Opcode.W1 crow (Int64.of_int c) in
+                        let v = B.ld b Opcode.W1 rrow (Int64.of_int c) in
+                        Kernels.abs_ b (B.sub b a v))
+                  in
+                  (* Balanced reduction keeps some ILP in the row body. *)
+                  let s01 = B.add b diffs.(0) diffs.(1) in
+                  let s23 = B.add b diffs.(2) diffs.(3) in
+                  let s45 = B.add b diffs.(4) diffs.(5) in
+                  let s67 = B.add b diffs.(6) diffs.(7) in
+                  let s03 = B.add b s01 s23 in
+                  let s47 = B.add b s45 s67 in
+                  let row_sad = B.add b s03 s47 in
+                  let (_ : Reg.t) = B.add b ~dst:sad sad row_sad in
+                  let (_ : Reg.t) = B.addi b ~dst:r r 1L in
+                  let give_up = B.cmp b Cond.Ge sad best_sad in
+                  B.brc b give_up ~if_:cand_done ~else_:row_head;
+                  B.block b row_sum;
+                  let better = B.cmp b Cond.Lt sad best_sad in
+                  B.if_ b ~name:"upd" better
+                    (fun b ->
+                      let (_ : Reg.t) = B.mov b ~dst:best_sad sad in
+                      let code0 = B.muli b dyi 8L in
+                      let code = B.add b code0 dxi in
+                      let (_ : Reg.t) = B.mov b ~dst:best_code code in
+                      ())
+                    (fun _ -> ());
+                  B.br b cand_done;
+                  B.block b cand_done;
+                  ()));
+          (* Record the winning candidate. *)
+          let o_off = B.muli b bi 8L in
+          let o_at = B.add b out o_off in
+          B.st b Opcode.W4 ~value:best_code ~base:o_at 0L;
+          B.st b Opcode.W4 ~value:best_sad ~base:o_at 4L;
+          Kernels.mix b ~acc best_sad;
+          Kernels.mix b ~acc best_code;
+          let (_ : Reg.t) = B.addi b ~dst:bi bi 1L in
+          ()));
+  let chk = B.movi b (Int64.of_int chk_addr) in
+  B.st b Opcode.W8 ~value:acc ~base:chk 0L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  let rng = Gen.create ~seed:(0xE6C + width) in
+  let cur_frame = Gen.bytes rng (width * height) in
+  let ref_frame = Gen.bytes rng (rw * rh) in
+  Program.make ~funcs:[ func ] ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:[ (cur_base, cur_frame); (ref_base, ref_frame) ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "h263enc";
+    suite = "MediaBench II";
+    description = "SAD motion search with early abandoning (branch-dense)";
+    build;
+  }

@@ -1,0 +1,9 @@
+(** h263enc-like kernel (MediaBench II): full-search SAD motion
+    estimation with early abandoning.
+
+    Branch-dense by design: per-row early-exit compares and best-candidate
+    updates. Every branch costs the detection pass a check, so the
+    redundant code is check-heavy and nearly serial — the benchmark where
+    the paper observes SCED scaling {e worse} than NOED (§IV-B2). *)
+
+val workload : Workload.t

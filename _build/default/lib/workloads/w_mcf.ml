@@ -1,0 +1,81 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let nodes_base = 0x1000
+let node_bytes = 16 (* next pointer (W8) + value (W8) *)
+
+let sizes = function
+  | Workload.Fault -> (1_024, 3)
+  | Workload.Perf -> (8_192, 6)
+
+let build size =
+  let n_nodes, passes = sizes size in
+  let out_base = nodes_base + (n_nodes * node_bytes) + 0x100 in
+  let out_len = 16 in
+  let b = B.create ~name:"main" () in
+  let zero = B.movi b 0L in
+  let acc = B.movi b 0x6D3CFL in
+  let potential = B.movi b 7L in
+  B.counted_loop b ~name:"pass" ~from:0L ~until:(Int64.of_int passes)
+    (fun b _pass ->
+      let cur = B.movi b (Int64.of_int nodes_base) in
+      let head = B.fresh_label b "chase_head" in
+      let body = B.fresh_label b "chase_body" in
+      let done_ = B.fresh_label b "chase_done" in
+      B.br b head;
+      B.block b head;
+      let at_end = B.cmpi b Cond.Eq cur 0L in
+      B.brc b at_end ~if_:done_ ~else_:body;
+      B.block b body;
+      (* Node update: read the value, fold it into the running
+         potential, write the relaxed value back, follow the chain. *)
+      let v = B.ld b Opcode.W8 cur 8L in
+      let (_ : Reg.t) = B.add b ~dst:acc acc v in
+      let t = B.xor b v potential in
+      let relaxed = B.srai b t 1L in
+      let nv = B.add b v relaxed in
+      B.st b Opcode.W8 ~value:nv ~base:cur 8L;
+      let (_ : Reg.t) = B.addi b ~dst:potential potential 3L in
+      let (_ : Reg.t) = B.ld b ~dst:cur Opcode.W8 cur 0L in
+      B.br b head;
+      B.block b done_;
+      ());
+  let out = B.movi b (Int64.of_int out_base) in
+  B.st b Opcode.W8 ~value:acc ~base:out 0L;
+  B.st b Opcode.W8 ~value:potential ~base:out 8L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  (* Build the node image: a pseudo-random permutation chain so
+     consecutive accesses stride unpredictably through the array. *)
+  let rng = Gen.create ~seed:(0x6D3C + n_nodes) in
+  (* The chase starts at node 0; the rest of the chain is a random
+     permutation so consecutive accesses stride unpredictably. *)
+  let tail = Gen.permutation rng (n_nodes - 1) in
+  let sequence = Array.append [| 0 |] (Array.map (fun i -> i + 1) tail) in
+  let next = Array.make n_nodes 0L in
+  for i = 0 to n_nodes - 2 do
+    next.(sequence.(i)) <-
+      Int64.of_int (nodes_base + (sequence.(i + 1) * node_bytes))
+  done;
+  next.(sequence.(n_nodes - 1)) <- 0L;
+  let image = Buffer.create (n_nodes * node_bytes) in
+  Array.iter
+    (fun nx ->
+      Buffer.add_int64_le image nx;
+      Buffer.add_int64_le image (Int64.of_int (Gen.int rng 100_000)))
+    next;
+  Program.make ~funcs:[ func ] ~entry:"main"
+    ~mem_size:(1 lsl 21)
+    ~data:[ (nodes_base, Buffer.contents image) ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "181.mcf";
+    suite = "SPEC CINT2000";
+    description = "pointer-chasing node relaxation (low ILP, cache-bound)";
+    build;
+  }

@@ -1,0 +1,10 @@
+(** 181.mcf-like kernel (SPEC CINT2000): pointer chasing over a linked
+    node list with per-node updates.
+
+    The next-pointer chain serialises the loads, so ILP is minimal and
+    NOED barely scales with issue width — the paper's low-ILP benchmark
+    where the redundant stream's extra ILP makes SCED scale {e better}
+    than NOED (§IV-B2). The node array exceeds L1 so the chain also
+    exercises the cache hierarchy. *)
+
+val workload : Workload.t

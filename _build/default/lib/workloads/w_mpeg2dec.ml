@@ -1,0 +1,145 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let qtab_base = 0x400
+let tmp_base = 0x800
+let coef_base = 0x1000
+
+let dims = function
+  | Workload.Fault -> (16, 16)
+  | Workload.Perf -> (64, 48)
+
+(* Binary-only library routine: copy one 8-byte row. Left unprotected by
+   the detection pass (protect = false), like the system libraries in the
+   paper's fault-injection study. *)
+let lib_copy_row () =
+  let dst = Casted_ir.Reg.gp 0 and src = Casted_ir.Reg.gp 1 in
+  let b =
+    B.create ~name:"lib_copy_row" ~params:[ dst; src ]
+      ~ret_cls:(Some Casted_ir.Reg.Gp) ~protect:false ()
+  in
+  let v = B.ld b Opcode.W8 src 0L in
+  B.st b Opcode.W8 ~value:v ~base:dst 0L;
+  B.ret b ~value:v ();
+  B.finish b
+
+let build size =
+  let width, height = dims size in
+  let bw = width / 8 and bh = height / 8 in
+  let n_blocks = bw * bh in
+  let ref_base = coef_base + (n_blocks * 128) + 0x40 in
+  let out_base = ref_base + (width * height) + 0x100 in
+  let out_len = (width * height) + 8 in
+  let chk_addr = out_base + (width * height) in
+  let b = B.create ~name:"main" () in
+  let coef = B.movi b (Int64.of_int coef_base) in
+  let qtab = B.movi b (Int64.of_int qtab_base) in
+  let refr = B.movi b (Int64.of_int ref_base) in
+  let out = B.movi b (Int64.of_int out_base) in
+  let tmp = B.movi b (Int64.of_int tmp_base) in
+  let zero = B.movi b 0L in
+  let c255 = B.movi b 255L in
+  let acc = B.movi b 0x4D50454FL in
+  let bi = B.movi b 0L in
+  B.counted_loop b ~name:"by" ~from:0L ~until:(Int64.of_int bh) (fun b by ->
+      B.counted_loop b ~name:"bx" ~from:0L ~until:(Int64.of_int bw)
+        (fun b bx ->
+          let px0 = B.muli b bx 8L in
+          let oy_row = B.muli b by (Int64.of_int (8 * width)) in
+          let o_block = B.add b oy_row px0 in
+          let o_at = B.add b out o_block in
+          let r_at = B.add b refr o_block in
+          (* Macroblocks alternate between a coded path (dequant + IDCT)
+             and a skipped path (library copy from the reference). *)
+          let parity = B.andi b bi 1L in
+          let skip = B.cmpi b Cond.Eq parity 1L in
+          B.if_ b ~name:"blk" skip
+            (fun b ->
+              B.counted_loop b ~name:"cp" ~from:0L ~until:8L (fun b r ->
+                  let roff = B.muli b r (Int64.of_int width) in
+                  let d = B.add b o_at roff in
+                  let s = B.add b r_at roff in
+                  let v = B.gp b in
+                  B.call b ~dst:v "lib_copy_row" [ d; s ];
+                  Kernels.mix b ~acc v))
+            (fun b ->
+              let cb_off = B.muli b bi 128L in
+              let cb = B.add b coef cb_off in
+              B.counted_loop b ~name:"row" ~from:0L ~until:8L (fun b r ->
+                  let r16 = B.muli b r 16L in
+                  let rb = B.add b cb r16 in
+                  let qb = B.add b qtab r16 in
+                  let x =
+                    Array.init 8 (fun c ->
+                        let v =
+                          B.lds b Opcode.W2 rb (Int64.of_int (2 * c))
+                        in
+                        let q =
+                          B.lds b Opcode.W2 qb (Int64.of_int (2 * c))
+                        in
+                        B.mul b v q)
+                  in
+                  let y = Kernels.idct_1d b x in
+                  let t_off = B.muli b r 32L in
+                  let t_base = B.add b tmp t_off in
+                  Array.iteri
+                    (fun j v ->
+                      B.st b Opcode.W4 ~value:v ~base:t_base
+                        (Int64.of_int (4 * j)))
+                    y);
+              B.counted_loop b ~name:"col" ~from:0L ~until:8L (fun b c ->
+                  let c4 = B.muli b c 4L in
+                  let t_base = B.add b tmp c4 in
+                  let x =
+                    Array.init 8 (fun r ->
+                        B.lds b Opcode.W4 t_base (Int64.of_int (32 * r)))
+                  in
+                  let y = Kernels.idct_1d b x in
+                  let o_col = B.add b o_at c in
+                  let folded = ref None in
+                  Array.iteri
+                    (fun r v ->
+                      let scaled = B.srai b v 10L in
+                      let px = Kernels.clamp b scaled ~lo:zero ~hi:c255 in
+                      B.st b Opcode.W1 ~value:px ~base:o_col
+                        (Int64.of_int (r * width));
+                      folded :=
+                        Some
+                          (match !folded with
+                          | None -> px
+                          | Some f -> B.xor b f px))
+                    y;
+                  match !folded with
+                  | Some f -> Kernels.mix b ~acc f
+                  | None -> ()));
+          let (_ : Reg.t) = B.addi b ~dst:bi bi 1L in
+          ()));
+  let chk = B.movi b (Int64.of_int chk_addr) in
+  B.st b Opcode.W8 ~value:acc ~base:chk 0L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  let rng = Gen.create ~seed:(0x4D50 + width) in
+  let coefs =
+    Gen.le16 (List.init (n_blocks * 64) (fun _ -> Gen.int rng 48 - 24))
+  in
+  let qvals = Gen.le16 (List.init 64 (fun _ -> 8 + Gen.int rng 24)) in
+  let ref_frame = Gen.bytes rng (width * height) in
+  Program.make
+    ~funcs:[ func; lib_copy_row () ]
+    ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:[ (qtab_base, qvals); (coef_base, coefs); (ref_base, ref_frame) ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "mpeg2dec";
+    suite = "MediaBench II";
+    description =
+      "dequant + IDCT + reconstruction; skipped blocks go through an \
+       unprotected library copy";
+    build;
+  }

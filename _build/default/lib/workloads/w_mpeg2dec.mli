@@ -1,0 +1,9 @@
+(** mpeg2dec-like kernel (MediaBench II): per-coefficient dequantisation,
+    inverse DCT and block reconstruction, with skipped macroblocks copied
+    through an {e unprotected} library routine.
+
+    The library call path reproduces the paper's observation that
+    binary-only library code stays outside the sphere of replication and
+    is the residual source of silent data corruption (§IV-C). *)
+
+val workload : Workload.t

@@ -1,0 +1,133 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let dict_base = 0x1000
+let hash_mult = 0x9E3779B1L
+let hash_shift = 16
+
+let sizes = function
+  | Workload.Fault -> (256, 400)
+  | Workload.Perf -> (2_048, 6_000)
+
+(* The hash must be computed identically here (to build the table) and in
+   the IR (to probe it). *)
+let hash_ocaml capacity key =
+  let h = Int64.mul (Int64.of_int key) hash_mult in
+  let h = Int64.to_int (Int64.shift_right_logical h hash_shift) in
+  h land (capacity - 1)
+
+(* Unprotected "library" comparison helper: returns 1 when both keys are
+   equal. Outside the sphere of replication, like libc in the paper. *)
+let lib_verify () =
+  let a = Casted_ir.Reg.gp 0 and k = Casted_ir.Reg.gp 1 in
+  let b =
+    B.create ~name:"lib_verify" ~params:[ a; k ]
+      ~ret_cls:(Some Casted_ir.Reg.Gp) ~protect:false ()
+  in
+  let x = B.xor b a k in
+  let p = B.cmpi b Cond.Eq x 0L in
+  let one = B.movi b 1L in
+  let zero = B.movi b 0L in
+  let r = B.sel b p one zero in
+  B.ret b ~value:r ();
+  B.finish b
+
+let build size =
+  let capacity, n_tokens = sizes size in
+  let tokens_base = dict_base + (capacity * 4) in
+  let out_base = tokens_base + (n_tokens * 4) + 0x100 in
+  let out_len = n_tokens + 16 in
+  let b = B.create ~name:"main" () in
+  let dict = B.movi b (Int64.of_int dict_base) in
+  let tokens = B.movi b (Int64.of_int tokens_base) in
+  let out = B.movi b (Int64.of_int out_base) in
+  let zero = B.movi b 0L in
+  let matches = B.movi b 0L in
+  let probes = B.movi b 0L in
+  let mask = Int64.of_int (capacity - 1) in
+  B.counted_loop b ~name:"tok" ~from:0L ~until:(Int64.of_int n_tokens)
+    (fun b i ->
+      let t_off = B.muli b i 4L in
+      let tok = B.ld b Opcode.W4 (B.add b tokens t_off) 0L in
+      let h0 = B.muli b tok hash_mult in
+      let h1 = B.shri b h0 (Int64.of_int hash_shift) in
+      let slot = B.andi b h1 mask in
+      let probe_head = B.fresh_label b "probe_head" in
+      let probe_miss = B.fresh_label b "probe_miss" in
+      let probe_next = B.fresh_label b "probe_next" in
+      let probe_hit = B.fresh_label b "probe_hit" in
+      let tok_done = B.fresh_label b "tok_done" in
+      let flag = B.movi b 0L in
+      B.br b probe_head;
+      B.block b probe_head;
+      let s4 = B.muli b slot 4L in
+      let key = B.ld b Opcode.W4 (B.add b dict s4) 0L in
+      let (_ : Reg.t) = B.addi b ~dst:probes probes 1L in
+      let hit = B.cmp b Cond.Eq key tok in
+      B.brc b hit ~if_:probe_hit ~else_:probe_next;
+      B.block b probe_next;
+      let empty = B.cmpi b Cond.Eq key 0L in
+      let bumped = B.addi b slot 1L in
+      let (_ : Reg.t) = B.andi b ~dst:slot bumped mask in
+      B.brc b empty ~if_:probe_miss ~else_:probe_head;
+      B.block b probe_hit;
+      (* Verify through the unprotected library helper. *)
+      let v = B.gp b in
+      B.call b ~dst:v "lib_verify" [ tok; key ];
+      let (_ : Reg.t) = B.add b ~dst:matches matches v in
+      let (_ : Reg.t) = B.mov b ~dst:flag v in
+      B.br b tok_done;
+      B.block b probe_miss;
+      B.br b tok_done;
+      B.block b tok_done;
+      let o_at = B.add b out i in
+      B.st b Opcode.W1 ~value:flag ~base:o_at 0L);
+  let tail = B.movi b (Int64.of_int (out_base + n_tokens)) in
+  B.st b Opcode.W8 ~value:matches ~base:tail 0L;
+  B.st b Opcode.W8 ~value:probes ~base:tail 8L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  (* Build the dictionary image with the same hash/probing as the IR. *)
+  let rng = Gen.create ~seed:(0x9A25 + capacity) in
+  let table = Array.make capacity 0 in
+  let inserted = ref [] in
+  let target_fill = capacity * 6 / 10 in
+  while List.length !inserted < target_fill do
+    let key = 1 + Gen.int rng 0x3FFFFFFE in
+    let rec place slot =
+      if table.(slot) = 0 then begin
+        table.(slot) <- key;
+        inserted := key :: !inserted
+      end
+      else if table.(slot) = key then ()
+      else place ((slot + 1) land (capacity - 1))
+    in
+    place (hash_ocaml capacity key)
+  done;
+  let present = Array.of_list !inserted in
+  let token_list =
+    List.init n_tokens (fun _ ->
+        if Gen.int rng 10 < 8 then present.(Gen.int rng (Array.length present))
+        else 1 + Gen.int rng 0x3FFFFFFE)
+  in
+  Program.make
+    ~funcs:[ func; lib_verify () ]
+    ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:
+      [
+        (dict_base, Gen.le32 (Array.to_list table));
+        (tokens_base, Gen.le32 token_list);
+      ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "197.parser";
+    suite = "SPEC CINT2000";
+    description = "hashed dictionary lookups with unprotected verify calls";
+    build;
+  }

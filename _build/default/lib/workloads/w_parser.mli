@@ -1,0 +1,9 @@
+(** 197.parser-like kernel (SPEC CINT2000): hashed dictionary lookup of
+    a token stream.
+
+    Small, serial, branch-dense probe loops plus a call per hit into an
+    {e unprotected} verification helper (the "system library" outside the
+    sphere of replication). Dominated by dependent loads and compares —
+    the classic check-heavy, low-ILP integer benchmark. *)
+
+val workload : Workload.t

@@ -1,0 +1,121 @@
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Program = Casted_ir.Program
+
+let cx_base = 0x1000
+
+let sizes = function
+  | Workload.Fault -> (64, 400)
+  | Workload.Perf -> (512, 6_000)
+
+let build size =
+  let n_cells, n_props = sizes size in
+  let cy_base = cx_base + (n_cells * 4) in
+  let partner_base = cy_base + (n_cells * 4) in
+  let props_base = partner_base + (n_cells * 8) in
+  let out_base = props_base + (n_props * 12) + 0x100 in
+  let out_len = 24 in
+  let b = B.create ~name:"main" () in
+  let cx = B.movi b (Int64.of_int cx_base) in
+  let cy = B.movi b (Int64.of_int cy_base) in
+  let partners = B.movi b (Int64.of_int partner_base) in
+  let props = B.movi b (Int64.of_int props_base) in
+  let zero = B.movi b 0L in
+  let cost = B.fmovi b 1000.0 in
+  let weight = B.fmovi b 0.5 in
+  let accepts = B.movi b 0L in
+  (* Half-perimeter cost of a cell at (x, y) against its two partners. *)
+  let hpwl b x y p1 p2 =
+    let coord arr p =
+      let off = B.muli b p 4L in
+      let at = B.add b arr off in
+      B.lds b Opcode.W4 at 0L
+    in
+    let p1x = coord cx p1 and p1y = coord cy p1 in
+    let p2x = coord cx p2 and p2y = coord cy p2 in
+    let d1 = B.add b (Kernels.abs_ b (B.sub b x p1x))
+        (Kernels.abs_ b (B.sub b y p1y)) in
+    let d2 = B.add b (Kernels.abs_ b (B.sub b x p2x))
+        (Kernels.abs_ b (B.sub b y p2y)) in
+    B.add b d1 d2
+  in
+  B.counted_loop b ~name:"prop" ~from:0L ~until:(Int64.of_int n_props)
+    (fun b i ->
+      let p_off = B.muli b i 12L in
+      let p_at = B.add b props p_off in
+      let cell = B.lds b Opcode.W4 p_at 0L in
+      let nx = B.lds b Opcode.W4 p_at 4L in
+      let ny = B.lds b Opcode.W4 p_at 8L in
+      let c4 = B.muli b cell 4L in
+      let x_at = B.add b cx c4 in
+      let y_at = B.add b cy c4 in
+      let ox = B.lds b Opcode.W4 x_at 0L in
+      let oy = B.lds b Opcode.W4 y_at 0L in
+      let pa_off = B.muli b cell 8L in
+      let pa_at = B.add b partners pa_off in
+      let p1 = B.lds b Opcode.W4 pa_at 0L in
+      let p2 = B.lds b Opcode.W4 pa_at 4L in
+      let old_cost = hpwl b ox oy p1 p2 in
+      let new_cost = hpwl b nx ny p1 p2 in
+      let delta = B.sub b new_cost old_cost in
+      let improves = B.cmpi b Cond.Lt delta 0L in
+      B.if_ b ~name:"accept" improves
+        (fun b ->
+          B.st b Opcode.W4 ~value:nx ~base:x_at 0L;
+          B.st b Opcode.W4 ~value:ny ~base:y_at 0L;
+          let df = B.itof b delta in
+          let dw = B.fmul b df weight in
+          let (_ : Reg.t) = B.fadd b ~dst:cost cost dw in
+          let (_ : Reg.t) = B.addi b ~dst:accepts accepts 1L in
+          ())
+        (fun _ -> ()));
+  (* Fold the final placement into a checksum. *)
+  let acc = B.movi b 0x0F1CEDL in
+  B.counted_loop b ~name:"sum" ~from:0L ~until:(Int64.of_int n_cells)
+    (fun b i ->
+      let off = B.muli b i 4L in
+      let x = B.lds b Opcode.W4 (B.add b cx off) 0L in
+      let y = B.lds b Opcode.W4 (B.add b cy off) 0L in
+      Kernels.mix b ~acc x;
+      Kernels.mix b ~acc y);
+  let out = B.movi b (Int64.of_int out_base) in
+  B.fst_ b ~value:cost ~base:out 0L;
+  B.st b Opcode.W8 ~value:accepts ~base:out 8L;
+  B.st b Opcode.W8 ~value:acc ~base:out 16L;
+  B.halt b ~code:zero ();
+  let func = B.finish b in
+  let rng = Gen.create ~seed:(0x4B9 + n_cells) in
+  let grid = 64 in
+  let coords n = Gen.le32 (List.init n (fun _ -> Gen.int rng grid)) in
+  let partners_data =
+    Gen.le32
+      (List.concat
+         (List.init n_cells (fun _ ->
+              [ Gen.int rng n_cells; Gen.int rng n_cells ])))
+  in
+  let props_data =
+    Gen.le32
+      (List.concat
+         (List.init n_props (fun _ ->
+              [ Gen.int rng n_cells; Gen.int rng grid; Gen.int rng grid ])))
+  in
+  Program.make ~funcs:[ func ] ~entry:"main"
+    ~mem_size:(1 lsl 20)
+    ~data:
+      [
+        (cx_base, coords n_cells);
+        (cy_base, coords n_cells);
+        (partner_base, partners_data);
+        (props_base, props_data);
+      ]
+    ~output_base:out_base ~output_len:out_len ()
+
+let workload =
+  {
+    Workload.name = "175.vpr";
+    suite = "SPEC CINT2000";
+    description = "placement-cost evaluation with accept/reject moves";
+    build;
+  }

@@ -1,0 +1,8 @@
+(** 175.vpr-like kernel (SPEC CINT2000): placement cost evaluation.
+
+    A stream of proposed cell moves is evaluated against a
+    half-perimeter wirelength model; improving moves are accepted
+    (stores + branch), and the cost delta is accumulated in floating
+    point. Mixed int/float, small branchy loop bodies. *)
+
+val workload : Workload.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Casted_detect Casted_ir Casted_machine Casted_sim QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array B Casted_detect Casted_ir Casted_report Casted_sim Casted_workloads Helpers List Option Options Outcome Pipeline Printf Scheme Simulator String

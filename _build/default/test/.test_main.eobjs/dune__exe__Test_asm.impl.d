@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest B Casted_detect Casted_ir Casted_sched Casted_sim Casted_workloads Config Helpers List Option Options Outcome Printf String

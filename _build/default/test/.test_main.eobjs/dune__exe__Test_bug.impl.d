@@ -1,0 +1,1 @@
+test/test_bug.ml: Alcotest Array B Casted_detect Casted_sched Config Func Helpers Insn Int Latency List Opcode Options Program

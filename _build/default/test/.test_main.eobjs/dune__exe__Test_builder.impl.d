@@ -1,0 +1,1 @@
+test/test_builder.ml: Alcotest B Cond Func Helpers Insn Int List Opcode Program Reg String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Casted_cache Config Helpers List QCheck2

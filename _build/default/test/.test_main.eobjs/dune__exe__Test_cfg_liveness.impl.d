@@ -1,0 +1,1 @@
+test/test_cfg_liveness.ml: Alcotest Array B Block Casted_ir Cond Helpers List Opcode Reg String

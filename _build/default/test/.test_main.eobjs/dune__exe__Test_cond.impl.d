@@ -1,0 +1,1 @@
+test/test_cond.ml: Alcotest Cond Float Helpers Int64 List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Array B Casted_detect Casted_sched Casted_workloads Func Helpers Insn Latency List Opcode Options Program Reg

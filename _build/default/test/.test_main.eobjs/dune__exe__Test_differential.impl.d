@@ -1,0 +1,1 @@
+test/test_differential.ml: Array B Casted_detect Casted_ir Casted_opt Casted_sched Cond Config Helpers Int64 List Opcode Options Outcome Pipeline Program QCheck2 Scheme Simulator String

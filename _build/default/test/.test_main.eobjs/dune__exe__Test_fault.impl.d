@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest B Casted_cache Casted_sim Float Helpers Int64 List Opcode Outcome Pipeline QCheck2 Reg Scheme Simulator String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Casted_detect Casted_sim Casted_workloads Config Float Func Helpers List Option Outcome Pipeline Program Scheme

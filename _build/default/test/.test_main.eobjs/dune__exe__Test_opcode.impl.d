@@ -1,0 +1,1 @@
+test/test_opcode.ml: Alcotest Cond Helpers List Opcode String

@@ -1,0 +1,1 @@
+test/test_recover.ml: Alcotest B Casted_detect Casted_ir Casted_sched Casted_sim Casted_workloads Config Hashtbl Helpers List Opcode Option Options Outcome Pipeline Printf Reg Scheme Simulator String

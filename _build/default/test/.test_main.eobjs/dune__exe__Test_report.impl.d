@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Casted_report Casted_sim Casted_workloads Config Helpers Lazy List Scheme String

@@ -1,0 +1,1 @@
+test/test_reservation.ml: Alcotest Casted_machine Helpers List QCheck2

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Array B Block Casted_detect Casted_sched Casted_workloads Config Func Hashtbl Helpers Insn Latency List Opcode Options Program QCheck2

@@ -1,0 +1,1 @@
+test/test_selective.ml: Alcotest B Casted_detect Casted_ir Casted_sched Casted_sim Casted_workloads Config Func Hashtbl Helpers Insn List Opcode Option Options Outcome Printf Program Scheme Simulator

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest B Casted_ir Casted_sim Casted_workloads Cond Helpers Int64 List Opcode Option Outcome Pipeline Program QCheck2 Reg Scheme Simulator

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array B Block Casted_detect Casted_ir Casted_workloads Format Func Helpers Insn Int64 List Opcode Option Options Outcome Program Reg Scheme

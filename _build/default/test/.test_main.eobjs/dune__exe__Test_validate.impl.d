@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Block Casted_ir Casted_workloads Func Helpers Insn List Opcode Program Reg String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Casted_workloads Format Fun Func Helpers Int List Option Outcome Program String

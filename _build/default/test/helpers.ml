@@ -1,0 +1,82 @@
+(* Shared test utilities. *)
+
+module B = Casted_ir.Builder
+module Reg = Casted_ir.Reg
+module Cond = Casted_ir.Cond
+module Opcode = Casted_ir.Opcode
+module Insn = Casted_ir.Insn
+module Block = Casted_ir.Block
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+module Config = Casted_machine.Config
+module Latency = Casted_machine.Latency
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Options = Casted_detect.Options
+module Simulator = Casted_sim.Simulator
+module Outcome = Casted_sim.Outcome
+
+(* Wrap a single-block body into a runnable program. The body receives
+   the builder; the program halts with exit code 0. Memory is 64 KiB. *)
+let program_of ?(data = []) ?(output_base = 0x40) ?(output_len = 8) body =
+  let b = B.create ~name:"main" () in
+  body b;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let p =
+    Program.make ~funcs:[ B.finish b ] ~entry:"main" ~mem_size:(1 lsl 16)
+      ~data ~output_base ~output_len ()
+  in
+  Casted_ir.Validate.check_exn p;
+  p
+
+(* Run a program unhardened on a simple 1-cluster machine and return the
+   result. *)
+let run_noed ?(issue_width = 2) program =
+  let c =
+    Pipeline.compile ~scheme:Scheme.Noed ~issue_width ~delay:1 program
+  in
+  Simulator.run c.Pipeline.schedule
+
+let run_scheme ?(issue_width = 2) ?(delay = 2) scheme program =
+  let c = Pipeline.compile ~scheme ~issue_width ~delay program in
+  Simulator.run c.Pipeline.schedule
+
+(* Read the first 8 output bytes as an int64. *)
+let out64 (r : Outcome.run) =
+  if String.length r.Outcome.output < 8 then
+    Alcotest.fail "output region too small";
+  String.get_int64_le r.Outcome.output 0
+
+(* A program that stores the result of [body] (a Gp register) to the
+   output region and halts. *)
+let compute_program body =
+  program_of (fun b ->
+      let v = body b in
+      let out = B.movi b 0x40L in
+      B.st b Opcode.W8 ~value:v ~base:out 0L)
+
+(* Assert that a computation yields the given int64. *)
+let check_compute name expected body =
+  let r = run_noed (compute_program body) in
+  (match r.Outcome.termination with
+  | Outcome.Exit 0 -> ()
+  | t ->
+      Alcotest.failf "%s: did not exit cleanly: %a" name
+        Outcome.pp_termination t);
+  Alcotest.(check int64) name expected (out64 r)
+
+(* Expect the program to trap. *)
+let check_traps name body =
+  let r = run_noed (compute_program body) in
+  match r.Outcome.termination with
+  | Outcome.Trapped _ -> ()
+  | t ->
+      Alcotest.failf "%s: expected a trap, got %a" name Outcome.pp_termination
+        t
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f

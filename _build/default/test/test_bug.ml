@@ -1,0 +1,140 @@
+open Helpers
+module Dfg = Casted_sched.Dfg
+module Assign = Casted_sched.Assign
+module Bug = Casted_sched.Bug
+module List_scheduler = Casted_sched.List_scheduler
+module Schedule = Casted_sched.Schedule
+
+let latency i = Latency.of_op Latency.default i.Insn.op
+
+let dfg_of body =
+  let p = program_of body in
+  let blk = List.hd (Program.entry_func p).Func.blocks in
+  Dfg.build ~latency blk
+
+let test_assignment_in_range () =
+  let dfg =
+    dfg_of (fun b ->
+        let x = B.movi b 1L in
+        let y = B.addi b x 1L in
+        ignore (B.add b x y))
+  in
+  List.iter
+    (fun clusters ->
+      let config = Config.make ~clusters ~issue_width:1 ~delay:1 () in
+      let a = Bug.assign Bug.default_options config dfg in
+      Array.iter
+        (fun c ->
+          Alcotest.(check bool) "in range" true (c >= 0 && c < clusters))
+        a)
+    [ 1; 2; 3 ]
+
+let test_single_cluster_trivial () =
+  let dfg = dfg_of (fun b -> ignore (B.movi b 1L)) in
+  let a =
+    Bug.assign Bug.default_options (Config.single_core ~issue_width:2) dfg
+  in
+  Array.iter (fun c -> Alcotest.(check int) "cluster 0" 0 c) a
+
+let test_spreads_independent_work () =
+  (* Two long independent chains on 1-wide clusters: BUG must use both
+     clusters, otherwise one chain would wait on issue slots. *)
+  let dfg =
+    dfg_of (fun b ->
+        let x = ref (B.movi b 1L) in
+        let y = ref (B.movi b 2L) in
+        for _ = 1 to 6 do
+          x := B.addi b !x 1L;
+          y := B.addi b !y 1L
+        done)
+  in
+  let config = Config.dual_core ~issue_width:1 ~delay:1 in
+  let a = Bug.assign Bug.default_options config dfg in
+  let used = Array.to_list a |> List.sort_uniq Int.compare in
+  Alcotest.(check (list int)) "both clusters used" [ 0; 1 ] used
+
+let test_dependent_chain_stays_together () =
+  (* A single serial chain with a large delay: splitting it across
+     clusters would cost the delay per hop, so BUG must keep it on one
+     cluster. *)
+  let dfg =
+    dfg_of (fun b ->
+        let x = ref (B.movi b 1L) in
+        for _ = 1 to 10 do
+          x := B.addi b !x 1L
+        done)
+  in
+  let config = Config.dual_core ~issue_width:2 ~delay:4 in
+  let a = Bug.assign Bug.default_options config dfg in
+  (* All the chain instructions (everything except possibly the
+     terminator) on one cluster. *)
+  let n = Dfg.num_nodes dfg in
+  let chain = Array.sub a 0 (n - 1) in
+  let distinct = Array.to_list chain |> List.sort_uniq Int.compare in
+  Alcotest.(check int) "chain on one cluster" 1 (List.length distinct)
+
+let schedule_length strategy config dfg =
+  let a = Assign.compute strategy config dfg in
+  let bs = List_scheduler.schedule_block config dfg ~assignment:a ~label:"x" in
+  Schedule.block_length bs
+
+(* The paper's motivating claim: the adaptive placement is at least as
+   good as the better of the two fixed ones, on both example regimes. *)
+let hardened_example_dfg () =
+  let p =
+    program_of (fun b ->
+        let base = B.movi b 0x100L in
+        let a = B.ld b Opcode.W8 base 0L in
+        let x = B.addi b a 17L in
+        let y = B.xori b x 90L in
+        let z = B.muli b y 3L in
+        B.st b Opcode.W8 ~value:z ~base 8L;
+        let w = B.ld b Opcode.W8 base 16L in
+        let v = B.add b w z in
+        B.st b Opcode.W8 ~value:v ~base 24L)
+  in
+  let hardened, _ = Casted_detect.Transform.program Options.default p in
+  let blk = List.hd (Program.entry_func hardened).Func.blocks in
+  Dfg.build ~latency blk
+
+let test_adaptive_at_least_matches_fixed () =
+  let dfg = hardened_example_dfg () in
+  List.iter
+    (fun (issue_width, delay) ->
+      let dual = Config.dual_core ~issue_width ~delay in
+      let single = Config.single_core ~issue_width in
+      let sced = schedule_length Assign.Single_cluster single dfg in
+      let dced = schedule_length Assign.Dual_fixed dual dfg in
+      let casted =
+        schedule_length (Assign.Adaptive Bug.default_options) dual dfg
+      in
+      (* Greedy heuristics admit small misses; allow 10% slack, as the
+         paper's own Fig. 6/7 data does in a few points. *)
+      let best = min sced dced in
+      if float_of_int casted > 1.1 *. float_of_int best then
+        Alcotest.failf "issue %d delay %d: CASTED %d vs best fixed %d"
+          issue_width delay casted best)
+    [ (1, 1); (1, 4); (2, 1); (2, 4); (4, 2) ]
+
+let test_tie_break_modes_both_work () =
+  let dfg = hardened_example_dfg () in
+  let config = Config.dual_core ~issue_width:2 ~delay:2 in
+  List.iter
+    (fun tie_break ->
+      let a = Bug.assign { Bug.tie_break } config dfg in
+      Alcotest.(check int) "covers all nodes" (Dfg.num_nodes dfg)
+        (Array.length a))
+    [ Bug.Prefer_lower; Bug.Prefer_critical_pred ]
+
+let suite =
+  ( "bug",
+    [
+      case "assignment in range" test_assignment_in_range;
+      case "single cluster trivial" test_single_cluster_trivial;
+      case "spreads independent chains" test_spreads_independent_work;
+      case "keeps a serial chain together under delay"
+        test_dependent_chain_stays_together;
+      case "adaptive >= best fixed (paper SS II-B)"
+        test_adaptive_at_least_matches_fixed;
+      case "tie-break modes" test_tie_break_modes_both_work;
+    ] )

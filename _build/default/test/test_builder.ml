@@ -1,0 +1,143 @@
+open Helpers
+
+let test_fresh_registers_distinct () =
+  let b = B.create ~name:"f" () in
+  let r1 = B.gp b and r2 = B.gp b and f1 = B.fp b in
+  Alcotest.(check bool) "gp fresh" false (Reg.equal r1 r2);
+  Alcotest.(check bool) "classes distinct" false (Reg.equal r1 f1);
+  B.halt b ();
+  let func = B.finish b in
+  Alcotest.(check int) "gp count" 2 (Func.reg_count func Reg.Gp);
+  Alcotest.(check int) "fp count" 1 (Func.reg_count func Reg.Fp)
+
+let test_unterminated_block_rejected () =
+  let b = B.create ~name:"f" () in
+  let (_ : Reg.t) = B.movi b 1L in
+  (match B.finish b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "finish should reject an open block")
+
+let test_emit_after_terminator_rejected () =
+  let b = B.create ~name:"f" () in
+  B.halt b ();
+  match B.movi b 1L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "emit outside a block should fail"
+
+let test_dst_class_checked () =
+  let b = B.create ~name:"f" () in
+  let f = B.fp b in
+  (match B.movi b ~dst:f 1L with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "movi into an fp register should fail");
+  B.halt b ();
+  ignore (B.finish b)
+
+let test_counted_loop_shape () =
+  let p =
+    program_of (fun b ->
+        let acc = B.movi b 0L in
+        B.counted_loop b ~from:0L ~until:10L (fun b _i ->
+            let (_ : Reg.t) = B.addi b ~dst:acc acc 1L in
+            ());
+        let out = B.movi b 0x40L in
+        B.st b Opcode.W8 ~value:acc ~base:out 0L)
+  in
+  let func = Program.entry_func p in
+  (* entry, head, body, exit = 4 blocks. *)
+  Alcotest.(check int) "block count" 4 (List.length func.Func.blocks);
+  let r = run_noed p in
+  Alcotest.(check int64) "loop executes 10 times" 10L (out64 r)
+
+let test_counted_loop_zero_iterations () =
+  let p =
+    program_of (fun b ->
+        let acc = B.movi b 99L in
+        B.counted_loop b ~from:5L ~until:5L (fun b _ ->
+            let (_ : Reg.t) = B.movi b ~dst:acc 0L in
+            ());
+        let out = B.movi b 0x40L in
+        B.st b Opcode.W8 ~value:acc ~base:out 0L)
+  in
+  Alcotest.(check int64) "body never runs" 99L (out64 (run_noed p))
+
+let test_counted_loop_step () =
+  let p =
+    program_of (fun b ->
+        let acc = B.movi b 0L in
+        B.counted_loop b ~from:0L ~until:10L ~step:3L (fun b iv ->
+            let (_ : Reg.t) = B.add b ~dst:acc acc iv in
+            ());
+        let out = B.movi b 0x40L in
+        B.st b Opcode.W8 ~value:acc ~base:out 0L)
+  in
+  (* 0 + 3 + 6 + 9 = 18 *)
+  Alcotest.(check int64) "step 3" 18L (out64 (run_noed p))
+
+let test_if_join () =
+  let branch taken =
+    let p =
+      program_of (fun b ->
+          let x = B.movi b (if taken then 1L else 5L) in
+          let pconf = B.cmpi b Cond.Eq x 1L in
+          let res = B.movi b 0L in
+          B.if_ b pconf
+            (fun b -> ignore (B.movi b ~dst:res 111L))
+            (fun b -> ignore (B.movi b ~dst:res 222L));
+          (* Code after the join always runs. *)
+          let (_ : Reg.t) = B.addi b ~dst:res res 1L in
+          let out = B.movi b 0x40L in
+          B.st b Opcode.W8 ~value:res ~base:out 0L)
+    in
+    out64 (run_noed p)
+  in
+  Alcotest.(check int64) "then arm" 112L (branch true);
+  Alcotest.(check int64) "else arm" 223L (branch false)
+
+let test_nested_loops () =
+  let p =
+    program_of (fun b ->
+        let acc = B.movi b 0L in
+        B.counted_loop b ~name:"outer" ~from:0L ~until:5L (fun b _ ->
+            B.counted_loop b ~name:"inner" ~from:0L ~until:7L (fun b _ ->
+                let (_ : Reg.t) = B.addi b ~dst:acc acc 1L in
+                ()));
+        let out = B.movi b 0x40L in
+        B.st b Opcode.W8 ~value:acc ~base:out 0L)
+  in
+  Alcotest.(check int64) "5*7 iterations" 35L (out64 (run_noed p))
+
+let test_labels_unique () =
+  let b = B.create ~name:"f" () in
+  let l1 = B.fresh_label b "x" in
+  let l2 = B.fresh_label b "x" in
+  Alcotest.(check bool) "fresh labels differ" false (String.equal l1 l2);
+  B.halt b ();
+  ignore (B.finish b)
+
+let test_insn_ids_unique () =
+  let p =
+    program_of (fun b ->
+        B.counted_loop b ~from:0L ~until:3L (fun b _ ->
+            ignore (B.movi b 7L)))
+  in
+  let func = Program.entry_func p in
+  let ids = List.map (fun i -> i.Insn.id) (Func.all_insns func) in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq Int.compare ids))
+
+let suite =
+  ( "builder",
+    [
+      case "fresh registers distinct" test_fresh_registers_distinct;
+      case "unterminated block rejected" test_unterminated_block_rejected;
+      case "emit after terminator rejected" test_emit_after_terminator_rejected;
+      case "destination class checked" test_dst_class_checked;
+      case "counted loop" test_counted_loop_shape;
+      case "counted loop, zero iterations" test_counted_loop_zero_iterations;
+      case "counted loop, custom step" test_counted_loop_step;
+      case "if/else joins" test_if_join;
+      case "nested loops" test_nested_loops;
+      case "fresh labels unique" test_labels_unique;
+      case "instruction ids unique" test_insn_ids_unique;
+    ] )

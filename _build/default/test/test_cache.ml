@@ -1,0 +1,131 @@
+open Helpers
+module Level = Casted_cache.Level
+module Hierarchy = Casted_cache.Hierarchy
+
+let test_cold_miss_then_hit () =
+  let c = Level.create ~size_bytes:1024 ~block_bytes:64 ~assoc:2 in
+  (match Level.access c ~addr:0 ~write:false with
+  | Level.Miss _ -> ()
+  | Level.Hit -> Alcotest.fail "cold access must miss");
+  (match Level.access c ~addr:32 ~write:false with
+  | Level.Hit -> ()
+  | Level.Miss _ -> Alcotest.fail "same block must hit");
+  Alcotest.(check int) "hits" 1 (Level.hits c);
+  Alcotest.(check int) "misses" 1 (Level.misses c)
+
+let test_lru_eviction () =
+  (* 2-way set: fill both ways, touch the first, insert a third; the
+     second (least recently used) must be evicted. *)
+  let c = Level.create ~size_bytes:128 ~block_bytes:64 ~assoc:2 in
+  (* One set only: 128 / (64*2) = 1. *)
+  Alcotest.(check int) "one set" 1 (Level.num_sets c);
+  let a = 0 and b = 64 and d = 128 in
+  ignore (Level.access c ~addr:a ~write:false);
+  ignore (Level.access c ~addr:b ~write:false);
+  ignore (Level.access c ~addr:a ~write:false);
+  (* refresh a *)
+  ignore (Level.access c ~addr:d ~write:false);
+  (* evicts b *)
+  Alcotest.(check bool) "a still present" true (Level.probe c ~addr:a);
+  Alcotest.(check bool) "b evicted" false (Level.probe c ~addr:b);
+  Alcotest.(check bool) "d present" true (Level.probe c ~addr:d)
+
+let test_dirty_writeback () =
+  let c = Level.create ~size_bytes:128 ~block_bytes:64 ~assoc:1 in
+  ignore (Level.access c ~addr:0 ~write:true);
+  (* dirty *)
+  (match Level.access c ~addr:128 ~write:false with
+  | Level.Miss { evicted_dirty = true } -> ()
+  | _ -> Alcotest.fail "evicting a dirty block must report it");
+  Alcotest.(check int) "writeback counted" 1 (Level.writebacks c);
+  (* Clean eviction reports false. *)
+  match Level.access c ~addr:256 ~write:false with
+  | Level.Miss { evicted_dirty = false } -> ()
+  | _ -> Alcotest.fail "clean eviction"
+
+let test_bad_geometry_rejected () =
+  (match Level.create ~size_bytes:100 ~block_bytes:64 ~assoc:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-divisible size");
+  match Level.create ~size_bytes:120 ~block_bytes:60 ~assoc:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-power-of-2 block"
+
+(* Reference model: a per-set list, most recent first. *)
+let reference_model ~sets ~assoc accesses =
+  let table = Array.make sets [] in
+  List.map
+    (fun (set, tag) ->
+      let line = table.(set) in
+      let hit = List.mem tag line in
+      let line' = tag :: List.filter (fun t -> t <> tag) line in
+      table.(set) <- (if List.length line' > assoc then
+                        List.filteri (fun i _ -> i < assoc) line'
+                      else line');
+      hit)
+    accesses
+
+let prop_matches_reference =
+  let gen =
+    QCheck2.Gen.(list_size (int_bound 300) (pair (int_bound 3) (int_bound 7)))
+  in
+  qcheck ~count:100 "level matches a reference LRU model" gen
+    (fun accesses ->
+      let sets = 4 and assoc = 2 and block = 64 in
+      let c =
+        Level.create ~size_bytes:(sets * assoc * block) ~block_bytes:block
+          ~assoc
+      in
+      let got =
+        List.map
+          (fun (set, tag) ->
+            let addr = ((tag * sets) + set) * block in
+            match Level.access c ~addr ~write:false with
+            | Level.Hit -> true
+            | Level.Miss _ -> false)
+          accesses
+      in
+      got = reference_model ~sets ~assoc accesses)
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.create Config.itanium2_cache in
+  (* Cold: full miss -> memory latency. *)
+  Alcotest.(check int) "cold miss" 150
+    (Hierarchy.access h ~addr:0 ~write:false);
+  (* Immediately after: L1 hit. *)
+  Alcotest.(check int) "l1 hit" 1 (Hierarchy.access h ~addr:0 ~write:false);
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "l1 hits" 1 s.Hierarchy.l1_hits;
+  Alcotest.(check int) "l1 misses" 1 s.Hierarchy.l1_misses;
+  Alcotest.(check int) "l3 misses" 1 s.Hierarchy.l3_misses
+
+let test_hierarchy_l2_hit () =
+  let h = Hierarchy.create Config.itanium2_cache in
+  (* Load enough distinct L1 sets to evict address 0 from L1 but not
+     from L2 (L1 = 16K/64B/4-way = 64 sets). Touch 5 conflicting blocks
+     in set 0: stride = 64 sets * 64 B = 4096. *)
+  ignore (Hierarchy.access h ~addr:0 ~write:false);
+  for i = 1 to 5 do
+    ignore (Hierarchy.access h ~addr:(i * 4096) ~write:false)
+  done;
+  let lat = Hierarchy.access h ~addr:0 ~write:false in
+  Alcotest.(check int) "served by L2" 5 lat
+
+let test_perfect_hierarchy () =
+  let h = Hierarchy.perfect Config.itanium2_cache in
+  Alcotest.(check int) "always l1" 1 (Hierarchy.access h ~addr:0 ~write:false);
+  Alcotest.(check int) "always l1 (2)" 1
+    (Hierarchy.access h ~addr:999936 ~write:false)
+
+let suite =
+  ( "cache",
+    [
+      case "cold miss then hit" test_cold_miss_then_hit;
+      case "LRU eviction order" test_lru_eviction;
+      case "dirty writeback" test_dirty_writeback;
+      case "bad geometry rejected" test_bad_geometry_rejected;
+      prop_matches_reference;
+      case "hierarchy latencies (Table I)" test_hierarchy_latencies;
+      case "L2 hit after L1 eviction" test_hierarchy_l2_hit;
+      case "perfect cache ablation" test_perfect_hierarchy;
+    ] )

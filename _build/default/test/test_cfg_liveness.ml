@@ -1,0 +1,141 @@
+open Helpers
+module Cfg = Casted_ir.Cfg
+module Liveness = Casted_ir.Liveness
+
+(* A diamond:   entry -> (left | right) -> join. *)
+let diamond () =
+  let b = B.create ~name:"main" () in
+  let x = B.movi b 10L in
+  let y = B.movi b 20L in
+  let p = B.cmpi b Cond.Lt x 15L in
+  let res = B.movi b 0L in
+  B.brc b p ~if_:"left" ~else_:"right";
+  B.block b "left";
+  let (_ : Reg.t) = B.mov b ~dst:res x in
+  B.br b "join";
+  B.block b "right";
+  let (_ : Reg.t) = B.mov b ~dst:res y in
+  B.br b "join";
+  B.block b "join";
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:res ~base:out 0L;
+  B.halt b ();
+  let f = B.finish b in
+  (f, x, y, res)
+
+let test_successors_predecessors () =
+  let f, _, _, _ = diamond () in
+  let cfg = Cfg.of_func f in
+  Alcotest.(check int) "blocks" 4 (Cfg.num_blocks cfg);
+  let entry = Cfg.block_index cfg "entry" in
+  let left = Cfg.block_index cfg "left" in
+  let right = Cfg.block_index cfg "right" in
+  let join = Cfg.block_index cfg "join" in
+  Alcotest.(check (list int)) "entry succs" [ left; right ]
+    cfg.Cfg.succs.(entry);
+  Alcotest.(check (list int)) "left succs" [ join ] cfg.Cfg.succs.(left);
+  Alcotest.(check int) "join preds" 2 (List.length cfg.Cfg.preds.(join));
+  Alcotest.(check (list int)) "join succs" [] cfg.Cfg.succs.(join)
+
+let test_reachability () =
+  let b = B.create ~name:"main" () in
+  B.halt b ();
+  B.block b "orphan";
+  B.br b "orphan";
+  let f = B.finish b in
+  let cfg = Cfg.of_func f in
+  let reach = Cfg.reachable cfg in
+  Alcotest.(check bool) "entry reachable" true reach.(0);
+  Alcotest.(check bool) "orphan unreachable" false
+    reach.(Cfg.block_index cfg "orphan")
+
+let test_reverse_postorder () =
+  let f, _, _, _ = diamond () in
+  let cfg = Cfg.of_func f in
+  let rpo = Cfg.reverse_postorder cfg in
+  let pos = Array.make (Cfg.num_blocks cfg) (-1) in
+  Array.iteri (fun i bidx -> pos.(bidx) <- i) rpo;
+  let entry = Cfg.block_index cfg "entry" in
+  let join = Cfg.block_index cfg "join" in
+  Alcotest.(check int) "entry first" 0 pos.(entry);
+  (* Join comes after both arms. *)
+  Alcotest.(check bool) "join after left" true
+    (pos.(join) > pos.(Cfg.block_index cfg "left"));
+  Alcotest.(check bool) "join after right" true
+    (pos.(join) > pos.(Cfg.block_index cfg "right"))
+
+let test_liveness_diamond () =
+  let f, x, y, res = diamond () in
+  let cfg = Cfg.of_func f in
+  let live = Liveness.compute cfg in
+  let left = Cfg.block_index cfg "left" in
+  let right = Cfg.block_index cfg "right" in
+  let join = Cfg.block_index cfg "join" in
+  (* x is live into the left arm, y into the right one. *)
+  Alcotest.(check bool) "x live into left" true
+    (Reg.Set.mem x live.Liveness.live_in.(left));
+  Alcotest.(check bool) "y live into right" true
+    (Reg.Set.mem y live.Liveness.live_in.(right));
+  Alcotest.(check bool) "y dead into left" false
+    (Reg.Set.mem y live.Liveness.live_in.(left));
+  (* res is live into the join (it is stored there). *)
+  Alcotest.(check bool) "res live into join" true
+    (Reg.Set.mem res live.Liveness.live_in.(join));
+  Alcotest.(check bool) "nothing live out of join" true
+    (Reg.Set.is_empty live.Liveness.live_out.(join))
+
+let test_liveness_loop () =
+  (* A loop-carried accumulator must be live around the back edge. *)
+  let b = B.create ~name:"main" () in
+  let acc = B.movi b 0L in
+  B.counted_loop b ~from:0L ~until:4L (fun b _ ->
+      ignore (B.addi b ~dst:acc acc 1L));
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:acc ~base:out 0L;
+  B.halt b ();
+  let f = B.finish b in
+  let cfg = Cfg.of_func f in
+  let live = Liveness.compute cfg in
+  (* Find the loop body block. *)
+  let body_idx = ref (-1) in
+  Array.iteri
+    (fun i blk ->
+      if
+        String.length blk.Block.label >= 9
+        && String.sub blk.Block.label 0 9 = "loop_body"
+      then body_idx := i)
+    cfg.Cfg.blocks;
+  Alcotest.(check bool) "found body" true (!body_idx >= 0);
+  Alcotest.(check bool) "acc live into body" true
+    (Reg.Set.mem acc live.Liveness.live_in.(!body_idx));
+  Alcotest.(check bool) "acc live out of body" true
+    (Reg.Set.mem acc live.Liveness.live_out.(!body_idx))
+
+let test_live_before_walk () =
+  let b = B.create ~name:"main" () in
+  let x = B.movi b 1L in
+  let y = B.addi b x 2L in
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:y ~base:out 0L;
+  B.halt b ();
+  let f = B.finish b in
+  let cfg = Cfg.of_func f in
+  let live = Liveness.compute cfg in
+  let per_insn = Liveness.live_before live 0 in
+  (* Before the first instruction nothing is live. *)
+  Alcotest.(check bool) "start empty" true
+    (Reg.Set.is_empty (List.hd per_insn));
+  (* Before the addi, x is live. *)
+  Alcotest.(check bool) "x live before use" true
+    (Reg.Set.mem x (List.nth per_insn 1))
+
+let suite =
+  ( "cfg-liveness",
+    [
+      case "successors/predecessors" test_successors_predecessors;
+      case "reachability" test_reachability;
+      case "reverse postorder" test_reverse_postorder;
+      case "liveness on a diamond" test_liveness_diamond;
+      case "liveness around a loop" test_liveness_loop;
+      case "per-instruction walk" test_live_before_walk;
+    ] )

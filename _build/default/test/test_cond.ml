@@ -1,0 +1,59 @@
+open Helpers
+
+let pairs_gen =
+  QCheck2.Gen.(pair (map Int64.of_int int) (map Int64.of_int int))
+
+let cond_gen = QCheck2.Gen.oneofl Cond.all
+
+let prop_negate =
+  qcheck "negate flips the integer result"
+    QCheck2.Gen.(pair cond_gen pairs_gen)
+    (fun (c, (a, b)) ->
+      Cond.eval_int (Cond.negate c) a b = not (Cond.eval_int c a b))
+
+let prop_swap =
+  qcheck "swap mirrors the operands"
+    QCheck2.Gen.(pair cond_gen pairs_gen)
+    (fun (c, (a, b)) -> Cond.eval_int (Cond.swap c) a b = Cond.eval_int c b a)
+
+let prop_trichotomy =
+  qcheck "exactly one of lt/eq/gt holds" pairs_gen (fun (a, b) ->
+      let count =
+        List.length
+          (List.filter
+             (fun c -> Cond.eval_int c a b)
+             [ Cond.Lt; Cond.Eq; Cond.Gt ])
+      in
+      count = 1)
+
+let test_int_semantics () =
+  Alcotest.(check bool) "1 < 2" true (Cond.eval_int Cond.Lt 1L 2L);
+  Alcotest.(check bool) "signed: -1 < 0" true (Cond.eval_int Cond.Lt (-1L) 0L);
+  Alcotest.(check bool)
+    "min_int < max_int" true
+    (Cond.eval_int Cond.Lt Int64.min_int Int64.max_int);
+  Alcotest.(check bool) "le reflexive" true (Cond.eval_int Cond.Le 5L 5L);
+  Alcotest.(check bool) "ne" true (Cond.eval_int Cond.Ne 0L 1L)
+
+let test_float_nan () =
+  (* IEEE semantics: all comparisons with NaN are false except Ne. *)
+  Alcotest.(check bool) "nan eq" false (Cond.eval_float Cond.Eq Float.nan 1.0);
+  Alcotest.(check bool) "nan lt" false (Cond.eval_float Cond.Lt Float.nan 1.0);
+  Alcotest.(check bool) "nan ge" false (Cond.eval_float Cond.Ge Float.nan 1.0);
+  Alcotest.(check bool) "nan ne" true (Cond.eval_float Cond.Ne Float.nan 1.0)
+
+let test_to_string_unique () =
+  let names = List.map Cond.to_string Cond.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let suite =
+  ( "cond",
+    [
+      case "integer semantics" test_int_semantics;
+      case "float NaN semantics" test_float_nan;
+      case "names unique" test_to_string_unique;
+      prop_negate;
+      prop_swap;
+      prop_trichotomy;
+    ] )

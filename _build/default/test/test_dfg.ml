@@ -1,0 +1,164 @@
+open Helpers
+module Dfg = Casted_sched.Dfg
+
+let latency i = Latency.of_op Latency.default i.Insn.op
+
+let block_of body =
+  let p = program_of body in
+  List.hd (Program.entry_func p).Func.blocks
+
+let edge_exists dfg ~src ~dst kind =
+  List.exists
+    (fun (e : Dfg.edge) -> e.Dfg.src = src && e.Dfg.kind = kind)
+    dfg.Dfg.preds.(dst)
+
+(* Index of an instruction within the DFG by a predicate. *)
+let find_idx dfg pred =
+  let n = Dfg.num_nodes dfg in
+  let rec go i =
+    if i >= n then Alcotest.fail "instruction not found in DFG"
+    else if pred dfg.Dfg.insns.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let test_raw_edge () =
+  let block =
+    block_of (fun b ->
+        let x = B.movi b 1L in
+        let _y = B.addi b x 2L in
+        ())
+  in
+  let dfg = Dfg.build ~latency block in
+  (* movi(0) -> addi(1) carries a Data edge with movi's latency. *)
+  Alcotest.(check bool) "raw edge" true (edge_exists dfg ~src:0 ~dst:1 Dfg.Data)
+
+let test_war_waw_edges () =
+  let block =
+    block_of (fun b ->
+        let x = B.movi b 1L in
+        let _use = B.addi b x 1L in
+        (* overwrite x: WAR from the addi, WAW from the movi *)
+        let (_ : Reg.t) = B.movi b ~dst:x 2L in
+        ())
+  in
+  let dfg = Dfg.build ~latency block in
+  Alcotest.(check bool) "war" true (edge_exists dfg ~src:1 ~dst:2 Dfg.Anti);
+  Alcotest.(check bool) "waw" true (edge_exists dfg ~src:0 ~dst:2 Dfg.Output)
+
+let test_memory_ordering () =
+  let block =
+    block_of (fun b ->
+        let base = B.movi b 0x100L in
+        let v = B.movi b 7L in
+        let _l1 = B.ld b Opcode.W8 base 0L in
+        B.st b Opcode.W8 ~value:v ~base 8L;
+        let _l2 = B.ld b Opcode.W8 base 16L in
+        B.st b Opcode.W8 ~value:v ~base 24L;
+        ())
+  in
+  let dfg = Dfg.build ~latency block in
+  (* Indices: 0 movi, 1 movi, 2 ld, 3 st, 4 ld, 5 st. *)
+  Alcotest.(check bool) "load -> store" true
+    (edge_exists dfg ~src:2 ~dst:3 Dfg.Mem);
+  Alcotest.(check bool) "store -> load" true
+    (edge_exists dfg ~src:3 ~dst:4 Dfg.Mem);
+  Alcotest.(check bool) "store -> store" true
+    (edge_exists dfg ~src:3 ~dst:5 Dfg.Mem);
+  (* Two loads with no intervening store are unordered. *)
+  Alcotest.(check bool) "load || load" false
+    (edge_exists dfg ~src:2 ~dst:4 Dfg.Mem)
+
+let test_terminator_is_universal_sink () =
+  let block =
+    block_of (fun b ->
+        ignore (B.movi b 1L);
+        ignore (B.movi b 2L))
+  in
+  let dfg = Dfg.build ~latency block in
+  let n = Dfg.num_nodes dfg in
+  for i = 0 to n - 2 do
+    Alcotest.(check bool) "ctrl edge to terminator" true
+      (edge_exists dfg ~src:i ~dst:(n - 1) Dfg.Ctrl)
+  done
+
+let test_check_edge () =
+  (* Build a hardened block and verify each Chk has an edge to the
+     instruction it protects. *)
+  let p =
+    program_of (fun b ->
+        let v = B.movi b 5L in
+        let base = B.movi b 0x100L in
+        B.st b Opcode.W8 ~value:v ~base 0L)
+  in
+  let hardened, _ = Casted_detect.Transform.program Options.default p in
+  let block = List.hd (Program.entry_func hardened).Func.blocks in
+  let dfg = Dfg.build ~latency block in
+  let chk_idx =
+    find_idx dfg (fun i -> Opcode.is_check i.Insn.op)
+  in
+  let protected_id = dfg.Dfg.insns.(chk_idx).Insn.protects in
+  let prot_idx = find_idx dfg (fun i -> i.Insn.id = protected_id) in
+  Alcotest.(check bool) "check edge present" true
+    (edge_exists dfg ~src:chk_idx ~dst:prot_idx Dfg.Check)
+
+let test_heights_monotone () =
+  let block =
+    block_of (fun b ->
+        let x = B.movi b 1L in
+        let y = B.addi b x 1L in
+        let _z = B.addi b y 1L in
+        ())
+  in
+  let dfg = Dfg.build ~latency block in
+  let h = Dfg.heights dfg in
+  (* Heights strictly decrease along the chain. *)
+  Alcotest.(check bool) "h0 > h1" true (h.(0) > h.(1));
+  Alcotest.(check bool) "h1 > h2" true (h.(1) > h.(2));
+  Alcotest.(check bool) "critical path is max" true
+    (Dfg.critical_path dfg = Array.fold_left max 0 h)
+
+let test_edges_point_forward () =
+  (* Edges may only go from earlier to later program positions, which is
+     what makes the one-pass height computation valid. *)
+  List.iter
+    (fun w ->
+      let p = w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault in
+      let hardened, _ = Casted_detect.Transform.program Options.default p in
+      List.iter
+        (fun f ->
+          List.iter
+            (fun blk ->
+              let dfg = Dfg.build ~latency blk in
+              Array.iteri
+                (fun i succs ->
+                  List.iter
+                    (fun (e : Dfg.edge) ->
+                      if e.Dfg.dst <= i then
+                        Alcotest.failf "%s: backward edge %d -> %d"
+                          w.Casted_workloads.Workload.name i e.Dfg.dst)
+                    succs)
+                dfg.Dfg.succs)
+            f.Func.blocks)
+        hardened.Program.funcs)
+    Casted_workloads.Registry.all
+
+let test_delay_kinds () =
+  Alcotest.(check bool) "data pays" true (Dfg.kind_pays_delay Dfg.Data);
+  Alcotest.(check bool) "check pays" true (Dfg.kind_pays_delay Dfg.Check);
+  Alcotest.(check bool) "anti free" false (Dfg.kind_pays_delay Dfg.Anti);
+  Alcotest.(check bool) "mem free" false (Dfg.kind_pays_delay Dfg.Mem);
+  Alcotest.(check bool) "ctrl free" false (Dfg.kind_pays_delay Dfg.Ctrl)
+
+let suite =
+  ( "dfg",
+    [
+      case "RAW edge" test_raw_edge;
+      case "WAR and WAW edges" test_war_waw_edges;
+      case "memory ordering" test_memory_ordering;
+      case "terminator is the universal sink" test_terminator_is_universal_sink;
+      case "check edges (Algorithm 1 output)" test_check_edge;
+      case "critical-path heights" test_heights_monotone;
+      case "edges point forward in all workloads" test_edges_point_forward;
+      case "which kinds pay the inter-cluster delay" test_delay_kinds;
+    ] )

@@ -1,0 +1,167 @@
+open Helpers
+module Fault = Casted_sim.Fault
+module Rng = Casted_sim.Rng
+module Montecarlo = Casted_sim.Montecarlo
+
+let prop_flip_int_involution =
+  qcheck "flipping a bit twice restores the value"
+    QCheck2.Gen.(pair (map Int64.of_int int) (int_bound 63))
+    (fun (v, bit) -> Fault.flip_int ~bit (Fault.flip_int ~bit v) = v)
+
+let prop_flip_int_changes =
+  qcheck "flipping a bit changes the value"
+    QCheck2.Gen.(pair (map Int64.of_int int) (int_bound 63))
+    (fun (v, bit) -> Fault.flip_int ~bit v <> v)
+
+let prop_flip_float_changes_bits =
+  qcheck "float flips change the representation"
+    QCheck2.Gen.(pair (map Int64.float_of_bits (map Int64.of_int int)) (int_bound 63))
+    (fun (v, bit) ->
+      Int64.bits_of_float (Fault.flip_float ~bit v) <> Int64.bits_of_float v
+      (* NaN payloads can collapse; tolerate that one case. *)
+      || Float.is_nan v)
+
+let test_random_fault_in_population () =
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 1000 do
+    let f = Fault.random rng ~population:37 in
+    Alcotest.(check bool) "in range" true
+      (f.Fault.target_def >= 0 && f.Fault.target_def < 37);
+    Alcotest.(check bool) "bit in range" true
+      (f.Fault.bit >= 0 && f.Fault.bit < 64)
+  done
+
+let test_rng_deterministic () =
+  let draw seed =
+    let rng = Rng.create ~seed in
+    List.init 20 (fun _ -> Rng.int rng 1000)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 7) (draw 7);
+  Alcotest.(check bool) "different seeds differ" true (draw 7 <> draw 8)
+
+(* A protected straight-line program where every fault that matters hits
+   a checked path: no silent corruption possible. *)
+let protected_program () =
+  program_of (fun b ->
+      let base = B.movi b 0x100L in
+      let acc = B.movi b 1L in
+      B.counted_loop b ~from:0L ~until:20L (fun b i ->
+          let x = B.mul b acc acc in
+          let y = B.add b x i in
+          let (_ : Reg.t) = B.andi b ~dst:acc y 0xFFFFL in
+          ());
+      B.st b Opcode.W8 ~value:acc ~base 0L;
+      let out = B.movi b 0x40L in
+      let v = B.ld b Opcode.W8 base 0L in
+      B.st b Opcode.W8 ~value:v ~base:out 0L)
+
+let test_injection_changes_something () =
+  let p = protected_program () in
+  let c = Pipeline.compile ~scheme:Scheme.Noed ~issue_width:2 ~delay:1 p in
+  let golden = Simulator.run c.Pipeline.schedule in
+  (* Inject into every def of a NOED run: outcomes must be benign or
+     corrupt or exception, never detected (no checks exist). *)
+  let distinct = ref 0 in
+  for def = 0 to golden.Outcome.dyn_defs - 1 do
+    let fault = { Fault.target_def = def; def_slot = 0; bit = 1 } in
+    let r =
+      Simulator.run ~fault ~fuel:(20 * golden.Outcome.dyn_insns)
+        c.Pipeline.schedule
+    in
+    (match r.Outcome.termination with
+    | Outcome.Detected _ -> Alcotest.fail "NOED cannot detect"
+    | _ -> ());
+    if not (String.equal r.Outcome.output golden.Outcome.output) then
+      incr distinct
+  done;
+  Alcotest.(check bool) "some faults corrupt the output" true (!distinct > 0)
+
+let test_hardened_run_has_no_sdc () =
+  (* Exhaustively inject bit 3 into every defining instruction of the
+     fully protected program under CASTED: no run may silently corrupt
+     the output. *)
+  let p = protected_program () in
+  let c = Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 p in
+  let golden = Simulator.run c.Pipeline.schedule in
+  for def = 0 to golden.Outcome.dyn_defs - 1 do
+    List.iter
+      (fun bit ->
+        let fault = { Fault.target_def = def; def_slot = 0; bit } in
+        let r =
+          Simulator.run ~fault ~fuel:(20 * golden.Outcome.dyn_insns)
+            c.Pipeline.schedule
+        in
+        match Montecarlo.classify ~golden r with
+        | Montecarlo.Data_corrupt ->
+            Alcotest.failf "silent corruption at def %d bit %d" def bit
+        | Montecarlo.Benign | Montecarlo.Detected | Montecarlo.Exception
+        | Montecarlo.Timeout ->
+            ())
+      [ 0; 31; 63 ]
+  done
+
+let test_fault_determinism () =
+  let p = protected_program () in
+  let c = Pipeline.compile ~scheme:Scheme.Sced ~issue_width:2 ~delay:1 p in
+  let fault = { Fault.target_def = 17; def_slot = 0; bit = 9 } in
+  let r1 = Simulator.run ~fault c.Pipeline.schedule in
+  let r2 = Simulator.run ~fault c.Pipeline.schedule in
+  Alcotest.(check bool) "same termination" true
+    (r1.Outcome.termination = r2.Outcome.termination);
+  Alcotest.(check string) "same output" r1.Outcome.output r2.Outcome.output
+
+let test_classification_rules () =
+  let golden =
+    {
+      Outcome.termination = Outcome.Exit 0;
+      cycles = 10;
+      dyn_insns = 10;
+      dyn_defs = 5;
+      dyn_by_role = [| 10; 0; 0; 0 |];
+      output = "abcd";
+      exit_code = 0;
+      cache =
+        {
+          Casted_cache.Hierarchy.l1_hits = 0;
+          l1_misses = 0;
+          l2_hits = 0;
+          l2_misses = 0;
+          l3_hits = 0;
+          l3_misses = 0;
+          writebacks = 0;
+        };
+    }
+  in
+  let with_term ?(output = "abcd") ?(exit_code = 0) termination =
+    { golden with Outcome.termination; output; exit_code }
+  in
+  let check name expected run =
+    Alcotest.(check string) name
+      (Montecarlo.class_name expected)
+      (Montecarlo.class_name (Montecarlo.classify ~golden run))
+  in
+  check "same output is benign" Montecarlo.Benign (with_term (Outcome.Exit 0));
+  check "different output is corrupt" Montecarlo.Data_corrupt
+    (with_term ~output:"abXd" (Outcome.Exit 0));
+  check "different exit code is corrupt" Montecarlo.Data_corrupt
+    (with_term ~exit_code:3 (Outcome.Exit 3));
+  check "detected" Montecarlo.Detected (with_term (Outcome.Detected 5));
+  check "trap is exception" Montecarlo.Exception
+    (with_term (Outcome.Trapped Casted_sim.Trap.Div_by_zero));
+  check "timeout" Montecarlo.Timeout (with_term Outcome.Timeout)
+
+let suite =
+  ( "fault",
+    [
+      prop_flip_int_involution;
+      prop_flip_int_changes;
+      prop_flip_float_changes_bits;
+      case "random faults stay in the population"
+        test_random_fault_in_population;
+      case "rng is deterministic" test_rng_deterministic;
+      case "NOED faults corrupt, never detect" test_injection_changes_something;
+      case "hardened program has no silent corruption"
+        test_hardened_run_has_no_sdc;
+      case "fault runs are deterministic" test_fault_determinism;
+      case "classification rules" test_classification_rules;
+    ] )

@@ -1,0 +1,168 @@
+open Helpers
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Transform = Casted_detect.Transform
+module Montecarlo = Casted_sim.Montecarlo
+
+(* End-to-end reproductions of the paper's qualitative claims, on
+   fault-sized inputs so the suite stays fast. *)
+
+let cycles w scheme ~issue ~delay =
+  (run_scheme ~issue_width:issue ~delay scheme (w.W.build W.Fault))
+    .Outcome.cycles
+
+let test_scheme_machines () =
+  Alcotest.(check int) "NOED single cluster" 1
+    (Scheme.machine Scheme.Noed ~issue_width:2 ~delay:1)
+      .Config.clusters;
+  Alcotest.(check int) "SCED single cluster" 1
+    (Scheme.machine Scheme.Sced ~issue_width:2 ~delay:1)
+      .Config.clusters;
+  Alcotest.(check int) "DCED dual cluster" 2
+    (Scheme.machine Scheme.Dced ~issue_width:2 ~delay:1)
+      .Config.clusters;
+  Alcotest.(check int) "CASTED dual cluster" 2
+    (Scheme.machine Scheme.Casted ~issue_width:2 ~delay:1)
+      .Config.clusters
+
+let test_scheme_names_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Scheme.name s) true
+        (Scheme.of_string (Scheme.name s) = Some s))
+    Scheme.all;
+  Alcotest.(check bool) "case-insensitive" true
+    (Scheme.of_string "casted" = Some Scheme.Casted);
+  Alcotest.(check bool) "unknown" true (Scheme.of_string "swift" = None)
+
+(* SS IV-B1: SCED's slowdown improves (or at least does not degrade) as
+   the issue width grows, on the media benchmarks. *)
+let test_sced_improves_with_issue_width () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let slowdown issue =
+        float_of_int (cycles w Scheme.Sced ~issue ~delay:1)
+        /. float_of_int (cycles w Scheme.Noed ~issue ~delay:1)
+      in
+      let s1 = slowdown 1 and s4 = slowdown 4 in
+      if s4 > s1 +. 0.05 then
+        Alcotest.failf "%s: SCED slowdown grew %.2f -> %.2f" name s1 s4)
+    [ "cjpeg"; "h263dec"; "mpeg2dec" ]
+
+(* SS IV-B3: DCED degrades as the inter-core delay grows. *)
+let test_dced_degrades_with_delay () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let c1 = cycles w Scheme.Dced ~issue:2 ~delay:1 in
+      let c4 = cycles w Scheme.Dced ~issue:2 ~delay:4 in
+      Alcotest.(check bool) (name ^ " delay hurts DCED") true (c4 > c1))
+    [ "cjpeg"; "h263dec"; "181.mcf"; "197.parser" ]
+
+(* SS IV-B6: CASTED at least roughly matches the best fixed scheme at
+   every configuration point. The paper's own data has small exceptions;
+   we allow 12% slack. *)
+let test_casted_tracks_best_fixed () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      List.iter
+        (fun (issue, delay) ->
+          let sced = cycles w Scheme.Sced ~issue ~delay in
+          let dced = cycles w Scheme.Dced ~issue ~delay in
+          let casted = cycles w Scheme.Casted ~issue ~delay in
+          let best = min sced dced in
+          if float_of_int casted > 1.12 *. float_of_int best then
+            Alcotest.failf "%s issue %d delay %d: CASTED %d vs best %d" name
+              issue delay casted best)
+        [ (1, 1); (2, 2); (2, 4); (4, 1) ])
+    [ "cjpeg"; "h263enc"; "181.mcf" ]
+
+(* SS IV-C: fault coverage. Hardened schemes detect; silent corruption
+   only survives through unprotected library code. *)
+let test_coverage_claims () =
+  let campaign name scheme =
+    let w = Option.get (Registry.find name) in
+    let p = w.W.build W.Fault in
+    let c = Pipeline.compile ~scheme ~issue_width:2 ~delay:2 p in
+    Montecarlo.run ~trials:120 c.Pipeline.schedule
+  in
+  (* NOED never detects. *)
+  let noed = campaign "cjpeg" Scheme.Noed in
+  Alcotest.(check int) "NOED detects nothing" 0 noed.Montecarlo.detected;
+  Alcotest.(check bool) "NOED corrupts" true (noed.Montecarlo.corrupt > 0);
+  (* CASTED on a fully protected benchmark: no silent corruption and a
+     large detected fraction. *)
+  let casted = campaign "cjpeg" Scheme.Casted in
+  Alcotest.(check int) "CASTED never silently corrupts cjpeg" 0
+    casted.Montecarlo.corrupt;
+  Alcotest.(check bool) "CASTED detects the majority" true
+    (Montecarlo.percent casted Montecarlo.Detected > 50.0);
+  (* parser's unprotected dictionary helper leaks a little corruption,
+     the paper's explanation for the residue in Fig. 9. *)
+  let parser = campaign "197.parser" Scheme.Casted in
+  Alcotest.(check bool) "library code leaks SDC" true
+    (parser.Montecarlo.corrupt > 0)
+
+(* Fig. 10's point: fault coverage is configuration-independent. *)
+let test_coverage_stable_across_configs () =
+  let w = Option.get (Registry.find "cjpeg") in
+  let p = w.W.build W.Fault in
+  let detected issue delay =
+    let c = Pipeline.compile ~scheme:Scheme.Casted ~issue_width:issue ~delay p in
+    let r = Montecarlo.run ~trials:120 c.Pipeline.schedule in
+    Montecarlo.percent r Montecarlo.Detected
+  in
+  let a = detected 1 1 and b = detected 4 4 in
+  (* Same seed, same faults relative to the (identical) instruction
+     stream; coverage differences are statistical only. *)
+  Alcotest.(check bool) "within 10 points" true (Float.abs (a -. b) < 10.0)
+
+(* The paper's 2.4x code-size observation, measured dynamically. *)
+let test_dynamic_expansion () =
+  let w = Option.get (Registry.find "h263dec") in
+  let p = w.W.build W.Fault in
+  let noed = run_scheme Scheme.Noed p in
+  let sced = run_scheme Scheme.Sced p in
+  let ratio =
+    float_of_int sced.Outcome.dyn_insns /. float_of_int noed.Outcome.dyn_insns
+  in
+  Alcotest.(check bool) "dynamic expansion around 2x" true
+    (ratio > 1.6 && ratio < 3.2)
+
+let test_pipeline_stats_consistent () =
+  let w = Option.get (Registry.find "mpeg2dec") in
+  let p = w.W.build W.Fault in
+  let c = Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 p in
+  let s = c.Pipeline.stats in
+  Alcotest.(check bool) "replicas > 0" true (s.Transform.replicas > 0);
+  Alcotest.(check bool) "checks > 0" true (s.Transform.checks > 0);
+  (* The hardened program contains exactly the instrumented count. *)
+  let total = Program.num_insns c.Pipeline.program in
+  let lib =
+    List.fold_left
+      (fun acc f -> if f.Func.protect then acc else acc + Func.num_insns f)
+      0 c.Pipeline.program.Program.funcs
+  in
+  Alcotest.(check int) "instruction accounting"
+    (s.Transform.originals + s.Transform.replicas + s.Transform.checks
+   + s.Transform.shadow_copies)
+    (total - lib)
+
+let suite =
+  ( "integration",
+    [
+      case "scheme machines" test_scheme_machines;
+      case "scheme names roundtrip" test_scheme_names_roundtrip;
+      case "SCED improves with issue width (SS IV-B1)"
+        test_sced_improves_with_issue_width;
+      case "DCED degrades with delay (SS IV-B3)" test_dced_degrades_with_delay;
+      case "CASTED tracks the best fixed scheme (SS IV-B6)"
+        test_casted_tracks_best_fixed;
+      case "fault-coverage claims (SS IV-C)" test_coverage_claims;
+      case "coverage stable across configurations (Fig. 10)"
+        test_coverage_stable_across_configs;
+      case "dynamic code expansion ~2x" test_dynamic_expansion;
+      case "pipeline statistics consistent" test_pipeline_stats_consistent;
+    ] )

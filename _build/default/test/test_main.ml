@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "casted"
+    [
+      Test_reg.suite;
+      Test_cond.suite;
+      Test_opcode.suite;
+      Test_builder.suite;
+      Test_validate.suite;
+      Test_cfg_liveness.suite;
+      Test_cache.suite;
+      Test_reservation.suite;
+      Test_dfg.suite;
+      Test_scheduler.suite;
+      Test_bug.suite;
+      Test_transform.suite;
+      Test_sim.suite;
+      Test_fault.suite;
+      Test_workloads.suite;
+      Test_report.suite;
+      Test_integration.suite;
+      Test_opt.suite;
+      Test_recover.suite;
+      Test_analysis.suite;
+      Test_differential.suite;
+      Test_asm.suite;
+      Test_selective.suite;
+    ]

@@ -1,0 +1,319 @@
+open Helpers
+module Pass = Casted_opt.Pass
+module Transform = Casted_detect.Transform
+module Montecarlo = Casted_sim.Montecarlo
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+let run_program p =
+  let r = run_noed p in
+  (match r.Outcome.termination with
+  | Outcome.Exit 0 -> ()
+  | t -> Alcotest.failf "did not exit: %a" Outcome.pp_termination t);
+  r
+
+(* --- semantics preservation: the master property --- *)
+
+let test_passes_preserve_semantics () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let plain = run_program p in
+      let optimised, _ = Pass.run_program Pass.standard p in
+      Casted_ir.Validate.check_exn optimised;
+      let r = run_program optimised in
+      Alcotest.(check string) (w.W.name ^ " output preserved")
+        plain.Outcome.output r.Outcome.output)
+    Registry.all
+
+let test_fixpoint_preserves_semantics () =
+  let w = Option.get (Registry.find "h263dec") in
+  let p = w.W.build W.Fault in
+  let plain = run_program p in
+  let optimised, rounds = Pass.run_to_fixpoint Pass.standard p in
+  Alcotest.(check bool) "terminates" true (rounds < 10);
+  Alcotest.(check string) "output preserved" plain.Outcome.output
+    (run_program optimised).Outcome.output
+
+let test_optimised_not_slower () =
+  (* The scalar passes should reduce (or at least not grow) the dynamic
+     instruction count of the kernels. *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let p = w.W.build W.Fault in
+      let before = (run_program p).Outcome.dyn_insns in
+      let optimised, _ = Pass.run_program Pass.standard p in
+      let after = (run_program optimised).Outcome.dyn_insns in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d -> %d" name before after)
+        true (after <= before))
+    [ "cjpeg"; "181.mcf"; "197.parser" ]
+
+(* --- individual passes --- *)
+
+let count_op p op =
+  List.fold_left
+    (fun acc f ->
+      List.fold_left
+        (fun acc i ->
+          if Opcode.equal i.Insn.op op then acc + 1 else acc)
+        acc (Func.all_insns f))
+    0 p.Program.funcs
+
+let test_constfold_folds () =
+  let p =
+    compute_program (fun b ->
+        let x = B.movi b 6L in
+        let y = B.movi b 7L in
+        B.mul b x y)
+  in
+  let optimised, counts = Pass.run_program [ Pass.constfold ] p in
+  Alcotest.(check bool) "changes reported" true
+    (List.assoc "constfold" counts > 0);
+  Alcotest.(check int) "mul folded away" 0 (count_op optimised Opcode.Mul);
+  Alcotest.(check int64) "value preserved" 42L (out64 (run_program optimised))
+
+let test_constfold_strength_reduction () =
+  let p =
+    compute_program (fun b ->
+        let x = B.ld b Opcode.W8 (B.movi b 0x100L) 0L in
+        B.muli b x 8L)
+  in
+  let optimised, _ = Pass.run_program [ Pass.constfold ] p in
+  Alcotest.(check int) "muli becomes shli" 0 (count_op optimised Opcode.Muli);
+  Alcotest.(check bool) "shli present" true
+    (count_op optimised Opcode.Shli > 0)
+
+let test_constfold_keeps_div () =
+  (* Division may trap; never folded. *)
+  let p =
+    compute_program (fun b -> B.div b (B.movi b 10L) (B.movi b 0L))
+  in
+  let optimised, _ = Pass.run_program [ Pass.constfold ] p in
+  Alcotest.(check int) "div kept" 1 (count_op optimised Opcode.Div)
+
+let test_copyprop_forwards () =
+  let p =
+    compute_program (fun b ->
+        let x = B.movi b 11L in
+        let y = B.mov b x in
+        B.addi b y 1L)
+  in
+  let optimised, counts = Pass.run_program [ Pass.copyprop; Pass.dce ] p in
+  Alcotest.(check bool) "propagated" true (List.assoc "copyprop" counts > 0);
+  (* After propagation the mov is dead and DCE removes it. *)
+  Alcotest.(check int) "mov removed" 0 (count_op optimised Opcode.Mov);
+  Alcotest.(check int64) "value" 12L (out64 (run_program optimised))
+
+let test_copyprop_respects_redefinition () =
+  let p =
+    compute_program (fun b ->
+        let x = B.movi b 1L in
+        let y = B.mov b x in
+        (* Redefine the source: the copy must no longer forward. *)
+        let (_ : Reg.t) = B.movi b ~dst:x 100L in
+        B.add b y x)
+  in
+  let optimised, _ = Pass.run_program [ Pass.copyprop ] p in
+  Alcotest.(check int64) "1 + 100" 101L (out64 (run_program optimised))
+
+let test_cse_merges () =
+  let p =
+    compute_program (fun b ->
+        let base = B.movi b 0x100L in
+        let x = B.ld b Opcode.W8 base 0L in
+        let a = B.mul b x x in
+        let c = B.mul b x x in
+        B.add b a c)
+  in
+  let optimised, counts = Pass.run_program [ Pass.cse ] p in
+  Alcotest.(check bool) "merged" true (List.assoc "cse" counts > 0);
+  Alcotest.(check int) "one mul left" 1 (count_op optimised Opcode.Mul);
+  Alcotest.(check int64) "semantics" 0L (out64 (run_program optimised))
+
+let test_cse_loads_blocked_by_store () =
+  let p =
+    compute_program (fun b ->
+        let base = B.movi b 0x100L in
+        let x = B.ld b Opcode.W8 base 0L in
+        let v = B.movi b 9L in
+        B.st b Opcode.W8 ~value:v ~base 0L;
+        let y = B.ld b Opcode.W8 base 0L in
+        B.add b x y)
+  in
+  let optimised, _ = Pass.run_program [ Pass.cse ] p in
+  (* The second load must survive: memory changed in between. *)
+  Alcotest.(check int) "both loads kept" 2
+    (count_op optimised (Opcode.Ld Opcode.W8));
+  Alcotest.(check int64) "0 + 9" 9L (out64 (run_program optimised))
+
+let test_cse_self_update_not_poisoned () =
+  (* addi r r 1 must not register itself as an available expression for
+     its own result. *)
+  let p =
+    compute_program (fun b ->
+        let r = B.movi b 5L in
+        let (_ : Reg.t) = B.addi b ~dst:r r 1L in
+        let q = B.addi b r 1L in
+        q)
+  in
+  let optimised, _ = Pass.run_program [ Pass.cse ] p in
+  Alcotest.(check int64) "(5+1)+1" 7L (out64 (run_program optimised))
+
+let test_dce_removes_dead () =
+  let p =
+    compute_program (fun b ->
+        let x = B.movi b 1L in
+        let _dead = B.mul b x x in
+        let _dead2 = B.fmovi b 3.0 in
+        B.addi b x 9L)
+  in
+  let optimised, counts = Pass.run_program [ Pass.dce ] p in
+  Alcotest.(check bool) "removed" true (List.assoc "dce" counts >= 2);
+  Alcotest.(check int) "mul gone" 0 (count_op optimised Opcode.Mul);
+  Alcotest.(check int64) "semantics" 10L (out64 (run_program optimised))
+
+let test_dce_keeps_stores_and_loop_carried () =
+  let p =
+    program_of (fun b ->
+        let acc = B.movi b 0L in
+        B.counted_loop b ~from:0L ~until:5L (fun b _ ->
+            ignore (B.addi b ~dst:acc acc 2L));
+        let out = B.movi b 0x40L in
+        B.st b Opcode.W8 ~value:acc ~base:out 0L)
+  in
+  let optimised, _ = Pass.run_program [ Pass.dce ] p in
+  Alcotest.(check int64) "loop result survives" 10L
+    (out64 (run_program optimised))
+
+let test_simplify_cfg_removes_empty_blocks () =
+  let b = B.create ~name:"main" () in
+  B.br b "hop1";
+  B.block b "hop1";
+  B.br b "hop2";
+  B.block b "hop2";
+  B.br b "real";
+  B.block b "dead";
+  B.br b "dead";
+  B.block b "real";
+  let out = B.movi b 0x40L in
+  let v = B.movi b 5L in
+  B.st b Opcode.W8 ~value:v ~base:out 0L;
+  B.halt b ();
+  let p =
+    Program.make ~funcs:[ B.finish b ] ~entry:"main" ~mem_size:(1 lsl 16)
+      ~output_base:0x40 ~output_len:8 ()
+  in
+  let optimised, _ = Pass.run_program [ Pass.simplify_cfg ] p in
+  let f = Program.entry_func optimised in
+  Alcotest.(check bool) "blocks collapsed" true
+    (List.length f.Func.blocks <= 2);
+  Alcotest.(check int64) "semantics" 5L (out64 (run_program optimised))
+
+(* --- the paper's SS IV-A interaction --- *)
+
+(* A fully protected kernel, hardened. Straight-line (the loop is
+   unrolled at build time) so that the block-local role-blind passes can
+   actually collapse the redundancy, as GCC's global passes would. *)
+let hardened_kernel () =
+  let p =
+    program_of (fun b ->
+        let base = B.movi b 0x100L in
+        let acc = ref (B.movi b 3L) in
+        for i = 0 to 15 do
+          let x = B.mul b !acc !acc in
+          let y = B.addi b x (Int64.of_int i) in
+          acc := B.andi b y 0xFFFL;
+          B.st b Opcode.W8 ~value:!acc ~base 0L
+        done;
+        let out = B.movi b 0x40L in
+        let v = B.ld b Opcode.W8 base 0L in
+        B.st b Opcode.W8 ~value:v ~base:out 0L)
+  in
+  fst (Transform.program Options.default p)
+
+let coverage p =
+  let config = Config.dual_core ~issue_width:2 ~delay:2 in
+  let schedule =
+    Casted_sched.List_scheduler.schedule_program config
+      Casted_sched.Assign.Single_cluster p
+  in
+  ignore config;
+  Montecarlo.run ~trials:150 schedule
+
+let test_preserving_passes_keep_detection () =
+  let hardened = hardened_kernel () in
+  let optimised, _ =
+    Pass.run_program ~preserve_detection:true Pass.standard hardened
+  in
+  Casted_ir.Validate.check_exn optimised;
+  let r = coverage optimised in
+  Alcotest.(check bool) "still detects" true
+    (Montecarlo.percent r Montecarlo.Detected > 40.0);
+  Alcotest.(check int) "no silent corruption" 0 r.Montecarlo.corrupt
+
+let test_unsafe_passes_destroy_detection () =
+  (* The paper's reason for disabling late CSE/DCE: without role
+     awareness the redundant stream is merged into the original and the
+     checks become tautologies. *)
+  let hardened = hardened_kernel () in
+  let before = Program.num_insns hardened in
+  let optimised, _ =
+    Pass.run_to_fixpoint ~preserve_detection:false ~max_rounds:50
+      Pass.standard hardened
+  in
+  let after = Program.num_insns optimised in
+  Alcotest.(check bool) "detection code shrank" true
+    (after < (before * 8 / 10));
+  let r = coverage optimised in
+  let preserved = coverage (fst (Pass.run_program ~preserve_detection:true
+                                   Pass.standard hardened)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "coverage collapsed (%.0f%% vs %.0f%%)"
+       (Montecarlo.percent r Montecarlo.Detected)
+       (Montecarlo.percent preserved Montecarlo.Detected))
+    true
+    (Montecarlo.percent r Montecarlo.Detected
+    < Montecarlo.percent preserved Montecarlo.Detected -. 20.0)
+
+let test_pipeline_optimize_flag () =
+  let w = Option.get (Registry.find "cjpeg") in
+  let p = w.W.build W.Fault in
+  let plain = run_scheme Scheme.Casted p in
+  let c =
+    Pipeline.compile ~optimize:true ~scheme:Scheme.Casted ~issue_width:2
+      ~delay:2 p
+  in
+  let r = Simulator.run c.Pipeline.schedule in
+  Alcotest.(check string) "same output" plain.Outcome.output r.Outcome.output;
+  Alcotest.(check bool) "not slower" true
+    (r.Outcome.cycles <= plain.Outcome.cycles)
+
+let suite =
+  ( "opt",
+    [
+      case "standard passes preserve semantics (all workloads)"
+        test_passes_preserve_semantics;
+      case "fixpoint terminates and preserves semantics"
+        test_fixpoint_preserves_semantics;
+      case "optimisation does not add work" test_optimised_not_slower;
+      case "constfold folds constants" test_constfold_folds;
+      case "constfold strength-reduces muli" test_constfold_strength_reduction;
+      case "constfold never folds trapping division" test_constfold_keeps_div;
+      case "copyprop forwards copies" test_copyprop_forwards;
+      case "copyprop respects redefinition" test_copyprop_respects_redefinition;
+      case "cse merges common expressions" test_cse_merges;
+      case "cse: stores invalidate loads" test_cse_loads_blocked_by_store;
+      case "cse: self-updates not poisoned" test_cse_self_update_not_poisoned;
+      case "dce removes dead code" test_dce_removes_dead;
+      case "dce keeps stores and loop-carried values"
+        test_dce_keeps_stores_and_loop_carried;
+      case "simplify-cfg collapses empty blocks"
+        test_simplify_cfg_removes_empty_blocks;
+      case "role-aware passes keep detection intact (SS IV-A)"
+        test_preserving_passes_keep_detection;
+      case "role-blind passes destroy detection (SS IV-A)"
+        test_unsafe_passes_destroy_detection;
+      case "pipeline optimize flag" test_pipeline_optimize_flag;
+    ] )

@@ -1,0 +1,151 @@
+open Helpers
+module Recover = Casted_detect.Recover
+module Fault = Casted_sim.Fault
+module Montecarlo = Casted_sim.Montecarlo
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+let schedule_recovered ?(issue_width = 2) ?(delay = 2) p =
+  let hardened, stats = Recover.program Options.default p in
+  Casted_ir.Validate.check_exn hardened;
+  let config = Config.dual_core ~issue_width ~delay in
+  let schedule =
+    Casted_sched.List_scheduler.schedule_program config
+      (Casted_sched.Assign.Adaptive Casted_sched.Bug.default_options)
+      hardened
+  in
+  (schedule, stats)
+
+(* A fully protected integer kernel (GP-only, so every operand of a
+   non-replicated instruction is voted, not just checked). *)
+let kernel () =
+  program_of (fun b ->
+      let base = B.movi b 0x100L in
+      let acc = B.movi b 7L in
+      B.counted_loop b ~from:0L ~until:24L (fun b i ->
+          let x = B.mul b acc acc in
+          let y = B.add b x i in
+          let (_ : Reg.t) = B.andi b ~dst:acc y 0x1FFFL in
+          B.st b Opcode.W8 ~value:acc ~base 0L);
+      let out = B.movi b 0x40L in
+      let v = B.ld b Opcode.W8 base 0L in
+      B.st b Opcode.W8 ~value:v ~base:out 0L)
+
+let test_semantics_preserved () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let plain = run_scheme Scheme.Noed p in
+      let schedule, _ = schedule_recovered p in
+      let r = Simulator.run schedule in
+      (match r.Outcome.termination with
+      | Outcome.Exit 0 -> ()
+      | t -> Alcotest.failf "%s: %a" w.W.name Outcome.pp_termination t);
+      Alcotest.(check string) (w.W.name ^ " output") plain.Outcome.output
+        r.Outcome.output)
+    Registry.all
+
+let test_stats_shape () =
+  let p = kernel () in
+  let _, stats = schedule_recovered p in
+  Alcotest.(check bool) "two replicas per original op" true
+    (stats.Recover.replicas mod 2 = 0 && stats.Recover.replicas > 0);
+  Alcotest.(check bool) "votes emitted" true (stats.Recover.votes > 0);
+  (* GP operands are voted; only the loop branch predicate falls back
+     to a detection check. *)
+  Alcotest.(check bool) "votes dominate fallbacks" true
+    (stats.Recover.votes > stats.Recover.fallback_checks)
+
+let test_fallback_checks_for_float () =
+  let p =
+    program_of (fun b ->
+        let x = B.fmovi b 1.5 in
+        let y = B.fmul b x x in
+        let base = B.movi b 0x100L in
+        B.fst_ b ~value:y ~base 0L)
+  in
+  let _, stats = schedule_recovered p in
+  Alcotest.(check bool) "float store operand falls back to a check" true
+    (stats.Recover.fallback_checks > 0)
+
+(* The headline property: single faults are *corrected*, not merely
+   detected. Exhaustively inject into every defining instruction; the
+   output must match the golden run in the overwhelming majority of
+   trials, with zero detections (nothing traps) on GP faults. *)
+let test_faults_are_recovered () =
+  let p = kernel () in
+  let schedule, _ = schedule_recovered p in
+  let golden = Simulator.run schedule in
+  let fuel = 10 * golden.Outcome.dyn_insns in
+  let outcomes = Hashtbl.create 8 in
+  let bump k =
+    Hashtbl.replace outcomes k (1 + Option.value ~default:0 (Hashtbl.find_opt outcomes k))
+  in
+  let population = golden.Outcome.dyn_defs in
+  (* Sample every 7th def to keep the sweep fast but systematic. *)
+  let injected = ref 0 in
+  let recovered = ref 0 in
+  let rec go def =
+    if def < population then begin
+      let fault = { Fault.target_def = def; def_slot = 0; bit = 11 } in
+      let r = Simulator.run ~fault ~fuel schedule in
+      incr injected;
+      let c = Montecarlo.classify ~golden r in
+      bump (Montecarlo.class_name c);
+      if c = Montecarlo.Benign then incr recovered;
+      go (def + 7)
+    end
+  in
+  go 0;
+  (* Faults on the predicate path are detected (fail-stop), not
+     corrected, so full recovery is not 100%; silent corruption must
+     stay at zero and the large majority must be repaired. *)
+  Alcotest.(check (option int)) "no silent corruption" None
+    (Hashtbl.find_opt outcomes (Montecarlo.class_name Montecarlo.Data_corrupt));
+  let rate = float_of_int !recovered /. float_of_int !injected in
+  if rate < 0.70 then
+    Alcotest.failf "only %.1f%% of faults recovered (%s)" (100.0 *. rate)
+      (String.concat ", "
+         (Hashtbl.fold
+            (fun k v acc -> Printf.sprintf "%s=%d" k v :: acc)
+            outcomes []))
+
+let test_recovery_beats_detection_on_completion () =
+  (* Under detection (CASTED), a fault usually stops the program; under
+     recovery (CASTED-R), it usually completes with the right output. *)
+  let p = kernel () in
+  let det = Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 p in
+  let det_result = Montecarlo.run ~trials:150 det.Pipeline.schedule in
+  let rec_schedule, _ = schedule_recovered p in
+  let rec_result = Montecarlo.run ~trials:150 rec_schedule in
+  Alcotest.(check bool) "detection detects" true
+    (det_result.Montecarlo.detected > 0);
+  Alcotest.(check bool) "recovery completes benignly far more often" true
+    (Montecarlo.percent rec_result Montecarlo.Benign
+    > Montecarlo.percent det_result Montecarlo.Benign +. 25.0);
+  Alcotest.(check bool) "recovery (almost) never silently corrupts" true
+    (Montecarlo.percent rec_result Montecarlo.Data_corrupt < 3.0)
+
+let test_recovery_overhead_larger () =
+  (* Triplication costs more than duplication: dynamic instruction count
+     must sit clearly above the detection scheme's. *)
+  let p = kernel () in
+  let det = run_scheme Scheme.Casted p in
+  let rec_schedule, _ = schedule_recovered p in
+  let rec_run = Simulator.run rec_schedule in
+  Alcotest.(check bool) "more dynamic work" true
+    (rec_run.Outcome.dyn_insns > det.Outcome.dyn_insns)
+
+let suite =
+  ( "recover",
+    [
+      case "semantics preserved on all workloads" test_semantics_preserved;
+      case "triplication statistics" test_stats_shape;
+      case "float operands fall back to checks"
+        test_fallback_checks_for_float;
+      case "single faults are corrected (systematic sweep)"
+        test_faults_are_recovered;
+      case "recovery completes where detection stops"
+        test_recovery_beats_detection_on_completion;
+      case "recovery costs more than detection" test_recovery_overhead_larger;
+    ] )

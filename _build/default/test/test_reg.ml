@@ -1,0 +1,72 @@
+open Helpers
+
+let test_classes () =
+  Alcotest.(check bool) "gp cls" true (Reg.cls (Reg.gp 3) = Reg.Gp);
+  Alcotest.(check bool) "fp cls" true (Reg.cls (Reg.fp 0) = Reg.Fp);
+  Alcotest.(check bool) "pr cls" true (Reg.cls (Reg.pr 9) = Reg.Pr);
+  Alcotest.(check int) "idx" 7 (Reg.idx (Reg.gp 7))
+
+let test_equality () =
+  Alcotest.(check bool) "equal same" true (Reg.equal (Reg.gp 1) (Reg.gp 1));
+  Alcotest.(check bool) "class differs" false
+    (Reg.equal (Reg.gp 1) (Reg.fp 1));
+  Alcotest.(check bool) "index differs" false
+    (Reg.equal (Reg.gp 1) (Reg.gp 2));
+  Alcotest.(check int) "compare reflexive" 0
+    (Reg.compare (Reg.pr 4) (Reg.pr 4))
+
+let test_order_consistent () =
+  let regs = [ Reg.gp 0; Reg.gp 5; Reg.fp 0; Reg.fp 2; Reg.pr 1 ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Reg.compare a b in
+          Alcotest.(check int) "antisymmetric" (-c) (Reg.compare b a);
+          Alcotest.(check bool)
+            "equal iff compare 0" (Reg.equal a b) (c = 0);
+          if Reg.equal a b then
+            Alcotest.(check int) "hash consistent" (Reg.hash a) (Reg.hash b))
+        regs)
+    regs
+
+let test_negative_index_rejected () =
+  Alcotest.check_raises "negative index"
+    (Invalid_argument "Reg.make: negative index") (fun () ->
+      ignore (Reg.gp (-1)))
+
+let test_set_map () =
+  let s = Reg.Set.of_list [ Reg.gp 1; Reg.gp 1; Reg.fp 1; Reg.pr 0 ] in
+  Alcotest.(check int) "set dedups" 3 (Reg.Set.cardinal s);
+  let m = Reg.Map.singleton (Reg.gp 1) "x" in
+  Alcotest.(check bool) "map lookup" true (Reg.Map.mem (Reg.gp 1) m);
+  Alcotest.(check bool) "map class-distinct" false
+    (Reg.Map.mem (Reg.fp 1) m)
+
+let test_to_string () =
+  Alcotest.(check string) "gp" "r3" (Reg.to_string (Reg.gp 3));
+  Alcotest.(check string) "fp" "f0" (Reg.to_string (Reg.fp 0));
+  Alcotest.(check string) "pr" "p12" (Reg.to_string (Reg.pr 12))
+
+let test_tbl () =
+  let tbl = Reg.Tbl.create 8 in
+  Reg.Tbl.replace tbl (Reg.gp 1) 10;
+  Reg.Tbl.replace tbl (Reg.fp 1) 20;
+  Alcotest.(check (option int)) "gp hit" (Some 10)
+    (Reg.Tbl.find_opt tbl (Reg.gp 1));
+  Alcotest.(check (option int)) "fp distinct" (Some 20)
+    (Reg.Tbl.find_opt tbl (Reg.fp 1));
+  Alcotest.(check (option int)) "miss" None
+    (Reg.Tbl.find_opt tbl (Reg.pr 1))
+
+let suite =
+  ( "reg",
+    [
+      case "classes and indices" test_classes;
+      case "equality" test_equality;
+      case "total order" test_order_consistent;
+      case "negative index rejected" test_negative_index_rejected;
+      case "set/map" test_set_map;
+      case "to_string" test_to_string;
+      case "hashtable" test_tbl;
+    ] )

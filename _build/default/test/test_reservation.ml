@@ -1,0 +1,86 @@
+open Helpers
+module Reservation = Casted_machine.Reservation
+
+let test_reserve_and_fill () =
+  let t = Reservation.create ~clusters:2 ~issue_width:2 in
+  Alcotest.(check bool) "initially free" true
+    (Reservation.is_free t ~cluster:0 ~cycle:0);
+  Reservation.reserve t ~cluster:0 ~cycle:0;
+  Alcotest.(check int) "one used" 1 (Reservation.used t ~cluster:0 ~cycle:0);
+  Reservation.reserve t ~cluster:0 ~cycle:0;
+  Alcotest.(check bool) "now full" false
+    (Reservation.is_free t ~cluster:0 ~cycle:0);
+  (* The other cluster is unaffected. *)
+  Alcotest.(check bool) "cluster 1 free" true
+    (Reservation.is_free t ~cluster:1 ~cycle:0)
+
+let test_overfull_rejected () =
+  let t = Reservation.create ~clusters:1 ~issue_width:1 in
+  Reservation.reserve t ~cluster:0 ~cycle:3;
+  match Reservation.reserve t ~cluster:0 ~cycle:3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "overfull cycle accepted"
+
+let test_first_free_skips_full_cycles () =
+  let t = Reservation.create ~clusters:1 ~issue_width:1 in
+  Reservation.reserve t ~cluster:0 ~cycle:0;
+  Reservation.reserve t ~cluster:0 ~cycle:1;
+  Reservation.reserve t ~cluster:0 ~cycle:3;
+  Alcotest.(check int) "skips 0,1" 2
+    (Reservation.first_free t ~cluster:0 ~from:0);
+  Alcotest.(check int) "skips 3" 4
+    (Reservation.first_free t ~cluster:0 ~from:3)
+
+let test_release () =
+  let t = Reservation.create ~clusters:1 ~issue_width:1 in
+  Reservation.reserve t ~cluster:0 ~cycle:5;
+  Reservation.release t ~cluster:0 ~cycle:5;
+  Alcotest.(check bool) "free again" true
+    (Reservation.is_free t ~cluster:0 ~cycle:5);
+  match Reservation.release t ~cluster:0 ~cycle:5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double release accepted"
+
+let test_growth () =
+  let t = Reservation.create ~clusters:1 ~issue_width:2 in
+  (* Far beyond the initial capacity. *)
+  Reservation.reserve t ~cluster:0 ~cycle:10_000;
+  Alcotest.(check int) "used at grown cycle" 1
+    (Reservation.used t ~cluster:0 ~cycle:10_000);
+  Alcotest.(check int) "horizon" 10_001 (Reservation.horizon t);
+  Alcotest.(check int) "unreserved grown cycle empty" 0
+    (Reservation.used t ~cluster:0 ~cycle:9_999)
+
+let test_bad_cluster_rejected () =
+  let t = Reservation.create ~clusters:2 ~issue_width:1 in
+  match Reservation.reserve t ~cluster:2 ~cycle:0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "out-of-range cluster accepted"
+
+let prop_capacity_invariant =
+  let gen =
+    QCheck2.Gen.(list_size (int_bound 200) (pair (int_bound 1) (int_bound 30)))
+  in
+  qcheck ~count:100 "used never exceeds width" gen (fun reservations ->
+      let width = 3 in
+      let t = Reservation.create ~clusters:2 ~issue_width:width in
+      List.iter
+        (fun (cluster, cycle) ->
+          if Reservation.is_free t ~cluster ~cycle then
+            Reservation.reserve t ~cluster ~cycle)
+        reservations;
+      List.for_all
+        (fun (cluster, cycle) -> Reservation.used t ~cluster ~cycle <= width)
+        reservations)
+
+let suite =
+  ( "reservation",
+    [
+      case "reserve and fill" test_reserve_and_fill;
+      case "overfull rejected" test_overfull_rejected;
+      case "first_free skips full cycles" test_first_free_skips_full_cycles;
+      case "release" test_release;
+      case "table grows on demand" test_growth;
+      case "bad cluster rejected" test_bad_cluster_rejected;
+      prop_capacity_invariant;
+    ] )

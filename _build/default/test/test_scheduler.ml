@@ -1,0 +1,228 @@
+open Helpers
+module Dfg = Casted_sched.Dfg
+module Assign = Casted_sched.Assign
+module Bug = Casted_sched.Bug
+module List_scheduler = Casted_sched.List_scheduler
+module Schedule = Casted_sched.Schedule
+
+let latency i = Latency.of_op Latency.default i.Insn.op
+
+(* Check every schedule invariant for one block under one config. *)
+let check_block_schedule config (dfg : Dfg.t) assignment
+    (bs : Schedule.block_schedule) =
+  let n = Dfg.num_nodes dfg in
+  (* 1. Every instruction appears exactly once. *)
+  let seen = Hashtbl.create n in
+  Array.iter
+    (fun bundle ->
+      Array.iter
+        (fun insns ->
+          Array.iter
+            (fun (i : Insn.t) ->
+              if Hashtbl.mem seen i.Insn.id then
+                Alcotest.failf "insn %d scheduled twice" i.Insn.id;
+              Hashtbl.replace seen i.Insn.id ())
+            insns)
+        bundle)
+    bs.Schedule.bundles;
+  Alcotest.(check int) "all scheduled" n (Hashtbl.length seen);
+  (* 2. Issue-width respected per cluster and cycle. *)
+  Array.iteri
+    (fun cycle bundle ->
+      Array.iteri
+        (fun cluster insns ->
+          if Array.length insns > config.Config.issue_width then
+            Alcotest.failf "cycle %d cluster %d over-subscribed" cycle cluster)
+        bundle)
+    bs.Schedule.bundles;
+  (* 3. Dependences respected, including cross-cluster delays. *)
+  let issue i = Hashtbl.find bs.Schedule.issue_of dfg.Dfg.insns.(i).Insn.id in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (e : Dfg.edge) ->
+        let src_cycle, src_cluster = issue e.Dfg.src in
+        let dst_cycle, dst_cluster = issue e.Dfg.dst in
+        let cross =
+          if Dfg.kind_pays_delay e.Dfg.kind && src_cluster <> dst_cluster
+          then config.Config.delay
+          else 0
+        in
+        if dst_cycle < src_cycle + e.Dfg.latency + cross then
+          Alcotest.failf "edge %d->%d violated (%d < %d+%d+%d)" e.Dfg.src
+            e.Dfg.dst dst_cycle src_cycle e.Dfg.latency cross)
+      dfg.Dfg.succs.(i)
+  done;
+  (* 4. Clusters match the assignment. *)
+  for i = 0 to n - 1 do
+    let _, cluster = issue i in
+    Alcotest.(check int) "assigned cluster" assignment.(i) cluster
+  done;
+  (* 5. The terminator issues in the last cycle. *)
+  let term_cycle, _ = issue (n - 1) in
+  Alcotest.(check int) "terminator last" (Schedule.block_length bs - 1)
+    term_cycle
+
+let check_program_schedules program strategy config =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun blk ->
+          let dfg = Dfg.build ~latency blk in
+          let assignment = Assign.compute strategy config dfg in
+          let bs =
+            List_scheduler.schedule_block config dfg ~assignment
+              ~label:blk.Block.label
+          in
+          check_block_schedule config dfg assignment bs)
+        f.Func.blocks)
+    program.Program.funcs
+
+let test_invariants_all_workloads () =
+  List.iter
+    (fun w ->
+      let p =
+        w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault
+      in
+      let hardened, _ = Casted_detect.Transform.program Options.default p in
+      (* Three placement strategies, several machine shapes. *)
+      List.iter
+        (fun (strategy, config) ->
+          check_program_schedules hardened strategy config)
+        [
+          (Assign.Single_cluster, Config.single_core ~issue_width:1);
+          (Assign.Single_cluster, Config.single_core ~issue_width:4);
+          (Assign.Dual_fixed, Config.dual_core ~issue_width:2 ~delay:3);
+          ( Assign.Adaptive Bug.default_options,
+            Config.dual_core ~issue_width:1 ~delay:1 );
+          ( Assign.Adaptive Bug.default_options,
+            Config.dual_core ~issue_width:2 ~delay:4 );
+        ])
+    Casted_workloads.Registry.all
+
+let test_single_cluster_assignment () =
+  let p = program_of (fun b -> ignore (B.movi b 1L)) in
+  let blk = List.hd (Program.entry_func p).Func.blocks in
+  let dfg = Dfg.build ~latency blk in
+  let a =
+    Assign.compute Assign.Single_cluster (Config.single_core ~issue_width:2)
+      dfg
+  in
+  Array.iter (fun c -> Alcotest.(check int) "cluster 0" 0 c) a
+
+let test_dual_fixed_split () =
+  let p =
+    program_of (fun b ->
+        let v = B.movi b 5L in
+        let base = B.movi b 0x100L in
+        B.st b Opcode.W8 ~value:v ~base 0L)
+  in
+  let hardened, _ = Casted_detect.Transform.program Options.default p in
+  let blk = List.hd (Program.entry_func hardened).Func.blocks in
+  let dfg = Dfg.build ~latency blk in
+  let config = Config.dual_core ~issue_width:2 ~delay:1 in
+  let a = Assign.compute Assign.Dual_fixed config dfg in
+  Array.iteri
+    (fun i cluster ->
+      let insn = dfg.Dfg.insns.(i) in
+      let expected =
+        match insn.Insn.role with
+        | Insn.Original -> 0
+        | Insn.Replica | Insn.Check | Insn.Shadow_copy -> 1
+      in
+      Alcotest.(check int) (Insn.to_string insn) expected cluster)
+    a
+
+let test_dual_fixed_requires_two_clusters () =
+  let p = program_of (fun b -> ignore (B.movi b 1L)) in
+  let blk = List.hd (Program.entry_func p).Func.blocks in
+  let dfg = Dfg.build ~latency blk in
+  match
+    Assign.compute Assign.Dual_fixed (Config.single_core ~issue_width:2) dfg
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dual-fixed on one cluster should be rejected"
+
+let test_narrow_machine_serialises () =
+  (* 10 independent instructions on a 1-wide single cluster need 10
+     cycles (plus the terminator). *)
+  let p =
+    program_of (fun b ->
+        for _ = 1 to 10 do
+          ignore (B.movi b 3L)
+        done)
+  in
+  let blk = List.hd (Program.entry_func p).Func.blocks in
+  let dfg = Dfg.build ~latency blk in
+  let config = Config.single_core ~issue_width:1 in
+  let a = Assign.compute Assign.Single_cluster config dfg in
+  let bs = List_scheduler.schedule_block config dfg ~assignment:a ~label:"x" in
+  (* 10 movis + the exit-code movi + halt, one per cycle. *)
+  Alcotest.(check int) "serialised" 12 (Schedule.block_length bs)
+
+let test_wide_machine_parallelises () =
+  let p =
+    program_of (fun b ->
+        for _ = 1 to 10 do
+          ignore (B.movi b 3L)
+        done)
+  in
+  let blk = List.hd (Program.entry_func p).Func.blocks in
+  let dfg = Dfg.build ~latency blk in
+  let config = Config.single_core ~issue_width:4 in
+  let a = Assign.compute Assign.Single_cluster config dfg in
+  let bs = List_scheduler.schedule_block config dfg ~assignment:a ~label:"x" in
+  (* ceil(12/4) = 3 cycles. *)
+  Alcotest.(check int) "packed" 3 (Schedule.block_length bs)
+
+let prop_random_blocks =
+  (* Random straight-line blocks over a small register pool: the
+     scheduler must uphold all invariants for any dependency pattern. *)
+  let insn_gen =
+    QCheck2.Gen.(
+      map3
+        (fun kind a bc -> (kind, a, bc))
+        (int_bound 3) (int_bound 5) (pair (int_bound 5) (int_bound 5)))
+  in
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 40) insn_gen)
+        (pair (int_range 1 3) (int_range 0 4)))
+  in
+  qcheck ~count:80 "random blocks schedule correctly" gen
+    (fun (specs, (width, delay)) ->
+      let b = B.create ~name:"main" () in
+      let regs = Array.init 6 (fun _ -> B.movi b 1L) in
+      List.iter
+        (fun (kind, a, (c, d)) ->
+          match kind with
+          | 0 -> ignore (B.add b ~dst:regs.(a) regs.(c) regs.(d))
+          | 1 -> ignore (B.mul b ~dst:regs.(a) regs.(c) regs.(d))
+          | 2 -> ignore (B.addi b ~dst:regs.(a) regs.(c) 3L)
+          | _ -> ignore (B.xor b ~dst:regs.(a) regs.(c) regs.(d)))
+        specs;
+      B.halt b ();
+      let f = B.finish b in
+      let blk = List.hd f.Func.blocks in
+      let dfg = Dfg.build ~latency blk in
+      let config = Config.dual_core ~issue_width:width ~delay in
+      let a =
+        Assign.compute (Assign.Adaptive Bug.default_options) config dfg
+      in
+      let bs =
+        List_scheduler.schedule_block config dfg ~assignment:a ~label:"x"
+      in
+      check_block_schedule config dfg a bs;
+      true)
+
+let suite =
+  ( "scheduler",
+    [
+      case "invariants on all workloads" test_invariants_all_workloads;
+      case "single-cluster assignment" test_single_cluster_assignment;
+      case "dual-fixed split by role" test_dual_fixed_split;
+      case "dual-fixed needs two clusters" test_dual_fixed_requires_two_clusters;
+      case "narrow machine serialises" test_narrow_machine_serialises;
+      case "wide machine parallelises" test_wide_machine_parallelises;
+      prop_random_blocks;
+    ] )

@@ -1,0 +1,139 @@
+open Helpers
+module Selective = Casted_detect.Selective
+module Transform = Casted_detect.Transform
+module Montecarlo = Casted_sim.Montecarlo
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+let selective_options = { Options.default with Options.scope = Options.Store_slice }
+
+let test_slice_contains_store_producers () =
+  let p =
+    program_of (fun b ->
+        let base = B.movi b 0x100L in
+        let v = B.movi b 7L in
+        let w = B.addi b v 1L in
+        (* dead-end computation: never reaches memory *)
+        let _unused = B.muli b w 3L in
+        B.st b Opcode.W8 ~value:w ~base 0L)
+  in
+  let f = Program.entry_func p in
+  let slice = Selective.store_slice f in
+  let find_id pred =
+    (List.find pred (Func.all_insns f)).Insn.id
+  in
+  let movi7 = find_id (fun i -> i.Insn.op = Opcode.Movi && i.Insn.imm = 7L) in
+  let muli3 = find_id (fun i -> i.Insn.op = Opcode.Muli) in
+  Alcotest.(check bool) "store value producer in slice" true
+    (Hashtbl.mem slice movi7);
+  Alcotest.(check bool) "dead-end computation outside slice" false
+    (Hashtbl.mem slice muli3)
+
+let test_slice_fraction_bounds () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      List.iter
+        (fun f ->
+          if f.Func.protect then begin
+            let frac = Selective.slice_fraction f in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s fraction %.2f" w.W.name f.Func.name frac)
+              true
+              (frac >= 0.0 && frac <= 1.0)
+          end)
+        p.Program.funcs)
+    Registry.all
+
+let test_selective_semantics_preserved () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let plain = run_scheme Scheme.Noed p in
+      let hardened, _ = Transform.program selective_options p in
+      Casted_ir.Validate.check_exn hardened;
+      let config = Config.dual_core ~issue_width:2 ~delay:2 in
+      let s =
+        Casted_sched.List_scheduler.schedule_program config
+          (Casted_sched.Assign.Adaptive Casted_sched.Bug.default_options)
+          hardened
+      in
+      let r = Simulator.run s in
+      (match r.Outcome.termination with
+      | Outcome.Exit 0 -> ()
+      | t -> Alcotest.failf "%s: %a" w.W.name Outcome.pp_termination t);
+      Alcotest.(check string) (w.W.name ^ " output") plain.Outcome.output
+        r.Outcome.output)
+    Registry.all
+
+let test_selective_cheaper_than_full () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Registry.find name) in
+      let p = w.W.build W.Fault in
+      let _, full = Transform.program Options.default p in
+      let _, partial = Transform.program selective_options p in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d vs %d replicas" name
+           partial.Transform.replicas full.Transform.replicas)
+        true
+        (partial.Transform.replicas < full.Transform.replicas))
+    [ "h263enc"; "197.parser"; "175.vpr" ]
+
+let coverage options p =
+  let hardened, _ = Transform.program options p in
+  let config = Config.single_core ~issue_width:2 in
+  let s =
+    Casted_sched.List_scheduler.schedule_program config
+      Casted_sched.Assign.Single_cluster hardened
+  in
+  Montecarlo.run ~trials:150 s
+
+let test_coverage_tradeoff () =
+  (* Shoestring's bet: lower overhead, lower (but real) coverage. *)
+  let w = Option.get (Registry.find "cjpeg") in
+  let p = w.W.build W.Fault in
+  let full = coverage Options.default p in
+  let partial = coverage selective_options p in
+  let pct r = Montecarlo.percent r Montecarlo.Detected in
+  Alcotest.(check bool) "partial still detects" true (pct partial > 20.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "full (%.0f%%) covers more than partial (%.0f%%)"
+       (pct full) (pct partial))
+    true
+    (pct full >= pct partial);
+  (* Unlike full replication, partial replication may leak silent
+     corruption through the unprotected address/branch logic. *)
+  Alcotest.(check bool) "full has no corruption" true
+    (full.Montecarlo.corrupt = 0)
+
+let test_selective_faster () =
+  let w = Option.get (Registry.find "h263enc") in
+  let p = w.W.build W.Fault in
+  let cycles options =
+    let hardened, _ = Transform.program options p in
+    let config = Config.single_core ~issue_width:2 in
+    let s =
+      Casted_sched.List_scheduler.schedule_program config
+        Casted_sched.Assign.Single_cluster hardened
+    in
+    (Simulator.run s).Outcome.cycles
+  in
+  Alcotest.(check bool) "partial redundancy is cheaper" true
+    (cycles selective_options < cycles Options.default)
+
+let suite =
+  ( "selective",
+    [
+      case "slice contains store producers, not dead ends"
+        test_slice_contains_store_producers;
+      case "slice fractions are sane on all workloads"
+        test_slice_fraction_bounds;
+      case "semantics preserved under partial replication"
+        test_selective_semantics_preserved;
+      case "partial replication emits fewer replicas"
+        test_selective_cheaper_than_full;
+      case "coverage/overhead trade-off (Shoestring's bet)"
+        test_coverage_tradeoff;
+      case "partial redundancy runs faster" test_selective_faster;
+    ] )

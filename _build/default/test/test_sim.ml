@@ -1,0 +1,286 @@
+open Helpers
+module Trap = Casted_sim.Trap
+module Alu = Casted_sim.Alu
+module Memory = Casted_sim.Memory
+
+(* --- ALU semantics --- *)
+
+let int64_gen = QCheck2.Gen.(map Int64.of_int int)
+
+let prop_alu_matches_ocaml =
+  qcheck "register-register ALU matches Int64"
+    QCheck2.Gen.(pair int64_gen int64_gen)
+    (fun (a, b) ->
+      Alu.int_binop Opcode.Add a b = Int64.add a b
+      && Alu.int_binop Opcode.Sub a b = Int64.sub a b
+      && Alu.int_binop Opcode.Mul a b = Int64.mul a b
+      && Alu.int_binop Opcode.And a b = Int64.logand a b
+      && Alu.int_binop Opcode.Or a b = Int64.logor a b
+      && Alu.int_binop Opcode.Xor a b = Int64.logxor a b)
+
+let prop_shifts_mod_64 =
+  qcheck "shift amounts are taken mod 64"
+    QCheck2.Gen.(pair int64_gen (int_bound 500))
+    (fun (a, k) ->
+      let k64 = Int64.of_int k in
+      Alu.int_binop Opcode.Shl a k64
+      = Int64.shift_left a (k land 63)
+      && Alu.int_binop Opcode.Shr a k64
+         = Int64.shift_right_logical a (k land 63)
+      && Alu.int_binop Opcode.Sra a k64 = Int64.shift_right a (k land 63))
+
+let test_division_edge_cases () =
+  (match Alu.int_binop Opcode.Div 1L 0L with
+  | exception Trap.Trap Trap.Div_by_zero -> ()
+  | _ -> Alcotest.fail "div by zero must trap");
+  (match Alu.int_binop Opcode.Rem 1L 0L with
+  | exception Trap.Trap Trap.Div_by_zero -> ()
+  | _ -> Alcotest.fail "rem by zero must trap");
+  Alcotest.(check int64) "min_int / -1 wraps" Int64.min_int
+    (Alu.int_binop Opcode.Div Int64.min_int (-1L));
+  Alcotest.(check int64) "min_int rem -1 is 0" 0L
+    (Alu.int_binop Opcode.Rem Int64.min_int (-1L));
+  Alcotest.(check int64) "-7 / 2 truncates" (-3L)
+    (Alu.int_binop Opcode.Div (-7L) 2L)
+
+(* --- memory --- *)
+
+let test_memory_widths () =
+  let m = Memory.create ~size:256 in
+  Memory.write m ~addr:0L ~width:Opcode.W8 0x1122334455667788L;
+  Alcotest.(check int64) "w8 roundtrip" 0x1122334455667788L
+    (Memory.read m ~addr:0L ~width:Opcode.W8 ~signed:false);
+  Alcotest.(check int64) "w1 le first byte" 0x88L
+    (Memory.read m ~addr:0L ~width:Opcode.W1 ~signed:false);
+  Alcotest.(check int64) "w2 le" 0x7788L
+    (Memory.read m ~addr:0L ~width:Opcode.W2 ~signed:false);
+  Alcotest.(check int64) "w4 le" 0x55667788L
+    (Memory.read m ~addr:0L ~width:Opcode.W4 ~signed:false)
+
+let test_memory_sign_extension () =
+  let m = Memory.create ~size:64 in
+  Memory.write m ~addr:0L ~width:Opcode.W1 0xFFL;
+  Alcotest.(check int64) "unsigned byte" 255L
+    (Memory.read m ~addr:0L ~width:Opcode.W1 ~signed:false);
+  Alcotest.(check int64) "signed byte" (-1L)
+    (Memory.read m ~addr:0L ~width:Opcode.W1 ~signed:true);
+  Memory.write m ~addr:4L ~width:Opcode.W4 0x80000000L;
+  Alcotest.(check int64) "signed word" (-2147483648L)
+    (Memory.read m ~addr:4L ~width:Opcode.W4 ~signed:true)
+
+let test_memory_bounds_and_alignment () =
+  let m = Memory.create ~size:64 in
+  (match Memory.read m ~addr:64L ~width:Opcode.W1 ~signed:false with
+  | exception Trap.Trap (Trap.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "oob read");
+  (match Memory.read m ~addr:(-8L) ~width:Opcode.W8 ~signed:false with
+  | exception Trap.Trap (Trap.Out_of_bounds _) -> ()
+  | _ -> Alcotest.fail "negative read");
+  (match Memory.read m ~addr:3L ~width:Opcode.W4 ~signed:false with
+  | exception Trap.Trap (Trap.Misaligned _) -> ()
+  | _ -> Alcotest.fail "misaligned read");
+  match Memory.write m ~addr:62L ~width:Opcode.W8 0L with
+  | exception Trap.Trap (Trap.Out_of_bounds _ | Trap.Misaligned _) -> ()
+  | _ -> Alcotest.fail "straddling write"
+
+(* --- whole-program semantics, one opcode at a time --- *)
+
+let test_arith_programs () =
+  check_compute "add" 30L (fun b ->
+      B.add b (B.movi b 10L) (B.movi b 20L));
+  check_compute "sub" (-10L) (fun b ->
+      B.sub b (B.movi b 10L) (B.movi b 20L));
+  check_compute "mul" 200L (fun b ->
+      B.mul b (B.movi b 10L) (B.movi b 20L));
+  check_compute "div" 3L (fun b -> B.div b (B.movi b 10L) (B.movi b 3L));
+  check_compute "rem" 1L (fun b -> B.rem b (B.movi b 10L) (B.movi b 3L));
+  check_compute "sel true" 5L (fun b ->
+      let p = B.cmpi b Cond.Lt (B.movi b 1L) 2L in
+      B.sel b p (B.movi b 5L) (B.movi b 9L));
+  check_compute "sel false" 9L (fun b ->
+      let p = B.cmpi b Cond.Gt (B.movi b 1L) 2L in
+      B.sel b p (B.movi b 5L) (B.movi b 9L));
+  check_compute "srai negative" (-2L) (fun b ->
+      B.srai b (B.movi b (-8L)) 2L);
+  check_compute "shri negative" 0x3FFFFFFFFFFFFFFEL (fun b ->
+      B.shri b (B.movi b (-8L)) 2L)
+
+let test_float_programs () =
+  check_compute "float pipeline" 7L (fun b ->
+      let x = B.fmovi b 2.5 in
+      let y = B.fmovi b 0.5 in
+      let s = B.fadd b x y in
+      (* 3.0 * 2.5 = 7.5, truncates to 7 *)
+      let m = B.fmul b s x in
+      B.ftoi b m);
+  check_compute "itof/ftoi roundtrip" (-42L) (fun b ->
+      B.ftoi b (B.itof b (B.movi b (-42L))));
+  check_compute "fcmp feeds sel" 1L (fun b ->
+      let p = B.fcmp b Cond.Lt (B.fmovi b 1.0) (B.fmovi b 2.0) in
+      B.sel b p (B.movi b 1L) (B.movi b 0L))
+
+let test_memory_program () =
+  check_compute "store/load roundtrip" 77L (fun b ->
+      let base = B.movi b 0x100L in
+      let v = B.movi b 77L in
+      B.st b Opcode.W8 ~value:v ~base 0L;
+      B.ld b Opcode.W8 base 0L);
+  check_compute "byte store truncates" 0x34L (fun b ->
+      let base = B.movi b 0x100L in
+      let v = B.movi b 0x1234L in
+      B.st b Opcode.W1 ~value:v ~base 0L;
+      B.ld b Opcode.W1 base 0L)
+
+let test_trap_programs () =
+  check_traps "oob load" (fun b ->
+      let base = B.movi b 0x7FFFFFFFL in
+      B.ld b Opcode.W8 base 0L);
+  check_traps "misaligned load" (fun b ->
+      let base = B.movi b 0x101L in
+      B.ld b Opcode.W8 base 0L);
+  check_traps "div by zero" (fun b ->
+      B.div b (B.movi b 1L) (B.movi b 0L))
+
+let test_call_semantics () =
+  let callee =
+    let x = Reg.gp 0 and y = Reg.gp 1 in
+    let b =
+      B.create ~name:"addmul" ~params:[ x; y ] ~ret_cls:(Some Reg.Gp) ()
+    in
+    let s = B.add b x y in
+    let r = B.muli b s 10L in
+    B.ret b ~value:r ();
+    B.finish b
+  in
+  let b = B.create ~name:"main" () in
+  let r = B.gp b in
+  B.call b ~dst:r "addmul" [ B.movi b 3L; B.movi b 4L ];
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:r ~base:out 0L;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let p =
+    Program.make
+      ~funcs:[ B.finish b; callee ]
+      ~entry:"main" ~mem_size:(1 lsl 16) ~output_base:0x40 ~output_len:8 ()
+  in
+  Casted_ir.Validate.check_exn p;
+  Alcotest.(check int64) "call result" 70L (out64 (run_noed p))
+
+let test_recursion_depth_limited () =
+  (* Infinite recursion must hit the stack-overflow trap, not loop. *)
+  let rec_f =
+    let b = B.create ~name:"f" () in
+    B.call b "f" [];
+    B.ret b ();
+    B.finish b
+  in
+  let b = B.create ~name:"main" () in
+  B.call b "f" [];
+  B.halt b ();
+  let p =
+    Program.make ~funcs:[ B.finish b; rec_f ] ~entry:"main"
+      ~mem_size:(1 lsl 12) ()
+  in
+  let c = Pipeline.compile ~scheme:Scheme.Noed ~issue_width:1 ~delay:1 p in
+  match (Simulator.run c.Pipeline.schedule).Outcome.termination with
+  | Outcome.Trapped Trap.Stack_overflow -> ()
+  | t ->
+      Alcotest.failf "expected stack overflow, got %a" Outcome.pp_termination t
+
+let test_exit_code () =
+  let p =
+    program_of (fun b ->
+        let base = B.movi b 0x40L in
+        let v = B.movi b 123L in
+        B.st b Opcode.W8 ~value:v ~base 0L)
+  in
+  (* program_of halts with code 0. *)
+  let r = run_noed p in
+  Alcotest.(check int) "exit code" 0 r.Outcome.exit_code;
+  Alcotest.(check int64) "output" 123L (out64 r)
+
+let test_fuel_timeout () =
+  let b = B.create ~name:"main" () in
+  B.br b "spin";
+  B.block b "spin";
+  B.br b "spin";
+  let p = Program.make ~funcs:[ B.finish b ] ~entry:"main" () in
+  let c = Pipeline.compile ~scheme:Scheme.Noed ~issue_width:1 ~delay:1 p in
+  match (Simulator.run ~fuel:1000 c.Pipeline.schedule).Outcome.termination with
+  | Outcome.Timeout -> ()
+  | t -> Alcotest.failf "expected timeout, got %a" Outcome.pp_termination t
+
+(* --- timing --- *)
+
+let test_cycles_lower_bound () =
+  (* IPC can never exceed total issue slots. *)
+  List.iter
+    (fun w ->
+      let p = w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault in
+      List.iter
+        (fun (scheme, issue, clusters) ->
+          let c = Pipeline.compile ~scheme ~issue_width:issue ~delay:1 p in
+          let r = Simulator.run c.Pipeline.schedule in
+          let slots = issue * clusters in
+          Alcotest.(check bool)
+            (w.Casted_workloads.Workload.name ^ " ipc bound")
+            true
+            (r.Outcome.dyn_insns <= r.Outcome.cycles * slots))
+        [ (Scheme.Noed, 1, 1); (Scheme.Sced, 2, 1); (Scheme.Casted, 2, 2) ])
+    Casted_workloads.Registry.all
+
+let test_delay_increases_dced_cycles () =
+  (* A dependent chain split across cores must slow down as the
+     inter-core delay grows. *)
+  let p =
+    program_of (fun b ->
+        let base = B.movi b 0x100L in
+        B.counted_loop b ~from:0L ~until:32L (fun b _ ->
+            let v = B.ld b Opcode.W8 base 0L in
+            let w = B.addi b v 1L in
+            B.st b Opcode.W8 ~value:w ~base 0L))
+  in
+  let cycles delay =
+    (run_scheme ~issue_width:2 ~delay Scheme.Dced p).Outcome.cycles
+  in
+  let c1 = cycles 1 and c4 = cycles 4 in
+  Alcotest.(check bool) "delay hurts DCED" true (c4 > c1)
+
+let test_issue_width_helps_sced () =
+  let w = Option.get (Casted_workloads.Registry.find "cjpeg") in
+  let p = w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault in
+  let cycles issue = (run_scheme ~issue_width:issue Scheme.Sced p).Outcome.cycles in
+  Alcotest.(check bool) "wider is faster" true (cycles 4 < cycles 1)
+
+let test_deterministic_runs () =
+  let w = Option.get (Casted_workloads.Registry.find "h263enc") in
+  let p = w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault in
+  let r1 = run_scheme Scheme.Casted p in
+  let r2 = run_scheme Scheme.Casted p in
+  Alcotest.(check int) "same cycles" r1.Outcome.cycles r2.Outcome.cycles;
+  Alcotest.(check int) "same dyn" r1.Outcome.dyn_insns r2.Outcome.dyn_insns;
+  Alcotest.(check string) "same output" r1.Outcome.output r2.Outcome.output
+
+let suite =
+  ( "simulator",
+    [
+      prop_alu_matches_ocaml;
+      prop_shifts_mod_64;
+      case "division edge cases" test_division_edge_cases;
+      case "memory widths (little-endian)" test_memory_widths;
+      case "memory sign extension" test_memory_sign_extension;
+      case "memory bounds and alignment" test_memory_bounds_and_alignment;
+      case "integer programs" test_arith_programs;
+      case "float programs" test_float_programs;
+      case "memory programs" test_memory_program;
+      case "trapping programs" test_trap_programs;
+      case "calls and returns" test_call_semantics;
+      case "recursion depth limited" test_recursion_depth_limited;
+      case "exit codes and output region" test_exit_code;
+      case "fuel timeout" test_fuel_timeout;
+      case "IPC never exceeds issue slots" test_cycles_lower_bound;
+      case "delay slows a split dependent chain" test_delay_increases_dced_cycles;
+      case "issue width speeds SCED up" test_issue_width_helps_sced;
+      case "simulation is deterministic" test_deterministic_runs;
+    ] )

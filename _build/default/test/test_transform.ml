@@ -1,0 +1,263 @@
+open Helpers
+module Transform = Casted_detect.Transform
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+
+let harden ?(options = Options.default) p = Transform.program options p
+
+(* A small but representative program: arithmetic, loads, stores, a
+   branch, a call into a protected helper. *)
+let sample () =
+  let helper =
+    let a = Reg.gp 0 in
+    let b = B.create ~name:"helper" ~params:[ a ] ~ret_cls:(Some Reg.Gp) () in
+    let r = B.muli b a 3L in
+    B.ret b ~value:r ();
+    B.finish b
+  in
+  let b = B.create ~name:"main" () in
+  let base = B.movi b 0x1000L in
+  let acc = B.movi b 0L in
+  B.counted_loop b ~from:0L ~until:8L (fun b i ->
+      let off = B.muli b i 8L in
+      let at = B.add b base off in
+      let v = B.ld b Opcode.W8 at 0L in
+      let t = B.gp b in
+      B.call b ~dst:t "helper" [ v ];
+      let (_ : Reg.t) = B.add b ~dst:acc acc t in
+      ());
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:acc ~base:out 0L;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let p =
+    Program.make
+      ~funcs:[ B.finish b; helper ]
+      ~entry:"main" ~mem_size:(1 lsl 16)
+      ~data:[ (0x1000, Casted_workloads.Gen.le64 (List.init 8 Int64.of_int)) ]
+      ~output_base:0x40 ~output_len:8 ()
+  in
+  Casted_ir.Validate.check_exn p;
+  p
+
+let test_hardened_validates () =
+  let hardened, _ = harden (sample ()) in
+  Alcotest.(check (list string)) "valid" []
+    (Casted_ir.Validate.check_program hardened)
+
+let test_input_not_modified () =
+  let p = sample () in
+  let before = Format.asprintf "%a" Program.pp p in
+  let _ = harden p in
+  let after = Format.asprintf "%a" Program.pp p in
+  Alcotest.(check string) "input untouched" before after
+
+(* Algorithm 1 step 1: every replicable instruction has exactly one
+   replica, placed immediately before it. *)
+let test_every_replicable_duplicated () =
+  let hardened, _ = harden (sample ()) in
+  List.iter
+    (fun f ->
+      if f.Func.protect then
+        List.iter
+          (fun blk ->
+            let body = blk.Block.body in
+            List.iteri
+              (fun idx (insn : Insn.t) ->
+                if
+                  insn.Insn.role = Insn.Original
+                  && Opcode.replicable insn.Insn.op
+                then begin
+                  (* The predecessor must be its replica. *)
+                  if idx = 0 then Alcotest.fail "replica missing (first)";
+                  let prev = List.nth body (idx - 1) in
+                  Alcotest.(check bool)
+                    (Insn.to_string insn ^ " preceded by replica")
+                    true
+                    (prev.Insn.role = Insn.Replica
+                    && prev.Insn.replica_of = insn.Insn.id
+                    && Opcode.equal prev.Insn.op insn.Insn.op)
+                end)
+              body)
+          f.Func.blocks)
+    hardened.Program.funcs
+
+(* Algorithm 1 step 2: register isolation. The replica stream never
+   writes a register that the original stream reads or writes. *)
+let test_register_isolation () =
+  let hardened, _ = harden (sample ()) in
+  List.iter
+    (fun f ->
+      if f.Func.protect then begin
+        let original_regs = Reg.Tbl.create 64 in
+        Func.iter_insns f (fun _ insn ->
+            match insn.Insn.role with
+            | Insn.Original ->
+                Array.iter
+                  (fun r -> Reg.Tbl.replace original_regs r ())
+                  insn.Insn.defs;
+                Array.iter
+                  (fun r -> Reg.Tbl.replace original_regs r ())
+                  insn.Insn.uses
+            | Insn.Replica | Insn.Check | Insn.Shadow_copy -> ());
+        Func.iter_insns f (fun _ insn ->
+            match insn.Insn.role with
+            | Insn.Replica | Insn.Shadow_copy ->
+                Array.iter
+                  (fun r ->
+                    if Reg.Tbl.mem original_regs r then
+                      Alcotest.failf "shadow write to original register %a"
+                        Reg.pp r)
+                  insn.Insn.defs
+            | Insn.Original | Insn.Check -> ())
+      end)
+    hardened.Program.funcs
+
+(* Algorithm 1 step 3: every register read by a non-replicated original
+   instruction is guarded by a check comparing it to its shadow. *)
+let test_checks_guard_non_replicated () =
+  let hardened, _ = harden (sample ()) in
+  List.iter
+    (fun f ->
+      if f.Func.protect then
+        List.iter
+          (fun blk ->
+            let insns = Block.insns blk in
+            let checks_for id =
+              List.filter
+                (fun (i : Insn.t) ->
+                  i.Insn.role = Insn.Check && i.Insn.protects = id)
+                insns
+            in
+            List.iter
+              (fun (insn : Insn.t) ->
+                if
+                  insn.Insn.role = Insn.Original
+                  && not (Opcode.replicable insn.Insn.op)
+                then
+                  Alcotest.(check int)
+                    (Insn.to_string insn ^ " guarded")
+                    (Array.length insn.Insn.uses)
+                    (List.length (checks_for insn.Insn.id)))
+              insns)
+          f.Func.blocks)
+    hardened.Program.funcs
+
+(* Non-replicated defs (call results) get a shadow copy right after. *)
+let test_shadow_copy_after_call () =
+  let hardened, _ = harden (sample ()) in
+  let f = Program.entry_func hardened in
+  let found = ref false in
+  List.iter
+    (fun blk ->
+      let rec scan = function
+        | (a : Insn.t) :: (b : Insn.t) :: rest ->
+            if Opcode.equal a.Insn.op Opcode.Call && Array.length a.Insn.defs > 0
+            then begin
+              Alcotest.(check bool) "copy after call" true
+                (b.Insn.role = Insn.Shadow_copy);
+              Alcotest.(check bool) "copy reads the call result" true
+                (Reg.equal b.Insn.uses.(0) a.Insn.defs.(0));
+              found := true
+            end;
+            scan (b :: rest)
+        | _ -> ()
+      in
+      scan blk.Block.body)
+    f.Func.blocks;
+  Alcotest.(check bool) "call found" true !found
+
+let test_unprotected_functions_untouched () =
+  let p = (Option.get (Registry.find "197.parser")).W.build W.Fault in
+  let hardened, _ = harden p in
+  let lib = Program.find_func hardened "lib_verify" in
+  Alcotest.(check bool) "unprotected" false lib.Func.protect;
+  Func.iter_insns lib (fun _ insn ->
+      Alcotest.(check bool) "only original roles" true
+        (insn.Insn.role = Insn.Original))
+
+let test_expansion_factor_range () =
+  (* The paper reports hardened binaries 2.4x larger on average. Static
+     expansion of our kernels should land in the same ballpark. *)
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let _, stats = harden p in
+      let e = Transform.expansion stats in
+      if e < 1.6 || e > 3.5 then
+        Alcotest.failf "%s: expansion %.2f out of expected range" w.W.name e)
+    Registry.all
+
+(* The heart of the matter: hardening must not change program semantics.
+   Run original and hardened programs and compare outputs. *)
+let test_semantics_preserved_all_workloads () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let plain = run_scheme Scheme.Noed p in
+      List.iter
+        (fun scheme ->
+          let r = run_scheme scheme p in
+          (match r.Outcome.termination with
+          | Outcome.Exit 0 -> ()
+          | t ->
+              Alcotest.failf "%s/%s: %a" w.W.name (Scheme.name scheme)
+                Outcome.pp_termination t);
+          Alcotest.(check string)
+            (w.W.name ^ "/" ^ Scheme.name scheme ^ " output")
+            plain.Outcome.output r.Outcome.output)
+        [ Scheme.Sced; Scheme.Dced; Scheme.Casted ])
+    Registry.all
+
+let test_options_disable_checks () =
+  let p = sample () in
+  let _, with_stores = harden p in
+  let _, without_stores =
+    harden ~options:{ Options.default with Options.check_stores = false } p
+  in
+  Alcotest.(check bool) "fewer checks" true
+    (without_stores.Transform.checks < with_stores.Transform.checks);
+  (* Semantics still preserved without store checks. *)
+  let hardened, _ =
+    Transform.program
+      { Options.default with Options.check_stores = false }
+      p
+  in
+  Casted_ir.Validate.check_exn hardened
+
+let test_stats_counts () =
+  let p =
+    program_of (fun b ->
+        let x = B.movi b 2L in
+        let y = B.addi b x 3L in
+        let base = B.movi b 0x100L in
+        B.st b Opcode.W8 ~value:y ~base 0L)
+  in
+  let _, stats = harden p in
+  (* Originals: movi, addi, movi(base), st, movi(zero), halt = 6. *)
+  Alcotest.(check int) "originals" 6 stats.Transform.originals;
+  (* Replicas: all four movi/addi/movi + exit movi = 4. *)
+  Alcotest.(check int) "replicas" 4 stats.Transform.replicas;
+  (* Checks: st reads (value, base) = 2; halt reads code = 1. *)
+  Alcotest.(check int) "checks" 3 stats.Transform.checks;
+  Alcotest.(check int) "copies" 0 stats.Transform.shadow_copies
+
+let suite =
+  ( "transform",
+    [
+      case "hardened program validates" test_hardened_validates;
+      case "input program not modified" test_input_not_modified;
+      case "step 1: replication" test_every_replicable_duplicated;
+      case "step 2: register isolation" test_register_isolation;
+      case "step 3: checks guard non-replicated insns"
+        test_checks_guard_non_replicated;
+      case "shadow copy after call results" test_shadow_copy_after_call;
+      case "unprotected functions untouched"
+        test_unprotected_functions_untouched;
+      case "expansion factor in the paper's range (2.4x avg)"
+        test_expansion_factor_range;
+      case "semantics preserved on all workloads x schemes"
+        test_semantics_preserved_all_workloads;
+      case "options disable check classes" test_options_disable_checks;
+      case "instrumentation statistics" test_stats_counts;
+    ] )

@@ -1,0 +1,151 @@
+open Helpers
+
+let mk_insn func ~op ?defs ?uses ?target ?target2 () =
+  Insn.make ~id:(Func.fresh_id func) ~op ?defs ?uses ?target ?target2 ()
+
+(* A minimal hand-built program with one injected defect. *)
+let program_with ~patch =
+  let func = Func.make ~name:"main" () in
+  let r = Func.fresh_reg func Reg.Gp in
+  let movi = mk_insn func ~op:Opcode.Movi ~defs:[| r |] () in
+  let halt = mk_insn func ~op:Opcode.Halt () in
+  let block = Block.make ~label:"entry" ~body:[ movi ] ~term:halt in
+  func.Func.blocks <- [ block ];
+  let p = Program.make ~funcs:[ func ] ~entry:"main" () in
+  patch p func block;
+  p
+
+let expect_invalid name p =
+  match Casted_ir.Validate.check_program p with
+  | [] -> Alcotest.failf "%s: expected a violation" name
+  | _ -> ()
+
+let test_valid_program_passes () =
+  let p = program_with ~patch:(fun _ _ _ -> ()) in
+  Alcotest.(check (list string)) "no errors" []
+    (Casted_ir.Validate.check_program p)
+
+let test_unknown_entry () =
+  let p = program_with ~patch:(fun _ _ _ -> ()) in
+  expect_invalid "entry" { p with Program.entry = "nope" }
+
+let test_dangling_branch_target () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        block.Block.term <-
+          mk_insn func ~op:Opcode.Br ~target:"nowhere" ())
+  in
+  expect_invalid "dangling target" p
+
+let test_register_class_mismatch () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        (* Add takes Gp operands; give it a predicate. *)
+        let bad =
+          mk_insn func ~op:Opcode.Add
+            ~defs:[| Func.fresh_reg func Reg.Gp |]
+            ~uses:[| Func.fresh_reg func Reg.Pr; Func.fresh_reg func Reg.Gp |]
+            ()
+        in
+        block.Block.body <- block.Block.body @ [ bad ])
+  in
+  expect_invalid "class mismatch" p
+
+let test_duplicate_insn_id () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        let r = Func.fresh_reg func Reg.Gp in
+        let dup = Insn.make ~id:0 ~op:Opcode.Movi ~defs:[| r |] () in
+        block.Block.body <- block.Block.body @ [ dup ])
+  in
+  expect_invalid "duplicate id" p
+
+let test_register_beyond_counter () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        let rogue = Reg.gp 999 in
+        let bad = mk_insn func ~op:Opcode.Movi ~defs:[| rogue |] () in
+        block.Block.body <- block.Block.body @ [ bad ])
+  in
+  expect_invalid "register beyond counter" p
+
+let test_call_to_unknown_function () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        let c = mk_insn func ~op:Opcode.Call ~target:"ghost" () in
+        block.Block.body <- block.Block.body @ [ c ])
+  in
+  expect_invalid "unknown callee" p
+
+let test_call_argument_mismatch () =
+  let callee = Func.make ~name:"callee" ~params:[ Reg.gp 0 ] () in
+  let ret = Insn.make ~id:(Func.fresh_id callee) ~op:Opcode.Ret () in
+  callee.Func.blocks <- [ Block.make ~label:"entry" ~body:[] ~term:ret ];
+  let p =
+    program_with ~patch:(fun _ func block ->
+        (* Calling with zero arguments; callee expects one. *)
+        let c = mk_insn func ~op:Opcode.Call ~target:"callee" () in
+        block.Block.body <- block.Block.body @ [ c ])
+  in
+  expect_invalid "arg mismatch" { p with Program.funcs = p.Program.funcs @ [ callee ] }
+
+let test_data_segment_out_of_bounds () =
+  let p = program_with ~patch:(fun _ _ _ -> ()) in
+  expect_invalid "data oob"
+    { p with Program.data = [ (p.Program.mem_size - 1, "xyz") ] }
+
+let test_output_region_out_of_bounds () =
+  let p = program_with ~patch:(fun _ _ _ -> ()) in
+  expect_invalid "output oob"
+    { p with Program.output_base = p.Program.mem_size; Program.output_len = 8 }
+
+let test_entry_with_params_rejected () =
+  let func = Func.make ~name:"main" ~params:[ Reg.gp 0 ] () in
+  let halt = Insn.make ~id:(Func.fresh_id func) ~op:Opcode.Halt () in
+  func.Func.blocks <- [ Block.make ~label:"entry" ~body:[] ~term:halt ];
+  expect_invalid "entry params" (Program.make ~funcs:[ func ] ~entry:"main" ())
+
+let test_chk_class_pair () =
+  let p =
+    program_with ~patch:(fun _ func block ->
+        let bad =
+          mk_insn func ~op:Opcode.Chk
+            ~uses:[| Func.fresh_reg func Reg.Gp; Func.fresh_reg func Reg.Fp |]
+            ()
+        in
+        block.Block.body <- block.Block.body @ [ bad ])
+  in
+  expect_invalid "chk classes" p
+
+let test_workloads_validate () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun size ->
+          let p = w.Casted_workloads.Workload.build size in
+          match Casted_ir.Validate.check_program p with
+          | [] -> ()
+          | errs ->
+              Alcotest.failf "%s (%s): %s" w.Casted_workloads.Workload.name
+                (Casted_workloads.Workload.size_name size)
+                (String.concat "; " errs))
+        [ Casted_workloads.Workload.Fault; Casted_workloads.Workload.Perf ])
+    Casted_workloads.Registry.all
+
+let suite =
+  ( "validate",
+    [
+      case "valid program passes" test_valid_program_passes;
+      case "unknown entry" test_unknown_entry;
+      case "dangling branch target" test_dangling_branch_target;
+      case "register class mismatch" test_register_class_mismatch;
+      case "duplicate instruction id" test_duplicate_insn_id;
+      case "register beyond counter" test_register_beyond_counter;
+      case "call to unknown function" test_call_to_unknown_function;
+      case "call argument mismatch" test_call_argument_mismatch;
+      case "data segment bounds" test_data_segment_out_of_bounds;
+      case "output region bounds" test_output_region_out_of_bounds;
+      case "entry with params rejected" test_entry_with_params_rejected;
+      case "chk operand classes" test_chk_class_pair;
+      case "all workloads validate at both sizes" test_workloads_validate;
+    ] )

@@ -1,0 +1,127 @@
+open Helpers
+module W = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Gen = Casted_workloads.Gen
+
+let test_registry_complete () =
+  (* The paper's Table II: 4 MediaBench + 3 SPEC benchmarks. *)
+  Alcotest.(check int) "seven benchmarks" 7 (List.length Registry.all);
+  let media, spec =
+    List.partition (fun w -> w.W.suite = "MediaBench II") Registry.all
+  in
+  Alcotest.(check int) "four MediaBench" 4 (List.length media);
+  Alcotest.(check int) "three SPEC" 3 (List.length spec);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Option.is_some (Registry.find name)))
+    [ "cjpeg"; "h263dec"; "mpeg2dec"; "h263enc"; "175.vpr"; "181.mcf";
+      "197.parser" ]
+
+let test_find_unknown () =
+  Alcotest.(check bool) "unknown" true (Option.is_none (Registry.find "gcc"))
+
+let test_builds_are_deterministic () =
+  List.iter
+    (fun w ->
+      let p1 = w.W.build W.Fault in
+      let p2 = w.W.build W.Fault in
+      Alcotest.(check string) (w.W.name ^ " identical IR")
+        (Format.asprintf "%a" Program.pp p1)
+        (Format.asprintf "%a" Program.pp p2))
+    Registry.all
+
+let test_all_run_to_completion () =
+  List.iter
+    (fun w ->
+      let p = w.W.build W.Fault in
+      let r = run_noed p in
+      (match r.Outcome.termination with
+      | Outcome.Exit 0 -> ()
+      | t ->
+          Alcotest.failf "%s: %a" w.W.name Outcome.pp_termination t);
+      Alcotest.(check bool) (w.W.name ^ " does work") true
+        (r.Outcome.dyn_insns > 1_000);
+      (* The output region must not be all zeroes (the kernels write
+         real results plus a checksum). *)
+      Alcotest.(check bool) (w.W.name ^ " output nonzero") true
+        (String.exists (fun c -> c <> '\000') r.Outcome.output))
+    Registry.all
+
+let test_perf_larger_than_fault () =
+  List.iter
+    (fun w ->
+      let fault = run_noed (w.W.build W.Fault) in
+      let perf = run_noed (w.W.build W.Perf) in
+      Alcotest.(check bool) (w.W.name ^ " perf is bigger") true
+        (perf.Outcome.dyn_insns > 2 * fault.Outcome.dyn_insns))
+    Registry.all
+
+let test_workload_character () =
+  (* Spot-check the published character of selected kernels. *)
+  let ipc name =
+    let w = Option.get (Registry.find name) in
+    let r = run_noed ~issue_width:4 (w.W.build W.Fault) in
+    Outcome.ipc r
+  in
+  (* mcf is the low-ILP pointer chaser; cjpeg is the high-ILP encoder. *)
+  Alcotest.(check bool) "mcf has the lowest ILP of the two" true
+    (ipc "181.mcf" < ipc "cjpeg")
+
+let test_unprotected_library_presence () =
+  let has_unprotected name =
+    let w = Option.get (Registry.find name) in
+    let p = w.W.build W.Fault in
+    List.exists (fun f -> not f.Func.protect) p.Program.funcs
+  in
+  Alcotest.(check bool) "parser has a library" true
+    (has_unprotected "197.parser");
+  Alcotest.(check bool) "mpeg2dec has a library" true
+    (has_unprotected "mpeg2dec");
+  Alcotest.(check bool) "cjpeg is fully protected" false
+    (has_unprotected "cjpeg")
+
+let test_mcf_chain_covers_all_nodes () =
+  (* The pointer chain must visit every node exactly once per pass:
+     acc = sum of all node values (before updates) on the first pass. *)
+  let w = Option.get (Registry.find "181.mcf") in
+  let p = w.W.build W.Fault in
+  let r = run_noed p in
+  (* If the chain were cut short, far fewer instructions would run:
+     1024 nodes x 3 passes x ~10 insns each. *)
+  Alcotest.(check bool) "chain length plausible" true
+    (r.Outcome.dyn_insns > 1024 * 3 * 8)
+
+let test_gen_determinism () =
+  let a = Gen.create ~seed:5 in
+  let b = Gen.create ~seed:5 in
+  Alcotest.(check string) "same bytes" (Gen.bytes a 64) (Gen.bytes b 64)
+
+let test_gen_permutation () =
+  let g = Gen.create ~seed:9 in
+  let p = Gen.permutation g 100 in
+  let sorted = Array.copy p in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "is a permutation" true
+    (Array.to_list sorted = List.init 100 Fun.id)
+
+let test_gen_serialization () =
+  Alcotest.(check string) "le16" "\x34\x12" (Gen.le16 [ 0x1234 ]);
+  Alcotest.(check string) "le32" "\x78\x56\x34\x12" (Gen.le32 [ 0x12345678 ]);
+  Alcotest.(check string) "le16 negative wraps" "\xff\xff" (Gen.le16 [ -1 ])
+
+let suite =
+  ( "workloads",
+    [
+      case "registry matches Table II" test_registry_complete;
+      case "unknown benchmark" test_find_unknown;
+      case "builds are deterministic" test_builds_are_deterministic;
+      case "all run to completion" test_all_run_to_completion;
+      case "perf inputs are larger" test_perf_larger_than_fault;
+      case "workload ILP character" test_workload_character;
+      case "unprotected libraries where the paper needs them"
+        test_unprotected_library_presence;
+      case "mcf chain covers all nodes" test_mcf_chain_covers_all_nodes;
+      case "generator determinism" test_gen_determinism;
+      case "generator permutations" test_gen_permutation;
+      case "generator serialisation" test_gen_serialization;
+    ] )
