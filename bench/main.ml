@@ -8,6 +8,9 @@
    Environment knobs:
      CASTED_TRIALS    Monte-Carlo trials per campaign (default 300, the
                       paper's count; set lower for a quick pass)
+     CASTED_JOBS      worker domains for the experiment engine (default:
+                      the number of cores); results are identical for
+                      any value, including 1
      CASTED_FAST=1    small inputs + few trials, for smoke testing
      CASTED_SECTIONS  comma-separated subset of sections to run *)
 
@@ -21,13 +24,35 @@ module Simulator = Casted_sim.Simulator
 module Outcome = Casted_sim.Outcome
 module Montecarlo = Casted_sim.Montecarlo
 module Report = Casted_report
+module Engine = Casted_engine.Engine
+module Pool = Casted_exec.Pool
 
 let fast = Sys.getenv_opt "CASTED_FAST" = Some "1"
 
+let env_failure fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("bench: " ^ msg);
+      exit 2)
+    fmt
+
+(* Malformed knobs are rejected loudly: a typo in CASTED_TRIALS must not
+   silently run the 300-trial default. *)
 let trials =
   match Sys.getenv_opt "CASTED_TRIALS" with
-  | Some s -> ( try int_of_string s with _ -> 300)
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some n -> env_failure "CASTED_TRIALS must be >= 1 (got %d)" n
+      | None -> env_failure "CASTED_TRIALS must be an integer (got %S)" s)
   | None -> if fast then 40 else 300
+
+let jobs =
+  match Pool.default_jobs () with
+  | Ok n -> n
+  | Error msg -> env_failure "%s" msg
+
+let engine = Engine.create ~jobs ()
 
 let perf_size = if fast then W.Fault else W.Perf
 
@@ -45,9 +70,10 @@ let banner name =
 let sweep =
   lazy
     (let t0 = Unix.gettimeofday () in
-     let s = Report.Perf_sweep.run ~size:perf_size () in
-     Printf.printf "(sweep: %d simulations in %.1fs)\n%!"
+     let s = Report.Perf_sweep.run ~engine ~size:perf_size () in
+     Printf.printf "(sweep: %d simulations on %d jobs in %.1fs)\n%!"
        (List.length s.Report.Perf_sweep.points)
+       (Engine.jobs engine)
        (Unix.gettimeofday () -. t0);
      s)
 
@@ -81,7 +107,7 @@ let section_fig9 () =
   banner
     (Printf.sprintf "Fig. 9: fault coverage, issue 2 delay 2 (%d trials)"
        trials);
-  let rows = Report.Coverage.fig9 ~trials () in
+  let rows = Report.Coverage.fig9 ~engine ~trials () in
   print_string (Report.Coverage.render rows)
 
 let section_fig10 () =
@@ -89,7 +115,7 @@ let section_fig10 () =
     (Printf.sprintf
        "Fig. 10: h263dec fault coverage across configurations (%d trials)"
        trials);
-  let rows = Report.Coverage.fig10 ~trials ~benchmark:"h263dec" () in
+  let rows = Report.Coverage.fig10 ~engine ~trials ~benchmark:"h263dec" () in
   print_string (Report.Coverage.render rows)
 
 (* Ablations of the design decisions called out in DESIGN.md SS5. *)
@@ -181,8 +207,8 @@ let section_recovery () =
       in
       let cycles s = (Simulator.run s).Outcome.cycles in
       let base = cycles noed.Pipeline.schedule in
-      let det_mc = Montecarlo.run ~trials:(min trials 150) det.Pipeline.schedule in
-      let rec_mc = Montecarlo.run ~trials:(min trials 150) rec_schedule in
+      let det_mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) det.Pipeline.schedule in
+      let rec_mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) rec_schedule in
       Printf.printf
         "%-10s slowdown: CASTED %.2fx, CASTED-R %.2fx | benign: %.0f%% vs %.0f%% | corrupt: %.0f%% vs %.0f%%\n"
         name
@@ -229,7 +255,7 @@ let section_cse_on_hardened () =
   in
   let measure label p =
     let s = schedule p in
-    let mc = Montecarlo.run ~trials:(min trials 150) s in
+    let mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) s in
     Printf.printf "%-26s %6d insns, detected %5.1f%%, corrupt %5.1f%%\n" label
       (Casted_ir.Program.num_insns p)
       (Montecarlo.percent mc Montecarlo.Detected)
@@ -271,7 +297,7 @@ let section_selective () =
         in
         let base = (Simulator.run noed.Pipeline.schedule).Outcome.cycles in
         let cycles = (Simulator.run s).Outcome.cycles in
-        let mc = Montecarlo.run ~trials:(min trials 150) s in
+        let mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) s in
         (stats, float_of_int cycles /. float_of_int base, mc)
       in
       let fstats, fslow, fmc = measure Options.default in
@@ -423,4 +449,7 @@ let () =
   run "cse_on_hardened" section_cse_on_hardened;
   run "selective" section_selective;
   run "microbench" section_microbench;
+  banner "Engine utilisation";
+  print_string (Engine.utilisation engine);
+  Engine.shutdown engine;
   Printf.printf "\n(total: %.1fs)\n" (Unix.gettimeofday () -. t0)

@@ -12,6 +12,8 @@ module Simulator = Casted_sim.Simulator
 module Outcome = Casted_sim.Outcome
 module Montecarlo = Casted_sim.Montecarlo
 module Report = Casted_report
+module Engine = Casted_engine.Engine
+module Pool = Casted_exec.Pool
 
 let find_workload name =
   match Registry.find name with
@@ -61,6 +63,31 @@ let trials_arg =
   Arg.(
     value & opt int 300
     & info [ "trials" ] ~doc:"Monte-Carlo trials per campaign.")
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the experiment engine: sweep points and \
+     Monte-Carlo trials fan out over $(docv) domains. Defaults to \
+     $(b,CASTED_JOBS) or the number of cores. Results are identical for \
+     every $(docv), including 1 (sequential)."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+(* Resolve --jobs against CASTED_JOBS / core count, rejecting malformed
+   values loudly. *)
+let resolve_jobs = function
+  | Some n when n >= 1 -> n
+  | Some n ->
+      Printf.eprintf "casted: --jobs must be >= 1 (got %d)\n" n;
+      exit 2
+  | None -> (
+      match Pool.default_jobs () with
+      | Ok n -> n
+      | Error msg ->
+          Printf.eprintf "casted: %s\n" msg;
+          exit 2)
+
+let with_engine jobs f = Engine.with_engine ~jobs:(resolve_jobs jobs) f
 
 (* Subcommands. *)
 
@@ -123,12 +150,14 @@ let run_cmd =
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg)
 
 let sweep_cmd =
-  let run benches size =
+  let run benches size jobs =
     let benchmarks = if benches = [] then None else Some benches in
-    let sweep = Report.Perf_sweep.run ~size ?benchmarks () in
-    print_string (Report.Perf_sweep.render_all sweep);
-    print_string
-      (Report.Perf_sweep.render_summary (Report.Perf_sweep.summarize sweep));
+    with_engine jobs (fun engine ->
+        let sweep = Report.Perf_sweep.run ~engine ~size ?benchmarks () in
+        print_string (Report.Perf_sweep.render_all sweep);
+        print_string
+          (Report.Perf_sweep.render_summary
+             (Report.Perf_sweep.summarize sweep)));
     0
   in
   let benches =
@@ -139,13 +168,14 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Reproduce Figs. 6-7: slowdowns over issue widths and delays")
-    Term.(const run $ benches $ size_arg)
+    Term.(const run $ benches $ size_arg $ jobs_arg)
 
 let scaling_cmd =
-  let run benches size =
+  let run benches size jobs =
     let benchmarks = if benches = [] then None else Some benches in
-    let sweep = Report.Perf_sweep.run ~size ?benchmarks () in
-    print_string (Report.Scaling.render_all sweep);
+    with_engine jobs (fun engine ->
+        let sweep = Report.Perf_sweep.run ~engine ~size ?benchmarks () in
+        print_string (Report.Scaling.render_all sweep));
     0
   in
   let benches =
@@ -154,19 +184,20 @@ let scaling_cmd =
       & info [] ~docv:"BENCHMARK" ~doc:"Benchmarks (default: all).")
   in
   Cmd.v (Cmd.info "scaling" ~doc:"Reproduce Fig. 8: ILP scaling")
-    Term.(const run $ benches $ size_arg)
+    Term.(const run $ benches $ size_arg $ jobs_arg)
 
 let faults_cmd =
-  let run fig trials bench =
-    let rows =
-      match fig with
-      | 9 -> Report.Coverage.fig9 ~trials ()
-      | 10 -> Report.Coverage.fig10 ~trials ~benchmark:bench ()
-      | n ->
-          Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
-          exit 2
-    in
-    print_string (Report.Coverage.render rows);
+  let run fig trials bench jobs =
+    with_engine jobs (fun engine ->
+        let rows =
+          match fig with
+          | 9 -> Report.Coverage.fig9 ~engine ~trials ()
+          | 10 -> Report.Coverage.fig10 ~engine ~trials ~benchmark:bench ()
+          | n ->
+              Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
+              exit 2
+        in
+        print_string (Report.Coverage.render rows));
     0
   in
   let fig =
@@ -177,7 +208,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Reproduce Figs. 9-10: Monte-Carlo fault coverage")
-    Term.(const run $ fig $ trials_arg $ bench_arg)
+    Term.(const run $ fig $ trials_arg $ bench_arg $ jobs_arg)
 
 let tables_cmd =
   let run issue delay =
@@ -194,23 +225,25 @@ let tables_cmd =
     Term.(const run $ issue_arg $ delay_arg)
 
 let campaign_cmd =
-  let run bench scheme issue delay trials =
-    let row =
-      Report.Coverage.campaign ~trials ~benchmark:bench ~scheme ~issue ~delay
-        ()
-    in
-    Format.printf "%s / %s issue %d delay %d@." bench (Scheme.name scheme)
-      issue delay;
-    Format.printf "%a@." Montecarlo.pp row.Report.Coverage.result;
+  let run bench scheme issue delay trials jobs =
+    with_engine jobs (fun engine ->
+        let row =
+          Report.Coverage.campaign ~engine ~trials ~benchmark:bench ~scheme
+            ~issue ~delay ()
+        in
+        Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
+          (Scheme.name scheme) issue delay (Engine.jobs engine);
+        Format.printf "%a@." Montecarlo.pp row.Report.Coverage.result);
     0
   in
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run one Monte-Carlo fault campaign")
     Term.(
-      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg)
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
+      $ jobs_arg)
 
 let recover_cmd =
-  let run bench issue delay trials =
+  let run bench issue delay trials jobs =
     let w = find_workload bench in
     let program = w.W.build W.Fault in
     let hardened, stats =
@@ -227,7 +260,10 @@ let recover_cmd =
     Format.printf "instrumentation: %a@." Casted_detect.Recover.pp_stats stats;
     let r = Simulator.run schedule in
     Format.printf "golden: %a@." Outcome.pp r;
-    let mc = Montecarlo.run ~trials schedule in
+    let mc =
+      Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          Montecarlo.run ~pool ~trials schedule)
+    in
     Format.printf "faults: %a@." Montecarlo.pp mc;
     0
   in
@@ -236,7 +272,7 @@ let recover_cmd =
        ~doc:
          "Run the CASTED-R extension (triplication + majority voting) on a \
           benchmark")
-    Term.(const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg)
+    Term.(const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg $ jobs_arg)
 
 let placement_cmd =
   let run bench issue size =

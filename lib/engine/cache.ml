@@ -1,0 +1,82 @@
+module Workload = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Scheme = Casted_detect.Scheme
+module Options = Casted_detect.Options
+module Pipeline = Casted_detect.Pipeline
+
+type key = {
+  workload : string;
+  size : Workload.size;
+  scheme : Scheme.t;
+  issue_width : int;
+  delay : int;
+  options : Options.t;
+  bug_options : Casted_sched.Bug.options option;
+  optimize : bool;
+}
+
+let key ?(options = Options.default) ?bug_options ?(optimize = false)
+    ~workload ~size ~scheme ~issue_width ~delay () =
+  { workload; size; scheme; issue_width; delay; options; bug_options; optimize }
+
+let pp_key ppf k =
+  Format.fprintf ppf "%s/%s/%s/i%d/d%d" k.workload (Workload.size_name k.size)
+    (Scheme.name k.scheme) k.issue_width k.delay
+
+(* The key is a flat record of immediates and small variant records, so
+   polymorphic equality and hashing are exact. *)
+type t = {
+  table : (key, Pipeline.compiled) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+let build k =
+  let w =
+    match Registry.find k.workload with
+    | Some w -> w
+    | None -> invalid_arg ("Cache.compile: unknown workload " ^ k.workload)
+  in
+  let program = w.Workload.build k.size in
+  Pipeline.compile ~options:k.options ?bug_options:k.bug_options
+    ~optimize:k.optimize ~scheme:k.scheme ~issue_width:k.issue_width
+    ~delay:k.delay program
+
+let compile t k =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.table k with
+  | Some c ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      c
+  | None ->
+      (* Compile outside the lock so distinct keys compile in parallel.
+         On a same-key race the first insert wins, so every caller gets
+         the physically equal compile. *)
+      Mutex.unlock t.mutex;
+      let c = build k in
+      Mutex.lock t.mutex;
+      let c =
+        match Hashtbl.find_opt t.table k with
+        | Some prior ->
+            t.hits <- t.hits + 1;
+            prior
+        | None ->
+            t.misses <- t.misses + 1;
+            Hashtbl.add t.table k c;
+            c
+      in
+      Mutex.unlock t.mutex;
+      c
+
+type stats = { hits : int; misses : int; entries : int }
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table } in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,56 @@
+(** Compiled-schedule cache.
+
+    Sweeps and Monte-Carlo campaigns repeatedly compile the same
+    [(workload, size, scheme, issue width, delay, options)] point — a
+    fig-9 campaign and a perf sweep share every configuration, and the
+    CLI recompiles on every invocation of a subcommand. The cache keys
+    a {!Casted_detect.Pipeline.compile} result on the full
+    configuration tuple so each point is compiled exactly once per
+    engine, and repeated lookups return the {e physically equal}
+    compile.
+
+    The cache is domain-safe: lookups and inserts are serialised by a
+    mutex, while compiles run outside it so distinct keys compile in
+    parallel. If two domains race to compile the same key, the first
+    insert wins and both receive the same value. *)
+
+type key = {
+  workload : string;  (** registry name, e.g. ["cjpeg"] *)
+  size : Casted_workloads.Workload.size;
+  scheme : Casted_detect.Scheme.t;
+  issue_width : int;
+  delay : int;
+  options : Casted_detect.Options.t;
+  bug_options : Casted_sched.Bug.options option;
+      (** [None] = the scheme's default assignment options *)
+  optimize : bool;  (** run the scalar pass pipeline before detection *)
+}
+
+(** Build a key with the usual defaults ([Options.default], no BUG
+    override, no pre-pass). *)
+val key :
+  ?options:Casted_detect.Options.t ->
+  ?bug_options:Casted_sched.Bug.options ->
+  ?optimize:bool ->
+  workload:string ->
+  size:Casted_workloads.Workload.size ->
+  scheme:Casted_detect.Scheme.t ->
+  issue_width:int ->
+  delay:int ->
+  unit ->
+  key
+
+val pp_key : Format.formatter -> key -> unit
+
+type t
+
+val create : unit -> t
+
+(** [compile t key] returns the cached compile for [key], compiling it
+    (workload lookup, program build, full pipeline) on first use.
+    Raises [Invalid_argument] for an unknown workload name. *)
+val compile : t -> key -> Casted_detect.Pipeline.compiled
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : t -> stats

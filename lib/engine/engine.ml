@@ -1,0 +1,238 @@
+module Pool = Casted_exec.Pool
+module Workload = Casted_workloads.Workload
+module Registry = Casted_workloads.Registry
+module Scheme = Casted_detect.Scheme
+module Pipeline = Casted_detect.Pipeline
+module Simulator = Casted_sim.Simulator
+module Outcome = Casted_sim.Outcome
+module Montecarlo = Casted_sim.Montecarlo
+
+type job_counters = {
+  compiles : int;
+  compile_s : float;
+  simulates : int;
+  simulate_s : float;
+  campaigns : int;
+  campaign_s : float;
+  sweeps : int;
+  sweep_s : float;
+}
+
+let zero_counters =
+  {
+    compiles = 0;
+    compile_s = 0.0;
+    simulates = 0;
+    simulate_s = 0.0;
+    campaigns = 0;
+    campaign_s = 0.0;
+    sweeps = 0;
+    sweep_s = 0.0;
+  }
+
+type t = {
+  pool : Pool.t;
+  cache : Cache.t;
+  mutex : Mutex.t;
+  mutable counts : job_counters;
+}
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some n -> n
+    | None -> (
+        match Pool.default_jobs () with
+        | Ok n -> n
+        | Error msg -> invalid_arg ("Engine.create: " ^ msg))
+  in
+  {
+    pool = Pool.create ~jobs ();
+    cache = Cache.create ();
+    mutex = Mutex.create ();
+    counts = zero_counters;
+  }
+
+let jobs t = Pool.jobs t.pool
+let pool t = t.pool
+let cache t = t.cache
+let shutdown t = Pool.shutdown t.pool
+
+let with_engine ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let timed t kind f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Mutex.lock t.mutex;
+  let c = t.counts in
+  t.counts <-
+    (match kind with
+    | `Compile -> { c with compiles = c.compiles + 1; compile_s = c.compile_s +. dt }
+    | `Simulate ->
+        { c with simulates = c.simulates + 1; simulate_s = c.simulate_s +. dt }
+    | `Campaign ->
+        { c with campaigns = c.campaigns + 1; campaign_s = c.campaign_s +. dt }
+    | `Sweep -> { c with sweeps = c.sweeps + 1; sweep_s = c.sweep_s +. dt });
+  Mutex.unlock t.mutex;
+  r
+
+type sweep_point = {
+  benchmark : string;
+  scheme : Scheme.t;
+  issue : int;
+  delay : int;
+  run : Outcome.run;
+}
+
+type job =
+  | Compile of Cache.key
+  | Simulate of Cache.key
+  | Campaign of {
+      spec : Cache.key;
+      trials : int;
+      seed : int;
+      fuel_factor : int;
+    }
+  | Sweep of {
+      size : Workload.size;
+      benchmarks : string list;
+      issues : int list;
+      delays : int list;
+    }
+
+type outcome =
+  | Compiled of Pipeline.compiled
+  | Simulated of Pipeline.compiled * Outcome.run
+  | Campaigned of Montecarlo.result
+  | Swept of sweep_point list
+
+let compile t key = timed t `Compile (fun () -> Cache.compile t.cache key)
+
+let simulate t key =
+  let compiled = compile t key in
+  let run =
+    timed t `Simulate (fun () -> Simulator.run compiled.Pipeline.schedule)
+  in
+  (compiled, run)
+
+let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials key =
+  let compiled = compile t key in
+  timed t `Campaign (fun () ->
+      Montecarlo.run ~pool:t.pool ~seed ~fuel_factor ~trials
+        compiled.Pipeline.schedule)
+
+(* One grid cell: NOED/SCED are single-core, so they are measured once
+   per issue width (compiled at delay 1, recorded as delay 0, like the
+   paper's figures); DCED/CASTED vary over the delay axis. *)
+let sweep_specs ~size ~benchmarks ~issues ~delays =
+  List.concat_map
+    (fun benchmark ->
+      (match Registry.find benchmark with
+      | Some _ -> ()
+      | None -> invalid_arg ("Engine.sweep: unknown benchmark " ^ benchmark));
+      List.concat_map
+        (fun issue ->
+          let spec scheme ~compile_delay ~record_delay =
+            ( Cache.key ~workload:benchmark ~size ~scheme ~issue_width:issue
+                ~delay:compile_delay (),
+              record_delay )
+          in
+          spec Scheme.Noed ~compile_delay:1 ~record_delay:0
+          :: spec Scheme.Sced ~compile_delay:1 ~record_delay:0
+          :: List.concat_map
+               (fun delay ->
+                 [
+                   spec Scheme.Dced ~compile_delay:delay ~record_delay:delay;
+                   spec Scheme.Casted ~compile_delay:delay ~record_delay:delay;
+                 ])
+               delays)
+        issues)
+    benchmarks
+
+let sweep t ~size ?benchmarks ?(issues = [ 1; 2; 3; 4 ])
+    ?(delays = [ 1; 2; 3; 4 ]) () =
+  let benchmarks =
+    match benchmarks with Some b -> b | None -> Registry.names ()
+  in
+  let specs =
+    Array.of_list (sweep_specs ~size ~benchmarks ~issues ~delays)
+  in
+  timed t `Sweep (fun () ->
+      Array.to_list
+        (Pool.map t.pool
+           (fun ((key : Cache.key), record_delay) ->
+             let compiled = Cache.compile t.cache key in
+             let run = Simulator.run compiled.Pipeline.schedule in
+             (match run.Outcome.termination with
+             | Outcome.Exit 0 -> ()
+             | term ->
+                 invalid_arg
+                   (Format.asprintf "Engine.sweep: %a: %a" Cache.pp_key key
+                      Outcome.pp_termination term));
+             {
+               benchmark = key.Cache.workload;
+               scheme = key.Cache.scheme;
+               issue = key.Cache.issue_width;
+               delay = record_delay;
+               run;
+             })
+           specs))
+
+let run_job t = function
+  | Compile key -> Compiled (compile t key)
+  | Simulate key ->
+      let compiled, run = simulate t key in
+      Simulated (compiled, run)
+  | Campaign { spec; trials; seed; fuel_factor } ->
+      Campaigned (campaign t ~seed ~fuel_factor ~trials spec)
+  | Sweep { size; benchmarks; issues; delays } ->
+      Swept (sweep t ~size ~benchmarks ~issues ~delays ())
+
+let run_jobs t jobs = List.map (run_job t) jobs
+
+let counters t =
+  Mutex.lock t.mutex;
+  let c = t.counts in
+  Mutex.unlock t.mutex;
+  c
+
+let utilisation t =
+  let s = Pool.stats t.pool in
+  let c = counters t in
+  let cs = Cache.stats t.cache in
+  let throughput =
+    if s.Pool.wall_s > 0.0 then float_of_int s.Pool.tasks /. s.Pool.wall_s
+    else 0.0
+  in
+  let kind name n secs =
+    if n = 0 then None else Some (Printf.sprintf "%d %s (%.1fs)" n name secs)
+  in
+  let jobs_line =
+    match
+      List.filter_map Fun.id
+        [
+          kind "compiles" c.compiles c.compile_s;
+          kind "simulates" c.simulates c.simulate_s;
+          kind "campaigns" c.campaigns c.campaign_s;
+          kind "sweeps" c.sweeps c.sweep_s;
+        ]
+    with
+    | [] -> "jobs:    none"
+    | parts -> "jobs:    " ^ String.concat ", " parts
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "engine:  %d jobs (%d worker domains), %d tasks, %.1f tasks/s"
+        s.Pool.jobs s.Pool.domains s.Pool.tasks throughput;
+      Printf.sprintf "busy:    %.1fs over %.1fs wall, utilisation %.0f%%"
+        s.Pool.busy_s s.Pool.wall_s
+        (100.0 *. Pool.utilisation s);
+      jobs_line;
+      Printf.sprintf "cache:   %d entries, %d hits, %d misses" cs.Cache.entries
+        cs.Cache.hits cs.Cache.misses;
+      "";
+    ]

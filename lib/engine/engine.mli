@@ -1,0 +1,124 @@
+(** The unified experiment engine.
+
+    Every experiment in the repo — a one-off compile, a golden
+    simulation, a Monte-Carlo fault campaign, a full performance sweep —
+    is a {!job} value submitted to an engine rather than an inline
+    driver loop. The engine owns:
+
+    - a {!Casted_exec.Pool} of worker domains that fans out the
+      embarrassingly parallel parts (sweep points, campaign trials);
+    - a {!Cache} of compiled schedules so configurations shared between
+      jobs compile exactly once;
+    - per-job timing and throughput counters, rendered by
+      {!utilisation}.
+
+    {b Determinism contract.} Engine results never depend on the number
+    of domains: sweep points are returned in grid order, and every
+    campaign trial draws from an RNG seeded by
+    [Rng.derive ~seed trial_index] (see {!Casted_sim.Montecarlo.trial}),
+    so a run with [jobs = N] is bit-identical to [jobs = 1]. *)
+
+type t
+
+(** [create ~jobs ()] builds an engine over a fresh pool. [jobs]
+    defaults to {!Casted_exec.Pool.default_jobs} (the [$CASTED_JOBS]
+    override or the recommended domain count); raises
+    [Invalid_argument] if that env knob is malformed. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+val pool : t -> Casted_exec.Pool.t
+val cache : t -> Cache.t
+
+(** Shut the pool down, draining queued work. Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_engine ?jobs f] runs [f] on a fresh engine and shuts it down
+    afterwards, also on exception. *)
+val with_engine : ?jobs:int -> (t -> 'a) -> 'a
+
+(** {2 The job model} *)
+
+type sweep_point = {
+  benchmark : string;
+  scheme : Casted_detect.Scheme.t;
+  issue : int;
+  delay : int;  (** 0 for the single-core schemes (NOED, SCED) *)
+  run : Casted_sim.Outcome.run;
+}
+
+type job =
+  | Compile of Cache.key  (** compile one configuration (cached) *)
+  | Simulate of Cache.key  (** compile + golden run *)
+  | Campaign of {
+      spec : Cache.key;
+      trials : int;
+      seed : int;
+      fuel_factor : int;
+    }  (** Monte-Carlo fault campaign; trials fan out over the pool *)
+  | Sweep of {
+      size : Casted_workloads.Workload.size;
+      benchmarks : string list;
+      issues : int list;
+      delays : int list;
+    }  (** the Figs. 6-8 grid; points fan out over the pool *)
+
+type outcome =
+  | Compiled of Casted_detect.Pipeline.compiled
+  | Simulated of Casted_detect.Pipeline.compiled * Casted_sim.Outcome.run
+  | Campaigned of Casted_sim.Montecarlo.result
+  | Swept of sweep_point list
+
+val run_job : t -> job -> outcome
+
+(** Run jobs in submission order (each job parallelises internally). *)
+val run_jobs : t -> job list -> outcome list
+
+(** {2 Typed conveniences over {!run_job}} *)
+
+val compile : t -> Cache.key -> Casted_detect.Pipeline.compiled
+
+val simulate :
+  t -> Cache.key -> Casted_detect.Pipeline.compiled * Casted_sim.Outcome.run
+
+(** [campaign t ~trials spec] compiles [spec] (cached) and fans
+    [trials] Monte-Carlo trials over the pool. Identical to the
+    sequential {!Casted_sim.Montecarlo.run} with the same [seed]. *)
+val campaign :
+  t ->
+  ?seed:int ->
+  ?fuel_factor:int ->
+  trials:int ->
+  Cache.key ->
+  Casted_sim.Montecarlo.result
+
+(** [sweep t ~size ()] runs the performance grid of the paper's
+    Figs. 6-8: NOED and SCED once per issue width, DCED and CASTED per
+    (issue, delay). Points come back in deterministic grid order. *)
+val sweep :
+  t ->
+  size:Casted_workloads.Workload.size ->
+  ?benchmarks:string list ->
+  ?issues:int list ->
+  ?delays:int list ->
+  unit ->
+  sweep_point list
+
+(** {2 Instrumentation} *)
+
+type job_counters = {
+  compiles : int;
+  compile_s : float;
+  simulates : int;
+  simulate_s : float;
+  campaigns : int;
+  campaign_s : float;
+  sweeps : int;
+  sweep_s : float;
+}
+
+val counters : t -> job_counters
+
+(** Multi-line human-readable summary: pool size and utilisation, task
+    throughput, per-job-kind counts and times, cache hit rate. *)
+val utilisation : t -> string

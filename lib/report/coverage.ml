@@ -1,8 +1,9 @@
 module Scheme = Casted_detect.Scheme
-module Pipeline = Casted_detect.Pipeline
 module Workload = Casted_workloads.Workload
 module Registry = Casted_workloads.Registry
 module Montecarlo = Casted_sim.Montecarlo
+module Engine = Casted_engine.Engine
+module Cache = Casted_engine.Cache
 
 type row = {
   benchmark : string;
@@ -12,43 +13,53 @@ type row = {
   result : Montecarlo.result;
 }
 
-let campaign ?(seed = 0xCA57ED) ~trials ~benchmark ~scheme ~issue ~delay () =
-  let w =
-    match Registry.find benchmark with
-    | Some w -> w
-    | None -> invalid_arg ("Coverage: unknown benchmark " ^ benchmark)
+let campaign_on engine ?(seed = 0xCA57ED) ~trials ~benchmark ~scheme ~issue
+    ~delay () =
+  (match Registry.find benchmark with
+  | Some _ -> ()
+  | None -> invalid_arg ("Coverage: unknown benchmark " ^ benchmark));
+  let spec =
+    Cache.key ~workload:benchmark ~size:Workload.Fault ~scheme
+      ~issue_width:issue ~delay ()
   in
-  let program = w.Workload.build Workload.Fault in
-  let compiled =
-    Pipeline.compile ~scheme ~issue_width:issue ~delay program
-  in
-  let result = Montecarlo.run ~seed ~trials compiled.Pipeline.schedule in
+  let result = Engine.campaign engine ~seed ~trials spec in
   { benchmark; scheme; issue; delay; result }
 
-let fig9 ?seed ?(trials = 300) ?benchmarks () =
+let with_engine ?engine f =
+  match engine with Some e -> f e | None -> Engine.with_engine f
+
+let campaign ?engine ?seed ~trials ~benchmark ~scheme ~issue ~delay () =
+  with_engine ?engine (fun e ->
+      campaign_on e ?seed ~trials ~benchmark ~scheme ~issue ~delay ())
+
+let fig9 ?engine ?seed ?(trials = 300) ?benchmarks () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> Registry.names ()
   in
-  List.concat_map
-    (fun benchmark ->
-      List.map
-        (fun scheme ->
-          campaign ?seed ~trials ~benchmark ~scheme ~issue:2 ~delay:2 ())
-        Scheme.all)
-    benchmarks
-
-let fig10 ?seed ?(trials = 300) ?(benchmark = "h263dec")
-    ?(schemes = Scheme.all) () =
-  List.concat_map
-    (fun issue ->
+  with_engine ?engine (fun e ->
       List.concat_map
-        (fun delay ->
+        (fun benchmark ->
           List.map
             (fun scheme ->
-              campaign ?seed ~trials ~benchmark ~scheme ~issue ~delay ())
-            schemes)
+              campaign_on e ?seed ~trials ~benchmark ~scheme ~issue:2 ~delay:2
+                ())
+            Scheme.all)
+        benchmarks)
+
+let fig10 ?engine ?seed ?(trials = 300) ?(benchmark = "h263dec")
+    ?(schemes = Scheme.all) () =
+  with_engine ?engine (fun e ->
+      List.concat_map
+        (fun issue ->
+          List.concat_map
+            (fun delay ->
+              List.map
+                (fun scheme ->
+                  campaign_on e ?seed ~trials ~benchmark ~scheme ~issue ~delay
+                    ())
+                schemes)
+            [ 1; 2; 3; 4 ])
         [ 1; 2; 3; 4 ])
-    [ 1; 2; 3; 4 ]
 
 let render rows =
   let headers =

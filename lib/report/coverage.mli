@@ -18,8 +18,15 @@ type row = {
   result : Montecarlo.result;
 }
 
-(** Run one campaign. *)
+(** Run one campaign.
+
+    Campaigns are {!Casted_engine.Engine} jobs: the schedule comes from
+    the engine's compile cache, and the Monte-Carlo trials fan out over
+    its domain pool (bit-identical to a sequential run for the same
+    [seed]). Pass [engine] to share the pool and cache across
+    campaigns; otherwise a private engine is created per call. *)
 val campaign :
+  ?engine:Casted_engine.Engine.t ->
   ?seed:int ->
   trials:int ->
   benchmark:string ->
@@ -30,10 +37,17 @@ val campaign :
   row
 
 (** Fig. 9: all benchmarks x all schemes at (issue, delay) = (2, 2). *)
-val fig9 : ?seed:int -> ?trials:int -> ?benchmarks:string list -> unit -> row list
+val fig9 :
+  ?engine:Casted_engine.Engine.t ->
+  ?seed:int ->
+  ?trials:int ->
+  ?benchmarks:string list ->
+  unit ->
+  row list
 
 (** Fig. 10: one benchmark across issue widths 1–4 x delays 1–4. *)
 val fig10 :
+  ?engine:Casted_engine.Engine.t ->
   ?seed:int ->
   ?trials:int ->
   ?benchmark:string ->

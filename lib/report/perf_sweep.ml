@@ -1,9 +1,8 @@
 module Scheme = Casted_detect.Scheme
-module Pipeline = Casted_detect.Pipeline
 module Workload = Casted_workloads.Workload
 module Registry = Casted_workloads.Registry
-module Simulator = Casted_sim.Simulator
 module Outcome = Casted_sim.Outcome
+module Engine = Casted_engine.Engine
 
 type point = {
   benchmark : string;
@@ -24,61 +23,32 @@ type t = {
 let default_issues = [ 1; 2; 3; 4 ]
 let default_delays = [ 1; 2; 3; 4 ]
 
-let measure program ~scheme ~issue ~delay =
-  let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
-  let run = Simulator.run compiled.Pipeline.schedule in
-  (match run.Outcome.termination with
-  | Outcome.Exit 0 -> ()
-  | t ->
-      invalid_arg
-        (Format.asprintf "Perf_sweep: %s at issue %d delay %d: %a"
-           (Scheme.name scheme) issue delay Outcome.pp_termination t));
-  run
-
-let run ?(size = Workload.Perf) ?benchmarks ?(issues = default_issues)
+let run ?engine ?(size = Workload.Perf) ?benchmarks ?(issues = default_issues)
     ?(delays = default_delays) () =
   let benchmarks =
     match benchmarks with
     | Some names -> names
     | None -> Registry.names ()
   in
-  let points = ref [] in
-  let add benchmark scheme issue delay (r : Outcome.run) =
-    points :=
-      {
-        benchmark;
-        scheme;
-        issue;
-        delay;
-        cycles = r.Outcome.cycles;
-        dyn_insns = r.Outcome.dyn_insns;
-      }
-      :: !points
+  let sweep e =
+    List.map
+      (fun (p : Engine.sweep_point) ->
+        {
+          benchmark = p.Engine.benchmark;
+          scheme = p.Engine.scheme;
+          issue = p.Engine.issue;
+          delay = p.Engine.delay;
+          cycles = p.Engine.run.Outcome.cycles;
+          dyn_insns = p.Engine.run.Outcome.dyn_insns;
+        })
+      (Engine.sweep e ~size ~benchmarks ~issues ~delays ())
   in
-  List.iter
-    (fun name ->
-      let w =
-        match Registry.find name with
-        | Some w -> w
-        | None -> invalid_arg ("Perf_sweep.run: unknown benchmark " ^ name)
-      in
-      let program = w.Workload.build size in
-      List.iter
-        (fun issue ->
-          add name Scheme.Noed issue 0
-            (measure program ~scheme:Scheme.Noed ~issue ~delay:1);
-          add name Scheme.Sced issue 0
-            (measure program ~scheme:Scheme.Sced ~issue ~delay:1);
-          List.iter
-            (fun delay ->
-              add name Scheme.Dced issue delay
-                (measure program ~scheme:Scheme.Dced ~issue ~delay);
-              add name Scheme.Casted issue delay
-                (measure program ~scheme:Scheme.Casted ~issue ~delay))
-            delays)
-        issues)
-    benchmarks;
-  { points = List.rev !points; issues; delays; benchmarks }
+  let points =
+    match engine with
+    | Some e -> sweep e
+    | None -> Engine.with_engine sweep
+  in
+  { points; issues; delays; benchmarks }
 
 let find t ~benchmark ~scheme ~issue ~delay =
   let delay =

@@ -26,8 +26,16 @@ type t = {
 }
 
 (** Run the sweep. Defaults mirror the paper: issue widths 1–4, delays
-    1–4, all seven benchmarks, perf-sized inputs. *)
+    1–4, all seven benchmarks, perf-sized inputs.
+
+    All points are submitted as jobs to an experiment engine
+    ({!Casted_engine.Engine}) and fan out over its domain pool. Pass
+    [engine] to share a pool and compiled-schedule cache with other
+    experiments; otherwise a private engine (sized by [$CASTED_JOBS] or
+    the core count) is created for the call and shut down afterwards.
+    Point order is deterministic regardless of parallelism. *)
 val run :
+  ?engine:Casted_engine.Engine.t ->
   ?size:Casted_workloads.Workload.size ->
   ?benchmarks:string list ->
   ?issues:int list ->

@@ -44,42 +44,67 @@ let classify ~golden (run : Outcome.run) =
       then Benign
       else Data_corrupt
 
-let run ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials sched =
-  let golden = Simulator.run sched in
-  (match golden.Outcome.termination with
+type golden = {
+  run : Outcome.run;
+  population : int;
+  fuel : int;
+}
+
+let golden ?(fuel_factor = 10) sched =
+  let run = Simulator.run sched in
+  (match run.Outcome.termination with
   | Outcome.Exit _ -> ()
   | t ->
       invalid_arg
         (Format.asprintf "Montecarlo.run: golden run did not exit cleanly: %a"
            Outcome.pp_termination t));
-  let population = golden.Outcome.dyn_defs in
-  let fuel = fuel_factor * max 1 golden.Outcome.dyn_insns in
-  let rng = Rng.create ~seed in
-  let counts = Array.make 5 0 in
-  let idx = function
-    | Benign -> 0
-    | Detected -> 1
-    | Exception -> 2
-    | Data_corrupt -> 3
-    | Timeout -> 4
-  in
-  for _ = 1 to trials do
-    let fault = Fault.random rng ~population in
-    let faulty = Simulator.run ~fault ~fuel sched in
-    let c = classify ~golden faulty in
-    counts.(idx c) <- counts.(idx c) + 1
-  done;
   {
-    trials;
+    run;
+    population = run.Outcome.dyn_defs;
+    fuel = fuel_factor * max 1 run.Outcome.dyn_insns;
+  }
+
+(* Each trial draws from its own RNG seeded by (campaign seed, trial
+   index), so the outcome of trial [i] does not depend on which domain
+   runs it or on the trials before it. *)
+let trial ~golden:g ~seed ~index sched =
+  let rng = Rng.create ~seed:(Rng.derive ~seed index) in
+  let fault = Fault.random rng ~population:g.population in
+  let faulty = Simulator.run ~fault ~fuel:g.fuel sched in
+  classify ~golden:g.run faulty
+
+let idx = function
+  | Benign -> 0
+  | Detected -> 1
+  | Exception -> 2
+  | Data_corrupt -> 3
+  | Timeout -> 4
+
+let tally ~golden:g classes =
+  let counts = Array.make 5 0 in
+  Array.iter (fun c -> counts.(idx c) <- counts.(idx c) + 1) classes;
+  {
+    trials = Array.length classes;
     benign = counts.(0);
     detected = counts.(1);
     exceptions = counts.(2);
     corrupt = counts.(3);
     timeouts = counts.(4);
-    golden_cycles = golden.Outcome.cycles;
-    golden_dyn = golden.Outcome.dyn_insns;
-    population;
+    golden_cycles = g.run.Outcome.cycles;
+    golden_dyn = g.run.Outcome.dyn_insns;
+    population = g.population;
   }
+
+let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials sched =
+  let g = golden ~fuel_factor sched in
+  let one index = trial ~golden:g ~seed ~index sched in
+  let indices = Array.init trials Fun.id in
+  let classes =
+    match pool with
+    | Some p -> Casted_exec.Pool.map p one indices
+    | None -> Array.map one indices
+  in
+  tally ~golden:g classes
 
 let pp ppf r =
   Format.fprintf ppf

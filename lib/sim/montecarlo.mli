@@ -30,10 +30,43 @@ val percent : result -> classification -> float
 (** Classify one faulty run against the golden run. *)
 val classify : golden:Outcome.run -> Outcome.run -> classification
 
+(** The golden (fault-free) reference: its run, the injection
+    population, and the faulty-run fuel budget. *)
+type golden = {
+  run : Outcome.run;
+  population : int;  (** dynamic defining instructions *)
+  fuel : int;  (** [fuel_factor * dyn_insns], the paper's time-out *)
+}
+
+(** Execute the golden run. Raises [Invalid_argument] if it does not
+    exit cleanly. *)
+val golden : ?fuel_factor:int -> Casted_sched.Schedule.t -> golden
+
+(** [trial ~golden ~seed ~index schedule] runs faulty trial [index] of
+    a campaign with the given campaign [seed]. The trial's fault is
+    drawn from an RNG seeded by [Rng.derive ~seed index], so the result
+    depends only on [(seed, index)] — never on execution order. This is
+    what lets the engine fan trials over domains while staying
+    bit-identical to a sequential campaign. *)
+val trial :
+  golden:golden ->
+  seed:int ->
+  index:int ->
+  Casted_sched.Schedule.t ->
+  classification
+
+(** Fold per-trial classifications into a campaign result. *)
+val tally : golden:golden -> classification array -> result
+
 (** [run ~seed ~trials schedule] runs the campaign. The fuel of each
     faulty run is [fuel_factor] (default 10) times the golden dynamic
-    instruction count, reproducing the simulator time-out of the paper. *)
+    instruction count, reproducing the simulator time-out of the paper.
+
+    When [pool] is given, trials are fanned out over its domains; the
+    per-trial seed derivation makes the result identical field-for-field
+    to the sequential ([pool] absent or [jobs = 1]) run. *)
 val run :
+  ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
   ?fuel_factor:int ->
   trials:int ->

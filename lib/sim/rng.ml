@@ -4,3 +4,19 @@ let create ~seed = Random.State.make [| seed; 0x5EED; seed lxor 0x00CA57ED |]
 let int t bound = Random.State.int t bound
 let int64 t bound = Random.State.int64 t bound
 let split t = Random.State.split t
+
+(* SplitMix64 finaliser over the pair, so nearby (seed, index) pairs
+   land far apart in seed space. *)
+let derive ~seed index =
+  let open Int64 in
+  let z =
+    add
+      (mul (of_int seed) 0x9E3779B97F4A7C15L)
+      (mul (of_int (index + 1)) 0xBF58476D1CE4E5B9L)
+  in
+  let z = logxor z (shift_right_logical z 30) in
+  let z = mul z 0xBF58476D1CE4E5B9L in
+  let z = logxor z (shift_right_logical z 27) in
+  let z = mul z 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (logand z 0x3FFFFFFFFFFFFFFFL)

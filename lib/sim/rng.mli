@@ -9,3 +9,11 @@ val create : seed:int -> t
 val int : t -> int -> int
 val int64 : t -> int64 -> int64
 val split : t -> t
+
+(** [derive ~seed index] deterministically mixes a campaign seed and a
+    trial index into an independent per-trial seed (SplitMix64
+    finaliser). This is the engine's determinism contract: trial [i] of
+    a campaign draws from [create ~seed:(derive ~seed i)] regardless of
+    which domain runs it, so parallel and sequential campaigns are
+    bit-identical. The result is non-negative. *)
+val derive : seed:int -> int -> int

@@ -1,0 +1,186 @@
+(* The experiment engine: domain pool, schedule cache, deterministic
+   parallel campaigns. *)
+
+open Helpers
+module Pool = Casted_exec.Pool
+module Engine = Casted_engine.Engine
+module Cache = Casted_engine.Cache
+module Montecarlo = Casted_sim.Montecarlo
+module Workload = Casted_workloads.Workload
+
+let spec =
+  Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+    ~issue_width:2 ~delay:2 ()
+
+let check_result = Alcotest.(check int)
+
+let same_result msg (a : Montecarlo.result) (b : Montecarlo.result) =
+  check_result (msg ^ ": trials") a.Montecarlo.trials b.Montecarlo.trials;
+  check_result (msg ^ ": benign") a.Montecarlo.benign b.Montecarlo.benign;
+  check_result (msg ^ ": detected") a.Montecarlo.detected b.Montecarlo.detected;
+  check_result (msg ^ ": exceptions") a.Montecarlo.exceptions
+    b.Montecarlo.exceptions;
+  check_result (msg ^ ": corrupt") a.Montecarlo.corrupt b.Montecarlo.corrupt;
+  check_result (msg ^ ": timeouts") a.Montecarlo.timeouts b.Montecarlo.timeouts;
+  check_result (msg ^ ": golden_cycles") a.Montecarlo.golden_cycles
+    b.Montecarlo.golden_cycles;
+  check_result (msg ^ ": golden_dyn") a.Montecarlo.golden_dyn
+    b.Montecarlo.golden_dyn;
+  check_result (msg ^ ": population") a.Montecarlo.population
+    b.Montecarlo.population
+
+(* (a) A parallel campaign is bit-identical to the jobs=1 campaign and
+   to the plain sequential Montecarlo.run, for the same seed. *)
+let test_campaign_deterministic () =
+  let trials = 60 and seed = 42 in
+  let sequential =
+    Engine.with_engine ~jobs:1 (fun e ->
+        Engine.campaign e ~seed ~trials spec)
+  in
+  let parallel =
+    Engine.with_engine ~jobs:4 (fun e ->
+        Engine.campaign e ~seed ~trials spec)
+  in
+  same_result "jobs=4 vs jobs=1" parallel sequential;
+  let direct =
+    Engine.with_engine ~jobs:1 (fun e ->
+        Montecarlo.run ~seed ~trials (Engine.compile e spec).Pipeline.schedule)
+  in
+  same_result "engine vs Montecarlo.run" parallel direct
+
+(* Different seeds should not collapse onto the same trial stream. *)
+let test_campaign_seed_sensitivity () =
+  Engine.with_engine ~jobs:2 (fun e ->
+      let a = Engine.campaign e ~seed:1 ~trials:80 spec in
+      let b = Engine.campaign e ~seed:2 ~trials:80 spec in
+      if
+        a.Montecarlo.benign = b.Montecarlo.benign
+        && a.Montecarlo.detected = b.Montecarlo.detected
+        && a.Montecarlo.exceptions = b.Montecarlo.exceptions
+        && a.Montecarlo.timeouts = b.Montecarlo.timeouts
+      then
+        Alcotest.fail "seeds 1 and 2 produced identical campaign breakdowns")
+
+(* (b) The schedule cache returns the physically equal compile for a
+   repeated key, and counts hits/misses. *)
+let test_cache_physical_equality () =
+  let cache = Cache.create () in
+  let a = Cache.compile cache spec in
+  let b = Cache.compile cache spec in
+  Alcotest.(check bool) "same compile object" true (a == b);
+  let other = { spec with Cache.issue_width = 3 } in
+  let c = Cache.compile cache other in
+  Alcotest.(check bool) "distinct keys distinct compiles" true (not (c == a));
+  let s = Cache.stats cache in
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "entries" 2 s.Cache.entries
+
+(* The engine shares one cache across jobs: a sweep then a campaign on a
+   shared configuration must not recompile it. *)
+let test_engine_shares_cache () =
+  Engine.with_engine ~jobs:2 (fun e ->
+      let _ = Engine.compile e spec in
+      let misses = (Cache.stats (Engine.cache e)).Cache.misses in
+      let _ = Engine.campaign e ~trials:5 spec in
+      Alcotest.(check int) "campaign reused the sweep compile" misses
+        (Cache.stats (Engine.cache e)).Cache.misses)
+
+(* (c) Pool shutdown drains cleanly: every mapped task ran exactly once,
+   results are in input order, and nothing is lost across batches. *)
+let test_pool_drains () =
+  let pool = Pool.create ~jobs:4 () in
+  let n = 200 in
+  let doubled = Pool.map pool (fun i -> 2 * i) (Array.init n Fun.id) in
+  Alcotest.(check int) "result count" n (Array.length doubled);
+  Array.iteri
+    (fun i v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (2 * i) v)
+    doubled;
+  let more = Pool.map_list pool String.length [ "a"; "bb"; "ccc" ] in
+  Alcotest.(check (list int)) "second batch" [ 1; 2; 3 ] more;
+  Pool.shutdown pool;
+  let s = Pool.stats pool in
+  Alcotest.(check int) "no lost or duplicated tasks" (n + 3) s.Pool.tasks;
+  Pool.shutdown pool (* idempotent *)
+
+let test_pool_rejects_use_after_shutdown () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.shutdown pool;
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Pool.map: pool is shut down") (fun () ->
+      ignore (Pool.map pool Fun.id [| 1 |]))
+
+let test_pool_propagates_exceptions () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      match
+        Pool.map pool
+          (fun i -> if i = 7 then failwith "boom" else i)
+          (Array.init 16 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected the task exception to re-raise"
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg)
+
+(* Sweep points come back in grid order whatever the pool size, and the
+   engine job API agrees with the typed convenience. *)
+let test_sweep_order_independent_of_jobs () =
+  let sweep jobs =
+    Engine.with_engine ~jobs (fun e ->
+        List.map
+          (fun (p : Engine.sweep_point) ->
+            ( p.Engine.benchmark,
+              Scheme.name p.Engine.scheme,
+              p.Engine.issue,
+              p.Engine.delay,
+              p.Engine.run.Outcome.cycles ))
+          (Engine.sweep e ~size:Workload.Fault ~benchmarks:[ "cjpeg" ]
+             ~issues:[ 1; 2 ] ~delays:[ 1; 2 ] ()))
+  in
+  let seq = sweep 1 and par = sweep 4 in
+  Alcotest.(check int) "point count" (2 * (2 + (2 * 2))) (List.length seq);
+  List.iter2
+    (fun (b, s, i, d, c) (b', s', i', d', c') ->
+      Alcotest.(check string) "benchmark" b b';
+      Alcotest.(check string) "scheme" s s';
+      Alcotest.(check int) "issue" i i';
+      Alcotest.(check int) "delay" d d';
+      Alcotest.(check int) "cycles" c c')
+    seq par
+
+let test_job_model () =
+  Engine.with_engine ~jobs:2 (fun e ->
+      match
+        Engine.run_jobs e
+          [
+            Engine.Compile spec;
+            Engine.Campaign { spec; trials = 10; seed = 7; fuel_factor = 10 };
+          ]
+      with
+      | [ Engine.Compiled c; Engine.Campaigned r ] ->
+          Alcotest.(check bool) "compile cached" true
+            (c == Engine.compile e spec);
+          Alcotest.(check int) "campaign trials" 10 r.Montecarlo.trials
+      | _ -> Alcotest.fail "unexpected job outcomes")
+
+let test_rng_derive () =
+  let a = Casted_sim.Rng.derive ~seed:1 0 in
+  let b = Casted_sim.Rng.derive ~seed:1 1 in
+  let c = Casted_sim.Rng.derive ~seed:2 0 in
+  Alcotest.(check bool) "indices differ" true (a <> b);
+  Alcotest.(check bool) "seeds differ" true (a <> c);
+  Alcotest.(check bool) "non-negative" true (a >= 0 && b >= 0 && c >= 0);
+  Alcotest.(check int) "deterministic" a (Casted_sim.Rng.derive ~seed:1 0)
+
+let suite =
+  ( "engine",
+    [
+      case "parallel campaign deterministic" test_campaign_deterministic;
+      case "campaign seed sensitivity" test_campaign_seed_sensitivity;
+      case "cache physical equality" test_cache_physical_equality;
+      case "engine shares cache across jobs" test_engine_shares_cache;
+      case "pool drains on shutdown" test_pool_drains;
+      case "pool rejects use after shutdown" test_pool_rejects_use_after_shutdown;
+      case "pool propagates exceptions" test_pool_propagates_exceptions;
+      case "sweep order independent of jobs" test_sweep_order_independent_of_jobs;
+      case "job model round-trip" test_job_model;
+      case "rng derive" test_rng_derive;
+    ] )

@@ -24,4 +24,5 @@ let () =
       Test_differential.suite;
       Test_asm.suite;
       Test_selective.suite;
+      Test_engine.suite;
     ]
