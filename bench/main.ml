@@ -5,13 +5,15 @@
    summary), then runs one Bechamel micro-benchmark per table/figure
    measuring the corresponding machinery.
 
-   Environment knobs:
+   Environment knobs (malformed values exit 2, never silently default):
      CASTED_TRIALS    Monte-Carlo trials per campaign (default 300, the
                       paper's count; set lower for a quick pass)
      CASTED_JOBS      worker domains for the experiment engine (default:
                       the number of cores); results are identical for
                       any value, including 1
+     CASTED_SEED      campaign seed override (default 0xCA57ED)
      CASTED_FAST=1    small inputs + few trials, for smoke testing
+                      (0 or unset: full run; anything else is an error)
      CASTED_SECTIONS  comma-separated subset of sections to run *)
 
 module W = Casted_workloads.Workload
@@ -27,8 +29,6 @@ module Report = Casted_report
 module Engine = Casted_engine.Engine
 module Pool = Casted_exec.Pool
 
-let fast = Sys.getenv_opt "CASTED_FAST" = Some "1"
-
 let env_failure fmt =
   Printf.ksprintf
     (fun msg ->
@@ -37,7 +37,17 @@ let env_failure fmt =
     fmt
 
 (* Malformed knobs are rejected loudly: a typo in CASTED_TRIALS must not
-   silently run the 300-trial default. *)
+   silently run the 300-trial default, and CASTED_FAST=yes must not
+   silently run the full suite. *)
+let fast =
+  match Sys.getenv_opt "CASTED_FAST" with
+  | None -> false
+  | Some s -> (
+      match String.trim s with
+      | "1" -> true
+      | "0" | "" -> false
+      | s -> env_failure "CASTED_FAST must be 0 or 1 (got %S)" s)
+
 let trials =
   match Sys.getenv_opt "CASTED_TRIALS" with
   | Some s -> (
@@ -46,6 +56,14 @@ let trials =
       | Some n -> env_failure "CASTED_TRIALS must be >= 1 (got %d)" n
       | None -> env_failure "CASTED_TRIALS must be an integer (got %S)" s)
   | None -> if fast then 40 else 300
+
+let seed =
+  match Sys.getenv_opt "CASTED_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None -> env_failure "CASTED_SEED must be an integer (got %S)" s)
+  | None -> 0xCA57ED
 
 let jobs =
   match Pool.default_jobs () with
@@ -56,9 +74,28 @@ let engine = Engine.create ~jobs ()
 
 let perf_size = if fast then W.Fault else W.Perf
 
+let all_sections =
+  [
+    "table1"; "table2"; "table3"; "fig6_7"; "fig8"; "fig9"; "fig10";
+    "ablations"; "placement"; "recovery"; "cse_on_hardened"; "selective";
+    "microbench";
+  ]
+
 let sections =
   match Sys.getenv_opt "CASTED_SECTIONS" with
-  | Some s -> String.split_on_char ',' s
+  | Some s ->
+      let names =
+        List.filter
+          (fun n -> n <> "")
+          (List.map String.trim (String.split_on_char ',' s))
+      in
+      List.iter
+        (fun n ->
+          if not (List.mem n all_sections) then
+            env_failure "CASTED_SECTIONS: unknown section %S (use %s)" n
+              (String.concat ", " all_sections))
+        names;
+      names
   | None -> []
 
 let enabled name = sections = [] || List.mem name sections
@@ -107,7 +144,7 @@ let section_fig9 () =
   banner
     (Printf.sprintf "Fig. 9: fault coverage, issue 2 delay 2 (%d trials)"
        trials);
-  let rows = Report.Coverage.fig9 ~engine ~trials () in
+  let rows = Report.Coverage.fig9 ~engine ~seed ~trials () in
   print_string (Report.Coverage.render rows)
 
 let section_fig10 () =
@@ -115,7 +152,9 @@ let section_fig10 () =
     (Printf.sprintf
        "Fig. 10: h263dec fault coverage across configurations (%d trials)"
        trials);
-  let rows = Report.Coverage.fig10 ~engine ~trials ~benchmark:"h263dec" () in
+  let rows =
+    Report.Coverage.fig10 ~engine ~seed ~trials ~benchmark:"h263dec" ()
+  in
   print_string (Report.Coverage.render rows)
 
 (* Ablations of the design decisions called out in DESIGN.md SS5. *)
@@ -207,8 +246,8 @@ let section_recovery () =
       in
       let cycles s = (Simulator.run s).Outcome.cycles in
       let base = cycles noed.Pipeline.schedule in
-      let det_mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) det.Pipeline.schedule in
-      let rec_mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) rec_schedule in
+      let det_mc = Montecarlo.run ~pool:(Engine.pool engine) ~seed ~trials:(min trials 150) det.Pipeline.schedule in
+      let rec_mc = Montecarlo.run ~pool:(Engine.pool engine) ~seed ~trials:(min trials 150) rec_schedule in
       Printf.printf
         "%-10s slowdown: CASTED %.2fx, CASTED-R %.2fx | benign: %.0f%% vs %.0f%% | corrupt: %.0f%% vs %.0f%%\n"
         name
@@ -255,7 +294,7 @@ let section_cse_on_hardened () =
   in
   let measure label p =
     let s = schedule p in
-    let mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) s in
+    let mc = Montecarlo.run ~pool:(Engine.pool engine) ~seed ~trials:(min trials 150) s in
     Printf.printf "%-26s %6d insns, detected %5.1f%%, corrupt %5.1f%%\n" label
       (Casted_ir.Program.num_insns p)
       (Montecarlo.percent mc Montecarlo.Detected)
@@ -297,7 +336,7 @@ let section_selective () =
         in
         let base = (Simulator.run noed.Pipeline.schedule).Outcome.cycles in
         let cycles = (Simulator.run s).Outcome.cycles in
-        let mc = Montecarlo.run ~pool:(Engine.pool engine) ~trials:(min trials 150) s in
+        let mc = Montecarlo.run ~pool:(Engine.pool engine) ~seed ~trials:(min trials 150) s in
         (stats, float_of_int cycles /. float_of_int base, mc)
       in
       let fstats, fslow, fmc = measure Options.default in
@@ -384,10 +423,11 @@ let section_microbench () =
       Test.make ~name:"fig9_10.faulty_run"
         (Staged.stage
            (let rng = Casted_sim.Rng.create ~seed:7 in
+            let pop = Montecarlo.population_of_run golden in
             fun () ->
               let fault =
-                Casted_sim.Fault.random rng
-                  ~population:golden.Outcome.dyn_defs
+                Casted_sim.Fault.random Casted_sim.Fault.Reg_bit rng
+                  ~population:pop
               in
               ignore
                 (Simulator.run ~fault ~fuel compiled.Pipeline.schedule)));

@@ -64,6 +64,65 @@ let trials_arg =
     value & opt int 300
     & info [ "trials" ] ~doc:"Monte-Carlo trials per campaign.")
 
+let model_arg =
+  let parse s =
+    match Casted_sim.Fault.model_of_string s with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown fault model %s (use %s)" s
+                (String.concat ", "
+                   (List.map Casted_sim.Fault.model_name
+                      Casted_sim.Fault.all_models))))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Casted_sim.Fault.model_name m)
+  in
+  let model_conv = Arg.conv (parse, print) in
+  let doc =
+    "Fault model: $(b,reg-bit) (the paper's single register bit flip), \
+     $(b,burst) (2-4 adjacent bits), $(b,mem) (cache-line corruption), \
+     $(b,control) (wrong-direction branch) or $(b,xcluster) (corrupted \
+     inter-cluster transfer)."
+  in
+  Arg.(
+    value
+    & opt model_conv Casted_sim.Fault.Reg_bit
+    & info [ "fault-model" ] ~docv:"MODEL" ~doc)
+
+let ci_halfwidth_arg =
+  let doc =
+    "Stop the campaign early once the detected-rate 95% Wilson confidence \
+     interval is no wider than ±$(docv) percentage points. Checked at \
+     fixed trial-count boundaries, so the stopping point is independent \
+     of $(b,--jobs)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ci-halfwidth" ] ~docv:"PP" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Write the partial tally to $(docv) periodically (and at the end), so \
+     a killed campaign can be resumed with $(b,--resume)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint period, in trials (rounded to chunk boundaries)." in
+  Arg.(value & opt int 256 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume from the $(b,--checkpoint) file. The resumed campaign is \
+     bit-identical to an uninterrupted one; the checkpoint must come from \
+     the same benchmark/scheme/seed/model/trials configuration."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the experiment engine: sweep points and \
@@ -187,16 +246,19 @@ let scaling_cmd =
     Term.(const run $ benches $ size_arg $ jobs_arg)
 
 let faults_cmd =
-  let run fig trials bench jobs =
+  let run fig trials bench model jobs =
     with_engine jobs (fun engine ->
         let rows =
           match fig with
-          | 9 -> Report.Coverage.fig9 ~engine ~trials ()
-          | 10 -> Report.Coverage.fig10 ~engine ~trials ~benchmark:bench ()
+          | 9 -> Report.Coverage.fig9 ~engine ~model ~trials ()
+          | 10 ->
+              Report.Coverage.fig10 ~engine ~model ~trials ~benchmark:bench ()
           | n ->
               Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
               exit 2
         in
+        Printf.printf "fault model: %s (rates ± 95%% Wilson half-width)\n"
+          (Casted_sim.Fault.model_name model);
         print_string (Report.Coverage.render rows));
     0
   in
@@ -208,7 +270,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Reproduce Figs. 9-10: Monte-Carlo fault coverage")
-    Term.(const run $ fig $ trials_arg $ bench_arg $ jobs_arg)
+    Term.(const run $ fig $ trials_arg $ bench_arg $ model_arg $ jobs_arg)
 
 let tables_cmd =
   let run issue delay =
@@ -225,25 +287,50 @@ let tables_cmd =
     Term.(const run $ issue_arg $ delay_arg)
 
 let campaign_cmd =
-  let run bench scheme issue delay trials jobs =
+  let run bench scheme issue delay trials model ci_halfwidth checkpoint
+      checkpoint_every resume jobs =
+    if resume && checkpoint = None then begin
+      Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
+      exit 2
+    end;
     with_engine jobs (fun engine ->
-        let row =
-          Report.Coverage.campaign ~engine ~trials ~benchmark:bench ~scheme
-            ~issue ~delay ()
+        (match Casted_workloads.Registry.find bench with
+        | Some _ -> ()
+        | None ->
+            Printf.eprintf "unknown benchmark %s (try: %s)\n" bench
+              (String.concat ", " (Casted_workloads.Registry.names ()));
+            exit 2);
+        let spec =
+          Casted_engine.Cache.key ~workload:bench ~size:W.Fault ~scheme
+            ~issue_width:issue ~delay ()
+        in
+        let result =
+          Engine.campaign engine ~model ?ci_halfwidth ?checkpoint
+            ~checkpoint_every ~resume ~trials spec
         in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
           (Scheme.name scheme) issue delay (Engine.jobs engine);
-        Format.printf "%a@." Montecarlo.pp row.Report.Coverage.result);
+        if result.Montecarlo.trials < trials then
+          Format.printf
+            "stopped early at %d/%d trials (detected-rate CI half-width ≤ \
+             ±%.2fpp)@."
+            result.Montecarlo.trials trials
+            (Option.value ci_halfwidth ~default:0.0);
+        Format.printf "%a@." Montecarlo.pp result);
     0
   in
   Cmd.v
-    (Cmd.info "campaign" ~doc:"Run one Monte-Carlo fault campaign")
+    (Cmd.info "campaign"
+       ~doc:
+         "Run one Monte-Carlo fault campaign (checkpointable, resumable, \
+          with Wilson confidence intervals and optional early stopping)")
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
-      $ jobs_arg)
+      $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
+      $ resume_arg $ jobs_arg)
 
 let recover_cmd =
-  let run bench issue delay trials jobs =
+  let run bench issue delay trials model jobs =
     let w = find_workload bench in
     let program = w.W.build W.Fault in
     let hardened, stats =
@@ -262,7 +349,7 @@ let recover_cmd =
     Format.printf "golden: %a@." Outcome.pp r;
     let mc =
       Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
-          Montecarlo.run ~pool ~trials schedule)
+          Montecarlo.run ~pool ~model ~trials schedule)
     in
     Format.printf "faults: %a@." Montecarlo.pp mc;
     0
@@ -272,7 +359,9 @@ let recover_cmd =
        ~doc:
          "Run the CASTED-R extension (triplication + majority voting) on a \
           benchmark")
-    Term.(const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg $ jobs_arg)
+    Term.(
+      const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg $ model_arg
+      $ jobs_arg)
 
 let placement_cmd =
   let run bench issue size =

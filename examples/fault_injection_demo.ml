@@ -21,32 +21,47 @@ let () =
   in
   let golden = Simulator.run hardened.Pipeline.schedule in
   Format.printf "golden run: %a@." Outcome.pp golden;
-  Format.printf "injection population: %d defining instructions@.@."
-    golden.Outcome.dyn_defs;
-  (* Inject a handful of hand-picked faults: one early, one in the
-     middle, one late; different bits. *)
+  let pop = Montecarlo.population_of_run golden in
+  Format.printf
+    "injection populations: %d register def slots, %d memory accesses, %d \
+     conditional branches, %d cross-cluster reads@.@."
+    pop.Fault.def_slots pop.Fault.mem_accesses pop.Fault.cond_branches
+    pop.Fault.xcluster_reads;
+  (* Inject a handful of hand-picked faults — one per fault model — and
+     watch what the checks do with each. *)
   let fuel = 10 * golden.Outcome.dyn_insns in
   List.iter
-    (fun (target_def, bit) ->
-      let fault = { Fault.target_def; def_slot = 0; bit } in
+    (fun fault ->
       let r = Simulator.run ~fault ~fuel hardened.Pipeline.schedule in
       Format.printf "%a -> %a (%s)@." Fault.pp fault Outcome.pp_termination
         r.Outcome.termination
         (Montecarlo.class_name (Montecarlo.classify ~golden r)))
     [
-      (10, 0); (10, 63);
-      (golden.Outcome.dyn_defs / 2, 5);
-      (golden.Outcome.dyn_defs / 2, 40);
-      (golden.Outcome.dyn_defs - 5, 1);
+      Fault.Reg_flip { target_slot = 10; bit = 0 };
+      Fault.Reg_flip { target_slot = 10; bit = 63 };
+      Fault.Reg_flip { target_slot = pop.Fault.def_slots / 2; bit = 5 };
+      Fault.Burst_flip
+        { target_slot = pop.Fault.def_slots / 2; bit = 40; width = 3 };
+      Fault.Mem_flip
+        { target_access = pop.Fault.mem_accesses / 2; offset = 7; bit = 2 };
+      Fault.Branch_flip { target_branch = pop.Fault.cond_branches / 2 };
+      Fault.Xcluster_flip
+        { target_read = pop.Fault.xcluster_reads / 2; bit = 17 };
     ];
   (* Small campaigns: the hardened binary turns silent corruptions into
-     detections. *)
-  Format.printf "@.Monte-Carlo (200 trials each):@.";
+     detections, whatever the fault model. *)
   List.iter
-    (fun scheme ->
-      let compiled =
-        Pipeline.compile ~scheme ~issue_width:2 ~delay:2 program
-      in
-      let result = Montecarlo.run ~trials:200 compiled.Pipeline.schedule in
-      Format.printf "%-7s %a@." (Scheme.name scheme) Montecarlo.pp result)
-    [ Scheme.Noed; Scheme.Casted ]
+    (fun model ->
+      Format.printf "@.Monte-Carlo, %s model (200 trials each):@."
+        (Fault.model_name model);
+      List.iter
+        (fun scheme ->
+          let compiled =
+            Pipeline.compile ~scheme ~issue_width:2 ~delay:2 program
+          in
+          let result =
+            Montecarlo.run ~model ~trials:200 compiled.Pipeline.schedule
+          in
+          Format.printf "%-7s %a@." (Scheme.name scheme) Montecarlo.pp result)
+        [ Scheme.Noed; Scheme.Casted ])
+    [ Fault.Reg_bit; Fault.Mem; Fault.Control ]

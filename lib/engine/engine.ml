@@ -95,6 +95,10 @@ type job =
       trials : int;
       seed : int;
       fuel_factor : int;
+      model : Casted_sim.Fault.model;
+      ci_halfwidth : float option;
+      checkpoint : string option;
+      resume : bool;
     }
   | Sweep of {
       size : Workload.size;
@@ -118,10 +122,13 @@ let simulate t key =
   in
   (compiled, run)
 
-let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials key =
+let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
+    ?(model = Casted_sim.Fault.Reg_bit) ?ci_halfwidth ?checkpoint
+    ?checkpoint_every ?(resume = false) ~trials key =
   let compiled = compile t key in
   timed t `Campaign (fun () ->
-      Montecarlo.run ~pool:t.pool ~seed ~fuel_factor ~trials
+      Montecarlo.run ~pool:t.pool ~seed ~fuel_factor ~model ?ci_halfwidth
+        ?checkpoint ?checkpoint_every ~resume ~trials
         compiled.Pipeline.schedule)
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
@@ -186,8 +193,11 @@ let run_job t = function
   | Simulate key ->
       let compiled, run = simulate t key in
       Simulated (compiled, run)
-  | Campaign { spec; trials; seed; fuel_factor } ->
-      Campaigned (campaign t ~seed ~fuel_factor ~trials spec)
+  | Campaign { spec; trials; seed; fuel_factor; model; ci_halfwidth;
+               checkpoint; resume } ->
+      Campaigned
+        (campaign t ~seed ~fuel_factor ~model ?ci_halfwidth ?checkpoint
+           ~resume ~trials spec)
   | Sweep { size; benchmarks; issues; delays } ->
       Swept (sweep t ~size ~benchmarks ~issues ~delays ())
 

@@ -55,6 +55,12 @@ type job =
       trials : int;
       seed : int;
       fuel_factor : int;
+      model : Casted_sim.Fault.model;
+      ci_halfwidth : float option;
+          (** stop once the detected-rate 95% CI half-width (percentage
+              points) is at or below this *)
+      checkpoint : string option;  (** partial-tally checkpoint path *)
+      resume : bool;  (** continue from [checkpoint] *)
     }  (** Monte-Carlo fault campaign; trials fan out over the pool *)
   | Sweep of {
       size : Casted_workloads.Workload.size;
@@ -83,11 +89,18 @@ val simulate :
 
 (** [campaign t ~trials spec] compiles [spec] (cached) and fans
     [trials] Monte-Carlo trials over the pool. Identical to the
-    sequential {!Casted_sim.Montecarlo.run} with the same [seed]. *)
+    sequential {!Casted_sim.Montecarlo.run} with the same [seed];
+    the optional knobs ([model], [ci_halfwidth], [checkpoint],
+    [checkpoint_every], [resume]) are forwarded to it. *)
 val campaign :
   t ->
   ?seed:int ->
   ?fuel_factor:int ->
+  ?model:Casted_sim.Fault.model ->
+  ?ci_halfwidth:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
   trials:int ->
   Cache.key ->
   Casted_sim.Montecarlo.result

@@ -51,7 +51,11 @@ let jobs t = t.n_jobs
    task of the batch completes (possibly on a worker domain). *)
 type batch = { mutable remaining : int; finished : Condition.t }
 
-let map t f arr =
+(* Shared core of {map} and {map_result}: run every task (capturing
+   exceptions per slot, so one failing task never prevents the rest of
+   the batch from completing) and return the captured results in input
+   order. *)
+let map_capture t f arr =
   Mutex.lock t.mutex;
   if t.closed then begin
     Mutex.unlock t.mutex;
@@ -64,10 +68,12 @@ let map t f arr =
     Array.map
       (fun x ->
         let t0 = now () in
-        let y = f x in
+        let r =
+          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
         t.tasks_done <- t.tasks_done + 1;
         t.busy_s <- t.busy_s +. (now () -. t0);
-        y)
+        r)
       arr
   else begin
     let results = Array.make n None in
@@ -111,12 +117,21 @@ let map t f arr =
     help ();
     Mutex.unlock t.mutex;
     Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false)
+      (function Some r -> r | None -> assert false)
       results
   end
+
+let map t f arr =
+  Array.map
+    (function
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    (map_capture t f arr)
+
+let map_result t f arr =
+  Array.map
+    (function Ok v -> Ok v | Error (e, _bt) -> Error e)
+    (map_capture t f arr)
 
 let map_list t f l = Array.to_list (map t f (Array.of_list l))
 

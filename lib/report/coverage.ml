@@ -1,6 +1,7 @@
 module Scheme = Casted_detect.Scheme
 module Workload = Casted_workloads.Workload
 module Registry = Casted_workloads.Registry
+module Fault = Casted_sim.Fault
 module Montecarlo = Casted_sim.Montecarlo
 module Engine = Casted_engine.Engine
 module Cache = Casted_engine.Cache
@@ -13,8 +14,8 @@ type row = {
   result : Montecarlo.result;
 }
 
-let campaign_on engine ?(seed = 0xCA57ED) ~trials ~benchmark ~scheme ~issue
-    ~delay () =
+let campaign_on engine ?(seed = 0xCA57ED) ?(model = Fault.Reg_bit)
+    ?ci_halfwidth ~trials ~benchmark ~scheme ~issue ~delay () =
   (match Registry.find benchmark with
   | Some _ -> ()
   | None -> invalid_arg ("Coverage: unknown benchmark " ^ benchmark));
@@ -22,17 +23,21 @@ let campaign_on engine ?(seed = 0xCA57ED) ~trials ~benchmark ~scheme ~issue
     Cache.key ~workload:benchmark ~size:Workload.Fault ~scheme
       ~issue_width:issue ~delay ()
   in
-  let result = Engine.campaign engine ~seed ~trials spec in
+  let result =
+    Engine.campaign engine ~seed ~model ?ci_halfwidth ~trials spec
+  in
   { benchmark; scheme; issue; delay; result }
 
 let with_engine ?engine f =
   match engine with Some e -> f e | None -> Engine.with_engine f
 
-let campaign ?engine ?seed ~trials ~benchmark ~scheme ~issue ~delay () =
+let campaign ?engine ?seed ?model ?ci_halfwidth ~trials ~benchmark ~scheme
+    ~issue ~delay () =
   with_engine ?engine (fun e ->
-      campaign_on e ?seed ~trials ~benchmark ~scheme ~issue ~delay ())
+      campaign_on e ?seed ?model ?ci_halfwidth ~trials ~benchmark ~scheme
+        ~issue ~delay ())
 
-let fig9 ?engine ?seed ?(trials = 300) ?benchmarks () =
+let fig9 ?engine ?seed ?model ?(trials = 300) ?benchmarks () =
   let benchmarks =
     match benchmarks with Some b -> b | None -> Registry.names ()
   in
@@ -41,12 +46,12 @@ let fig9 ?engine ?seed ?(trials = 300) ?benchmarks () =
         (fun benchmark ->
           List.map
             (fun scheme ->
-              campaign_on e ?seed ~trials ~benchmark ~scheme ~issue:2 ~delay:2
-                ())
+              campaign_on e ?seed ?model ~trials ~benchmark ~scheme ~issue:2
+                ~delay:2 ())
             Scheme.all)
         benchmarks)
 
-let fig10 ?engine ?seed ?(trials = 300) ?(benchmark = "h263dec")
+let fig10 ?engine ?seed ?model ?(trials = 300) ?(benchmark = "h263dec")
     ?(schemes = Scheme.all) () =
   with_engine ?engine (fun e ->
       List.concat_map
@@ -55,8 +60,8 @@ let fig10 ?engine ?seed ?(trials = 300) ?(benchmark = "h263dec")
             (fun delay ->
               List.map
                 (fun scheme ->
-                  campaign_on e ?seed ~trials ~benchmark ~scheme ~issue ~delay
-                    ())
+                  campaign_on e ?seed ?model ~trials ~benchmark ~scheme ~issue
+                    ~delay ())
                 schemes)
             [ 1; 2; 3; 4 ])
         [ 1; 2; 3; 4 ])
@@ -69,7 +74,12 @@ let render rows =
     ]
   in
   let row r =
-    let p c = Table.pct (Montecarlo.percent r.result c) in
+    (* Each class rate with its 95% Wilson half-width, e.g. "54.3±5.6". *)
+    let p c =
+      Printf.sprintf "%.1f±%.1f"
+        (Montecarlo.percent r.result c)
+        (Montecarlo.halfwidth r.result c)
+    in
     [
       r.benchmark;
       Scheme.name r.scheme;

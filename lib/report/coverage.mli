@@ -24,10 +24,14 @@ type row = {
     the engine's compile cache, and the Monte-Carlo trials fan out over
     its domain pool (bit-identical to a sequential run for the same
     [seed]). Pass [engine] to share the pool and cache across
-    campaigns; otherwise a private engine is created per call. *)
+    campaigns; otherwise a private engine is created per call. [model]
+    selects the fault model (default the paper's register bit flip);
+    [ci_halfwidth] enables sequential early stopping. *)
 val campaign :
   ?engine:Casted_engine.Engine.t ->
   ?seed:int ->
+  ?model:Casted_sim.Fault.model ->
+  ?ci_halfwidth:float ->
   trials:int ->
   benchmark:string ->
   scheme:Scheme.t ->
@@ -40,6 +44,7 @@ val campaign :
 val fig9 :
   ?engine:Casted_engine.Engine.t ->
   ?seed:int ->
+  ?model:Casted_sim.Fault.model ->
   ?trials:int ->
   ?benchmarks:string list ->
   unit ->
@@ -49,10 +54,13 @@ val fig9 :
 val fig10 :
   ?engine:Casted_engine.Engine.t ->
   ?seed:int ->
+  ?model:Casted_sim.Fault.model ->
   ?trials:int ->
   ?benchmark:string ->
   ?schemes:Scheme.t list ->
   unit ->
   row list
 
+(** Render the rows; every class rate carries its 95% Wilson half-width
+    ("54.3±5.6"). *)
 val render : row list -> string

@@ -1,0 +1,94 @@
+type t = {
+  seed : int;
+  fuel_factor : int;
+  model : Fault.model;
+  trials : int;
+  next_index : int;
+  counts : int array;
+}
+
+let magic = "casted-checkpoint v1"
+
+let save ~path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Printf.fprintf oc "%s\n" magic;
+  Printf.fprintf oc "seed=%d\n" t.seed;
+  Printf.fprintf oc "fuel_factor=%d\n" t.fuel_factor;
+  Printf.fprintf oc "model=%s\n" (Fault.model_name t.model);
+  Printf.fprintf oc "trials=%d\n" t.trials;
+  Printf.fprintf oc "next=%d\n" t.next_index;
+  Printf.fprintf oc "counts=%s\n"
+    (String.concat "," (Array.to_list (Array.map string_of_int t.counts)));
+  close_out oc;
+  Sys.rename tmp path
+
+let ( let* ) = Result.bind
+
+let load ~path =
+  if not (Sys.file_exists path) then Ok None
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         lines := input_line ic :: !lines
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match List.rev !lines with
+    | header :: fields when String.equal header magic ->
+        let table = Hashtbl.create 8 in
+        List.iter
+          (fun line ->
+            match String.index_opt line '=' with
+            | Some i ->
+                Hashtbl.replace table
+                  (String.sub line 0 i)
+                  (String.sub line (i + 1) (String.length line - i - 1))
+            | None -> ())
+          fields;
+        let field name =
+          match Hashtbl.find_opt table name with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "%s: missing field %s" path name)
+        in
+        let int_field name =
+          let* v = field name in
+          match int_of_string_opt v with
+          | Some n -> Ok n
+          | None ->
+              Error (Printf.sprintf "%s: field %s is not an integer (%S)" path name v)
+        in
+        let* seed = int_field "seed" in
+        let* fuel_factor = int_field "fuel_factor" in
+        let* model_s = field "model" in
+        let* model =
+          match Fault.model_of_string model_s with
+          | Some m -> Ok m
+          | None ->
+              Error (Printf.sprintf "%s: unknown fault model %S" path model_s)
+        in
+        let* trials = int_field "trials" in
+        let* next_index = int_field "next" in
+        let* counts_s = field "counts" in
+        let* counts =
+          let parts = String.split_on_char ',' counts_s in
+          let parsed = List.filter_map int_of_string_opt parts in
+          if List.length parsed = List.length parts then
+            Ok (Array.of_list parsed)
+          else Error (Printf.sprintf "%s: malformed counts %S" path counts_s)
+        in
+        if next_index < 0 || next_index > trials then
+          Error
+            (Printf.sprintf "%s: next index %d outside [0, %d]" path
+               next_index trials)
+        else if Array.fold_left ( + ) 0 counts <> next_index then
+          Error
+            (Printf.sprintf
+               "%s: counts sum to %d but %d trials are recorded" path
+               (Array.fold_left ( + ) 0 counts)
+               next_index)
+        else Ok (Some { seed; fuel_factor; model; trials; next_index; counts })
+    | _ -> Error (Printf.sprintf "%s: not a casted checkpoint" path)
+  end

@@ -1,0 +1,31 @@
+(** Crash-proof campaign checkpoints.
+
+    A long Monte-Carlo campaign periodically writes its partial tally
+    to disk so a killed run can resume without repeating work. Because
+    trial [i] derives its own RNG from [(seed, i)] ({!Rng.derive}), a
+    resumed campaign is bit-identical to the uninterrupted one: the
+    checkpoint only needs the class counts of the completed prefix and
+    the index to continue from.
+
+    The format is a small self-describing text file written atomically
+    (temp file + rename), so a kill during a write can never leave a
+    truncated checkpoint behind. *)
+
+type t = {
+  seed : int;
+  fuel_factor : int;
+  model : Fault.model;
+  trials : int;  (** the campaign's requested trial count *)
+  next_index : int;  (** trials [0, next_index) are tallied in [counts] *)
+  counts : int array;
+      (** per-class tallies, indexed like [Montecarlo.all_classes] *)
+}
+
+(** Atomically write [t] to [path]. *)
+val save : path:string -> t -> unit
+
+(** [load ~path] is [Ok None] when no checkpoint exists at [path],
+    [Ok (Some t)] for a well-formed checkpoint, and [Error msg] for a
+    file that exists but does not parse — a corrupt checkpoint must
+    abort loudly, never silently restart the campaign. *)
+val load : path:string -> (t option, string) result

@@ -1,18 +1,112 @@
-type t = { target_def : int; def_slot : int; bit : int }
+type model = Reg_bit | Burst | Mem | Control | Xcluster
 
-let random rng ~population =
-  if population <= 0 then invalid_arg "Fault.random: empty population";
-  {
-    target_def = Rng.int rng population;
-    def_slot = Rng.int rng 4;
-    bit = Rng.int rng 64;
-  }
+let all_models = [ Reg_bit; Burst; Mem; Control; Xcluster ]
+
+let model_name = function
+  | Reg_bit -> "reg-bit"
+  | Burst -> "burst"
+  | Mem -> "mem"
+  | Control -> "control"
+  | Xcluster -> "xcluster"
+
+let model_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "reg-bit" | "reg" | "bit" -> Some Reg_bit
+  | "burst" | "mbu" -> Some Burst
+  | "mem" | "memory" | "line" -> Some Mem
+  | "control" | "branch" -> Some Control
+  | "xcluster" | "comm" -> Some Xcluster
+  | _ -> None
+
+type t =
+  | Reg_flip of { target_slot : int; bit : int }
+  | Burst_flip of { target_slot : int; bit : int; width : int }
+  | Mem_flip of { target_access : int; offset : int; bit : int }
+  | Branch_flip of { target_branch : int }
+  | Xcluster_flip of { target_read : int; bit : int }
+
+let model_of = function
+  | Reg_flip _ -> Reg_bit
+  | Burst_flip _ -> Burst
+  | Mem_flip _ -> Mem
+  | Branch_flip _ -> Control
+  | Xcluster_flip _ -> Xcluster
+
+type population = {
+  def_slots : int;
+  mem_accesses : int;
+  cond_branches : int;
+  xcluster_reads : int;
+}
+
+let population_size model pop =
+  match model with
+  | Reg_bit | Burst -> pop.def_slots
+  | Mem -> pop.mem_accesses
+  | Control -> pop.cond_branches
+  | Xcluster -> pop.xcluster_reads
+
+let line_bytes = 64
+
+let random model rng ~population =
+  let draw what n =
+    if n <= 0 then
+      invalid_arg
+        (Printf.sprintf "Fault.random: empty %s population for model %s" what
+           (model_name model));
+    Rng.int rng n
+  in
+  match model with
+  | Reg_bit ->
+      let target_slot = draw "def-slot" population.def_slots in
+      Reg_flip { target_slot; bit = Rng.int rng 64 }
+  | Burst ->
+      let target_slot = draw "def-slot" population.def_slots in
+      (* 2-4 adjacent bits: the multi-bit upsets dominating MBU studies. *)
+      Burst_flip
+        { target_slot; bit = Rng.int rng 64; width = 2 + Rng.int rng 3 }
+  | Mem ->
+      let target_access = draw "memory-access" population.mem_accesses in
+      Mem_flip
+        {
+          target_access;
+          offset = Rng.int rng line_bytes;
+          bit = Rng.int rng 8;
+        }
+  | Control ->
+      Branch_flip
+        { target_branch = draw "cond-branch" population.cond_branches }
+  | Xcluster ->
+      let target_read = draw "cross-cluster-read" population.xcluster_reads in
+      Xcluster_flip { target_read; bit = Rng.int rng 64 }
 
 let flip_int ~bit v = Int64.logxor v (Int64.shift_left 1L (bit land 63))
+
+let burst_mask ~bit ~width =
+  let m = ref 0L in
+  for k = 0 to max 1 width - 1 do
+    m := Int64.logor !m (Int64.shift_left 1L ((bit + k) land 63))
+  done;
+  !m
+
+let flip_burst ~bit ~width v = Int64.logxor v (burst_mask ~bit ~width)
 
 let flip_float ~bit v =
   Int64.float_of_bits (flip_int ~bit (Int64.bits_of_float v))
 
-let pp ppf t =
-  Format.fprintf ppf "fault@@def#%d slot %d bit %d" t.target_def t.def_slot
-    t.bit
+let flip_float_burst ~bit ~width v =
+  Int64.float_of_bits (flip_burst ~bit ~width (Int64.bits_of_float v))
+
+let pp ppf = function
+  | Reg_flip { target_slot; bit } ->
+      Format.fprintf ppf "reg-bit@@slot#%d bit %d" target_slot bit
+  | Burst_flip { target_slot; bit; width } ->
+      Format.fprintf ppf "burst@@slot#%d bits %d..%d" target_slot bit
+        (bit + width - 1)
+  | Mem_flip { target_access; offset; bit } ->
+      Format.fprintf ppf "mem@@access#%d line-offset %d bit %d" target_access
+        offset bit
+  | Branch_flip { target_branch } ->
+      Format.fprintf ppf "control@@branch#%d" target_branch
+  | Xcluster_flip { target_read; bit } ->
+      Format.fprintf ppf "xcluster@@read#%d bit %d" target_read bit

@@ -52,6 +52,16 @@ let read_float t ~addr =
 let write_float t ~addr v =
   write t ~addr ~width:Opcode.W8 (Int64.bits_of_float v)
 
+let flip_bit t ~addr ~bit =
+  (* Fault injection: silently skip targets outside the arena (a line
+     straddling the memory end has no backing bytes there). *)
+  if Int64.compare addr 0L >= 0 && Int64.compare addr (Int64.of_int t.size) < 0
+  then begin
+    let a = Int64.to_int addr in
+    let b = Bytes.get_uint8 t.bytes a in
+    Bytes.set_uint8 t.bytes a (b lxor (1 lsl (bit land 7)))
+  end
+
 let extract t ~base ~len =
   if base < 0 || len < 0 || base + len > t.size then
     invalid_arg "Memory.extract: out of bounds";

@@ -22,5 +22,10 @@ val write : t -> addr:int64 -> width:Casted_ir.Opcode.width -> int64 -> unit
 val read_float : t -> addr:int64 -> float
 val write_float : t -> addr:int64 -> float -> unit
 
+(** [flip_bit t ~addr ~bit] flips [bit mod 8] of the byte at [addr] —
+    the {!Fault.Mem} injection primitive. Addresses outside the arena
+    are ignored (a corrupted line can straddle the memory end). *)
+val flip_bit : t -> addr:int64 -> bit:int -> unit
+
 (** Copy of [len] bytes starting at [base] (bounds-checked). *)
 val extract : t -> base:int -> len:int -> string

@@ -19,6 +19,7 @@ type result = {
   golden_cycles : int;
   golden_dyn : int;
   population : int;
+  model : Fault.model;
 }
 
 let count r = function
@@ -32,6 +33,14 @@ let percent r c =
   if r.trials = 0 then 0.0
   else 100.0 *. float_of_int (count r c) /. float_of_int r.trials
 
+let interval ?z r c =
+  let lo, hi = Stats.wilson ?z ~successes:(count r c) ~trials:r.trials () in
+  (100.0 *. lo, 100.0 *. hi)
+
+let halfwidth ?z r c =
+  let lo, hi = interval ?z r c in
+  (hi -. lo) /. 2.0
+
 let classify ~golden (run : Outcome.run) =
   match run.Outcome.termination with
   | Outcome.Detected _ -> Detected
@@ -44,11 +53,28 @@ let classify ~golden (run : Outcome.run) =
       then Benign
       else Data_corrupt
 
+(* A trial whose simulation raised instead of terminating cleanly is a
+   machine exception from the campaign's point of view: the fault drove
+   the interpreter somewhere the architecture would have faulted. It is
+   tallied, never propagated — one pathological trial must not kill a
+   multi-hour campaign (or its whole domain pool). *)
+let classify_result ~golden = function
+  | Ok run -> classify ~golden run
+  | Error (_ : exn) -> Exception
+
 type golden = {
   run : Outcome.run;
-  population : int;
+  pop : Fault.population;
   fuel : int;
 }
+
+let population_of_run (r : Outcome.run) =
+  {
+    Fault.def_slots = r.Outcome.dyn_defs;
+    mem_accesses = r.Outcome.dyn_mem;
+    cond_branches = r.Outcome.dyn_branches;
+    xcluster_reads = r.Outcome.dyn_xreads;
+  }
 
 let golden ?(fuel_factor = 10) sched =
   let run = Simulator.run sched in
@@ -60,18 +86,25 @@ let golden ?(fuel_factor = 10) sched =
            Outcome.pp_termination t));
   {
     run;
-    population = run.Outcome.dyn_defs;
+    pop = population_of_run run;
     fuel = fuel_factor * max 1 run.Outcome.dyn_insns;
   }
 
 (* Each trial draws from its own RNG seeded by (campaign seed, trial
    index), so the outcome of trial [i] does not depend on which domain
    runs it or on the trials before it. *)
-let trial ~golden:g ~seed ~index sched =
-  let rng = Rng.create ~seed:(Rng.derive ~seed index) in
-  let fault = Fault.random rng ~population:g.population in
-  let faulty = Simulator.run ~fault ~fuel:g.fuel sched in
-  classify ~golden:g.run faulty
+let trial ?(model = Fault.Reg_bit) ~golden:g ~seed ~index sched =
+  if Fault.population_size model g.pop = 0 then
+    (* The fault path does not exist in this configuration (e.g. no
+       cross-cluster reads on a single-cluster scheme): nothing to
+       inject, the run is the golden run. *)
+    Benign
+  else begin
+    let rng = Rng.create ~seed:(Rng.derive ~seed index) in
+    let fault = Fault.random model rng ~population:g.pop in
+    classify_result ~golden:g.run
+      (try Ok (Simulator.run ~fault ~fuel:g.fuel sched) with e -> Error e)
+  end
 
 let idx = function
   | Benign -> 0
@@ -80,11 +113,9 @@ let idx = function
   | Data_corrupt -> 3
   | Timeout -> 4
 
-let tally ~golden:g classes =
-  let counts = Array.make 5 0 in
-  Array.iter (fun c -> counts.(idx c) <- counts.(idx c) + 1) classes;
+let result_of_counts ~golden:g ~model ~trials counts =
   {
-    trials = Array.length classes;
+    trials;
     benign = counts.(0);
     detected = counts.(1);
     exceptions = counts.(2);
@@ -92,23 +123,118 @@ let tally ~golden:g classes =
     timeouts = counts.(4);
     golden_cycles = g.run.Outcome.cycles;
     golden_dyn = g.run.Outcome.dyn_insns;
-    population = g.population;
+    population = Fault.population_size model g.pop;
+    model;
   }
 
-let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10) ~trials sched =
+let tally ?(model = Fault.Reg_bit) ~golden:g classes =
+  let counts = Array.make 5 0 in
+  Array.iter (fun c -> counts.(idx c) <- counts.(idx c) + 1) classes;
+  result_of_counts ~golden:g ~model ~trials:(Array.length classes) counts
+
+(* Campaigns advance in fixed-size chunks. Early-stop checks and
+   checkpoint writes happen only at chunk boundaries, which are
+   absolute trial indices — so the set of boundaries (and therefore the
+   stopping point and every checkpoint) is identical whatever the pool
+   size and wherever a previous run was killed. *)
+let chunk_trials = 64
+
+let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
+    ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
+    ?(checkpoint_every = 256) ?(resume = false) ~trials sched =
+  (match ci_halfwidth with
+  | Some w when w <= 0.0 ->
+      invalid_arg "Montecarlo.run: ci_halfwidth must be positive"
+  | _ -> ());
+  if resume && checkpoint = None then
+    invalid_arg "Montecarlo.run: resume requires a checkpoint path";
   let g = golden ~fuel_factor sched in
-  let one index = trial ~golden:g ~seed ~index sched in
-  let indices = Array.init trials Fun.id in
-  let classes =
+  let counts = Array.make 5 0 in
+  let start =
+    match (resume, checkpoint) with
+    | true, Some path -> (
+        match Checkpoint.load ~path with
+        | Error msg -> invalid_arg ("Montecarlo.run: " ^ msg)
+        | Ok None -> 0
+        | Ok (Some c) ->
+            if
+              c.Checkpoint.seed <> seed
+              || c.Checkpoint.fuel_factor <> fuel_factor
+              || c.Checkpoint.model <> model
+              || c.Checkpoint.trials <> trials
+              || Array.length c.Checkpoint.counts <> 5
+            then
+              invalid_arg
+                (Printf.sprintf
+                   "Montecarlo.run: checkpoint %s was written by a \
+                    different campaign (seed/model/trials/fuel mismatch)"
+                   path)
+            else begin
+              Array.blit c.Checkpoint.counts 0 counts 0 5;
+              c.Checkpoint.next_index
+            end)
+    | _ -> 0
+  in
+  let one index = trial ~model ~golden:g ~seed ~index sched in
+  let map_chunk lo hi =
+    let indices = Array.init (hi - lo) (fun i -> lo + i) in
     match pool with
     | Some p -> Casted_exec.Pool.map p one indices
     | None -> Array.map one indices
   in
-  tally ~golden:g classes
+  let save_checkpoint next_index =
+    match checkpoint with
+    | Some path ->
+        Checkpoint.save ~path
+          {
+            Checkpoint.seed;
+            fuel_factor;
+            model;
+            trials;
+            next_index;
+            counts = Array.copy counts;
+          }
+    | None -> ()
+  in
+  let narrow_enough done_ =
+    match ci_halfwidth with
+    | None -> false
+    | Some target ->
+        100.0
+        *. Stats.wilson_halfwidth ~successes:counts.(idx Detected)
+             ~trials:done_ ()
+        <= target
+  in
+  let rec go lo last_saved =
+    if lo >= trials || narrow_enough lo then begin
+      if lo > last_saved then save_checkpoint lo;
+      lo
+    end
+    else begin
+      let hi = min trials (lo + chunk_trials) in
+      Array.iter
+        (fun c -> counts.(idx c) <- counts.(idx c) + 1)
+        (map_chunk lo hi);
+      let last_saved =
+        if checkpoint <> None && (hi - last_saved >= checkpoint_every || hi = trials)
+        then begin
+          save_checkpoint hi;
+          hi
+        end
+        else last_saved
+      in
+      go hi last_saved
+    end
+  in
+  let done_ = go start start in
+  result_of_counts ~golden:g ~model ~trials:done_ counts
 
 let pp ppf r =
-  Format.fprintf ppf
-    "%d trials: %.1f%% benign, %.1f%% detected, %.1f%% exception, %.1f%% \
-     corrupt, %.1f%% timeout"
-    r.trials (percent r Benign) (percent r Detected) (percent r Exception)
-    (percent r Data_corrupt) (percent r Timeout)
+  let item c =
+    let lo, hi = interval r c in
+    Format.asprintf "%.1f%% [%.1f, %.1f] %s" (percent r c) lo hi
+      (class_name c)
+  in
+  Format.fprintf ppf "%d trials (%s, population %d): %s" r.trials
+    (Fault.model_name r.model) r.population
+    (String.concat ", " (List.map item all_classes))

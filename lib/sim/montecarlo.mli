@@ -1,9 +1,19 @@
-(** Monte-Carlo fault-injection campaigns (paper §IV-C).
+(** Monte-Carlo fault-injection campaigns (paper §IV-C, generalised).
 
-    A campaign first executes the golden (fault-free) run to collect the
-    reference output and the injection population, then runs [trials]
-    faulty executions, classifying each into the paper's five outcome
-    categories. *)
+    A campaign first executes the golden (fault-free) run to collect
+    the reference output and the per-model injection populations, then
+    runs up to [trials] faulty executions under one {!Fault.model},
+    classifying each into the paper's five outcome categories.
+
+    Campaigns are statistically rigorous and crash-proof:
+    - every class rate carries a 95% Wilson score interval
+      ({!interval}, printed by {!pp});
+    - an optional sequential early stop ends the campaign once the
+      detected-rate interval is narrower than a target half-width;
+    - partial tallies can be checkpointed to disk and resumed
+      bit-identically after a kill ({!Checkpoint});
+    - a trial whose simulation raises is classified and counted
+      ({!classify_result}), never allowed to kill the campaign. *)
 
 type classification = Benign | Detected | Exception | Data_corrupt | Timeout
 
@@ -11,7 +21,7 @@ val all_classes : classification list
 val class_name : classification -> string
 
 type result = {
-  trials : int;
+  trials : int;  (** trials actually run (≤ requested with early stop) *)
   benign : int;
   detected : int;
   exceptions : int;
@@ -19,7 +29,8 @@ type result = {
   timeouts : int;
   golden_cycles : int;
   golden_dyn : int;
-  population : int;  (** dynamic defining instructions in the golden run *)
+  population : int;  (** size of the campaign model's injection pool *)
+  model : Fault.model;
 }
 
 val count : result -> classification -> int
@@ -27,28 +38,46 @@ val count : result -> classification -> int
 (** Percentage of trials in a class. *)
 val percent : result -> classification -> float
 
+(** 95% (or [z]-score) Wilson interval on a class rate, in percent. *)
+val interval : ?z:float -> result -> classification -> float * float
+
+(** Half the Wilson interval width, in percentage points. *)
+val halfwidth : ?z:float -> result -> classification -> float
+
 (** Classify one faulty run against the golden run. *)
 val classify : golden:Outcome.run -> Outcome.run -> classification
 
-(** The golden (fault-free) reference: its run, the injection
-    population, and the faulty-run fuel budget. *)
+(** Like {!classify}, for a trial that may have raised: an [Error] is
+    an [Exception] outcome — tallied, not propagated. *)
+val classify_result :
+  golden:Outcome.run -> (Outcome.run, exn) Stdlib.result -> classification
+
+(** The golden (fault-free) reference: its run, the per-model injection
+    populations, and the faulty-run fuel budget. *)
 type golden = {
   run : Outcome.run;
-  population : int;  (** dynamic defining instructions *)
+  pop : Fault.population;  (** dynamic event populations *)
   fuel : int;  (** [fuel_factor * dyn_insns], the paper's time-out *)
 }
+
+(** The {!Fault.population} counted by a finished run. *)
+val population_of_run : Outcome.run -> Fault.population
 
 (** Execute the golden run. Raises [Invalid_argument] if it does not
     exit cleanly. *)
 val golden : ?fuel_factor:int -> Casted_sched.Schedule.t -> golden
 
 (** [trial ~golden ~seed ~index schedule] runs faulty trial [index] of
-    a campaign with the given campaign [seed]. The trial's fault is
-    drawn from an RNG seeded by [Rng.derive ~seed index], so the result
-    depends only on [(seed, index)] — never on execution order. This is
-    what lets the engine fan trials over domains while staying
-    bit-identical to a sequential campaign. *)
+    a campaign with the given campaign [seed] and fault [model]
+    (default {!Fault.Reg_bit}). The trial's fault is drawn from an RNG
+    seeded by [Rng.derive ~seed index], so the result depends only on
+    [(seed, index, model)] — never on execution order. This is what
+    lets the engine fan trials over domains while staying bit-identical
+    to a sequential campaign. A model whose population is empty in this
+    configuration yields [Benign]; a simulation that raises yields
+    [Exception]. *)
 val trial :
+  ?model:Fault.model ->
   golden:golden ->
   seed:int ->
   index:int ->
@@ -56,21 +85,44 @@ val trial :
   classification
 
 (** Fold per-trial classifications into a campaign result. *)
-val tally : golden:golden -> classification array -> result
+val tally :
+  ?model:Fault.model -> golden:golden -> classification array -> result
+
+(** Campaigns advance in chunks of this many trials; early-stop checks
+    and checkpoint writes happen only at chunk boundaries (absolute
+    trial indices), which is why neither the pool size nor a kill point
+    can change a campaign's result. *)
+val chunk_trials : int
 
 (** [run ~seed ~trials schedule] runs the campaign. The fuel of each
     faulty run is [fuel_factor] (default 10) times the golden dynamic
     instruction count, reproducing the simulator time-out of the paper.
 
-    When [pool] is given, trials are fanned out over its domains; the
-    per-trial seed derivation makes the result identical field-for-field
-    to the sequential ([pool] absent or [jobs = 1]) run. *)
+    @param pool fan trials over these domains; the per-trial seed
+      derivation makes the result identical field-for-field to the
+      sequential run.
+    @param model the fault model to draw every trial from
+      (default {!Fault.Reg_bit}, the paper's model).
+    @param ci_halfwidth stop early once the detected-rate 95% Wilson
+      half-width (percentage points) is at or below this target.
+    @param checkpoint write the partial tally to this path every
+      [checkpoint_every] trials (rounded to chunk boundaries) and at
+      the end.
+    @param resume load [checkpoint] (which must exist with matching
+      seed/model/trials/fuel, else [Invalid_argument]) and continue
+      from its recorded index; a missing file starts from trial 0. *)
 val run :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
   ?fuel_factor:int ->
+  ?model:Fault.model ->
+  ?ci_halfwidth:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
   trials:int ->
   Casted_sched.Schedule.t ->
   result
 
+(** Render the tally with a 95% Wilson interval on every class rate. *)
 val pp : Format.formatter -> result -> unit

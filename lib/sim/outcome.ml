@@ -9,6 +9,9 @@ type run = {
   cycles : int;
   dyn_insns : int;
   dyn_defs : int;
+  dyn_mem : int;
+  dyn_branches : int;
+  dyn_xreads : int;
   dyn_by_role : int array;
   output : string;
   exit_code : int;

@@ -10,8 +10,16 @@ type run = {
   termination : termination;
   cycles : int;  (** total execution cycles *)
   dyn_insns : int;  (** dynamic instructions executed *)
-  dyn_defs : int;  (** dynamic instructions with >= 1 output register;
-                       the fault-injection population *)
+  dyn_defs : int;  (** dynamic register slots written; the register
+                       fault-injection population. Equal to the number
+                       of defining instructions when every instruction
+                       defines at most one register. *)
+  dyn_mem : int;  (** dynamic memory accesses (loads + stores); the
+                      {!Fault.Mem} population *)
+  dyn_branches : int;  (** dynamic conditional branches; the
+                           {!Fault.Control} population *)
+  dyn_xreads : int;  (** operand reads crossing the cluster boundary;
+                         the {!Fault.Xcluster} population *)
   dyn_by_role : int array;  (** dynamic count per {!Casted_ir.Insn.role} *)
   output : string;  (** contents of the program's output region *)
   exit_code : int;  (** exit code, or -1 when not [Exit] *)

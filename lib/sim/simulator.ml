@@ -56,7 +56,10 @@ type ctx = {
   profile : Profile.t option;
   mutable time : int;  (* issue time of the last issued bundle *)
   mutable dyn : int;
-  mutable defs : int;
+  mutable defs : int;  (* dynamic register slots written *)
+  mutable mems : int;  (* dynamic memory accesses (loads + stores) *)
+  mutable branches : int;  (* dynamic conditional branches *)
+  mutable xreads : int;  (* operand reads crossing the cluster boundary *)
   roles : int array;  (* dynamic count per role *)
   mutable depth : int;
 }
@@ -68,10 +71,6 @@ let role_index = function
   | Insn.Shadow_copy -> 3
 
 (* Operand access. *)
-
-let read_gp fr r = fr.gp.(Reg.idx r)
-let read_fp fr r = fr.fpv.(Reg.idx r)
-let read_pr fr r = fr.prv.(Reg.idx r)
 
 let reg_need ctx fr ~cluster r =
   let idx = Reg.idx r in
@@ -102,12 +101,6 @@ let write_pr fr r v ~ready ~home =
   fr.pr_ready.(i) <- max fr.pr_ready.(i) ready;
   fr.pr_home.(i) <- home
 
-let read_value fr r =
-  match Reg.cls r with
-  | Reg.Gp -> V_gp (read_gp fr r)
-  | Reg.Fp -> V_fp (read_fp fr r)
-  | Reg.Pr -> V_pr (read_pr fr r)
-
 let write_value fr r v ~ready ~home =
   match (Reg.cls r, v) with
   | Reg.Gp, V_gp x -> write_gp fr r x ~ready ~home
@@ -115,18 +108,86 @@ let write_value fr r v ~ready ~home =
   | Reg.Pr, V_pr x -> write_pr fr r x ~ready ~home
   | _ -> invalid_arg "Simulator: value class mismatch"
 
-(* Fault injection: flip one bit of one output of the instruction that
-   was just written back. *)
-let inject ctx fr (insn : Insn.t) =
+(* Cross-cluster-aware operand reads. Every value consumed from a
+   register produced on the other cluster travels over the interconnect;
+   the Xcluster fault model corrupts one such transfer in flight (the
+   register file itself keeps the good value). *)
+
+let xcluster_hit ctx =
+  ctx.xreads <- ctx.xreads + 1;
   match ctx.fault with
-  | Some f when ctx.defs = f.Fault.target_def + 1 ->
-      let ndefs = Array.length insn.Insn.defs in
-      let r = insn.Insn.defs.(f.Fault.def_slot mod ndefs) in
-      let i = Reg.idx r in
-      (match Reg.cls r with
-      | Reg.Gp -> fr.gp.(i) <- Fault.flip_int ~bit:f.Fault.bit fr.gp.(i)
-      | Reg.Fp -> fr.fpv.(i) <- Fault.flip_float ~bit:f.Fault.bit fr.fpv.(i)
-      | Reg.Pr -> fr.prv.(i) <- not fr.prv.(i))
+  | Some (Fault.Xcluster_flip { target_read; bit }) ->
+      if ctx.xreads = target_read + 1 then Some bit else None
+  | Some _ | None -> None
+
+let use_gp ctx fr ~cluster r =
+  let i = Reg.idx r in
+  let v = fr.gp.(i) in
+  let home = fr.gp_home.(i) in
+  if home >= 0 && home <> cluster then
+    match xcluster_hit ctx with
+    | Some bit -> Fault.flip_int ~bit v
+    | None -> v
+  else v
+
+let use_fp ctx fr ~cluster r =
+  let i = Reg.idx r in
+  let v = fr.fpv.(i) in
+  let home = fr.fp_home.(i) in
+  if home >= 0 && home <> cluster then
+    match xcluster_hit ctx with
+    | Some bit -> Fault.flip_float ~bit v
+    | None -> v
+  else v
+
+let use_pr ctx fr ~cluster r =
+  let i = Reg.idx r in
+  let v = fr.prv.(i) in
+  let home = fr.pr_home.(i) in
+  if home >= 0 && home <> cluster then
+    match xcluster_hit ctx with Some _ -> not v | None -> v
+  else v
+
+let use_value ctx fr ~cluster r =
+  match Reg.cls r with
+  | Reg.Gp -> V_gp (use_gp ctx fr ~cluster r)
+  | Reg.Fp -> V_fp (use_fp ctx fr ~cluster r)
+  | Reg.Pr -> V_pr (use_pr ctx fr ~cluster r)
+
+(* Register-file fault injection: flip bit(s) of one dynamically written
+   register slot, right after write-back. Slots are counted one by one,
+   so the target is uniform over written slots regardless of how many
+   slots an instruction defines. *)
+let inject_slot ctx fr r =
+  ctx.defs <- ctx.defs + 1;
+  let flip ~bit ~width =
+    let i = Reg.idx r in
+    match Reg.cls r with
+    | Reg.Gp -> fr.gp.(i) <- Fault.flip_burst ~bit ~width fr.gp.(i)
+    | Reg.Fp -> fr.fpv.(i) <- Fault.flip_float_burst ~bit ~width fr.fpv.(i)
+    | Reg.Pr -> fr.prv.(i) <- not fr.prv.(i)
+  in
+  match ctx.fault with
+  | Some (Fault.Reg_flip { target_slot; bit }) when ctx.defs = target_slot + 1
+    ->
+      flip ~bit ~width:1
+  | Some (Fault.Burst_flip { target_slot; bit; width })
+    when ctx.defs = target_slot + 1 ->
+      flip ~bit ~width
+  | Some _ | None -> ()
+
+(* Memory fault injection: after the n-th dynamic access, flip one bit
+   of one byte inside the touched 64-byte line — a cache-line upset seen
+   by every later read of that line. *)
+let touch_mem ctx addr =
+  ctx.mems <- ctx.mems + 1;
+  match ctx.fault with
+  | Some (Fault.Mem_flip { target_access; offset; bit })
+    when ctx.mems = target_access + 1 ->
+      let line =
+        Int64.logand addr (Int64.lognot (Int64.of_int (Fault.line_bytes - 1)))
+      in
+      Memory.flip_bit ctx.mem ~addr:(Int64.add line (Int64.of_int offset)) ~bit
   | Some _ | None -> ()
 
 (* What a bundle instruction decided to do with control flow. *)
@@ -215,12 +276,10 @@ and exec_insn ctx fr ~cluster ~t ~lat (insn : Insn.t) transfer =
   let op = insn.Insn.op in
   let u i = insn.Insn.uses.(i) in
   let d i = insn.Insn.defs.(i) in
-  let finish_def () =
-    if Array.length insn.Insn.defs > 0 then begin
-      ctx.defs <- ctx.defs + 1;
-      inject ctx fr insn
-    end
-  in
+  let ugp r = use_gp ctx fr ~cluster r in
+  let ufp r = use_fp ctx fr ~cluster r in
+  let upr r = use_pr ctx fr ~cluster r in
+  let finish_def () = Array.iter (inject_slot ctx fr) insn.Insn.defs in
   let set_gp r v ~latency =
     write_gp fr r v ~ready:(t + latency) ~home:cluster
   in
@@ -234,98 +293,106 @@ and exec_insn ctx fr ~cluster ~t ~lat (insn : Insn.t) transfer =
   | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
   | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
   | Opcode.Sra ->
-      set_gp (d 0)
-        (Alu.int_binop op (read_gp fr (u 0)) (read_gp fr (u 1)))
-        ~latency:(lat op)
+      set_gp (d 0) (Alu.int_binop op (ugp (u 0)) (ugp (u 1))) ~latency:(lat op)
   | Opcode.Addi | Opcode.Muli | Opcode.Andi | Opcode.Xori | Opcode.Shli
   | Opcode.Shri | Opcode.Srai ->
       set_gp (d 0)
-        (Alu.int_immop op (read_gp fr (u 0)) insn.Insn.imm)
+        (Alu.int_immop op (ugp (u 0)) insn.Insn.imm)
         ~latency:(lat op)
-  | Opcode.Mov -> set_gp (d 0) (read_gp fr (u 0)) ~latency:(lat op)
+  | Opcode.Mov -> set_gp (d 0) (ugp (u 0)) ~latency:(lat op)
   | Opcode.Movi -> set_gp (d 0) insn.Insn.imm ~latency:(lat op)
   | Opcode.Cmp c ->
-      set_pr (d 0)
-        (Cond.eval_int c (read_gp fr (u 0)) (read_gp fr (u 1)))
-        ~latency:(lat op)
+      set_pr (d 0) (Cond.eval_int c (ugp (u 0)) (ugp (u 1))) ~latency:(lat op)
   | Opcode.Cmpi c ->
       set_pr (d 0)
-        (Cond.eval_int c (read_gp fr (u 0)) insn.Insn.imm)
+        (Cond.eval_int c (ugp (u 0)) insn.Insn.imm)
         ~latency:(lat op)
   | Opcode.Sel ->
-      let v =
-        if read_pr fr (u 0) then read_gp fr (u 1) else read_gp fr (u 2)
-      in
+      let v = if upr (u 0) then ugp (u 1) else ugp (u 2) in
       set_gp (d 0) v ~latency:(lat op)
   | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv ->
       set_fp (d 0)
-        (Alu.float_binop op (read_fp fr (u 0)) (read_fp fr (u 1)))
+        (Alu.float_binop op (ufp (u 0)) (ufp (u 1)))
         ~latency:(lat op)
-  | Opcode.Fmov -> set_fp (d 0) (read_fp fr (u 0)) ~latency:(lat op)
+  | Opcode.Fmov -> set_fp (d 0) (ufp (u 0)) ~latency:(lat op)
   | Opcode.Fmovi -> set_fp (d 0) insn.Insn.fimm ~latency:(lat op)
   | Opcode.Fcmp c ->
       set_pr (d 0)
-        (Cond.eval_float c (read_fp fr (u 0)) (read_fp fr (u 1)))
+        (Cond.eval_float c (ufp (u 0)) (ufp (u 1)))
         ~latency:(lat op)
   | Opcode.Itof ->
-      set_fp (d 0) (Int64.to_float (read_gp fr (u 0))) ~latency:(lat op)
+      set_fp (d 0) (Int64.to_float (ugp (u 0))) ~latency:(lat op)
   | Opcode.Ftoi ->
-      let f = read_fp fr (u 0) in
+      let f = ufp (u 0) in
       let v =
         if Float.is_nan f then 0L else Int64.of_float (Float.trunc f)
       in
       set_gp (d 0) v ~latency:(lat op)
   | Opcode.Ld w | Opcode.Lds w ->
       let signed = match op with Opcode.Lds _ -> true | _ -> false in
-      let addr = Int64.add (read_gp fr (u 0)) insn.Insn.imm in
+      let addr = Int64.add (ugp (u 0)) insn.Insn.imm in
       let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
       let v = Memory.read ctx.mem ~addr ~width:w ~signed in
+      touch_mem ctx addr;
       set_gp (d 0) v ~latency
   | Opcode.Fld ->
-      let addr = Int64.add (read_gp fr (u 0)) insn.Insn.imm in
+      let addr = Int64.add (ugp (u 0)) insn.Insn.imm in
       let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
       let v = Memory.read_float ctx.mem ~addr in
+      touch_mem ctx addr;
       set_fp (d 0) v ~latency
   | Opcode.St w ->
-      let addr = Int64.add (read_gp fr (u 1)) insn.Insn.imm in
-      Memory.write ctx.mem ~addr ~width:w (read_gp fr (u 0));
-      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true)
+      let addr = Int64.add (ugp (u 1)) insn.Insn.imm in
+      Memory.write ctx.mem ~addr ~width:w (ugp (u 0));
+      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
+      touch_mem ctx addr
   | Opcode.Fst ->
-      let addr = Int64.add (read_gp fr (u 1)) insn.Insn.imm in
-      Memory.write_float ctx.mem ~addr (read_fp fr (u 0));
-      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true)
+      let addr = Int64.add (ugp (u 1)) insn.Insn.imm in
+      Memory.write_float ctx.mem ~addr (ufp (u 0));
+      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
+      touch_mem ctx addr
   | Opcode.Chk ->
       let ok =
         match Reg.cls (u 0) with
-        | Reg.Gp -> Int64.equal (read_gp fr (u 0)) (read_gp fr (u 1))
+        | Reg.Gp -> Int64.equal (ugp (u 0)) (ugp (u 1))
         | Reg.Fp ->
             Int64.equal
-              (Int64.bits_of_float (read_fp fr (u 0)))
-              (Int64.bits_of_float (read_fp fr (u 1)))
-        | Reg.Pr -> Bool.equal (read_pr fr (u 0)) (read_pr fr (u 1))
+              (Int64.bits_of_float (ufp (u 0)))
+              (Int64.bits_of_float (ufp (u 1)))
+        | Reg.Pr -> Bool.equal (upr (u 0)) (upr (u 1))
       in
       if not ok then raise (Check_failed insn.Insn.id)
   | Opcode.Br -> transfer := Goto insn.Insn.target
   | Opcode.Brc flag ->
-      let taken = Bool.equal (read_pr fr (u 0)) flag in
+      let taken = Bool.equal (upr (u 0)) flag in
+      ctx.branches <- ctx.branches + 1;
+      let taken =
+        match ctx.fault with
+        | Some (Fault.Branch_flip { target_branch })
+          when ctx.branches = target_branch + 1 ->
+            not taken
+        | Some _ | None -> taken
+      in
       transfer :=
         Goto (if taken then insn.Insn.target else insn.Insn.target2)
   | Opcode.Ret ->
       let v =
-        if Array.length insn.Insn.uses > 0 then Some (read_value fr (u 0))
+        if Array.length insn.Insn.uses > 0 then
+          Some (use_value ctx fr ~cluster (u 0))
         else None
       in
       transfer := Return v
   | Opcode.Halt ->
       let code =
-        if Array.length insn.Insn.uses > 0 then
-          Int64.to_int (read_gp fr (u 0))
+        if Array.length insn.Insn.uses > 0 then Int64.to_int (ugp (u 0))
         else 0
       in
       raise (Halted code)
   | Opcode.Call ->
       let callee = Schedule.find_func ctx.sched insn.Insn.target in
-      let args = List.map (read_value fr) (Array.to_list insn.Insn.uses) in
+      let args =
+        List.map (use_value ctx fr ~cluster) (Array.to_list insn.Insn.uses)
+      in
       let result = exec_func ctx callee args in
       (match (Array.length insn.Insn.defs, result) with
       | 0, _ -> ()
@@ -362,6 +429,9 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
       time = -1;
       dyn = 0;
       defs = 0;
+      mems = 0;
+      branches = 0;
+      xreads = 0;
       roles = Array.make 4 0;
       depth = 0;
     }
@@ -387,6 +457,9 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
     cycles = ctx.time + 1;
     dyn_insns = ctx.dyn;
     dyn_defs = ctx.defs;
+    dyn_mem = ctx.mems;
+    dyn_branches = ctx.branches;
+    dyn_xreads = ctx.xreads;
     dyn_by_role = ctx.roles;
     output;
     exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);

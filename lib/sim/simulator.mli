@@ -12,9 +12,15 @@
     Bundle semantics are VLIW-parallel: all operands are read before any
     write of the same bundle lands.
 
-    Faults: when a {!Fault.t} is supplied, the n-th dynamic instruction
-    with output registers gets one bit of one of its outputs flipped right
-    after write-back — the paper's injection model (§IV-C). *)
+    Faults: when a {!Fault.t} is supplied, one dynamic event is
+    corrupted according to the fault's model (§IV-C, generalised):
+    register-slot bit flips and bursts right after write-back, a
+    cache-line bit after the n-th memory access, an inverted direction
+    on the n-th conditional branch, or a corrupted value on the n-th
+    cross-cluster operand read. The run also counts each model's
+    dynamic population ({!Outcome.run} [dyn_defs], [dyn_mem],
+    [dyn_branches], [dyn_xreads]), which is how a campaign's golden run
+    sizes the injection pool. *)
 
 (** [run schedule] executes the program to termination.
 

@@ -1,0 +1,22 @@
+let wilson ?(z = 1.96) ~successes ~trials () =
+  if successes < 0 || trials < 0 || successes > trials then
+    invalid_arg
+      (Printf.sprintf "Stats.wilson: bad counts (%d successes, %d trials)"
+         successes trials);
+  if trials = 0 then (0.0, 1.0)
+  else begin
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let spread =
+      z /. denom
+      *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n)))
+    in
+    (Float.max 0.0 (center -. spread), Float.min 1.0 (center +. spread))
+  end
+
+let wilson_halfwidth ?z ~successes ~trials () =
+  let lo, hi = wilson ?z ~successes ~trials () in
+  (hi -. lo) /. 2.0

@@ -1,0 +1,18 @@
+(** Campaign statistics: Wilson score confidence intervals.
+
+    Monte-Carlo class rates are binomial proportions; the Wilson score
+    interval (unlike the naive normal approximation) stays inside
+    [0, 1] and behaves sensibly at the extreme rates fault campaigns
+    produce (detected rates near 100%, corrupt rates near 0%). ELZAR's
+    methodology reports detection rates with exactly such intervals
+    over large campaigns. *)
+
+(** [wilson ~z ~successes ~trials] is the Wilson score interval for a
+    binomial proportion, as [(lo, hi)] proportions in [0, 1]. [z]
+    defaults to 1.96 (95% confidence). An empty sample yields [(0, 1)]
+    — total uncertainty. Raises [Invalid_argument] on negative counts
+    or [successes > trials]. *)
+val wilson : ?z:float -> successes:int -> trials:int -> unit -> float * float
+
+(** Half the width of the Wilson interval, in proportion units. *)
+val wilson_halfwidth : ?z:float -> successes:int -> trials:int -> unit -> float

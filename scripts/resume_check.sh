@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Crash-recovery check: start a checkpointing Monte-Carlo campaign, kill
+# it mid-run with SIGKILL, resume it from the checkpoint, and verify the
+# resumed tally is bit-for-bit identical to an uninterrupted campaign —
+# at more than one --jobs setting.
+#
+# Knobs:
+#   CASTED_BIN  path to the casted binary
+#               (default _build/default/bin/casted.exe)
+#   TRIALS      campaign length (default 2000; must be long enough that
+#               the kill lands before the campaign finishes)
+#   MODEL       fault model to campaign under (default reg-bit)
+set -euo pipefail
+
+BIN=${CASTED_BIN:-_build/default/bin/casted.exe}
+TRIALS=${TRIALS:-2000}
+MODEL=${MODEL:-reg-bit}
+ARGS=(campaign -w cjpeg -s casted --issue 2 --delay 2
+      --trials "$TRIALS" --fault-model "$MODEL")
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# The "(N jobs)" line legitimately differs across --jobs settings; the
+# tally lines must not.
+normalize() { sed 's/([0-9]* jobs)//' "$1"; }
+
+echo "== reference: uninterrupted campaign"
+"$BIN" "${ARGS[@]}" --jobs 2 > "$workdir/reference.out"
+normalize "$workdir/reference.out" > "$workdir/reference.norm"
+
+echo "== interrupted campaign (SIGKILL after the first checkpoint)"
+"$BIN" "${ARGS[@]}" --jobs 1 --checkpoint "$workdir/ckpt" \
+  --checkpoint-every 64 > "$workdir/killed.out" 2>&1 &
+pid=$!
+for _ in $(seq 1 600); do
+  [ -f "$workdir/ckpt" ] && break
+  sleep 0.1
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+if [ ! -f "$workdir/ckpt" ]; then
+  echo "resume_check: no checkpoint was written before the kill;" >&2
+  echo "              is the binary built? ($BIN)" >&2
+  exit 1
+fi
+
+next=$(sed -n 's/^next=//p' "$workdir/ckpt")
+if [ "$next" -ge "$TRIALS" ]; then
+  echo "resume_check: campaign finished before the kill (next=$next);" >&2
+  echo "              raise TRIALS so the kill lands mid-run" >&2
+  exit 1
+fi
+echo "   killed with $next/$TRIALS trials tallied"
+
+for jobs in 1 4; do
+  echo "== resume with --jobs $jobs"
+  cp "$workdir/ckpt" "$workdir/ckpt.$jobs"
+  "$BIN" "${ARGS[@]}" --jobs "$jobs" --checkpoint "$workdir/ckpt.$jobs" \
+    --resume > "$workdir/resumed.$jobs.out"
+  normalize "$workdir/resumed.$jobs.out" > "$workdir/resumed.$jobs.norm"
+  if ! diff -u "$workdir/reference.norm" "$workdir/resumed.$jobs.norm"; then
+    echo "resume_check: --jobs $jobs resume differs from the" >&2
+    echo "              uninterrupted campaign" >&2
+    exit 1
+  fi
+done
+
+echo "resume_check: OK — killed + resumed campaign is bit-identical to the"
+echo "              uninterrupted one at every --jobs"

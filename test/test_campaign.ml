@@ -1,0 +1,312 @@
+(* Campaign statistics and crash-proofing: Wilson intervals, sequential
+   early stopping, checkpoint/resume, and trial-level fault tolerance. *)
+
+open Helpers
+module Fault = Casted_sim.Fault
+module Stats = Casted_sim.Stats
+module Checkpoint = Casted_sim.Checkpoint
+module Montecarlo = Casted_sim.Montecarlo
+module Pool = Casted_exec.Pool
+
+(* A small kernel with loads, stores and conditional branches so every
+   fault model has a non-empty population under CASTED. *)
+let kernel () =
+  program_of (fun b ->
+      let base = B.movi b 0x100L in
+      let acc = B.movi b 1L in
+      B.counted_loop b ~from:0L ~until:12L (fun b i ->
+          let x = B.mul b acc acc in
+          let y = B.add b x i in
+          let (_ : Reg.t) = B.andi b ~dst:acc y 0xFFFFL in
+          B.st b Opcode.W8 ~value:acc ~base 0L);
+      let out = B.movi b 0x40L in
+      let v = B.ld b Opcode.W8 base 0L in
+      B.st b Opcode.W8 ~value:v ~base:out 0L)
+
+let schedule () =
+  let c =
+    Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 (kernel ())
+  in
+  c.Pipeline.schedule
+
+let same_result msg (a : Montecarlo.result) (b : Montecarlo.result) =
+  let ck field = Alcotest.(check int) (msg ^ ": " ^ field) in
+  ck "trials" a.Montecarlo.trials b.Montecarlo.trials;
+  ck "benign" a.Montecarlo.benign b.Montecarlo.benign;
+  ck "detected" a.Montecarlo.detected b.Montecarlo.detected;
+  ck "exceptions" a.Montecarlo.exceptions b.Montecarlo.exceptions;
+  ck "corrupt" a.Montecarlo.corrupt b.Montecarlo.corrupt;
+  ck "timeouts" a.Montecarlo.timeouts b.Montecarlo.timeouts
+
+(* Wilson interval: a known value, the empty-sample convention, the
+   edge rates, and basic soundness over a sweep. *)
+let test_wilson_known_values () =
+  let close name expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: |%.4f - %.4f| < 1e-3" name expected got)
+      true
+      (Float.abs (expected -. got) < 1e-3)
+  in
+  let lo, hi = Stats.wilson ~successes:50 ~trials:100 () in
+  close "50/100 lo" 0.4038 lo;
+  close "50/100 hi" 0.5962 hi;
+  let lo, hi = Stats.wilson ~successes:0 ~trials:10 () in
+  close "0/10 lo" 0.0 lo;
+  close "0/10 hi" 0.2775 hi;
+  let lo, hi = Stats.wilson ~successes:10 ~trials:10 () in
+  close "10/10 lo" (1.0 -. 0.2775) lo;
+  close "10/10 hi" 1.0 hi;
+  let lo, hi = Stats.wilson ~successes:0 ~trials:0 () in
+  close "empty lo" 0.0 lo;
+  close "empty hi" 1.0 hi
+
+let test_wilson_soundness () =
+  List.iter
+    (fun (successes, trials) ->
+      let lo, hi = Stats.wilson ~successes ~trials () in
+      let p = float_of_int successes /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d/%d: 0 <= %.4f <= %.4f <= %.4f <= 1" successes
+           trials lo p hi)
+        true
+        (0.0 <= lo && lo <= p && p <= hi && hi <= 1.0))
+    [ (0, 1); (1, 1); (1, 3); (7, 300); (299, 300); (150, 300); (1, 100000) ];
+  (* More trials at the same rate must narrow the interval. *)
+  let hw n = Stats.wilson_halfwidth ~successes:(n / 2) ~trials:n () in
+  Alcotest.(check bool) "interval narrows with n" true
+    (hw 10 > hw 100 && hw 100 > hw 10000)
+
+let test_wilson_rejects_bad_counts () =
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "negative successes" (fun () ->
+      Stats.wilson ~successes:(-1) ~trials:10 ());
+  expect_invalid "successes > trials" (fun () ->
+      Stats.wilson ~successes:11 ~trials:10 ())
+
+(* A raising trial is a tallied Exception, never a propagated crash. *)
+let test_raising_trial_is_tallied () =
+  let golden = Simulator.run (schedule ()) in
+  Alcotest.(check string) "Error is an exception outcome" "exception"
+    (Montecarlo.class_name
+       (Montecarlo.classify_result ~golden (Error (Failure "boom"))));
+  Alcotest.(check string) "Ok classifies normally" "benign"
+    (Montecarlo.class_name (Montecarlo.classify_result ~golden (Ok golden)))
+
+(* A model whose population is empty in this configuration (xcluster on
+   a single-cluster NOED schedule) yields Benign, not a crash. *)
+let test_empty_population_is_benign () =
+  let c =
+    Pipeline.compile ~scheme:Scheme.Noed ~issue_width:2 ~delay:1 (kernel ())
+  in
+  let s = c.Pipeline.schedule in
+  let g = Montecarlo.golden s in
+  Alcotest.(check int) "no cross-cluster reads on one cluster" 0
+    g.Montecarlo.pop.Fault.xcluster_reads;
+  Alcotest.(check string) "trial is benign" "benign"
+    (Montecarlo.class_name
+       (Montecarlo.trial ~model:Fault.Xcluster ~golden:g ~seed:3 ~index:0 s));
+  let r = Montecarlo.run ~model:Fault.Xcluster ~seed:3 ~trials:10 s in
+  Alcotest.(check int) "campaign is all benign" 10 r.Montecarlo.benign
+
+(* Early stopping fires at the same chunk boundary whatever the pool
+   size, and only runs fewer trials than requested. *)
+let test_early_stop_deterministic () =
+  let s = schedule () in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Montecarlo.run ~pool ~seed:11 ~ci_halfwidth:25.0 ~trials:10_000 s)
+  in
+  let seq = run 1 and par = run 4 in
+  same_result "early stop jobs=4 vs jobs=1" par seq;
+  Alcotest.(check bool) "stopped before the requested count" true
+    (seq.Montecarlo.trials < 10_000);
+  Alcotest.(check int) "stopped at a chunk boundary" 0
+    (seq.Montecarlo.trials mod Montecarlo.chunk_trials);
+  Alcotest.(check bool) "the target is reached" true
+    (Montecarlo.halfwidth seq Montecarlo.Detected <= 25.0)
+
+let test_early_stop_rejects_bad_target () =
+  match Montecarlo.run ~ci_halfwidth:0.0 ~trials:10 (schedule ()) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let with_tmp_checkpoint f =
+  let path = Filename.temp_file "casted-test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_round_trip () =
+  with_tmp_checkpoint (fun path ->
+      let t =
+        {
+          Checkpoint.seed = 42;
+          fuel_factor = 10;
+          model = Fault.Burst;
+          trials = 300;
+          next_index = 128;
+          counts = [| 50; 60; 5; 10; 3 |];
+        }
+      in
+      Checkpoint.save ~path t;
+      match Checkpoint.load ~path with
+      | Ok (Some t') ->
+          Alcotest.(check int) "seed" t.Checkpoint.seed t'.Checkpoint.seed;
+          Alcotest.(check int) "fuel" t.Checkpoint.fuel_factor
+            t'.Checkpoint.fuel_factor;
+          Alcotest.(check bool) "model" true
+            (t.Checkpoint.model = t'.Checkpoint.model);
+          Alcotest.(check int) "trials" t.Checkpoint.trials
+            t'.Checkpoint.trials;
+          Alcotest.(check int) "next_index" t.Checkpoint.next_index
+            t'.Checkpoint.next_index;
+          Alcotest.(check (array int)) "counts" t.Checkpoint.counts
+            t'.Checkpoint.counts
+      | Ok None -> Alcotest.fail "checkpoint vanished"
+      | Error msg -> Alcotest.failf "round trip failed: %s" msg)
+
+let test_checkpoint_missing_and_corrupt () =
+  (match Checkpoint.load ~path:"/nonexistent/casted.ckpt" with
+  | Ok None -> ()
+  | Ok (Some _) -> Alcotest.fail "phantom checkpoint"
+  | Error msg -> Alcotest.failf "missing file must be Ok None, got %s" msg);
+  with_tmp_checkpoint (fun path ->
+      let oc = open_out path in
+      output_string oc "not a checkpoint\n";
+      close_out oc;
+      match Checkpoint.load ~path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "corrupt checkpoint must be a loud error")
+
+(* The crash-recovery property: a campaign killed at any chunk boundary
+   and resumed from its checkpoint produces the bit-identical tally of
+   the uninterrupted campaign. We simulate the kill by writing the
+   checkpoint a partial prefix would have left behind. *)
+let test_resume_bit_identical () =
+  let s = schedule () in
+  let seed = 5 and trials = 200 in
+  let uninterrupted = Montecarlo.run ~seed ~trials s in
+  let g = Montecarlo.golden s in
+  List.iter
+    (fun kill_at ->
+      with_tmp_checkpoint (fun path ->
+          let counts = Array.make 5 0 in
+          for index = 0 to kill_at - 1 do
+            let c = Montecarlo.trial ~golden:g ~seed ~index s in
+            let i =
+              match c with
+              | Montecarlo.Benign -> 0
+              | Montecarlo.Detected -> 1
+              | Montecarlo.Exception -> 2
+              | Montecarlo.Data_corrupt -> 3
+              | Montecarlo.Timeout -> 4
+            in
+            counts.(i) <- counts.(i) + 1
+          done;
+          Checkpoint.save ~path
+            {
+              Checkpoint.seed;
+              fuel_factor = 10;
+              model = Fault.Reg_bit;
+              trials;
+              next_index = kill_at;
+              counts;
+            };
+          List.iter
+            (fun jobs ->
+              let resumed =
+                Pool.with_pool ~jobs (fun pool ->
+                    Montecarlo.run ~pool ~seed ~checkpoint:path ~resume:true
+                      ~trials s)
+              in
+              same_result
+                (Printf.sprintf "killed at %d, resumed with jobs=%d" kill_at
+                   jobs)
+                resumed uninterrupted)
+            [ 1; 4 ]))
+    [ 64; 128 ]
+
+(* Resuming against a checkpoint from a different campaign is a loud
+   mismatch, not a silently wrong tally. *)
+let test_resume_rejects_mismatch () =
+  let s = schedule () in
+  with_tmp_checkpoint (fun path ->
+      Checkpoint.save ~path
+        {
+          Checkpoint.seed = 999;
+          fuel_factor = 10;
+          model = Fault.Reg_bit;
+          trials = 200;
+          next_index = 64;
+          counts = [| 30; 30; 2; 1; 1 |];
+        };
+      match
+        Montecarlo.run ~seed:5 ~checkpoint:path ~resume:true ~trials:200 s
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument on seed mismatch"
+      | exception Invalid_argument _ -> ())
+
+(* A finished campaign leaves a checkpoint whose index covers every
+   trial, so re-resuming runs nothing and reproduces the tally. *)
+let test_checkpoint_written_and_final () =
+  let s = schedule () in
+  with_tmp_checkpoint (fun path ->
+      let r =
+        Montecarlo.run ~seed:6 ~checkpoint:path ~checkpoint_every:64
+          ~trials:100 s
+      in
+      (match Checkpoint.load ~path with
+      | Ok (Some c) ->
+          Alcotest.(check int) "final index" 100 c.Checkpoint.next_index
+      | Ok None -> Alcotest.fail "no checkpoint written"
+      | Error msg -> Alcotest.failf "unreadable checkpoint: %s" msg);
+      let resumed =
+        Montecarlo.run ~seed:6 ~checkpoint:path ~resume:true ~trials:100 s
+      in
+      same_result "re-resume of a finished campaign" resumed r)
+
+(* Pool.map_result: raising tasks land as Error in their own slot;
+   every other task still completes. *)
+let test_pool_map_result () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      let results =
+        Pool.map_result pool
+          (fun i -> if i mod 5 = 2 then failwith (string_of_int i) else 2 * i)
+          (Array.init 20 Fun.id)
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (2 * i) v
+          | Error (Failure msg) ->
+              Alcotest.(check int) (Printf.sprintf "slot %d raised" i) i
+                (int_of_string msg);
+              Alcotest.(check int) "only the raising slots" 2 (i mod 5)
+          | Error e -> raise e)
+        results)
+
+let suite =
+  ( "campaign",
+    [
+      case "wilson known values" test_wilson_known_values;
+      case "wilson soundness" test_wilson_soundness;
+      case "wilson rejects bad counts" test_wilson_rejects_bad_counts;
+      case "raising trial is tallied" test_raising_trial_is_tallied;
+      case "empty population is benign" test_empty_population_is_benign;
+      case "early stop deterministic across pools"
+        test_early_stop_deterministic;
+      case "early stop rejects bad target" test_early_stop_rejects_bad_target;
+      case "checkpoint round trip" test_checkpoint_round_trip;
+      case "checkpoint missing vs corrupt" test_checkpoint_missing_and_corrupt;
+      case "killed + resumed campaign is bit-identical"
+        test_resume_bit_identical;
+      case "resume rejects a mismatched checkpoint"
+        test_resume_rejects_mismatch;
+      case "finished campaign leaves a complete checkpoint"
+        test_checkpoint_written_and_final;
+      case "pool map_result isolates raising tasks" test_pool_map_result;
+    ] )

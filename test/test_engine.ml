@@ -27,7 +27,9 @@ let same_result msg (a : Montecarlo.result) (b : Montecarlo.result) =
   check_result (msg ^ ": golden_dyn") a.Montecarlo.golden_dyn
     b.Montecarlo.golden_dyn;
   check_result (msg ^ ": population") a.Montecarlo.population
-    b.Montecarlo.population
+    b.Montecarlo.population;
+  Alcotest.(check bool) (msg ^ ": model") true
+    (a.Montecarlo.model = b.Montecarlo.model)
 
 (* (a) A parallel campaign is bit-identical to the jobs=1 campaign and
    to the plain sequential Montecarlo.run, for the same seed. *)
@@ -152,7 +154,17 @@ let test_job_model () =
         Engine.run_jobs e
           [
             Engine.Compile spec;
-            Engine.Campaign { spec; trials = 10; seed = 7; fuel_factor = 10 };
+            Engine.Campaign
+              {
+                spec;
+                trials = 10;
+                seed = 7;
+                fuel_factor = 10;
+                model = Casted_sim.Fault.Reg_bit;
+                ci_halfwidth = None;
+                checkpoint = None;
+                resume = false;
+              };
           ]
       with
       | [ Engine.Compiled c; Engine.Campaigned r ] ->
@@ -170,6 +182,45 @@ let test_rng_derive () =
   Alcotest.(check bool) "non-negative" true (a >= 0 && b >= 0 && c >= 0);
   Alcotest.(check int) "deterministic" a (Casted_sim.Rng.derive ~seed:1 0)
 
+(* The per-trial seed derivation must behave like a hash: non-negative
+   everywhere and collision-free across the index range a real campaign
+   uses, for several campaign seeds (including adversarial ones). *)
+let test_rng_derive_sweep () =
+  let n = 100_000 in
+  List.iter
+    (fun seed ->
+      let seen = Hashtbl.create (2 * n) in
+      for index = 0 to n - 1 do
+        let d = Casted_sim.Rng.derive ~seed index in
+        if d < 0 then
+          Alcotest.failf "derive ~seed:%d %d is negative (%d)" seed index d;
+        match Hashtbl.find_opt seen d with
+        | Some prev ->
+            Alcotest.failf
+              "derive ~seed:%d collides at indices %d and %d (both %d)" seed
+              prev index d
+        | None -> Hashtbl.add seen d index
+      done)
+    [ 0; 1; 42; 0xCA57ED; max_int; min_int ]
+
+(* Parallel == sequential for every fault model, not just the default:
+   each model draws a different shape from the per-trial RNG, so each
+   exercises the derivation independently. *)
+let test_campaign_deterministic_all_models () =
+  let trials = 40 and seed = 9 in
+  List.iter
+    (fun model ->
+      let run jobs =
+        Engine.with_engine ~jobs (fun e ->
+            Engine.campaign e ~seed ~model ~trials spec)
+      in
+      let seq = run 1 and par = run 4 in
+      same_result
+        (Printf.sprintf "%s: jobs=4 vs jobs=1"
+           (Casted_sim.Fault.model_name model))
+        par seq)
+    Casted_sim.Fault.all_models
+
 let suite =
   ( "engine",
     [
@@ -183,4 +234,7 @@ let suite =
       case "sweep order independent of jobs" test_sweep_order_independent_of_jobs;
       case "job model round-trip" test_job_model;
       case "rng derive" test_rng_derive;
+      case "rng derive 100k sweep, no collisions" test_rng_derive_sweep;
+      case "campaign deterministic for every model"
+        test_campaign_deterministic_all_models;
     ] )

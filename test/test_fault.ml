@@ -21,15 +21,74 @@ let prop_flip_float_changes_bits =
       (* NaN payloads can collapse; tolerate that one case. *)
       || Float.is_nan v)
 
+let prop_flip_burst_involution =
+  qcheck "flipping a burst twice restores the value"
+    QCheck2.Gen.(
+      triple (map Int64.of_int int) (int_bound 63) (int_range 1 4))
+    (fun (v, bit, width) ->
+      Fault.flip_burst ~bit ~width (Fault.flip_burst ~bit ~width v) = v)
+
+let test_population =
+  {
+    Fault.def_slots = 37;
+    mem_accesses = 21;
+    cond_branches = 13;
+    xcluster_reads = 9;
+  }
+
 let test_random_fault_in_population () =
   let rng = Rng.create ~seed:1 in
+  let in_pop name v limit =
+    Alcotest.(check bool) (name ^ " in range") true (v >= 0 && v < limit)
+  in
   for _ = 1 to 1000 do
-    let f = Fault.random rng ~population:37 in
-    Alcotest.(check bool) "in range" true
-      (f.Fault.target_def >= 0 && f.Fault.target_def < 37);
-    Alcotest.(check bool) "bit in range" true
-      (f.Fault.bit >= 0 && f.Fault.bit < 64)
+    List.iter
+      (fun model ->
+        let f = Fault.random model rng ~population:test_population in
+        Alcotest.(check bool) "model round-trips" true
+          (Fault.model_of f = model);
+        match f with
+        | Fault.Reg_flip { target_slot; bit } ->
+            in_pop "slot" target_slot test_population.Fault.def_slots;
+            in_pop "bit" bit 64
+        | Fault.Burst_flip { target_slot; bit; width } ->
+            in_pop "slot" target_slot test_population.Fault.def_slots;
+            in_pop "bit" bit 64;
+            Alcotest.(check bool) "width 2-4" true (width >= 2 && width <= 4)
+        | Fault.Mem_flip { target_access; offset; bit } ->
+            in_pop "access" target_access test_population.Fault.mem_accesses;
+            in_pop "offset" offset Fault.line_bytes;
+            in_pop "bit" bit 8
+        | Fault.Branch_flip { target_branch } ->
+            in_pop "branch" target_branch test_population.Fault.cond_branches
+        | Fault.Xcluster_flip { target_read; bit } ->
+            in_pop "read" target_read test_population.Fault.xcluster_reads;
+            in_pop "bit" bit 64)
+      Fault.all_models
   done
+
+let test_random_fault_empty_population () =
+  let rng = Rng.create ~seed:2 in
+  let empty = { test_population with Fault.xcluster_reads = 0 } in
+  Alcotest.(check bool) "population_size sees the empty pool" true
+    (Fault.population_size Fault.Xcluster empty = 0);
+  match Fault.random Fault.Xcluster rng ~population:empty with
+  | _ -> Alcotest.fail "expected Invalid_argument on an empty population"
+  | exception Invalid_argument _ -> ()
+
+let test_model_names_round_trip () =
+  List.iter
+    (fun m ->
+      match Fault.model_of_string (Fault.model_name m) with
+      | Some m' -> Alcotest.(check bool) (Fault.model_name m) true (m = m')
+      | None -> Alcotest.failf "%s does not parse" (Fault.model_name m))
+    Fault.all_models;
+  Alcotest.(check bool) "aliases parse" true
+    (Fault.model_of_string "mbu" = Some Fault.Burst
+    && Fault.model_of_string "branch" = Some Fault.Control
+    && Fault.model_of_string "comm" = Some Fault.Xcluster);
+  Alcotest.(check bool) "junk rejected" true
+    (Fault.model_of_string "gamma-ray" = None)
 
 let test_rng_deterministic () =
   let draw seed =
@@ -63,7 +122,7 @@ let test_injection_changes_something () =
      corrupt or exception, never detected (no checks exist). *)
   let distinct = ref 0 in
   for def = 0 to golden.Outcome.dyn_defs - 1 do
-    let fault = { Fault.target_def = def; def_slot = 0; bit = 1 } in
+    let fault = Fault.Reg_flip { target_slot = def; bit = 1 } in
     let r =
       Simulator.run ~fault ~fuel:(20 * golden.Outcome.dyn_insns)
         c.Pipeline.schedule
@@ -86,7 +145,7 @@ let test_hardened_run_has_no_sdc () =
   for def = 0 to golden.Outcome.dyn_defs - 1 do
     List.iter
       (fun bit ->
-        let fault = { Fault.target_def = def; def_slot = 0; bit } in
+        let fault = Fault.Reg_flip { target_slot = def; bit } in
         let r =
           Simulator.run ~fault ~fuel:(20 * golden.Outcome.dyn_insns)
             c.Pipeline.schedule
@@ -103,12 +162,20 @@ let test_hardened_run_has_no_sdc () =
 let test_fault_determinism () =
   let p = protected_program () in
   let c = Pipeline.compile ~scheme:Scheme.Sced ~issue_width:2 ~delay:1 p in
-  let fault = { Fault.target_def = 17; def_slot = 0; bit = 9 } in
-  let r1 = Simulator.run ~fault c.Pipeline.schedule in
-  let r2 = Simulator.run ~fault c.Pipeline.schedule in
-  Alcotest.(check bool) "same termination" true
-    (r1.Outcome.termination = r2.Outcome.termination);
-  Alcotest.(check string) "same output" r1.Outcome.output r2.Outcome.output
+  List.iter
+    (fun fault ->
+      let r1 = Simulator.run ~fault c.Pipeline.schedule in
+      let r2 = Simulator.run ~fault c.Pipeline.schedule in
+      Alcotest.(check bool) "same termination" true
+        (r1.Outcome.termination = r2.Outcome.termination);
+      Alcotest.(check string) "same output" r1.Outcome.output
+        r2.Outcome.output)
+    [
+      Fault.Reg_flip { target_slot = 17; bit = 9 };
+      Fault.Burst_flip { target_slot = 17; bit = 60; width = 4 };
+      Fault.Mem_flip { target_access = 3; offset = 11; bit = 5 };
+      Fault.Branch_flip { target_branch = 2 };
+    ]
 
 let test_classification_rules () =
   let golden =
@@ -117,6 +184,9 @@ let test_classification_rules () =
       cycles = 10;
       dyn_insns = 10;
       dyn_defs = 5;
+      dyn_mem = 2;
+      dyn_branches = 1;
+      dyn_xreads = 0;
       dyn_by_role = [| 10; 0; 0; 0 |];
       output = "abcd";
       exit_code = 0;
@@ -155,9 +225,12 @@ let suite =
     [
       prop_flip_int_involution;
       prop_flip_int_changes;
+      prop_flip_burst_involution;
       prop_flip_float_changes_bits;
       case "random faults stay in the population"
         test_random_fault_in_population;
+      case "empty population is rejected" test_random_fault_empty_population;
+      case "model names round-trip" test_model_names_round_trip;
       case "rng is deterministic" test_rng_deterministic;
       case "NOED faults corrupt, never detect" test_injection_changes_something;
       case "hardened program has no silent corruption"

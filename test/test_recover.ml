@@ -87,7 +87,7 @@ let test_faults_are_recovered () =
   let recovered = ref 0 in
   let rec go def =
     if def < population then begin
-      let fault = { Fault.target_def = def; def_slot = 0; bit = 11 } in
+      let fault = Fault.Reg_flip { target_slot = def; bit = 11 } in
       let r = Simulator.run ~fault ~fuel schedule in
       incr injected;
       let c = Montecarlo.classify ~golden r in
