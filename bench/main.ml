@@ -14,7 +14,9 @@
      CASTED_SEED      campaign seed override (default 0xCA57ED)
      CASTED_FAST=1    small inputs + few trials, for smoke testing
                       (0 or unset: full run; anything else is an error)
-     CASTED_SECTIONS  comma-separated subset of sections to run *)
+     CASTED_SECTIONS  comma-separated subset of sections to run
+     CASTED_BENCH_OUT machine-readable output path (default BENCH.json;
+                      schema documented in EXPERIMENTS.md) *)
 
 module W = Casted_workloads.Workload
 module Registry = Casted_workloads.Registry
@@ -28,6 +30,7 @@ module Montecarlo = Casted_sim.Montecarlo
 module Report = Casted_report
 module Engine = Casted_engine.Engine
 module Pool = Casted_exec.Pool
+module Obs = Casted_obs
 
 let env_failure fmt =
   Printf.ksprintf
@@ -100,8 +103,19 @@ let sections =
 
 let enabled name = sections = [] || List.mem name sections
 
+let bench_out =
+  match Sys.getenv_opt "CASTED_BENCH_OUT" with
+  | Some "" -> env_failure "CASTED_BENCH_OUT must be a path (got \"\")"
+  | Some p -> p
+  | None -> "BENCH.json"
+
 let banner name =
   Printf.printf "\n================ %s ================\n%!" name
+
+(* Machine-readable results accumulated while the sections run and
+   written to [bench_out] at the end (schema in EXPERIMENTS.md). *)
+let section_times : (string * float) list ref = ref []
+let headline : Report.Perf_sweep.summary option ref = ref None
 
 (* The perf sweep feeds both Figs. 6-7 and Fig. 8, so share it. *)
 let sweep =
@@ -133,8 +147,9 @@ let section_fig6_7 () =
   let s = Lazy.force sweep in
   print_string (Report.Perf_sweep.render_all s);
   banner "Headline (paper SS IV-B / VI)";
-  print_string
-    (Report.Perf_sweep.render_summary (Report.Perf_sweep.summarize s))
+  let summary = Report.Perf_sweep.summarize s in
+  headline := Some summary;
+  print_string (Report.Perf_sweep.render_summary summary)
 
 let section_fig8 () =
   banner "Fig. 8: ILP scaling (speedup vs issue 1, delay 1)";
@@ -473,9 +488,82 @@ let section_microbench () =
          [ name; human ])
        rows)
 
+(* BENCH.json: the machine-readable half of the harness, consumed by CI
+   (uploaded as an artifact) and by the perf-trajectory tooling. Schema
+   documented in EXPERIMENTS.md. *)
+let write_bench_json ~total_s =
+  let f x = Obs.Json.Float x in
+  let summary_json =
+    match !headline with
+    | None -> Obs.Json.Null
+    | Some (s : Report.Perf_sweep.summary) ->
+        Obs.Json.Obj
+          [
+            ("sced_min", f s.Report.Perf_sweep.sced_min);
+            ("sced_max", f s.Report.Perf_sweep.sced_max);
+            ("sced_avg", f s.Report.Perf_sweep.sced_avg);
+            ("dced_min", f s.Report.Perf_sweep.dced_min);
+            ("dced_max", f s.Report.Perf_sweep.dced_max);
+            ("dced_avg", f s.Report.Perf_sweep.dced_avg);
+            ("casted_min", f s.Report.Perf_sweep.casted_min);
+            ("casted_max", f s.Report.Perf_sweep.casted_max);
+            ("casted_avg", f s.Report.Perf_sweep.casted_avg);
+            ("best_gain_pct", f s.Report.Perf_sweep.best_gain);
+            ( "best_gain_at",
+              Obs.Json.String s.Report.Perf_sweep.best_gain_at );
+            ("casted_vs_sced_pct", f s.Report.Perf_sweep.casted_vs_sced);
+            ("casted_vs_dced_pct", f s.Report.Perf_sweep.casted_vs_dced);
+          ]
+  in
+  let pool_stats = Pool.stats (Engine.pool engine) in
+  let cache_stats = Casted_engine.Cache.stats (Engine.cache engine) in
+  let engine_json =
+    Obs.Json.Obj
+      [
+        ("jobs", Obs.Json.Int pool_stats.Pool.jobs);
+        ("tasks", Obs.Json.Int pool_stats.Pool.tasks);
+        ("busy_s", f pool_stats.Pool.busy_s);
+        ("wall_s", f pool_stats.Pool.wall_s);
+        ("utilisation", f (Pool.utilisation pool_stats));
+        ("cache_entries", Obs.Json.Int cache_stats.Casted_engine.Cache.entries);
+        ("cache_hits", Obs.Json.Int cache_stats.Casted_engine.Cache.hits);
+        ("cache_misses", Obs.Json.Int cache_stats.Casted_engine.Cache.misses);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int 1);
+        ("fast", Obs.Json.Bool fast);
+        ("trials", Obs.Json.Int trials);
+        ("seed", Obs.Json.Int seed);
+        ("jobs", Obs.Json.Int jobs);
+        ( "sections",
+          Obs.Json.List
+            (List.rev_map
+               (fun (name, seconds) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.String name); ("seconds", f seconds);
+                   ])
+               !section_times) );
+        ("headline", summary_json);
+        ("engine", engine_json);
+        ("total_seconds", f total_s);
+      ]
+  in
+  Obs.Sink.write_file ~path:bench_out (Obs.Json.to_string doc ^ "\n");
+  Printf.printf "(wrote %s)\n" bench_out
+
 let () =
   let t0 = Unix.gettimeofday () in
-  let run name f = if enabled name then f () in
+  let run name f =
+    if enabled name then begin
+      let s0 = Unix.gettimeofday () in
+      f ();
+      section_times := (name, Unix.gettimeofday () -. s0) :: !section_times
+    end
+  in
   run "table1" section_table1;
   run "table2" section_table2;
   run "table3" section_table3;
@@ -491,5 +579,7 @@ let () =
   run "microbench" section_microbench;
   banner "Engine utilisation";
   print_string (Engine.utilisation engine);
+  let total_s = Unix.gettimeofday () -. t0 in
+  write_bench_json ~total_s;
   Engine.shutdown engine;
-  Printf.printf "\n(total: %.1fs)\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\n(total: %.1fs)\n" total_s

@@ -14,6 +14,9 @@ module Montecarlo = Casted_sim.Montecarlo
 module Report = Casted_report
 module Engine = Casted_engine.Engine
 module Pool = Casted_exec.Pool
+module Obs = Casted_obs
+
+let version = "1.1.0"
 
 let find_workload name =
   match Registry.find name with
@@ -148,6 +151,48 @@ let resolve_jobs = function
 
 let with_engine jobs f = Engine.with_engine ~jobs:(resolve_jobs jobs) f
 
+(* Observability options, shared by the experiment subcommands.
+   Collection is passive — enabling it never changes a simulation
+   outcome or a campaign tally — so these can be combined freely with
+   any other option. *)
+
+let trace_arg =
+  let doc =
+    "Record span traces (per-pass compile spans, scheduler spans, \
+     Monte-Carlo chunks, pool tasks) and write them to $(docv) as Chrome \
+     trace_event JSON, loadable in chrome://tracing or Perfetto."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect runtime metrics (simulator counters, cache hits/misses, \
+     engine cache and pool statistics) and print them after the normal \
+     output."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Run [f] with tracing/metrics enabled as requested, then emit the
+   artifacts — even when [f] exits through an exception. *)
+let with_obs ~trace ~metrics f =
+  if metrics then Obs.Metrics.set_enabled true;
+  if trace <> None then Obs.Trace.set_enabled true;
+  Obs.Trace.name_track "main";
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+          Obs.Sink.write_trace ~path;
+          Printf.eprintf "casted: wrote %d trace events to %s\n%!"
+            (List.length (Obs.Trace.events ()))
+            path
+      | None -> ());
+      if metrics then begin
+        print_newline ();
+        print_string (Obs.Sink.metrics_text ())
+      end)
+    f
+
 (* Subcommands. *)
 
 let list_cmd =
@@ -190,34 +235,44 @@ let compile_cmd =
       $ dump_ir $ dump_sched)
 
 let run_cmd =
-  let run bench scheme issue delay size =
-    let w = find_workload bench in
-    let program = w.W.build size in
-    let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
-    let r = Simulator.run compiled.Pipeline.schedule in
-    Format.printf "%s / %s on %a@." bench (Scheme.name scheme)
-      Casted_machine.Config.pp compiled.Pipeline.config;
-    Format.printf "%a@." Outcome.pp r;
-    Format.printf "dynamic roles: %d original, %d replica, %d check, %d copy@."
-      r.Outcome.dyn_by_role.(0) r.Outcome.dyn_by_role.(1)
-      r.Outcome.dyn_by_role.(2) r.Outcome.dyn_by_role.(3);
-    Format.printf "cache: %a@." Casted_cache.Hierarchy.pp_stats r.Outcome.cache;
-    0
+  let run bench scheme issue delay size trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        let w = find_workload bench in
+        let program = w.W.build size in
+        let compiled =
+          Pipeline.compile ~scheme ~issue_width:issue ~delay program
+        in
+        let r = Simulator.run compiled.Pipeline.schedule in
+        Format.printf "%s / %s on %a@." bench (Scheme.name scheme)
+          Casted_machine.Config.pp compiled.Pipeline.config;
+        Format.printf "%a@." Outcome.pp r;
+        Format.printf
+          "dynamic roles: %d original, %d replica, %d check, %d copy@."
+          r.Outcome.dyn_by_role.(0) r.Outcome.dyn_by_role.(1)
+          r.Outcome.dyn_by_role.(2) r.Outcome.dyn_by_role.(3);
+        Format.printf "slot occupancy: %.1f%% of %d offered@."
+          (100.0 *. Outcome.occupancy r)
+          r.Outcome.slots_total;
+        Format.printf "cache: %a@." Casted_cache.Hierarchy.pp_stats
+          r.Outcome.cache;
+        0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Simulate one benchmark under one scheme")
     Term.(
-      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg)
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
+      $ trace_arg $ metrics_arg)
 
 let sweep_cmd =
-  let run benches size jobs =
-    let benchmarks = if benches = [] then None else Some benches in
-    with_engine jobs (fun engine ->
-        let sweep = Report.Perf_sweep.run ~engine ~size ?benchmarks () in
-        print_string (Report.Perf_sweep.render_all sweep);
-        print_string
-          (Report.Perf_sweep.render_summary
-             (Report.Perf_sweep.summarize sweep)));
-    0
+  let run benches size jobs trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        let benchmarks = if benches = [] then None else Some benches in
+        with_engine jobs (fun engine ->
+            let sweep = Report.Perf_sweep.run ~engine ~size ?benchmarks () in
+            print_string (Report.Perf_sweep.render_all sweep);
+            print_string
+              (Report.Perf_sweep.render_summary
+                 (Report.Perf_sweep.summarize sweep)));
+        0)
   in
   let benches =
     Arg.(
@@ -227,7 +282,8 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Reproduce Figs. 6-7: slowdowns over issue widths and delays")
-    Term.(const run $ benches $ size_arg $ jobs_arg)
+    Term.(
+      const run $ benches $ size_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let scaling_cmd =
   let run benches size jobs =
@@ -246,21 +302,23 @@ let scaling_cmd =
     Term.(const run $ benches $ size_arg $ jobs_arg)
 
 let faults_cmd =
-  let run fig trials bench model jobs =
-    with_engine jobs (fun engine ->
-        let rows =
-          match fig with
-          | 9 -> Report.Coverage.fig9 ~engine ~model ~trials ()
-          | 10 ->
-              Report.Coverage.fig10 ~engine ~model ~trials ~benchmark:bench ()
-          | n ->
-              Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
-              exit 2
-        in
-        Printf.printf "fault model: %s (rates ± 95%% Wilson half-width)\n"
-          (Casted_sim.Fault.model_name model);
-        print_string (Report.Coverage.render rows));
-    0
+  let run fig trials bench model jobs trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        with_engine jobs (fun engine ->
+            let rows =
+              match fig with
+              | 9 -> Report.Coverage.fig9 ~engine ~model ~trials ()
+              | 10 ->
+                  Report.Coverage.fig10 ~engine ~model ~trials
+                    ~benchmark:bench ()
+              | n ->
+                  Printf.eprintf "unknown figure %d (use 9 or 10)\n" n;
+                  exit 2
+            in
+            Printf.printf "fault model: %s (rates ± 95%% Wilson half-width)\n"
+              (Casted_sim.Fault.model_name model);
+            print_string (Report.Coverage.render rows));
+        0)
   in
   let fig =
     Arg.(
@@ -270,7 +328,9 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Reproduce Figs. 9-10: Monte-Carlo fault coverage")
-    Term.(const run $ fig $ trials_arg $ bench_arg $ model_arg $ jobs_arg)
+    Term.(
+      const run $ fig $ trials_arg $ bench_arg $ model_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 let tables_cmd =
   let run issue delay =
@@ -288,11 +348,12 @@ let tables_cmd =
 
 let campaign_cmd =
   let run bench scheme issue delay trials model ci_halfwidth checkpoint
-      checkpoint_every resume jobs =
+      checkpoint_every resume jobs trace metrics =
     if resume && checkpoint = None then begin
       Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
       exit 2
     end;
+    with_obs ~trace ~metrics @@ fun () ->
     with_engine jobs (fun engine ->
         (match Casted_workloads.Registry.find bench with
         | Some _ -> ()
@@ -327,10 +388,11 @@ let campaign_cmd =
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
       $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ jobs_arg)
+      $ resume_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let recover_cmd =
-  let run bench issue delay trials model jobs =
+  let run bench issue delay trials model jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let w = find_workload bench in
     let program = w.W.build W.Fault in
     let hardened, stats =
@@ -361,7 +423,7 @@ let recover_cmd =
           benchmark")
     Term.(
       const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg $ model_arg
-      $ jobs_arg)
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 let placement_cmd =
   let run bench issue size =
@@ -376,24 +438,60 @@ let placement_cmd =
     Term.(const run $ bench_arg $ issue_arg $ size_arg)
 
 let profile_cmd =
-  let run bench scheme issue delay size n =
+  let run bench scheme issue delay size n json =
     let w = find_workload bench in
     let program = w.W.build size in
     let compiled = Pipeline.compile ~scheme ~issue_width:issue ~delay program in
     let profile = Casted_sim.Profile.create () in
     let r = Simulator.run ~profile compiled.Pipeline.schedule in
-    Format.printf "%s / %s: %a@.@." bench (Scheme.name scheme) Outcome.pp r;
-    print_string (Casted_sim.Profile.render_top ~n profile);
+    if json then begin
+      let block (row : Casted_sim.Profile.row) =
+        Obs.Json.Obj
+          [
+            ("func", Obs.Json.String row.Casted_sim.Profile.func);
+            ("label", Obs.Json.String row.Casted_sim.Profile.label);
+            ("visits", Obs.Json.Int row.Casted_sim.Profile.visits);
+            ("cycles", Obs.Json.Int row.Casted_sim.Profile.cycles);
+            ("share", Obs.Json.Float row.Casted_sim.Profile.share);
+          ]
+      in
+      print_endline
+        (Obs.Json.to_string
+           (Obs.Json.Obj
+              [
+                ("benchmark", Obs.Json.String bench);
+                ("scheme", Obs.Json.String (Scheme.name scheme));
+                ("issue_width", Obs.Json.Int issue);
+                ("delay", Obs.Json.Int delay);
+                ("cycles", Obs.Json.Int r.Outcome.cycles);
+                ("dyn_insns", Obs.Json.Int r.Outcome.dyn_insns);
+                ("ipc", Obs.Json.Float (Outcome.ipc r));
+                ("occupancy", Obs.Json.Float (Outcome.occupancy r));
+                ( "blocks",
+                  Obs.Json.List
+                    (List.map block (Casted_sim.Profile.top ~n profile)) );
+              ]))
+    end
+    else begin
+      Format.printf "%s / %s: %a@.@." bench (Scheme.name scheme) Outcome.pp r;
+      print_string (Casted_sim.Profile.render_top ~n profile)
+    end;
     0
   in
   let top =
     Arg.(value & opt int 12 & info [ "top" ] ~doc:"How many blocks to show.")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the profile as JSON instead of a rendered table.")
+  in
   Cmd.v
     (Cmd.info "profile" ~doc:"Per-block execution profile of a benchmark")
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
-      $ top)
+      $ top $ json)
 
 let pressure_cmd =
   let run bench =
@@ -464,14 +562,61 @@ let asm_cmd =
        ~doc:"Parse a .casted assembly file, then harden and simulate it")
     Term.(const run $ file $ scheme_arg $ issue_arg $ delay_arg $ emit)
 
+let trace_cmd =
+  let run bench scheme issue delay size trials trace metrics =
+    let path = Option.value trace ~default:"trace.json" in
+    with_obs ~trace:(Some path) ~metrics (fun () ->
+        let w = find_workload bench in
+        let program = w.W.build size in
+        let compiled =
+          Pipeline.compile ~scheme ~issue_width:issue ~delay program
+        in
+        let r = Simulator.run compiled.Pipeline.schedule in
+        Format.printf "%s / %s on %a@." bench (Scheme.name scheme)
+          Casted_machine.Config.pp compiled.Pipeline.config;
+        Format.printf "golden: %a@." Outcome.pp r;
+        if trials > 0 then begin
+          let mc = Montecarlo.run ~trials compiled.Pipeline.schedule in
+          Format.printf "faults: %a@." Montecarlo.pp mc
+        end;
+        0)
+  in
+  let trials =
+    Arg.(
+      value & opt int 0
+      & info [ "trials" ]
+          ~doc:
+            "Also run a Monte-Carlo campaign of $(docv) trials so the trace \
+             shows the chunked campaign timeline (0: compile + simulate \
+             only).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Compile and simulate one benchmark with span tracing on, writing \
+          Chrome trace_event JSON (default trace.json) for chrome://tracing \
+          or Perfetto")
+    Term.(
+      const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
+      $ trials $ trace_arg $ metrics_arg)
+
+let version_cmd =
+  let run () =
+    print_endline ("casted " ^ version);
+    0
+  in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the casted version")
+    Term.(const run $ const ())
+
 let main =
   let doc = "CASTED: core-adaptive software transient error detection" in
   Cmd.group
-    (Cmd.info "casted" ~doc ~version:"1.0.0")
+    (Cmd.info "casted" ~doc ~version)
     [
       list_cmd; compile_cmd; run_cmd; sweep_cmd; scaling_cmd; faults_cmd;
       campaign_cmd; tables_cmd; recover_cmd; placement_cmd; profile_cmd;
-      pressure_cmd; asm_cmd;
+      pressure_cmd; asm_cmd; trace_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -12,21 +12,37 @@ type compiled = {
   stats : Transform.stats;
 }
 
+module Obs = Casted_obs
+
 let compile ?(options = Options.default) ?bug_options ?(optimize = false)
     ~scheme ~issue_width ~delay program =
-  let config = Scheme.machine scheme ~issue_width ~delay in
-  let program =
-    if optimize then fst (Casted_opt.Pass.run_program Casted_opt.Pass.standard program)
-    else program
-  in
-  let program, stats =
-    if Scheme.hardened scheme then Transform.program options program
-    else (Casted_ir.Clone.program program, Transform.zero_stats)
-  in
-  let strategy =
-    match (Scheme.strategy scheme, bug_options) with
-    | Assign.Adaptive _, Some opts -> Assign.Adaptive opts
-    | s, _ -> s
-  in
-  let schedule = List_scheduler.schedule_program config strategy program in
-  { scheme; config; program; schedule; stats }
+  Obs.Trace.with_span ~cat:"compile" "pipeline.compile"
+    ~args:
+      [
+        ("scheme", Obs.Json.String (Scheme.name scheme));
+        ("issue_width", Obs.Json.Int issue_width);
+        ("delay", Obs.Json.Int delay);
+      ]
+    (fun () ->
+      Obs.Metrics.incr "pipeline.compiles";
+      let config = Scheme.machine scheme ~issue_width ~delay in
+      let program =
+        if optimize then
+          fst (Casted_opt.Pass.run_program Casted_opt.Pass.standard program)
+        else program
+      in
+      let program, stats =
+        Obs.Trace.with_span ~cat:"compile" "pipeline.transform" (fun () ->
+            if Scheme.hardened scheme then Transform.program options program
+            else (Casted_ir.Clone.program program, Transform.zero_stats))
+      in
+      let strategy =
+        match (Scheme.strategy scheme, bug_options) with
+        | Assign.Adaptive _, Some opts -> Assign.Adaptive opts
+        | s, _ -> s
+      in
+      let schedule =
+        Obs.Trace.with_span ~cat:"compile" "pipeline.schedule" (fun () ->
+            List_scheduler.schedule_program config strategy program)
+      in
+      { scheme; config; program; schedule; stats })

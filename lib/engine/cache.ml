@@ -52,6 +52,7 @@ let compile t k =
   | Some c ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr "engine.cache.hits";
       c
   | None ->
       (* Compile outside the lock so distinct keys compile in parallel.
@@ -60,17 +61,19 @@ let compile t k =
       Mutex.unlock t.mutex;
       let c = build k in
       Mutex.lock t.mutex;
-      let c =
+      let c, hit =
         match Hashtbl.find_opt t.table k with
         | Some prior ->
             t.hits <- t.hits + 1;
-            prior
+            (prior, true)
         | None ->
             t.misses <- t.misses + 1;
             Hashtbl.add t.table k c;
-            c
+            (c, false)
       in
       Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr
+        (if hit then "engine.cache.hits" else "engine.cache.misses");
       c
 
 type stats = { hits : int; misses : int; entries : int }

@@ -63,6 +63,14 @@ let with_engine ?jobs f =
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let timed t kind f =
+  let span_name =
+    match kind with
+    | `Compile -> "engine.compile"
+    | `Simulate -> "engine.simulate"
+    | `Campaign -> "engine.campaign"
+    | `Sweep -> "engine.sweep"
+  in
+  let f () = Casted_obs.Trace.with_span ~cat:"engine" span_name f in
   let t0 = Unix.gettimeofday () in
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in

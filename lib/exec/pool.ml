@@ -42,7 +42,11 @@ let create ~jobs () =
       created_at = now ();
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            Casted_obs.Trace.name_track (Printf.sprintf "pool-worker-%d" (i + 1));
+            worker t));
   t
 
 let jobs t = t.n_jobs
@@ -69,7 +73,9 @@ let map_capture t f arr =
       (fun x ->
         let t0 = now () in
         let r =
-          try Ok (f x) with e -> Error (e, Printexc.get_raw_backtrace ())
+          try
+            Ok (Casted_obs.Trace.with_span ~cat:"pool" "pool.task" (fun () -> f x))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
         in
         t.tasks_done <- t.tasks_done + 1;
         t.busy_s <- t.busy_s +. (now () -. t0);
@@ -81,7 +87,8 @@ let map_capture t f arr =
     let task i () =
       let t0 = now () in
       let r =
-        try Ok (f arr.(i))
+        try
+          Ok (Casted_obs.Trace.with_span ~cat:"pool" "pool.task" (fun () -> f arr.(i)))
         with e -> Error (e, Printexc.get_raw_backtrace ())
       in
       let dt = now () -. t0 in
@@ -95,8 +102,11 @@ let map_capture t f arr =
     in
     Mutex.lock t.mutex;
     for i = 0 to n - 1 do
-      Queue.add (task i) t.queue
+      Queue.add (task i) t.queue;
+      Casted_obs.Metrics.gauge "pool.queue_depth"
+        (float_of_int (Queue.length t.queue))
     done;
+    Casted_obs.Metrics.incr ~by:n "pool.tasks_submitted";
     Condition.broadcast t.work;
     (* The caller is an executor too: help drain the queue (any batch),
        then wait for this batch's in-flight tasks. *)

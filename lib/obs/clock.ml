@@ -1,0 +1,11 @@
+let epoch = Unix.gettimeofday ()
+
+(* Largest timestamp handed out so far, shared by all domains. *)
+let high_water = Atomic.make 0.0
+
+let rec now_us () =
+  let t = (Unix.gettimeofday () -. epoch) *. 1e6 in
+  let prev = Atomic.get high_water in
+  if t <= prev then prev
+  else if Atomic.compare_and_set high_water prev t then t
+  else now_us ()

@@ -1,0 +1,9 @@
+(** Monotonic process clock.
+
+    Microseconds since the process started, guaranteed never to
+    decrease across domains: the wall clock can be stepped backwards
+    (NTP), so every reading is clamped to the largest value returned so
+    far. Span durations are therefore always non-negative. *)
+
+(** Current time in microseconds since process start. *)
+val now_us : unit -> float

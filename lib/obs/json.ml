@@ -1,0 +1,253 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Shortest decimal representation that round-trips; JSON has no lexeme
+   for non-finite numbers, so those degrade to null. *)
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> add_escaped buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buffer buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          to_buffer buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  to_buffer buf v;
+  Buffer.contents buf
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* Recursive-descent parser. *)
+
+exception Parse_error of string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise (Parse_error (Printf.sprintf "at offset %d: %s" !pos msg)))
+      fmt
+  in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %C, found %C" c c'
+    | None -> fail "expected %C, found end of input" c
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub text !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail "invalid literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let s = String.sub text !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ s) with
+    | Some v -> v
+    | None -> fail "invalid \\u escape %S" s
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "unterminated escape";
+          let e = text.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' -> Buffer.add_char buf e; go ()
+          | 'b' -> Buffer.add_char buf '\b'; go ()
+          | 'f' -> Buffer.add_char buf '\012'; go ()
+          | 'n' -> Buffer.add_char buf '\n'; go ()
+          | 'r' -> Buffer.add_char buf '\r'; go ()
+          | 't' -> Buffer.add_char buf '\t'; go ()
+          | 'u' ->
+              let u = hex4 () in
+              let cp =
+                if u >= 0xD800 && u <= 0xDBFF then begin
+                  (* High surrogate: require a low-surrogate pair. *)
+                  if
+                    !pos + 1 < n && text.[!pos] = '\\' && text.[!pos + 1] = 'u'
+                  then begin
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                    else fail "unpaired surrogate"
+                  end
+                  else fail "unpaired surrogate"
+                end
+                else if u >= 0xDC00 && u <= 0xDFFF then
+                  fail "unpaired low surrogate"
+                else u
+              in
+              Buffer.add_utf_8_uchar buf (Uchar.of_int cp);
+              go ()
+          | c -> fail "invalid escape \\%C" c)
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      match peek () with
+      | Some ('0' .. '9') -> true
+      | Some ('.' | 'e' | 'E' | '+' | '-') ->
+          is_float := true;
+          true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let s = String.sub text start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail "invalid number %S" s
+    else
+      match int_of_string_opt s with
+      | Some i -> Int i
+      | None -> (
+          (* Integer lexeme too large for [int]: keep it as a float. *)
+          match float_of_string_opt s with
+          | Some f -> Float f
+          | None -> fail "invalid number %S" s)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | Some c -> fail "unexpected character %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error msg -> Error msg

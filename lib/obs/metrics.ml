@@ -1,0 +1,122 @@
+type kind = Counter_k | Gauge_k | Histogram_k
+
+(* One metric inside one domain's shard. Mutated only by its owning
+   domain; read by {!snapshot} from any domain. Fields are word-sized,
+   so the worst a racy read can see is one update missing. *)
+type cell = {
+  kind : kind;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type shard = (string, cell) Hashtbl.t
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* All shards ever created, including those of joined domains (their
+   counts must survive the domain). *)
+let registry : shard list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s : shard = Hashtbl.create 32 in
+      Mutex.lock registry_mutex;
+      registry := s :: !registry;
+      Mutex.unlock registry_mutex;
+      s)
+
+let cell name kind =
+  let shard = Domain.DLS.get shard_key in
+  match Hashtbl.find_opt shard name with
+  | Some c ->
+      if c.kind <> kind then
+        invalid_arg
+          ("Metrics: metric " ^ name ^ " recorded with two different kinds");
+      c
+  | None ->
+      let c =
+        { kind; count = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+      in
+      Hashtbl.replace shard name c;
+      c
+
+let incr ?(by = 1) name =
+  if enabled () then begin
+    let c = cell name Counter_k in
+    c.count <- c.count + by
+  end
+
+let gauge name v =
+  if enabled () then begin
+    let c = cell name Gauge_k in
+    c.count <- c.count + 1;
+    if v > c.max_v then c.max_v <- v
+  end
+
+let observe name v =
+  if enabled () then begin
+    let c = cell name Histogram_k in
+    c.count <- c.count + 1;
+    c.sum <- c.sum +. v;
+    if v < c.min_v then c.min_v <- v;
+    if v > c.max_v then c.max_v <- v
+  end
+
+type value =
+  | Counter of int
+  | Gauge of { high : float; samples : int }
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let shards = !registry in
+  Mutex.unlock registry_mutex;
+  let merged : (string, cell) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun shard ->
+      Hashtbl.iter
+        (fun name (c : cell) ->
+          match Hashtbl.find_opt merged name with
+          | None ->
+              Hashtbl.replace merged name
+                {
+                  kind = c.kind;
+                  count = c.count;
+                  sum = c.sum;
+                  min_v = c.min_v;
+                  max_v = c.max_v;
+                }
+          | Some m ->
+              if m.kind <> c.kind then
+                invalid_arg
+                  ("Metrics.snapshot: metric " ^ name
+                 ^ " recorded with two different kinds");
+              m.count <- m.count + c.count;
+              m.sum <- m.sum +. c.sum;
+              if c.min_v < m.min_v then m.min_v <- c.min_v;
+              if c.max_v > m.max_v then m.max_v <- c.max_v)
+        shard)
+    shards;
+  Hashtbl.fold
+    (fun name (c : cell) acc ->
+      let v =
+        match c.kind with
+        | Counter_k -> Counter c.count
+        | Gauge_k -> Gauge { high = c.max_v; samples = c.count }
+        | Histogram_k ->
+            Histogram
+              { count = c.count; sum = c.sum; min = c.min_v; max = c.max_v }
+      in
+      (name, v) :: acc)
+    merged []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Mutex.lock registry_mutex;
+  List.iter Hashtbl.reset !registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,43 @@
+(** Process-wide registry of named counters, gauges and histograms.
+
+    Designed for [Domain]-parallel use without perturbing determinism:
+    every domain records into its own shard (no locks or shared writes
+    on the hot path), and {!snapshot} merges all shards on read. The
+    merged view of a deterministic workload is therefore identical for
+    any worker-pool size — counters sum, gauge high-water marks and
+    histogram count/sum/min/max are order-independent.
+
+    Collection is off by default ({!set_enabled}); disabled operations
+    cost one atomic load. Nothing here feeds back into the simulation,
+    so enabling metrics can never change an experiment's outcome. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** Add [by] (default 1) to a counter.
+
+    All three recorders raise [Invalid_argument] if [name] was already
+    used in this domain with a different metric kind. *)
+val incr : ?by:int -> string -> unit
+
+(** Record a gauge observation (e.g. a queue depth). The merged view
+    keeps the high-water mark and the number of observations. *)
+val gauge : string -> float -> unit
+
+(** Record a histogram observation (e.g. a duration). *)
+val observe : string -> float -> unit
+
+type value =
+  | Counter of int
+  | Gauge of { high : float; samples : int }
+  | Histogram of { count : int; sum : float; min : float; max : float }
+
+(** Merged view of every shard, sorted by metric name.
+
+    @raise Invalid_argument if one name was used with two different
+    metric kinds. *)
+val snapshot : unit -> (string * value) list
+
+(** Drop all recorded values (the enabled flag is untouched). Only call
+    while no other domain is recording. *)
+val reset : unit -> unit

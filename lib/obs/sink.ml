@@ -1,0 +1,81 @@
+let write_file ~path contents =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* Metrics. *)
+
+let value_fields = function
+  | Metrics.Counter n -> ("counter", [ ("value", Json.Int n) ])
+  | Metrics.Gauge { high; samples } ->
+      ("gauge", [ ("high", Json.Float high); ("samples", Json.Int samples) ])
+  | Metrics.Histogram { count; sum; min; max } ->
+      ( "histogram",
+        [
+          ("count", Json.Int count);
+          ("sum", Json.Float sum);
+          ("min", Json.Float min);
+          ("max", Json.Float max);
+        ] )
+
+let metrics_json () =
+  Json.Obj
+    (List.map
+       (fun (name, v) ->
+         let kind, fields = value_fields v in
+         (name, Json.Obj (("kind", Json.String kind) :: fields)))
+       (Metrics.snapshot ()))
+
+let metrics_csv () =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "name,kind,count,sum,min,max\n";
+  List.iter
+    (fun (name, v) ->
+      let row kind count sum min_ max_ =
+        Buffer.add_string buf
+          (Printf.sprintf "%s,%s,%d,%s,%s,%s\n" name kind count sum min_ max_)
+      in
+      let f x = Printf.sprintf "%g" x in
+      match v with
+      | Metrics.Counter n -> row "counter" n "" "" ""
+      | Metrics.Gauge { high; samples } ->
+          row "gauge" samples "" "" (f high)
+      | Metrics.Histogram { count; sum; min; max } ->
+          row "histogram" count (f sum) (f min) (f max))
+    (Metrics.snapshot ());
+  Buffer.contents buf
+
+let metrics_text () =
+  match Metrics.snapshot () with
+  | [] -> ""
+  | snap ->
+      let width =
+        List.fold_left (fun acc (n, _) -> Stdlib.max acc (String.length n)) 0 snap
+      in
+      let line (name, v) =
+        let detail =
+          match v with
+          | Metrics.Counter n -> string_of_int n
+          | Metrics.Gauge { high; samples } ->
+              Printf.sprintf "high %g (%d samples)" high samples
+          | Metrics.Histogram { count; sum; min; max } ->
+              Printf.sprintf "n %d, sum %g, min %g, max %g, mean %g" count sum
+                min max
+                (if count = 0 then 0.0 else sum /. float_of_int count)
+        in
+        Printf.sprintf "%-*s %s" width name detail
+      in
+      String.concat "\n" (List.map line snap) ^ "\n"
+
+(* Traces. *)
+
+let write_trace ~path =
+  write_file ~path (Json.to_string (Trace.to_chrome ()) ^ "\n")

@@ -1,0 +1,57 @@
+(** Span tracing with per-domain tracks.
+
+    Spans nest naturally (a span is recorded as one Chrome
+    ["ph":"X"] complete event; viewers reconstruct the nesting from
+    containment), every domain records into its own lock-free track,
+    and {!to_chrome} exports the merged timeline as Chrome
+    [trace_event] JSON loadable in [chrome://tracing] or Perfetto.
+
+    Tracing is off by default; a disabled {!with_span} is a direct call
+    to its body. Tracing never feeds back into the traced computation,
+    so enabling it cannot change any experiment outcome. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** Name the calling domain's track in the exported trace (e.g.
+    ["pool-worker-3"]); the default is ["track-N"]. *)
+val name_track : string -> unit
+
+(** [with_span name f] runs [f ()] inside a span. [cat] is the Chrome
+    trace category (default ["casted"]); [args] become the event's
+    [args] object. The span is recorded even when [f] raises. *)
+val with_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** Record an already-measured complete event on the calling domain's
+    track. Timestamps are microseconds on the {!Clock} timeline.
+
+    @raise Invalid_argument if [dur_us] is negative. *)
+val add_complete :
+  ?cat:string ->
+  ?args:(string * Json.t) list ->
+  ts_us:float ->
+  dur_us:float ->
+  string ->
+  unit
+
+type event = {
+  name : string;
+  cat : string;
+  ts_us : float;
+  dur_us : float;
+  track : int;
+  args : (string * Json.t) list;
+}
+
+(** All recorded events, merged across tracks, ordered by start time. *)
+val events : unit -> event list
+
+(** The merged timeline as a Chrome [trace_event] JSON document
+    (an object with a [traceEvents] array, complete ["X"] events plus
+    ["M"] thread-name metadata). *)
+val to_chrome : unit -> Json.t
+
+(** Drop all recorded events (the enabled flag is untouched). Only call
+    while no other domain is recording. *)
+val clear : unit -> unit

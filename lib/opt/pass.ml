@@ -45,10 +45,13 @@ let run_program ?(preserve_detection = true) passes program =
     List.map
       (fun pass ->
         let n =
-          List.fold_left
-            (fun acc f -> acc + pass.run ~preserve_detection f)
-            0 program.Program.funcs
+          Casted_obs.Trace.with_span ~cat:"opt" ("opt." ^ pass.name)
+            (fun () ->
+              List.fold_left
+                (fun acc f -> acc + pass.run ~preserve_detection f)
+                0 program.Program.funcs)
         in
+        Casted_obs.Metrics.incr ~by:n ("opt.rewrites." ^ pass.name);
         (pass.name, n))
       passes
   in

@@ -12,33 +12,25 @@ type t = {
   detection_total : int;
   original_remote : int;
   original_total : int;
-  slots_total : int;
-  slots_used : int;
 }
 
 let analyze (sched : Schedule.t) =
   let clusters = sched.Schedule.config.Config.clusters in
-  let width = sched.Schedule.config.Config.issue_width in
   let per_cluster = Array.make clusters 0 in
   let detection_remote = ref 0 in
   let detection_total = ref 0 in
   let original_remote = ref 0 in
   let original_total = ref 0 in
-  let slots_total = ref 0 in
-  let slots_used = ref 0 in
   List.iter
     (fun (_, fs) ->
       Array.iter
         (fun bs ->
-          slots_total :=
-            !slots_total + (Schedule.block_length bs * clusters * width);
           Array.iter
             (fun bundle ->
               Array.iteri
                 (fun cluster insns ->
                   Array.iter
                     (fun (insn : Insn.t) ->
-                      slots_used := !slots_used + 1;
                       per_cluster.(cluster) <- per_cluster.(cluster) + 1;
                       match insn.Insn.role with
                       | Insn.Original ->
@@ -58,15 +50,13 @@ let analyze (sched : Schedule.t) =
     detection_total = !detection_total;
     original_remote = !original_remote;
     original_total = !original_total;
-    slots_total = !slots_total;
-    slots_used = !slots_used;
   }
 
 let frac num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
 
 let detection_remote_fraction t = frac t.detection_remote t.detection_total
 let original_remote_fraction t = frac t.original_remote t.original_total
-let occupancy t = frac t.slots_used t.slots_total
+let occupancy_of_run = Casted_sim.Outcome.occupancy
 
 let placement_table ~benchmark ~size ~issue_width ~delays =
   let w =

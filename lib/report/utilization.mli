@@ -1,9 +1,14 @@
-(** Static placement and slot-utilisation analysis of a schedule.
+(** Static placement analysis of a schedule.
 
     Quantifies what the paper argues qualitatively in §IV-B6: DCED pins
     the whole redundant stream on the remote cluster regardless of the
     interconnect, while CASTED migrates code towards the home cluster as
-    the inter-core delay grows. *)
+    the inter-core delay grows.
+
+    Issue-slot occupancy is no longer accounted here: the simulator is
+    the single source of truth — see {!Casted_sim.Outcome.occupancy}
+    (and the [sim.slots_offered] / [sim.occupancy] metrics), fed by
+    {!occupancy_of_run} below. *)
 
 type t = {
   insns_per_cluster : int array;
@@ -12,8 +17,6 @@ type t = {
   detection_total : int;
   original_remote : int;  (** original instructions placed off cluster 0 *)
   original_total : int;
-  slots_total : int;  (** cycles x clusters x issue width *)
-  slots_used : int;
 }
 
 val analyze : Casted_sched.Schedule.t -> t
@@ -23,8 +26,9 @@ val detection_remote_fraction : t -> float
 
 val original_remote_fraction : t -> float
 
-(** Static issue-slot occupancy. *)
-val occupancy : t -> float
+(** Dynamic issue-slot occupancy of a simulated run, from the
+    simulator's own slot counters ([= Casted_sim.Outcome.occupancy]). *)
+val occupancy_of_run : Casted_sim.Outcome.run -> float
 
 (** A table of remote-placement fractions per scheme and delay for one
     benchmark — the "adaptivity visualised" report. *)

@@ -9,6 +9,7 @@ let strategy_name = function
   | Adaptive _ -> "adaptive"
 
 let compute strategy (config : Config.t) (dfg : Dfg.t) =
+  Casted_obs.Metrics.incr ("assign." ^ strategy_name strategy);
   match strategy with
   | Single_cluster -> Array.make (Dfg.num_nodes dfg) 0
   | Dual_fixed ->

@@ -8,6 +8,8 @@ type options = { tie_break : tie_break }
 let default_options = { tie_break = Prefer_critical_pred }
 
 let assign options (config : Config.t) (dfg : Dfg.t) =
+  Casted_obs.Metrics.incr "bug.assignments";
+  Casted_obs.Metrics.incr ~by:(Dfg.num_nodes dfg) "bug.nodes_assigned";
   let n = Dfg.num_nodes dfg in
   let clusters = config.Config.clusters in
   let table =

@@ -92,17 +92,25 @@ let schedule_block (config : Config.t) (dfg : Dfg.t) ~assignment ~label =
   { Schedule.label; bundles; issue_of }
 
 let schedule_func config strategy func =
-  let latency insn = Latency.of_op config.Config.latencies insn.Insn.op in
-  let blocks =
-    List.map
-      (fun block ->
-        let dfg = Dfg.build ~latency block in
-        let assignment = Assign.compute strategy config dfg in
-        schedule_block config dfg ~assignment
-          ~label:block.Casted_ir.Block.label)
-      func.Func.blocks
-  in
-  { Schedule.func; blocks = Array.of_list blocks }
+  Casted_obs.Trace.with_span ~cat:"sched" "sched.func"
+    ~args:
+      [
+        ("func", Casted_obs.Json.String func.Func.name);
+        ("blocks", Casted_obs.Json.Int (List.length func.Func.blocks));
+      ]
+    (fun () ->
+      let latency insn = Latency.of_op config.Config.latencies insn.Insn.op in
+      let blocks =
+        List.map
+          (fun block ->
+            let dfg = Dfg.build ~latency block in
+            let assignment = Assign.compute strategy config dfg in
+            Casted_obs.Metrics.incr "sched.blocks";
+            schedule_block config dfg ~assignment
+              ~label:block.Casted_ir.Block.label)
+          func.Func.blocks
+      in
+      { Schedule.func; blocks = Array.of_list blocks })
 
 let schedule_program config strategy program =
   let funcs =

@@ -148,7 +148,10 @@ let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   | _ -> ());
   if resume && checkpoint = None then
     invalid_arg "Montecarlo.run: resume requires a checkpoint path";
-  let g = golden ~fuel_factor sched in
+  let g =
+    Casted_obs.Trace.with_span ~cat:"mc" "mc.golden" (fun () ->
+        golden ~fuel_factor sched)
+  in
   let counts = Array.make 5 0 in
   let start =
     match (resume, checkpoint) with
@@ -177,10 +180,14 @@ let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   in
   let one index = trial ~model ~golden:g ~seed ~index sched in
   let map_chunk lo hi =
-    let indices = Array.init (hi - lo) (fun i -> lo + i) in
-    match pool with
-    | Some p -> Casted_exec.Pool.map p one indices
-    | None -> Array.map one indices
+    Casted_obs.Trace.with_span ~cat:"mc" "mc.chunk"
+      ~args:[ ("lo", Casted_obs.Json.Int lo); ("hi", Casted_obs.Json.Int hi) ]
+      (fun () ->
+        Casted_obs.Metrics.incr ~by:(hi - lo) "mc.trials";
+        let indices = Array.init (hi - lo) (fun i -> lo + i) in
+        match pool with
+        | Some p -> Casted_exec.Pool.map p one indices
+        | None -> Array.map one indices)
   in
   let save_checkpoint next_index =
     match checkpoint with

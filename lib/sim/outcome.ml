@@ -12,7 +12,9 @@ type run = {
   dyn_mem : int;
   dyn_branches : int;
   dyn_xreads : int;
+  dyn_checks : int;
   dyn_by_role : int array;
+  slots_total : int;
   output : string;
   exit_code : int;
   cache : Casted_cache.Hierarchy.stats;
@@ -26,6 +28,12 @@ let pp_termination ppf = function
 
 let ipc r =
   if r.cycles = 0 then 0.0 else float_of_int r.dyn_insns /. float_of_int r.cycles
+
+let occupancy r =
+  if r.slots_total = 0 then 0.0
+  else float_of_int r.dyn_insns /. float_of_int r.slots_total
+
+let trapped r = match r.termination with Trapped _ -> 1 | _ -> 0
 
 let pp ppf r =
   Format.fprintf ppf "%a in %d cycles, %d insns (ipc %.2f)" pp_termination

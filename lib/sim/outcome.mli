@@ -20,7 +20,13 @@ type run = {
                            {!Fault.Control} population *)
   dyn_xreads : int;  (** operand reads crossing the cluster boundary;
                          the {!Fault.Xcluster} population *)
+  dyn_checks : int;  (** dynamic [Chk] instructions executed (the
+                         {!Casted_ir.Insn.Check} role count) *)
   dyn_by_role : int array;  (** dynamic count per {!Casted_ir.Insn.role} *)
+  slots_total : int;  (** issue slots the machine offered over the run:
+                          cycles × clusters × issue width. The single
+                          source of truth for slot-occupancy
+                          accounting. *)
   output : string;  (** contents of the program's output region *)
   exit_code : int;  (** exit code, or -1 when not [Exit] *)
   cache : Casted_cache.Hierarchy.stats;
@@ -31,3 +37,10 @@ val pp : Format.formatter -> run -> unit
 
 (** Instructions per cycle over the whole run. *)
 val ipc : run -> float
+
+(** Dynamic issue-slot occupancy: executed instructions over
+    {!field-slots_total} (every instruction occupies one slot). *)
+val occupancy : run -> float
+
+(** 1 when the run ended in a machine trap, else 0. *)
+val trapped : run -> int

@@ -14,19 +14,43 @@ let record t ~func ~label ~cycles =
 
 let entries t =
   let all = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [] in
-  List.sort (fun (_, a) (_, b) -> Int.compare b.cycles a.cycles) all
+  List.sort
+    (fun ((fa, la), a) ((fb, lb), b) ->
+      match Int.compare b.cycles a.cycles with
+      | 0 -> compare (fa, la) (fb, lb)
+      | c -> c)
+    all
 
 let total_cycles t = Hashtbl.fold (fun _ e acc -> acc + e.cycles) t 0
 
-let render_top ?(n = 10) t =
+type row = {
+  func : string;
+  label : string;
+  visits : int;
+  cycles : int;
+  share : float;
+}
+
+let top ?(n = 10) t =
   let total = max 1 (total_cycles t) in
+  List.filteri (fun i _ -> i < n) (entries t)
+  |> List.map (fun ((func, label), (e : entry)) ->
+         {
+           func;
+           label;
+           visits = e.visits;
+           cycles = e.cycles;
+           share = float_of_int e.cycles /. float_of_int total;
+         })
+
+let render_top ?(n = 10) t =
   let rows =
-    List.filteri (fun i _ -> i < n) (entries t)
-    |> List.map (fun ((func, label), e) ->
-           Printf.sprintf "%-28s %10d %12d %6.1f%%"
-             (func ^ ":" ^ label)
-             e.visits e.cycles
-             (100.0 *. float_of_int e.cycles /. float_of_int total))
+    List.map
+      (fun r ->
+        Printf.sprintf "%-28s %10d %12d %6.1f%%"
+          (r.func ^ ":" ^ r.label)
+          r.visits r.cycles (100.0 *. r.share))
+      (top ~n t)
   in
   String.concat "\n"
     (Printf.sprintf "%-28s %10s %12s %7s" "block" "visits" "cycles" "share"

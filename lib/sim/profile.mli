@@ -15,10 +15,24 @@ val create : unit -> t
 val record : t -> func:string -> label:string -> cycles:int -> unit
 
 (** All entries as [((func, label), entry)], hottest (most cycles)
-    first. *)
+    first; ties broken by name so the order is deterministic. *)
 val entries : t -> ((string * string) * entry) list
 
 val total_cycles : t -> int
+
+(** One profile line in structured form; [share] is the fraction of
+    {!total_cycles} in [0, 1]. *)
+type row = {
+  func : string;
+  label : string;
+  visits : int;
+  cycles : int;
+  share : float;
+}
+
+(** The [n] hottest blocks (default 10), structured — the data behind
+    {!render_top}, for machine-readable export. *)
+val top : ?n:int -> t -> row list
 
 (** Render the [n] hottest blocks (default 10) as a table. *)
 val render_top : ?n:int -> t -> string

@@ -409,6 +409,35 @@ and addr_int addr =
   if Int64.compare addr 0L < 0 then 0
   else Int64.to_int (Int64.logand addr 0x3FFF_FFFFL)
 
+(* Surface one finished run into the metrics registry. Runs entirely on
+   the calling domain's shard, after the simulation is done, so it can
+   never perturb the simulation itself. *)
+let record_metrics (r : Outcome.run) =
+  let module M = Casted_obs.Metrics in
+  if M.enabled () then begin
+    M.incr "sim.runs";
+    M.incr ~by:r.Outcome.cycles "sim.cycles";
+    M.incr ~by:r.Outcome.dyn_insns "sim.insns";
+    M.incr ~by:r.Outcome.dyn_mem "sim.mem_accesses";
+    M.incr ~by:r.Outcome.dyn_branches "sim.branches";
+    M.incr ~by:r.Outcome.dyn_xreads "sim.xcluster_reads";
+    M.incr ~by:r.Outcome.dyn_checks "sim.checks_executed";
+    M.incr ~by:r.Outcome.slots_total "sim.slots_offered";
+    M.incr ~by:(Outcome.trapped r) "sim.traps";
+    (match r.Outcome.termination with
+    | Outcome.Detected _ -> M.incr "sim.detections"
+    | _ -> ());
+    M.observe "sim.occupancy" (Outcome.occupancy r);
+    let c = r.Outcome.cache in
+    M.incr ~by:c.Casted_cache.Hierarchy.l1_hits "cache.l1.hits";
+    M.incr ~by:c.Casted_cache.Hierarchy.l1_misses "cache.l1.misses";
+    M.incr ~by:c.Casted_cache.Hierarchy.l2_hits "cache.l2.hits";
+    M.incr ~by:c.Casted_cache.Hierarchy.l2_misses "cache.l2.misses";
+    M.incr ~by:c.Casted_cache.Hierarchy.l3_hits "cache.l3.hits";
+    M.incr ~by:c.Casted_cache.Hierarchy.l3_misses "cache.l3.misses";
+    M.incr ~by:c.Casted_cache.Hierarchy.writebacks "cache.writebacks"
+  end
+
 let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
   let program = sched.Schedule.program in
   let mem = Memory.create ~size:program.Program.mem_size in
@@ -452,16 +481,24 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
     Memory.extract mem ~base:program.Program.output_base
       ~len:program.Program.output_len
   in
-  {
-    Outcome.termination;
-    cycles = ctx.time + 1;
-    dyn_insns = ctx.dyn;
-    dyn_defs = ctx.defs;
-    dyn_mem = ctx.mems;
-    dyn_branches = ctx.branches;
-    dyn_xreads = ctx.xreads;
-    dyn_by_role = ctx.roles;
-    output;
-    exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
-    cache = Hierarchy.stats hier;
-  }
+  let cycles = ctx.time + 1 in
+  let r =
+    {
+      Outcome.termination;
+      cycles;
+      dyn_insns = ctx.dyn;
+      dyn_defs = ctx.defs;
+      dyn_mem = ctx.mems;
+      dyn_branches = ctx.branches;
+      dyn_xreads = ctx.xreads;
+      dyn_checks = ctx.roles.(role_index Insn.Check);
+      dyn_by_role = ctx.roles;
+      slots_total =
+        cycles * ctx.config.Config.clusters * ctx.config.Config.issue_width;
+      output;
+      exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
+      cache = Hierarchy.stats hier;
+    }
+  in
+  record_metrics r;
+  r

@@ -110,8 +110,14 @@ let test_single_cluster_utilization () =
   Alcotest.(check int) "one cluster" 1 (Array.length u.Utilization.insns_per_cluster);
   Alcotest.(check (float 1e-9)) "nothing remote" 0.0
     (Utilization.detection_remote_fraction u);
-  let occ = Utilization.occupancy u in
-  Alcotest.(check bool) "occupancy in (0,1]" true (occ > 0.0 && occ <= 1.0)
+  (* Occupancy now comes from the simulator's slot counters (the single
+     source of truth), not from a parallel static accounting. *)
+  let run = Simulator.run c.Pipeline.schedule in
+  let occ = Utilization.occupancy_of_run run in
+  Alcotest.(check bool) "occupancy in (0,1]" true (occ > 0.0 && occ <= 1.0);
+  Alcotest.(check int) "slots offered = cycles x clusters x width"
+    (run.Outcome.cycles * 1 * 2)
+    run.Outcome.slots_total
 
 let suite =
   ( "analysis",

@@ -187,7 +187,9 @@ let test_classification_rules () =
       dyn_mem = 2;
       dyn_branches = 1;
       dyn_xreads = 0;
+      dyn_checks = 0;
       dyn_by_role = [| 10; 0; 0; 0 |];
+      slots_total = 40;
       output = "abcd";
       exit_code = 0;
       cache =
