@@ -81,7 +81,7 @@ let all_sections =
   [
     "table1"; "table2"; "table3"; "fig6_7"; "fig8"; "fig9"; "fig10";
     "ablations"; "placement"; "recovery"; "cse_on_hardened"; "selective";
-    "microbench";
+    "sim_throughput"; "microbench";
   ]
 
 let sections =
@@ -366,6 +366,69 @@ let section_selective () =
         (Montecarlo.percent pmc Montecarlo.Data_corrupt))
     [ "cjpeg"; "h263enc"; "197.parser" ]
 
+(* Simulator throughput on the pre-decoded core: the number every
+   campaign's wall-clock divides by. Uses a fixed trial count (not
+   CASTED_TRIALS) so the figure is comparable across runs, and reports
+   the one-off decode cost next to the per-trial rates. Checked against
+   scripts/perf_baseline.json by the CI perf-smoke job. *)
+let sim_throughput_json : Obs.Json.t ref = ref Obs.Json.Null
+
+let section_sim_throughput () =
+  banner "Simulator throughput (pre-decoded core, cjpeg CASTED i2 d2)";
+  let f x = Obs.Json.Float x in
+  let w = Option.get (Registry.find "cjpeg") in
+  let program = w.W.build W.Fault in
+  let compiled =
+    Pipeline.compile ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 program
+  in
+  let sched = compiled.Pipeline.schedule in
+  let decode_reps = if fast then 10 else 50 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to decode_reps do
+    ignore (Casted_sim.Decode.of_schedule sched)
+  done;
+  let decode_s = (Unix.gettimeofday () -. t0) /. float_of_int decode_reps in
+  let decoded = Casted_sim.Decode.of_schedule sched in
+  let golden = Montecarlo.golden_decoded decoded in
+  let golden_dyn = golden.Montecarlo.run.Outcome.dyn_insns in
+  let tput_trials = if fast then 256 else 1024 in
+  let measure n_jobs =
+    Pool.with_pool ~jobs:n_jobs (fun pool ->
+        let t0 = Unix.gettimeofday () in
+        let r = Montecarlo.run_decoded ~pool ~seed ~trials:tput_trials decoded in
+        let wall = Unix.gettimeofday () -. t0 in
+        assert (r.Montecarlo.trials = tput_trials);
+        let tps = float_of_int tput_trials /. wall in
+        let ips = float_of_int tput_trials *. float_of_int golden_dyn /. wall in
+        Printf.printf
+          "jobs=%d: %d trials in %.2fs -> %.0f trials/s, %.2fM dyn insns/s\n%!"
+          n_jobs tput_trials wall tps (ips /. 1e6);
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int n_jobs);
+            ("wall_s", f wall);
+            ("trials_per_s", f tps);
+            ("insns_per_s", f ips);
+          ])
+  in
+  Printf.printf "decode: %.3f ms per schedule (a campaign decodes once)\n%!"
+    (1000.0 *. decode_s);
+  let j1 = measure 1 in
+  let jn = measure jobs in
+  sim_throughput_json :=
+    Obs.Json.Obj
+      [
+        ("workload", Obs.Json.String "cjpeg");
+        ("scheme", Obs.Json.String "CASTED");
+        ("issue", Obs.Json.Int 2);
+        ("delay", Obs.Json.Int 2);
+        ("trials", Obs.Json.Int tput_trials);
+        ("golden_dyn_insns", Obs.Json.Int golden_dyn);
+        ("decode_ms", f (1000.0 *. decode_s));
+        ("jobs1", j1);
+        ("jobsN", jn);
+      ]
+
 (* Bechamel micro-benchmarks: one per table/figure family, measuring the
    machinery that regenerates it. *)
 
@@ -548,6 +611,7 @@ let write_bench_json ~total_s =
                    ])
                !section_times) );
         ("headline", summary_json);
+        ("sim_throughput", !sim_throughput_json);
         ("engine", engine_json);
         ("total_seconds", f total_s);
       ]
@@ -576,6 +640,7 @@ let () =
   run "recovery" section_recovery;
   run "cse_on_hardened" section_cse_on_hardened;
   run "selective" section_selective;
+  run "sim_throughput" section_sim_throughput;
   run "microbench" section_microbench;
   banner "Engine utilisation";
   print_string (Engine.utilisation engine);

@@ -27,13 +27,24 @@ let pp_key ppf k =
    polymorphic equality and hashing are exact. *)
 type t = {
   table : (key, Pipeline.compiled) Hashtbl.t;
+  decoded_table : (key, Casted_sim.Decode.t) Hashtbl.t;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
+  mutable decoded_hits : int;
+  mutable decoded_misses : int;
 }
 
 let create () =
-  { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+  {
+    table = Hashtbl.create 64;
+    decoded_table = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    hits = 0;
+    misses = 0;
+    decoded_hits = 0;
+    decoded_misses = 0;
+  }
 
 let build k =
   let w =
@@ -76,10 +87,60 @@ let compile t k =
         (if hit then "engine.cache.hits" else "engine.cache.misses");
       c
 
-type stats = { hits : int; misses : int; entries : int }
+(* Decoded programs are memoized separately from compiles: a campaign
+   needs the execution-ready form, a report only the schedule. Same
+   discipline as [compile] — decode outside the lock, first insert
+   wins — so every trial of every campaign on one engine shares the
+   physically equal decoded program. *)
+let decoded t k =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.decoded_table k with
+  | Some d ->
+      t.decoded_hits <- t.decoded_hits + 1;
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr "engine.cache.decoded_hits";
+      d
+  | None ->
+      Mutex.unlock t.mutex;
+      let c = compile t k in
+      let d = Casted_sim.Decode.of_schedule c.Pipeline.schedule in
+      Mutex.lock t.mutex;
+      let d, hit =
+        match Hashtbl.find_opt t.decoded_table k with
+        | Some prior ->
+            t.decoded_hits <- t.decoded_hits + 1;
+            (prior, true)
+        | None ->
+            t.decoded_misses <- t.decoded_misses + 1;
+            Hashtbl.add t.decoded_table k d;
+            (d, false)
+      in
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr
+        (if hit then "engine.cache.decoded_hits"
+         else "engine.cache.decoded_misses");
+      d
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  decoded_hits : int;
+  decoded_misses : int;
+  decoded_entries : int;
+}
 
 let stats t =
   Mutex.lock t.mutex;
-  let s = { hits = t.hits; misses = t.misses; entries = Hashtbl.length t.table } in
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      entries = Hashtbl.length t.table;
+      decoded_hits = t.decoded_hits;
+      decoded_misses = t.decoded_misses;
+      decoded_entries = Hashtbl.length t.decoded_table;
+    }
+  in
   Mutex.unlock t.mutex;
   s

@@ -51,6 +51,22 @@ val create : unit -> t
     Raises [Invalid_argument] for an unknown workload name. *)
 val compile : t -> key -> Casted_detect.Pipeline.compiled
 
-type stats = { hits : int; misses : int; entries : int }
+(** [decoded t key] returns the memoized pre-decoded execution form
+    ({!Casted_sim.Decode.of_schedule}) of [key]'s compiled schedule,
+    compiling and decoding on first use. Repeated lookups return the
+    {e physically equal} decoded program, so every campaign, sweep
+    point and pool worker resolving the same configuration on one
+    engine executes the same decoded object. Same locking discipline
+    as {!compile}: decode runs outside the mutex, first insert wins. *)
+val decoded : t -> key -> Casted_sim.Decode.t
+
+type stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  decoded_hits : int;  (** {!decoded} lookups served from the table *)
+  decoded_misses : int;  (** decodes actually performed *)
+  decoded_entries : int;
+}
 
 val stats : t -> stats

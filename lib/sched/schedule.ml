@@ -29,7 +29,15 @@ let block_insns b =
       Array.fold_left (fun acc insns -> acc + Array.length insns) acc bundle)
     0 b.bundles
 
-let find_func t name = List.assoc name t.funcs
+let find_func t name =
+  match List.assoc_opt name t.funcs with
+  | Some fs -> fs
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Schedule.find_func: unknown function %S (schedule defines: %s)"
+           name
+           (String.concat ", " (List.map fst t.funcs)))
 
 let find_block fs label =
   let n = Array.length fs.blocks in

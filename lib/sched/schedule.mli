@@ -35,6 +35,11 @@ val block_length : block_schedule -> int
 (** Static instruction count of a block schedule. *)
 val block_insns : block_schedule -> int
 
+(** [find_func t name] returns the schedule of function [name]. Raises
+    [Invalid_argument] naming the missing function (and the functions
+    the schedule does define) when [name] is unknown — reachable only on
+    malformed input, since {!Casted_sim} resolves every callee at decode
+    time. *)
 val find_func : t -> string -> func_schedule
 val find_block : func_schedule -> string -> block_schedule
 

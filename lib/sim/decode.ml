@@ -1,0 +1,143 @@
+module Insn = Casted_ir.Insn
+module Opcode = Casted_ir.Opcode
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+module Config = Casted_machine.Config
+module Latency = Casted_machine.Latency
+module Schedule = Casted_sched.Schedule
+
+type dinsn = {
+  op : Casted_ir.Opcode.t;
+  uses : Casted_ir.Reg.t array;
+  defs : Casted_ir.Reg.t array;
+  imm : int64;
+  fimm : float;
+  id : int;
+  latency : int;
+  role : int;
+  target : int;
+  target2 : int;
+}
+
+type dbundle = { at : int; slots : dinsn array array }
+type dblock = { label : string; bundles : dbundle array }
+type dfunc = { func : Casted_ir.Func.t; blocks : dblock array }
+
+type t = {
+  sched : Casted_sched.Schedule.t;
+  config : Casted_machine.Config.t;
+  funcs : dfunc array;
+  entry : int;
+  image : Bytes.t;
+  output_base : int;
+  output_len : int;
+}
+
+let role_index = function
+  | Insn.Original -> 0
+  | Insn.Replica -> 1
+  | Insn.Check -> 2
+  | Insn.Shadow_copy -> 3
+
+(* Label/name resolution mirrors the interpreter's old linear scans
+   ([block_of], [Schedule.find_func]): the FIRST entry with a matching
+   name wins, so a (malformed) schedule with duplicate labels decodes to
+   exactly the block the scan would have found. *)
+let index_first_wins names =
+  let table = Hashtbl.create (2 * Array.length names) in
+  Array.iteri
+    (fun i name ->
+      if not (Hashtbl.mem table name) then Hashtbl.add table name i)
+    names;
+  table
+
+let decode_insn ~config ~func_of_name ~block_of_label ~fname (insn : Insn.t) =
+  let block_target what label =
+    match Hashtbl.find_opt block_of_label label with
+    | Some i -> i
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Decode: unknown %s %S in function %S" what label
+             fname)
+  in
+  let target, target2 =
+    match insn.Insn.op with
+    | Opcode.Br -> (block_target "branch target" insn.Insn.target, -1)
+    | Opcode.Brc _ ->
+        ( block_target "branch target" insn.Insn.target,
+          block_target "branch target" insn.Insn.target2 )
+    | Opcode.Call -> (
+        match Hashtbl.find_opt func_of_name insn.Insn.target with
+        | Some i -> (i, -1)
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Decode: unknown callee %S in function %S"
+                 insn.Insn.target fname))
+    | _ -> (-1, -1)
+  in
+  {
+    op = insn.Insn.op;
+    uses = insn.Insn.uses;
+    defs = insn.Insn.defs;
+    imm = insn.Insn.imm;
+    fimm = insn.Insn.fimm;
+    id = insn.Insn.id;
+    latency = Latency.of_op config.Config.latencies insn.Insn.op;
+    role = role_index insn.Insn.role;
+    target;
+    target2;
+  }
+
+let of_schedule (sched : Schedule.t) : t =
+  Casted_obs.Trace.with_span ~cat:"sim" "sim.decode" (fun () ->
+      Casted_obs.Metrics.incr "sim.decodes";
+      let config = sched.Schedule.config in
+      let funcs = Array.of_list sched.Schedule.funcs in
+      let func_of_name = index_first_wins (Array.map fst funcs) in
+      let decode_func (fname, (fs : Schedule.func_schedule)) =
+        let block_of_label =
+          index_first_wins
+            (Array.map (fun b -> b.Schedule.label) fs.Schedule.blocks)
+        in
+        let decode_one =
+          decode_insn ~config ~func_of_name ~block_of_label ~fname
+        in
+        let decode_block (b : Schedule.block_schedule) =
+          let bundles = ref [] in
+          Array.iteri
+            (fun at bundle ->
+              if Array.exists (fun insns -> Array.length insns > 0) bundle
+              then
+                bundles :=
+                  { at; slots = Array.map (Array.map decode_one) bundle }
+                  :: !bundles)
+            b.Schedule.bundles;
+          { label = b.Schedule.label; bundles = Array.of_list (List.rev !bundles) }
+        in
+        if Array.length fs.Schedule.blocks = 0 then
+          invalid_arg
+            (Printf.sprintf "Decode: function %S has no blocks" fname);
+        { func = fs.Schedule.func; blocks = Array.map decode_block fs.Schedule.blocks }
+      in
+      let dfuncs = Array.map decode_func funcs in
+      let program = sched.Schedule.program in
+      let entry =
+        match Hashtbl.find_opt func_of_name program.Program.entry with
+        | Some i -> i
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Decode: unknown entry function %S"
+                 program.Program.entry)
+      in
+      let image =
+        Memory.pristine ~size:program.Program.mem_size program.Program.data
+      in
+      {
+        sched;
+        config;
+        funcs = dfuncs;
+        entry;
+        image;
+        output_base = program.Program.output_base;
+        output_len = program.Program.output_len;
+      })

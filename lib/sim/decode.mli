@@ -1,0 +1,78 @@
+(** Pre-decoded execution form of a schedule: decode once, simulate many.
+
+    Monte-Carlo fault injection re-simulates the {e same} schedule
+    thousands of times, so everything that can be resolved once per
+    schedule is resolved here instead of per executed instruction:
+
+    - branch targets become block {e indices} (no per-taken-branch
+      linear label scan);
+    - callees become function {e indices} (no [List.assoc] per dynamic
+      call);
+    - per-instruction issue latencies are precomputed (no
+      [Latency.of_op] dispatch in the hot loop);
+    - role indices are baked in (no per-instruction variant match for
+      the role tally);
+    - bundles with no instructions are stripped, keeping their cycle
+      offset (an empty bundle is a real NOP cycle but executes nothing);
+    - the initial memory image is rendered to one pristine byte string
+      that each trial restores with a single [Bytes.blit].
+
+    Decoding only changes {e how} the simulator executes, never what the
+    machine does: {!Casted_sim.Simulator.run_decoded} produces
+    bit-identical {!Outcome.run}s to interpreting the [Schedule.t]
+    directly. Decode also validates every branch label and callee name
+    up front, so a malformed schedule fails loudly at decode time
+    instead of mid-run. *)
+
+(** One decoded instruction: the IR fields the interpreter reads, plus
+    everything resolvable at decode time. *)
+type dinsn = {
+  op : Casted_ir.Opcode.t;
+  uses : Casted_ir.Reg.t array;  (** shared with the source [Insn.t] *)
+  defs : Casted_ir.Reg.t array;
+  imm : int64;
+  fimm : float;
+  id : int;  (** source instruction id (check reporting) *)
+  latency : int;  (** issue latency under the schedule's config *)
+  role : int;  (** {!Casted_ir.Insn.role} as a dense index 0..3 *)
+  target : int;
+      (** [Br]/[Brc]: taken-branch block index; [Call]: callee function
+          index; -1 otherwise *)
+  target2 : int;  (** [Brc]: fall-through block index; -1 otherwise *)
+}
+
+type dbundle = {
+  at : int;
+      (** static cycle offset of this bundle within its block — kept
+          through empty-bundle stripping so NOP cycles still gate issue
+          time *)
+  slots : dinsn array array;  (** [slots.(cluster)], at least one insn *)
+}
+
+type dblock = {
+  label : string;  (** for profiling only *)
+  bundles : dbundle array;  (** empty cycles stripped *)
+}
+
+type dfunc = {
+  func : Casted_ir.Func.t;
+  blocks : dblock array;  (** same order as the schedule's blocks *)
+}
+
+type t = {
+  sched : Casted_sched.Schedule.t;  (** provenance *)
+  config : Casted_machine.Config.t;
+  funcs : dfunc array;
+  entry : int;  (** index of the entry function in [funcs] *)
+  image : Bytes.t;
+      (** pristine initial memory ([mem_size] bytes, data segments
+          loaded) — read-only, shared across trials and domains *)
+  output_base : int;
+  output_len : int;
+}
+
+(** [of_schedule sched] compiles the schedule into its execution-ready
+    form. Raises [Invalid_argument] for an unknown branch label, callee
+    or entry function, or an out-of-bounds data segment. Traced as a
+    [sim.decode] span; counted by the [sim.decodes] metric. *)
+val of_schedule : Casted_sched.Schedule.t -> t

@@ -16,6 +16,18 @@ let load_image t segments =
       Bytes.blit_string s 0 t.bytes addr (String.length s))
     segments
 
+let pristine ~size segments =
+  let t = create ~size in
+  load_image t segments;
+  t.bytes
+
+let of_image image = { bytes = Bytes.copy image; size = Bytes.length image }
+
+let reset t image =
+  if Bytes.length image <> t.size then
+    invalid_arg "Memory.reset: image size mismatch";
+  Bytes.blit image 0 t.bytes 0 t.size
+
 let check t ~addr ~bytes =
   if Int64.compare addr 0L < 0 || Int64.compare addr (Int64.of_int t.size) >= 0
   then raise (Trap.Trap (Trap.Out_of_bounds addr));

@@ -13,6 +13,20 @@ val size : t -> int
 (** Seed the arena from (address, bytes) segments. *)
 val load_image : t -> (int * string) list -> unit
 
+(** [pristine ~size segments] renders the initial memory image once:
+    [size] zero bytes with the segments blitted in (bounds-checked).
+    The pre-decoded simulator core shares one pristine image across all
+    trials of a campaign and restores it per run with a single blit. *)
+val pristine : size:int -> (int * string) list -> Bytes.t
+
+(** Fresh working arena initialised from a pristine image (copies). *)
+val of_image : Bytes.t -> t
+
+(** [reset t image] re-initialises the arena from the image with one
+    [Bytes.blit], no allocation. Raises [Invalid_argument] if the image
+    length differs from the arena size. *)
+val reset : t -> Bytes.t -> unit
+
 (** [read t ~addr ~width ~signed] returns the (sign- or zero-extended)
     value. Raises {!Trap.Trap} on bounds or alignment violations. *)
 val read : t -> addr:int64 -> width:Casted_ir.Opcode.width -> signed:bool -> int64

@@ -76,8 +76,8 @@ let population_of_run (r : Outcome.run) =
     xcluster_reads = r.Outcome.dyn_xreads;
   }
 
-let golden ?(fuel_factor = 10) sched =
-  let run = Simulator.run sched in
+let golden_decoded ?(fuel_factor = 10) decoded =
+  let run = Simulator.run_decoded decoded in
   (match run.Outcome.termination with
   | Outcome.Exit _ -> ()
   | t ->
@@ -90,10 +90,13 @@ let golden ?(fuel_factor = 10) sched =
     fuel = fuel_factor * max 1 run.Outcome.dyn_insns;
   }
 
+let golden ?fuel_factor sched =
+  golden_decoded ?fuel_factor (Decode.of_schedule sched)
+
 (* Each trial draws from its own RNG seeded by (campaign seed, trial
    index), so the outcome of trial [i] does not depend on which domain
    runs it or on the trials before it. *)
-let trial ?(model = Fault.Reg_bit) ~golden:g ~seed ~index sched =
+let trial_decoded ?(model = Fault.Reg_bit) ~golden:g ~seed ~index decoded =
   if Fault.population_size model g.pop = 0 then
     (* The fault path does not exist in this configuration (e.g. no
        cross-cluster reads on a single-cluster scheme): nothing to
@@ -103,8 +106,12 @@ let trial ?(model = Fault.Reg_bit) ~golden:g ~seed ~index sched =
     let rng = Rng.create ~seed:(Rng.derive ~seed index) in
     let fault = Fault.random model rng ~population:g.pop in
     classify_result ~golden:g.run
-      (try Ok (Simulator.run ~fault ~fuel:g.fuel sched) with e -> Error e)
+      (try Ok (Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
+       with e -> Error e)
   end
+
+let trial ?model ~golden ~seed ~index sched =
+  trial_decoded ?model ~golden ~seed ~index (Decode.of_schedule sched)
 
 let idx = function
   | Benign -> 0
@@ -139,9 +146,9 @@ let tally ?(model = Fault.Reg_bit) ~golden:g classes =
    size and wherever a previous run was killed. *)
 let chunk_trials = 64
 
-let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
+let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?(checkpoint_every = 256) ?(resume = false) ~trials sched =
+    ?(checkpoint_every = 256) ?(resume = false) ~trials decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
       invalid_arg "Montecarlo.run: ci_halfwidth must be positive"
@@ -150,7 +157,7 @@ let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     invalid_arg "Montecarlo.run: resume requires a checkpoint path";
   let g =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.golden" (fun () ->
-        golden ~fuel_factor sched)
+        golden_decoded ~fuel_factor decoded)
   in
   let counts = Array.make 5 0 in
   let start =
@@ -178,7 +185,7 @@ let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
             end)
     | _ -> 0
   in
-  let one index = trial ~model ~golden:g ~seed ~index sched in
+  let one index = trial_decoded ~model ~golden:g ~seed ~index decoded in
   let map_chunk lo hi =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.chunk"
       ~args:[ ("lo", Casted_obs.Json.Int lo); ("hi", Casted_obs.Json.Int hi) ]
@@ -235,6 +242,14 @@ let run ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   in
   let done_ = go start start in
   result_of_counts ~golden:g ~model ~trials:done_ counts
+
+(* Decode once per campaign, not once per trial: the decoded program is
+   immutable and shared read-only by every pool domain. *)
+let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
+    ?checkpoint_every ?resume ~trials sched =
+  run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
+    ?checkpoint_every ?resume ~trials
+    (Decode.of_schedule sched)
 
 let pp ppf r =
   let item c =

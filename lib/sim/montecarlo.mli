@@ -67,6 +67,9 @@ val population_of_run : Outcome.run -> Fault.population
     exit cleanly. *)
 val golden : ?fuel_factor:int -> Casted_sched.Schedule.t -> golden
 
+(** {!golden} over an already-decoded program (skips the decode). *)
+val golden_decoded : ?fuel_factor:int -> Decode.t -> golden
+
 (** [trial ~golden ~seed ~index schedule] runs faulty trial [index] of
     a campaign with the given campaign [seed] and fault [model]
     (default {!Fault.Reg_bit}). The trial's fault is drawn from an RNG
@@ -82,6 +85,17 @@ val trial :
   seed:int ->
   index:int ->
   Casted_sched.Schedule.t ->
+  classification
+
+(** {!trial} over an already-decoded program. [trial ... sched] is
+    exactly [trial_decoded ... (Decode.of_schedule sched)]; campaigns
+    use this form so the schedule is decoded once, not once per trial. *)
+val trial_decoded :
+  ?model:Fault.model ->
+  golden:golden ->
+  seed:int ->
+  index:int ->
+  Decode.t ->
   classification
 
 (** Fold per-trial classifications into a campaign result. *)
@@ -122,6 +136,24 @@ val run :
   ?resume:bool ->
   trials:int ->
   Casted_sched.Schedule.t ->
+  result
+
+(** {!run} over an already-decoded program. [run sched] is exactly
+    [run_decoded (Decode.of_schedule sched)] — the engine's campaign
+    path passes the engine-cache's memoized decoded program here, so a
+    sweep re-running one configuration never re-decodes it. The decoded
+    program is immutable and shared read-only across pool domains. *)
+val run_decoded :
+  ?pool:Casted_exec.Pool.t ->
+  ?seed:int ->
+  ?fuel_factor:int ->
+  ?model:Fault.model ->
+  ?ci_halfwidth:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  trials:int ->
+  Decode.t ->
   result
 
 (** Render the tally with a 95% Wilson interval on every class rate. *)

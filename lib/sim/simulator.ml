@@ -46,8 +46,16 @@ let make_frame func ~time =
 (* A value crossing a call boundary. *)
 type value = V_gp of int64 | V_fp of float | V_pr of bool
 
+(* Control transfer is a mutable ctx field instead of a per-block ref so
+   the bundle-issue loop allocates nothing: [xfer_none] while the block
+   runs, a block index after a (taken) branch, [xfer_return] after Ret
+   (with the value parked in [retv]). Nested calls save and restore the
+   pair around the callee. *)
+let xfer_none = -2
+let xfer_return = -1
+
 type ctx = {
-  sched : Schedule.t;
+  d : Decode.t;
   config : Config.t;
   mem : Memory.t;
   hier : Hierarchy.t;
@@ -62,6 +70,9 @@ type ctx = {
   mutable xreads : int;  (* operand reads crossing the cluster boundary *)
   roles : int array;  (* dynamic count per role *)
   mutable depth : int;
+  mutable tmax : int;  (* scratch for bundle issue-time computation *)
+  mutable xfer : int;
+  mutable retv : value option;
 }
 
 let role_index = function
@@ -190,181 +201,213 @@ let touch_mem ctx addr =
       Memory.flip_bit ctx.mem ~addr:(Int64.add line (Int64.of_int offset)) ~bit
   | Some _ | None -> ()
 
-(* What a bundle instruction decided to do with control flow. *)
-type transfer = Fallthrough | Goto of string | Return of value option
-
 let max_call_depth = 10_000
 
-let rec exec_func ctx (fs : Schedule.func_schedule) (args : value list) :
-    value option =
+let addr_int addr =
+  (* The cache model indexes by machine address; negative or huge
+     addresses would have trapped in Memory first, but the cache access
+     happens before the bounds check for loads, so clamp defensively. *)
+  if Int64.compare addr 0L < 0 then 0
+  else Int64.to_int (Int64.logand addr 0x3FFF_FFFFL)
+
+(* The interpreter proper, over the pre-decoded form (Decode.t): branch
+   targets and callees are indices, latencies and role indices are
+   baked into each dinsn, and bundle issue runs as plain for-loops over
+   ctx fields — no per-bundle closures or refs, so the hot loop
+   allocates only what the simulated machine itself demands (call
+   frames, call argument lists, the rare Ret value). *)
+
+let rec exec_func ctx (df : Decode.dfunc) (args : value list) : value option =
   ctx.depth <- ctx.depth + 1;
   if ctx.depth > max_call_depth then raise (Trap.Trap Trap.Stack_overflow);
-  let func = fs.Schedule.func in
+  let func = df.Decode.func in
   let fr = make_frame func ~time:(ctx.time + 1) in
   List.iter2
     (fun r v -> write_value fr r v ~ready:(ctx.time + 1) ~home:(-1))
     func.Func.params args;
-  let block_of label =
-    let n = Array.length fs.Schedule.blocks in
-    let rec go i =
-      if i >= n then invalid_arg ("Simulator: unknown block " ^ label)
-      else if fs.Schedule.blocks.(i).Schedule.label = label then
-        fs.Schedule.blocks.(i)
-      else go (i + 1)
-    in
-    go 0
-  in
-  let rec run_block (b : Schedule.block_schedule) =
-    let transfer = ref Fallthrough in
+  let blocks = df.Decode.blocks in
+  let result = ref None in
+  let cur = ref 0 in
+  let running = ref true in
+  while !running do
+    let b = blocks.(!cur) in
     (* The static schedule is authoritative for the in-order lockstep
-       machine: bundle [i] may not issue before [block_start + i]
-       (empty cycles are real NOPs). Dynamic stalls (cache misses,
-       cross-block operands) push it further. *)
+       machine: bundle [i] may not issue before [block_start + at]
+       (empty cycles, stripped at decode time, are real NOPs). Dynamic
+       stalls (cache misses, cross-block operands) push it further. *)
     let block_start = ctx.time + 1 in
-    Array.iteri
-      (fun idx bundle ->
-        exec_bundle ctx fr ~not_before:(block_start + idx) bundle transfer)
-      b.Schedule.bundles;
+    ctx.xfer <- xfer_none;
+    ctx.retv <- None;
+    let bundles = b.Decode.bundles in
+    for i = 0 to Array.length bundles - 1 do
+      let db = bundles.(i) in
+      exec_bundle ctx fr ~not_before:(block_start + db.Decode.at)
+        db.Decode.slots
+    done;
     (match ctx.profile with
     | Some profile ->
-        Profile.record profile ~func:func.Func.name ~label:b.Schedule.label
+        Profile.record profile ~func:func.Func.name ~label:b.Decode.label
           ~cycles:(ctx.time + 1 - block_start)
     | None -> ());
-    match !transfer with
-    | Goto label -> run_block (block_of label)
-    | Return v ->
-        ctx.depth <- ctx.depth - 1;
-        v
-    | Fallthrough ->
-        invalid_arg "Simulator: block finished without control transfer"
-  in
-  run_block fs.Schedule.blocks.(0)
+    if ctx.xfer >= 0 then cur := ctx.xfer
+    else if ctx.xfer = xfer_return then begin
+      result := ctx.retv;
+      running := false
+    end
+    else invalid_arg "Simulator: block finished without control transfer"
+  done;
+  ctx.depth <- ctx.depth - 1;
+  !result
 
-and exec_bundle ctx fr ~not_before (bundle : Schedule.bundle) transfer =
-  let any = Array.exists (fun insns -> Array.length insns > 0) bundle in
-  if any then begin
-    (* Issue time: lockstep across clusters, so one maximum over all
-       operand arrival times of the whole bundle. *)
-    let t = ref (max not_before (ctx.time + 1)) in
-    Array.iteri
-      (fun cluster insns ->
-        Array.iter
-          (fun (insn : Insn.t) ->
-            Array.iter
-              (fun r -> t := max !t (reg_need ctx fr ~cluster r))
-              insn.Insn.uses)
-          insns)
-      bundle;
-    let t = !t in
-    ctx.time <- t;
-    (* Read phase: all operands (including loaded memory) are sampled
-       before any write of this bundle lands. *)
-    let lat op = Latency.of_op ctx.config.Config.latencies op in
-    Array.iteri
-      (fun cluster insns ->
-        Array.iter
-          (fun insn -> exec_insn ctx fr ~cluster ~t ~lat insn transfer)
-          insns)
-      bundle
-  end
+and exec_bundle ctx fr ~not_before (slots : Decode.dinsn array array) =
+  (* Issue time: lockstep across clusters, so one maximum over all
+     operand arrival times of the whole bundle. *)
+  let t0 = ctx.time + 1 in
+  ctx.tmax <- (if not_before > t0 then not_before else t0);
+  for cluster = 0 to Array.length slots - 1 do
+    let insns = slots.(cluster) in
+    for k = 0 to Array.length insns - 1 do
+      let uses = insns.(k).Decode.uses in
+      for u = 0 to Array.length uses - 1 do
+        let need = reg_need ctx fr ~cluster uses.(u) in
+        if need > ctx.tmax then ctx.tmax <- need
+      done
+    done
+  done;
+  let t = ctx.tmax in
+  ctx.time <- t;
+  (* Read phase: all operands (including loaded memory) are sampled
+     before any write of this bundle lands. *)
+  for cluster = 0 to Array.length slots - 1 do
+    let insns = slots.(cluster) in
+    for k = 0 to Array.length insns - 1 do
+      exec_insn ctx fr ~cluster ~t insns.(k)
+    done
+  done
 
-and exec_insn ctx fr ~cluster ~t ~lat (insn : Insn.t) transfer =
+and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
   ctx.dyn <- ctx.dyn + 1;
   if ctx.dyn > ctx.fuel then raise Out_of_fuel;
-  ctx.roles.(role_index insn.Insn.role) <-
-    ctx.roles.(role_index insn.Insn.role) + 1;
-  let op = insn.Insn.op in
-  let u i = insn.Insn.uses.(i) in
-  let d i = insn.Insn.defs.(i) in
-  let ugp r = use_gp ctx fr ~cluster r in
-  let ufp r = use_fp ctx fr ~cluster r in
-  let upr r = use_pr ctx fr ~cluster r in
-  let finish_def () = Array.iter (inject_slot ctx fr) insn.Insn.defs in
-  let set_gp r v ~latency =
-    write_gp fr r v ~ready:(t + latency) ~home:cluster
-  in
-  let set_fp r v ~latency =
-    write_fp fr r v ~ready:(t + latency) ~home:cluster
-  in
-  let set_pr r v ~latency =
-    write_pr fr r v ~ready:(t + latency) ~home:cluster
-  in
-  (match op with
+  ctx.roles.(di.Decode.role) <- ctx.roles.(di.Decode.role) + 1;
+  let uses = di.Decode.uses in
+  let defs = di.Decode.defs in
+  let latency = di.Decode.latency in
+  (match di.Decode.op with
   | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
   | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
   | Opcode.Sra ->
-      set_gp (d 0) (Alu.int_binop op (ugp (u 0)) (ugp (u 1))) ~latency:(lat op)
+      write_gp fr defs.(0)
+        (Alu.int_binop di.Decode.op
+           (use_gp ctx fr ~cluster uses.(0))
+           (use_gp ctx fr ~cluster uses.(1)))
+        ~ready:(t + latency) ~home:cluster
   | Opcode.Addi | Opcode.Muli | Opcode.Andi | Opcode.Xori | Opcode.Shli
   | Opcode.Shri | Opcode.Srai ->
-      set_gp (d 0)
-        (Alu.int_immop op (ugp (u 0)) insn.Insn.imm)
-        ~latency:(lat op)
-  | Opcode.Mov -> set_gp (d 0) (ugp (u 0)) ~latency:(lat op)
-  | Opcode.Movi -> set_gp (d 0) insn.Insn.imm ~latency:(lat op)
+      write_gp fr defs.(0)
+        (Alu.int_immop di.Decode.op
+           (use_gp ctx fr ~cluster uses.(0))
+           di.Decode.imm)
+        ~ready:(t + latency) ~home:cluster
+  | Opcode.Mov ->
+      write_gp fr defs.(0)
+        (use_gp ctx fr ~cluster uses.(0))
+        ~ready:(t + latency) ~home:cluster
+  | Opcode.Movi ->
+      write_gp fr defs.(0) di.Decode.imm ~ready:(t + latency) ~home:cluster
   | Opcode.Cmp c ->
-      set_pr (d 0) (Cond.eval_int c (ugp (u 0)) (ugp (u 1))) ~latency:(lat op)
+      write_pr fr defs.(0)
+        (Cond.eval_int c
+           (use_gp ctx fr ~cluster uses.(0))
+           (use_gp ctx fr ~cluster uses.(1)))
+        ~ready:(t + latency) ~home:cluster
   | Opcode.Cmpi c ->
-      set_pr (d 0)
-        (Cond.eval_int c (ugp (u 0)) insn.Insn.imm)
-        ~latency:(lat op)
+      write_pr fr defs.(0)
+        (Cond.eval_int c (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm)
+        ~ready:(t + latency) ~home:cluster
   | Opcode.Sel ->
-      let v = if upr (u 0) then ugp (u 1) else ugp (u 2) in
-      set_gp (d 0) v ~latency:(lat op)
+      let v =
+        if use_pr ctx fr ~cluster uses.(0) then
+          use_gp ctx fr ~cluster uses.(1)
+        else use_gp ctx fr ~cluster uses.(2)
+      in
+      write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv ->
-      set_fp (d 0)
-        (Alu.float_binop op (ufp (u 0)) (ufp (u 1)))
-        ~latency:(lat op)
-  | Opcode.Fmov -> set_fp (d 0) (ufp (u 0)) ~latency:(lat op)
-  | Opcode.Fmovi -> set_fp (d 0) insn.Insn.fimm ~latency:(lat op)
+      write_fp fr defs.(0)
+        (Alu.float_binop di.Decode.op
+           (use_fp ctx fr ~cluster uses.(0))
+           (use_fp ctx fr ~cluster uses.(1)))
+        ~ready:(t + latency) ~home:cluster
+  | Opcode.Fmov ->
+      write_fp fr defs.(0)
+        (use_fp ctx fr ~cluster uses.(0))
+        ~ready:(t + latency) ~home:cluster
+  | Opcode.Fmovi ->
+      write_fp fr defs.(0) di.Decode.fimm ~ready:(t + latency) ~home:cluster
   | Opcode.Fcmp c ->
-      set_pr (d 0)
-        (Cond.eval_float c (ufp (u 0)) (ufp (u 1)))
-        ~latency:(lat op)
+      write_pr fr defs.(0)
+        (Cond.eval_float c
+           (use_fp ctx fr ~cluster uses.(0))
+           (use_fp ctx fr ~cluster uses.(1)))
+        ~ready:(t + latency) ~home:cluster
   | Opcode.Itof ->
-      set_fp (d 0) (Int64.to_float (ugp (u 0))) ~latency:(lat op)
+      write_fp fr defs.(0)
+        (Int64.to_float (use_gp ctx fr ~cluster uses.(0)))
+        ~ready:(t + latency) ~home:cluster
   | Opcode.Ftoi ->
-      let f = ufp (u 0) in
+      let f = use_fp ctx fr ~cluster uses.(0) in
       let v =
         if Float.is_nan f then 0L else Int64.of_float (Float.trunc f)
       in
-      set_gp (d 0) v ~latency:(lat op)
+      write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Ld w | Opcode.Lds w ->
-      let signed = match op with Opcode.Lds _ -> true | _ -> false in
-      let addr = Int64.add (ugp (u 0)) insn.Insn.imm in
-      let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
+      let signed =
+        match di.Decode.op with Opcode.Lds _ -> true | _ -> false
+      in
+      let addr = Int64.add (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm in
+      let latency =
+        Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false
+      in
       let v = Memory.read ctx.mem ~addr ~width:w ~signed in
       touch_mem ctx addr;
-      set_gp (d 0) v ~latency
+      write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Fld ->
-      let addr = Int64.add (ugp (u 0)) insn.Insn.imm in
-      let latency = Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false in
+      let addr = Int64.add (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm in
+      let latency =
+        Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false
+      in
       let v = Memory.read_float ctx.mem ~addr in
       touch_mem ctx addr;
-      set_fp (d 0) v ~latency
+      write_fp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.St w ->
-      let addr = Int64.add (ugp (u 1)) insn.Insn.imm in
-      Memory.write ctx.mem ~addr ~width:w (ugp (u 0));
+      let addr = Int64.add (use_gp ctx fr ~cluster uses.(1)) di.Decode.imm in
+      Memory.write ctx.mem ~addr ~width:w (use_gp ctx fr ~cluster uses.(0));
       ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
       touch_mem ctx addr
   | Opcode.Fst ->
-      let addr = Int64.add (ugp (u 1)) insn.Insn.imm in
-      Memory.write_float ctx.mem ~addr (ufp (u 0));
+      let addr = Int64.add (use_gp ctx fr ~cluster uses.(1)) di.Decode.imm in
+      Memory.write_float ctx.mem ~addr (use_fp ctx fr ~cluster uses.(0));
       ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
       touch_mem ctx addr
   | Opcode.Chk ->
       let ok =
-        match Reg.cls (u 0) with
-        | Reg.Gp -> Int64.equal (ugp (u 0)) (ugp (u 1))
+        match Reg.cls uses.(0) with
+        | Reg.Gp ->
+            Int64.equal
+              (use_gp ctx fr ~cluster uses.(0))
+              (use_gp ctx fr ~cluster uses.(1))
         | Reg.Fp ->
             Int64.equal
-              (Int64.bits_of_float (ufp (u 0)))
-              (Int64.bits_of_float (ufp (u 1)))
-        | Reg.Pr -> Bool.equal (upr (u 0)) (upr (u 1))
+              (Int64.bits_of_float (use_fp ctx fr ~cluster uses.(0)))
+              (Int64.bits_of_float (use_fp ctx fr ~cluster uses.(1)))
+        | Reg.Pr ->
+            Bool.equal
+              (use_pr ctx fr ~cluster uses.(0))
+              (use_pr ctx fr ~cluster uses.(1))
       in
-      if not ok then raise (Check_failed insn.Insn.id)
-  | Opcode.Br -> transfer := Goto insn.Insn.target
+      if not ok then raise (Check_failed di.Decode.id)
+  | Opcode.Br -> ctx.xfer <- di.Decode.target
   | Opcode.Brc flag ->
-      let taken = Bool.equal (upr (u 0)) flag in
+      let taken = Bool.equal (use_pr ctx fr ~cluster uses.(0)) flag in
       ctx.branches <- ctx.branches + 1;
       let taken =
         match ctx.fault with
@@ -373,41 +416,44 @@ and exec_insn ctx fr ~cluster ~t ~lat (insn : Insn.t) transfer =
             not taken
         | Some _ | None -> taken
       in
-      transfer :=
-        Goto (if taken then insn.Insn.target else insn.Insn.target2)
+      ctx.xfer <- (if taken then di.Decode.target else di.Decode.target2)
   | Opcode.Ret ->
       let v =
-        if Array.length insn.Insn.uses > 0 then
-          Some (use_value ctx fr ~cluster (u 0))
+        if Array.length uses > 0 then
+          Some (use_value ctx fr ~cluster uses.(0))
         else None
       in
-      transfer := Return v
+      ctx.xfer <- xfer_return;
+      ctx.retv <- v
   | Opcode.Halt ->
       let code =
-        if Array.length insn.Insn.uses > 0 then Int64.to_int (ugp (u 0))
+        if Array.length uses > 0 then
+          Int64.to_int (use_gp ctx fr ~cluster uses.(0))
         else 0
       in
       raise (Halted code)
   | Opcode.Call ->
-      let callee = Schedule.find_func ctx.sched insn.Insn.target in
+      let callee = ctx.d.Decode.funcs.(di.Decode.target) in
       let args =
-        List.map (use_value ctx fr ~cluster) (Array.to_list insn.Insn.uses)
+        List.map (use_value ctx fr ~cluster) (Array.to_list uses)
       in
+      (* The callee drives ctx.xfer/retv for its own blocks; restore the
+         caller's pending transfer around the nested execution. *)
+      let saved_xfer = ctx.xfer in
+      let saved_retv = ctx.retv in
       let result = exec_func ctx callee args in
-      (match (Array.length insn.Insn.defs, result) with
+      ctx.xfer <- saved_xfer;
+      ctx.retv <- saved_retv;
+      (match (Array.length defs, result) with
       | 0, _ -> ()
-      | 1, Some v -> write_value fr (d 0) v ~ready:(ctx.time + 1) ~home:cluster
+      | 1, Some v ->
+          write_value fr defs.(0) v ~ready:(ctx.time + 1) ~home:cluster
       | 1, None -> invalid_arg "Simulator: call expected a return value"
       | _ -> invalid_arg "Simulator: call with multiple defs")
   | Opcode.Nop -> ());
-  finish_def ()
-
-and addr_int addr =
-  (* The cache model indexes by machine address; negative or huge
-     addresses would have trapped in Memory first, but the cache access
-     happens before the bounds check for loads, so clamp defensively. *)
-  if Int64.compare addr 0L < 0 then 0
-  else Int64.to_int (Int64.logand addr 0x3FFF_FFFFL)
+  for i = 0 to Array.length defs - 1 do
+    inject_slot ctx fr defs.(i)
+  done
 
 (* Surface one finished run into the metrics registry. Runs entirely on
    the calling domain's shard, after the simulation is done, so it can
@@ -438,18 +484,55 @@ let record_metrics (r : Outcome.run) =
     M.incr ~by:c.Casted_cache.Hierarchy.writebacks "cache.writebacks"
   end
 
-let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
-  let program = sched.Schedule.program in
-  let mem = Memory.create ~size:program.Program.mem_size in
-  Memory.load_image mem program.Program.data;
+(* Each executor domain keeps one working memory arena and restores the
+   campaign's pristine image into it with a single [Bytes.blit] per
+   trial — no [Memory.create] + [load_image] per run. The arena is
+   private to the domain (pool workers run trials sequentially), and it
+   is reset before any instruction executes, so trials cannot observe
+   each other's stores. *)
+let scratch_mem : Memory.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let trial_memory image =
+  let r = Domain.DLS.get scratch_mem in
+  match !r with
+  | Some m when Memory.size m = Bytes.length image ->
+      Memory.reset m image;
+      m
+  | _ ->
+      let m = Memory.of_image image in
+      r := Some m;
+      m
+
+(* Same treatment for the cache model: building the three levels
+   allocates tens of thousands of way records, so each domain keeps one
+   hierarchy per (geometry, perfect) and cold-restores it with
+   [Hierarchy.reset] — field writes, no allocation — per run. *)
+let scratch_hier :
+    (Config.cache_config * bool * Hierarchy.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let trial_hierarchy cc ~perfect =
+  let r = Domain.DLS.get scratch_hier in
+  match !r with
+  | Some (cc', perfect', h) when perfect' = perfect && cc' = cc ->
+      Hierarchy.reset h;
+      h
+  | _ ->
+      let h = if perfect then Hierarchy.perfect cc else Hierarchy.create cc in
+      r := Some (cc, perfect, h);
+      h
+
+let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
+    (d : Decode.t) =
+  let mem = trial_memory d.Decode.image in
   let hier =
-    let cc = sched.Schedule.config.Config.cache in
-    if perfect_cache then Hierarchy.perfect cc else Hierarchy.create cc
+    trial_hierarchy d.Decode.config.Config.cache ~perfect:perfect_cache
   in
   let ctx =
     {
-      sched;
-      config = sched.Schedule.config;
+      d;
+      config = d.Decode.config;
       mem;
       hier;
       fuel;
@@ -463,9 +546,12 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
       xreads = 0;
       roles = Array.make 4 0;
       depth = 0;
+      tmax = 0;
+      xfer = xfer_none;
+      retv = None;
     }
   in
-  let entry = Schedule.find_func sched program.Program.entry in
+  let entry = d.Decode.funcs.(d.Decode.entry) in
   let termination =
     try
       let (_ : value option) = exec_func ctx entry [] in
@@ -478,8 +564,7 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
     | Out_of_fuel -> Outcome.Timeout
   in
   let output =
-    Memory.extract mem ~base:program.Program.output_base
-      ~len:program.Program.output_len
+    Memory.extract mem ~base:d.Decode.output_base ~len:d.Decode.output_len
   in
   let cycles = ctx.time + 1 in
   let r =
@@ -502,3 +587,6 @@ let run ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile sched =
   in
   record_metrics r;
   r
+
+let run ?fault ?fuel ?perfect_cache ?profile sched =
+  run_decoded ?fault ?fuel ?perfect_cache ?profile (Decode.of_schedule sched)

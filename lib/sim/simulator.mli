@@ -36,3 +36,20 @@ val run :
   ?profile:Profile.t ->
   Casted_sched.Schedule.t ->
   Outcome.run
+
+(** [run_decoded decoded] executes a pre-decoded program
+    ({!Decode.of_schedule}). Bit-identical to [run] on the source
+    schedule — same {!Outcome.run} field for field — but skips the
+    per-run decode work: [run sched] is exactly
+    [run_decoded (Decode.of_schedule sched)]. Monte-Carlo campaigns
+    decode once and call this per trial; the decoded program is
+    read-only and safe to share across pool domains. Each executor
+    domain also keeps a private scratch memory arena that is restored
+    from [decoded.image] with one blit per run. *)
+val run_decoded :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?perfect_cache:bool ->
+  ?profile:Profile.t ->
+  Decode.t ->
+  Outcome.run

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Guard the simulator's throughput floor.
+
+Usage: perf_check.py BENCH.json scripts/perf_baseline.json
+
+Reads the `sim_throughput` section the bench harness writes (see
+EXPERIMENTS.md) and compares each metric named in the baseline's "min"
+table against `baseline * (1 - margin)`. Exits non-zero on any
+regression past the margin, so CI fails when the pre-decoded core
+loses its speedup.
+
+The committed baseline values are deliberately conservative (shared CI
+runners are slower and noisier than a dev box); they are floors against
+architectural regressions, not a benchmark record. Update them only
+when the expected throughput changes on purpose.
+"""
+
+import json
+import sys
+
+
+def lookup(doc, dotted):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            sys.exit(f"perf_check: BENCH.json has no field sim_throughput.{dotted}")
+        node = node[part]
+    if not isinstance(node, (int, float)):
+        sys.exit(f"perf_check: sim_throughput.{dotted} is not a number")
+    return float(node)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} BENCH.json baseline.json")
+    with open(sys.argv[1]) as fh:
+        bench = json.load(fh)
+    with open(sys.argv[2]) as fh:
+        base = json.load(fh)
+
+    st = bench.get("sim_throughput")
+    if not isinstance(st, dict):
+        sys.exit(
+            "perf_check: BENCH.json has no sim_throughput section "
+            "(run bench with CASTED_SECTIONS=sim_throughput)"
+        )
+
+    margin = float(base.get("margin", 0.30))
+    failures = []
+    for dotted, baseline_value in base["min"].items():
+        measured = lookup(st, dotted)
+        floor = float(baseline_value) * (1.0 - margin)
+        ok = measured >= floor
+        print(
+            f"sim_throughput.{dotted}: measured {measured:.1f}, "
+            f"baseline {float(baseline_value):.1f}, floor {floor:.1f} "
+            f"[{'ok' if ok else 'REGRESSED'}]"
+        )
+        if not ok:
+            failures.append(dotted)
+
+    if failures:
+        sys.exit(
+            f"perf_check: throughput regressed more than {margin * 100:.0f}% "
+            f"below baseline in: {', '.join(failures)}"
+        )
+    print(f"perf_check: all metrics within {margin * 100:.0f}% of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,6 +78,37 @@ let test_cache_physical_equality () =
   Alcotest.(check int) "hits" 1 s.Cache.hits;
   Alcotest.(check int) "entries" 2 s.Cache.entries
 
+(* The pre-decoded program is memoized like the compile: repeated
+   lookups, pool workers and whole campaigns all execute the physically
+   equal decoded object — one decode per configuration per engine. *)
+let test_cache_decoded_physically_shared () =
+  let cache = Cache.create () in
+  let a = Cache.decoded cache spec in
+  let b = Cache.decoded cache spec in
+  Alcotest.(check bool) "same decoded object" true (a == b);
+  Alcotest.(check bool) "decoded from the cached compile" true
+    (a.Casted_sim.Decode.sched == (Cache.compile cache spec).Pipeline.schedule);
+  let s = Cache.stats cache in
+  Alcotest.(check int) "decoded misses" 1 s.Cache.decoded_misses;
+  Alcotest.(check int) "decoded hits" 1 s.Cache.decoded_hits;
+  Alcotest.(check int) "decoded entries" 1 s.Cache.decoded_entries;
+  (* Pool workers resolving the same key within one campaign's engine
+     must all see the same decoded program. *)
+  Engine.with_engine ~jobs:4 (fun e ->
+      let d0 = Cache.decoded (Engine.cache e) spec in
+      let seen =
+        Pool.map (Engine.pool e)
+          (fun _ -> Cache.decoded (Engine.cache e) spec == d0)
+          (Array.init 8 Fun.id)
+      in
+      Alcotest.(check bool) "shared across pool workers" true
+        (Array.for_all Fun.id seen);
+      (* A whole campaign performs exactly zero additional decodes. *)
+      let before = (Cache.stats (Engine.cache e)).Cache.decoded_misses in
+      let _ = Engine.campaign e ~trials:10 spec in
+      Alcotest.(check int) "campaign decoded nothing new" before
+        (Cache.stats (Engine.cache e)).Cache.decoded_misses)
+
 (* The engine shares one cache across jobs: a sweep then a campaign on a
    shared configuration must not recompile it. *)
 let test_engine_shares_cache () =
@@ -227,6 +258,8 @@ let suite =
       case "parallel campaign deterministic" test_campaign_deterministic;
       case "campaign seed sensitivity" test_campaign_seed_sensitivity;
       case "cache physical equality" test_cache_physical_equality;
+      case "decoded program physically shared"
+        test_cache_decoded_physically_shared;
       case "engine shares cache across jobs" test_engine_shares_cache;
       case "pool drains on shutdown" test_pool_drains;
       case "pool rejects use after shutdown" test_pool_rejects_use_after_shutdown;
