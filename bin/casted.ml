@@ -600,6 +600,114 @@ let trace_cmd =
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ size_arg
       $ trials $ trace_arg $ metrics_arg)
 
+let verify_cmd =
+  let run benches size jobs json =
+    List.iter (fun b -> ignore (find_workload b)) benches;
+    let benchmarks = if benches = [] then None else Some benches in
+    let entries =
+      Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+          Casted_verify.Matrix.run ~pool ?benchmarks ~size ())
+    in
+    if json then
+      print_endline (Obs.Json.to_string (Casted_verify.Matrix.to_json entries))
+    else begin
+      List.iter
+        (fun e ->
+          if
+            e.Casted_verify.Matrix.diags <> []
+            || e.Casted_verify.Matrix.divergences <> []
+          then Format.printf "%a@." Casted_verify.Matrix.pp_entry e)
+        entries;
+      let diags, divs = Casted_verify.Matrix.totals entries in
+      Format.printf "verify: %d entries, %d diagnostics, %d divergences@."
+        (List.length entries) diags divs
+    end;
+    if Casted_verify.Matrix.clean entries then 0 else 1
+  in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK" ~doc:"Benchmarks to verify (default: all).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the full report as JSON on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Lint every schedule against the SWIFT invariants and \
+          differentially check all four schemes against the NOED reference \
+          across the example matrix; exits 1 on any diagnostic or \
+          divergence")
+    Term.(const run $ benches $ size_arg $ jobs_arg $ json)
+
+let fuzz_cmd =
+  let run programs seed program jobs reproducer =
+    let failure =
+      match program with
+      | Some index ->
+          Printf.printf "fuzz: replaying program %d of seed %d\n%!" index seed;
+          Casted_verify.Fuzz.check_index ~seed index
+      | None ->
+          Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
+              Casted_verify.Fuzz.run ~pool ~programs ~seed ())
+    in
+    match failure with
+    | None ->
+        let n = match program with Some _ -> 1 | None -> programs in
+        Printf.printf "fuzz: %d programs clean (seed %d)\n" n seed;
+        0
+    | Some f ->
+        Format.printf "%a@." Casted_verify.Fuzz.pp_failure f;
+        (match reproducer with
+        | Some path ->
+            let oc = open_out path in
+            output_string oc f.Casted_verify.Fuzz.asm;
+            close_out oc;
+            Printf.printf
+              "fuzz: wrote shrunk reproducer to %s (replay: casted fuzz \
+               --seed %d --program %d)\n"
+              path seed f.Casted_verify.Fuzz.index
+        | None -> ());
+        1
+  in
+  let programs =
+    Arg.(
+      value & opt int 200
+      & info [ "programs" ] ~docv:"N" ~doc:"How many programs to generate.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xC457ED
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Campaign seed. Program $(i,i) is derived deterministically \
+             from (seed, i), independent of $(b,--jobs).")
+  in
+  let program =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "program" ] ~docv:"K"
+          ~doc:"Replay a single program index instead of a campaign.")
+  in
+  let reproducer =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reproducer" ] ~docv:"FILE"
+          ~doc:"On failure, write the shrunk program here as assembly.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Push seeded random programs through the full pipeline under all \
+          four schemes, failing on any lint diagnostic or oracle \
+          divergence; failures are shrunk to a minimal reproducer")
+    Term.(const run $ programs $ seed $ program $ jobs_arg $ reproducer)
+
 let version_cmd =
   let run () =
     print_endline ("casted " ^ version);
@@ -616,7 +724,7 @@ let main =
     [
       list_cmd; compile_cmd; run_cmd; sweep_cmd; scaling_cmd; faults_cmd;
       campaign_cmd; tables_cmd; recover_cmd; placement_cmd; profile_cmd;
-      pressure_cmd; asm_cmd; trace_cmd; version_cmd;
+      pressure_cmd; asm_cmd; trace_cmd; verify_cmd; fuzz_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -23,6 +23,22 @@ let pp_key ppf k =
   Format.fprintf ppf "%s/%s/%s/i%d/d%d" k.workload (Workload.size_name k.size)
     (Scheme.name k.scheme) k.issue_width k.delay
 
+(* One line, stable across runs: what a campaign checkpoint embeds so a
+   resume can prove it belongs to the same (workload, scheme, config)
+   point. Non-default knobs are folded in as a structural hash — enough
+   to tell two campaigns apart, no need to be readable. *)
+let identity k =
+  let extras =
+    if
+      k.options = Options.default && k.bug_options = None
+      && not k.optimize
+    then ""
+    else
+      Printf.sprintf "/x%08x"
+        (Hashtbl.hash (k.options, k.bug_options, k.optimize))
+  in
+  Format.asprintf "%a%s" pp_key k extras
+
 (* The key is a flat record of immediates and small variant records, so
    polymorphic equality and hashing are exact. *)
 type t = {

@@ -42,6 +42,12 @@ val key :
 
 val pp_key : Format.formatter -> key -> unit
 
+(** One-line stable identity for [key] — what campaign checkpoints
+    embed so [--resume] can refuse a checkpoint from a different
+    (workload, scheme, config) point. Non-default options are folded in
+    as a structural hash suffix. *)
+val identity : key -> string
+
 type t
 
 val create : unit -> t

@@ -138,9 +138,14 @@ let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
      decoded program to the campaign: thousands of trials, one decode. *)
   let (_ : Pipeline.compiled) = compile t key in
   let decoded = Cache.decoded t.cache key in
+  let identity =
+    Printf.sprintf "%s/%s" (Cache.identity key)
+      (Casted_sim.Fault.model_name model)
+  in
   timed t `Campaign (fun () ->
       Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
-        ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~trials decoded)
+        ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity ~trials
+        decoded)
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
    per issue width (compiled at delay 1, recorded as delay 0, like the

@@ -126,8 +126,18 @@ let map_capture t f arr =
     in
     help ();
     Mutex.unlock t.mutex;
-    Array.map
-      (function Some r -> r | None -> assert false)
+    Array.mapi
+      (fun i -> function
+        | Some r -> r
+        | None ->
+            (* The batch counter hit zero, so every task ran; an empty
+               slot means a worker lost its result. Name the slot so the
+               failure is attributable. *)
+            failwith
+              (Printf.sprintf
+                 "Pool.map: batch of %d finished but slot %d has no result \
+                  (worker dropped it?)"
+                 n i))
       results
   end
 

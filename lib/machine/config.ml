@@ -37,9 +37,16 @@ let itanium2_cache =
 
 let make ?(clusters = 2) ?(issue_width = 2) ?(delay = 1)
     ?(latencies = Latency.default) ?(cache = itanium2_cache) () =
-  if clusters < 1 then invalid_arg "Config.make: clusters < 1";
-  if issue_width < 1 then invalid_arg "Config.make: issue_width < 1";
-  if delay < 0 then invalid_arg "Config.make: negative delay";
+  if clusters < 1 then
+    invalid_arg
+      (Printf.sprintf "Config.make: clusters must be >= 1 (got %d)" clusters);
+  if issue_width < 1 then
+    invalid_arg
+      (Printf.sprintf "Config.make: issue_width must be >= 1 (got %d)"
+         issue_width);
+  if delay < 0 then
+    invalid_arg
+      (Printf.sprintf "Config.make: delay must be >= 0 (got %d)" delay);
   { clusters; issue_width; delay; latencies; cache }
 
 let single_core ~issue_width = make ~clusters:1 ~issue_width ~delay:0 ()

@@ -69,7 +69,15 @@ let assign options (config : Config.t) (dfg : Dfg.t) =
         if better then best := Some (completion, c, cycle, crit_pred)
       done;
       match !best with
-      | None -> assert false
+      | None ->
+          (* Unreachable with a validated [Config.t] (clusters >= 1):
+             the loop above always proposes cluster 0. Name the node so
+             a corrupt config surfaces as a diagnosis, not a crash. *)
+          invalid_arg
+            (Printf.sprintf
+               "Bug.assign: no feasible cluster for DFG node %d (machine \
+                reports %d clusters; config must have clusters >= 1)"
+               node clusters)
       | Some (_, c, cycle, _) ->
           cluster.(node) <- c;
           issue.(node) <- cycle;

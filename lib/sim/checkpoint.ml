@@ -5,11 +5,14 @@ type t = {
   trials : int;
   next_index : int;
   counts : int array;
+  identity : string;
 }
 
 let magic = "casted-checkpoint v1"
 
 let save ~path t =
+  if String.contains t.identity '\n' then
+    invalid_arg "Checkpoint.save: identity must not contain newlines";
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
   Printf.fprintf oc "%s\n" magic;
@@ -18,6 +21,7 @@ let save ~path t =
   Printf.fprintf oc "model=%s\n" (Fault.model_name t.model);
   Printf.fprintf oc "trials=%d\n" t.trials;
   Printf.fprintf oc "next=%d\n" t.next_index;
+  Printf.fprintf oc "identity=%s\n" t.identity;
   Printf.fprintf oc "counts=%s\n"
     (String.concat "," (Array.to_list (Array.map string_of_int t.counts)));
   close_out oc;
@@ -71,6 +75,12 @@ let load ~path =
         in
         let* trials = int_field "trials" in
         let* next_index = int_field "next" in
+        (* Pre-identity checkpoints carry no campaign identity; treat as
+           the empty identity so a resume that supplies one fails loudly
+           instead of silently merging unrelated tallies. *)
+        let identity =
+          match Hashtbl.find_opt table "identity" with Some v -> v | None -> ""
+        in
         let* counts_s = field "counts" in
         let* counts =
           let parts = String.split_on_char ',' counts_s in
@@ -89,6 +99,9 @@ let load ~path =
                "%s: counts sum to %d but %d trials are recorded" path
                (Array.fold_left ( + ) 0 counts)
                next_index)
-        else Ok (Some { seed; fuel_factor; model; trials; next_index; counts })
+        else
+          Ok
+            (Some
+               { seed; fuel_factor; model; trials; next_index; counts; identity })
     | _ -> Error (Printf.sprintf "%s: not a casted checkpoint" path)
   end

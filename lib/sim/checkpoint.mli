@@ -19,9 +19,17 @@ type t = {
   next_index : int;  (** trials [0, next_index) are tallied in [counts] *)
   counts : int array;
       (** per-class tallies, indexed like [Montecarlo.all_classes] *)
+  identity : string;
+      (** opaque campaign identity — the (workload, scheme, config,
+          fault-model) tuple rendered by the caller. A resume compares
+          it against the resuming campaign's identity and fails loudly
+          on mismatch, so a checkpoint written by one campaign can never
+          silently seed another. [""] for checkpoints written before the
+          field existed (or by callers that opt out). *)
 }
 
-(** Atomically write [t] to [path]. *)
+(** Atomically write [t] to [path]. Raises [Invalid_argument] if the
+    identity contains a newline (it must fit the one-line format). *)
 val save : path:string -> t -> unit
 
 (** [load ~path] is [Ok None] when no checkpoint exists at [path],

@@ -148,7 +148,8 @@ let chunk_trials = 64
 
 let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?(checkpoint_every = 256) ?(resume = false) ~trials decoded =
+    ?(checkpoint_every = 256) ?(resume = false) ?(identity = "") ~trials
+    decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
       invalid_arg "Montecarlo.run: ci_halfwidth must be positive"
@@ -167,7 +168,14 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
         | Error msg -> invalid_arg ("Montecarlo.run: " ^ msg)
         | Ok None -> 0
         | Ok (Some c) ->
-            if
+            if not (String.equal c.Checkpoint.identity identity) then
+              invalid_arg
+                (Printf.sprintf
+                   "Montecarlo.run: checkpoint %s belongs to campaign %S, \
+                    not %S — refusing to merge tallies across different \
+                    (workload, scheme, config, fault-model) identities"
+                   path c.Checkpoint.identity identity)
+            else if
               c.Checkpoint.seed <> seed
               || c.Checkpoint.fuel_factor <> fuel_factor
               || c.Checkpoint.model <> model
@@ -207,6 +215,7 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
             trials;
             next_index;
             counts = Array.copy counts;
+            identity;
           }
     | None -> ()
   in
@@ -246,9 +255,9 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
 (* Decode once per campaign, not once per trial: the decoded program is
    immutable and shared read-only by every pool domain. *)
 let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ~trials sched =
+    ?checkpoint_every ?resume ?identity ~trials sched =
   run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ~trials
+    ?checkpoint_every ?resume ?identity ~trials
     (Decode.of_schedule sched)
 
 let pp ppf r =

@@ -123,8 +123,14 @@ val chunk_trials : int
       [checkpoint_every] trials (rounded to chunk boundaries) and at
       the end.
     @param resume load [checkpoint] (which must exist with matching
-      seed/model/trials/fuel, else [Invalid_argument]) and continue
-      from its recorded index; a missing file starts from trial 0. *)
+      identity and seed/model/trials/fuel, else [Invalid_argument]) and
+      continue from its recorded index; a missing file starts from
+      trial 0.
+    @param identity opaque campaign identity (the engine renders the
+      (workload, scheme, config, fault-model) tuple here). Stamped into
+      every checkpoint; a resume whose identity differs from the
+      checkpoint's fails loudly instead of silently merging tallies
+      from a different campaign. Default [""]. *)
 val run :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
@@ -134,6 +140,7 @@ val run :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:bool ->
+  ?identity:string ->
   trials:int ->
   Casted_sched.Schedule.t ->
   result
@@ -152,6 +159,7 @@ val run_decoded :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:bool ->
+  ?identity:string ->
   trials:int ->
   Decode.t ->
   result

@@ -18,6 +18,7 @@ type run = {
   output : string;
   exit_code : int;
   cache : Casted_cache.Hierarchy.stats;
+  mem_digest : string;
 }
 
 let pp_termination ppf = function

@@ -30,6 +30,11 @@ type run = {
   output : string;  (** contents of the program's output region *)
   exit_code : int;  (** exit code, or -1 when not [Exit] *)
   cache : Casted_cache.Hierarchy.stats;
+  mem_digest : string;
+      (** digest of the whole memory image after the run, or [""] when
+          the run was not asked to compute it
+          ([Simulator.run ~with_mem_digest:true]). Off the campaign hot
+          path: a faulty trial never pays for it. *)
 }
 
 val pp_termination : Format.formatter -> termination -> unit

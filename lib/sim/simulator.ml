@@ -524,7 +524,7 @@ let trial_hierarchy cc ~perfect =
       h
 
 let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
-    (d : Decode.t) =
+    ?(with_mem_digest = false) (d : Decode.t) =
   let mem = trial_memory d.Decode.image in
   let hier =
     trial_hierarchy d.Decode.config.Config.cache ~perfect:perfect_cache
@@ -583,10 +583,15 @@ let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
       output;
       exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
       cache = Hierarchy.stats hier;
+      mem_digest =
+        (if with_mem_digest then
+           Digest.string (Memory.extract mem ~base:0 ~len:(Memory.size mem))
+         else "");
     }
   in
   record_metrics r;
   r
 
-let run ?fault ?fuel ?perfect_cache ?profile sched =
-  run_decoded ?fault ?fuel ?perfect_cache ?profile (Decode.of_schedule sched)
+let run ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest sched =
+  run_decoded ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest
+    (Decode.of_schedule sched)

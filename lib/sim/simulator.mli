@@ -28,12 +28,17 @@
     @param fuel dynamic-instruction budget; exceeding it terminates the
       run with {!Outcome.Timeout} (the paper's simulator time-out).
     @param perfect_cache every access hits in L1 (ablation).
-    @param profile per-block visit/cycle profile, filled during the run. *)
+    @param profile per-block visit/cycle profile, filled during the run.
+    @param with_mem_digest fill {!Outcome.run} [mem_digest] with a
+      digest of the final memory image (default false: campaigns never
+      pay for it; the differential oracle turns it on to compare whole
+      memory images across schemes). *)
 val run :
   ?fault:Fault.t ->
   ?fuel:int ->
   ?perfect_cache:bool ->
   ?profile:Profile.t ->
+  ?with_mem_digest:bool ->
   Casted_sched.Schedule.t ->
   Outcome.run
 
@@ -51,5 +56,6 @@ val run_decoded :
   ?fuel:int ->
   ?perfect_cache:bool ->
   ?profile:Profile.t ->
+  ?with_mem_digest:bool ->
   Decode.t ->
   Outcome.run

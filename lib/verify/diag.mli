@@ -1,0 +1,62 @@
+(** Structured lint diagnostics.
+
+    Every invariant violation found by {!Lint} is reported as one
+    diagnostic carrying the rule that fired and the coordinates of the
+    offending code (function / block / instruction id / schedule
+    cycle), so a CI failure pinpoints the broken pass output instead of
+    a mysteriously wrong coverage number. Diagnostics render as one-line
+    text ({!pp}) or as JSON ({!to_json}) through the {!Casted_obs}
+    sinks. *)
+
+(** The invariant catalogue (DESIGN.md §10). *)
+type rule =
+  | Replica_overlap
+      (** a shadow register (defined by a replica or shadow copy) is
+          also defined or read by the master instruction stream *)
+  | Missing_replica
+      (** a replicable original instruction has no replica (Full scope
+          only) *)
+  | Missing_check
+      (** a non-replicated instruction reads a shadowed register with
+          no check covering it in its block *)
+  | Missing_shadow_copy
+      (** a value defined by a non-replicated instruction (or a
+          parameter) was never copied into the shadow space *)
+  | Bundle_overflow
+      (** a cycle carries more instructions than the machine has
+          clusters × issue slots, or the wrong cluster count *)
+  | Unresolved_target
+      (** a branch label or callee name does not resolve in the
+          schedule *)
+  | Delay_violation
+      (** an operand is read earlier than producer issue + latency
+          (+ inter-cluster delay when the producer sits on another
+          cluster), or a check fires too late to guard its
+          instruction *)
+  | Schedule_mismatch
+      (** the schedule disagrees with the IR: missing, duplicated or
+          unknown instructions, inconsistent issue map, or mismatched
+          block structure *)
+
+val rule_name : rule -> string
+val all_rules : rule list
+
+type t = {
+  rule : rule;
+  func : string;
+  block : string;  (** [""] when function-level *)
+  insn : int;  (** instruction id; [-1] when not tied to one *)
+  cycle : int;  (** schedule cycle; [-1] when not schedule-level *)
+  message : string;
+}
+
+val make :
+  ?block:string -> ?insn:int -> ?cycle:int -> func:string -> rule ->
+  string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val to_json : t -> Casted_obs.Json.t
+
+(** Render a diagnostic list as a JSON array. *)
+val list_to_json : t list -> Casted_obs.Json.t

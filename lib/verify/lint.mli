@@ -1,0 +1,39 @@
+(** Static lint of a scheduled program against the SWIFT-style
+    invariants the detection pass must preserve (DESIGN.md §10).
+
+    [schedule ~scheme s] checks the {!Casted_sched.Schedule.t} / IR pair
+    produced by {!Casted_detect.Pipeline.compile} and returns every
+    violation as a {!Diag.t}. A clean pipeline returns [[]] for every
+    scheme, workload and machine shape; anything else is a compiler bug.
+
+    What is checked, per function:
+
+    - {b structure}: the schedule covers exactly the IR's blocks and
+      instructions, once each, with a consistent issue map;
+    - {b bundles}: every cycle has one slot array per cluster and at
+      most [issue_width] instructions per cluster;
+    - {b targets}: branch labels resolve within the function, callees
+      and the program entry resolve within the schedule;
+    - {b register isolation}: registers written by replicas and shadow
+      copies are disjoint from every register the original stream
+      defines or reads (and from the parameters);
+    - {b replication} (hardened schemes, [Full] scope): every
+      replicable original instruction has a replica;
+    - {b checks} (hardened schemes): every non-replicated instruction
+      the options say to check is covered by a check per shadowed
+      operand, in its own block, scheduled early enough to fire first;
+    - {b shadow copies} (hardened schemes): every value defined by a
+      non-replicated instruction — and every parameter, when
+      [shadow_params] — is copied into its shadow register;
+    - {b timing}: within a block, no instruction reads an operand
+      before its producer's issue + latency, plus the inter-cluster
+      delay when the producer sits on another cluster.
+
+    [options] must be the {!Casted_detect.Options.t} the program was
+    compiled with (default {!Casted_detect.Options.default}); the check
+    and shadow rules key off it. *)
+val schedule :
+  ?options:Casted_detect.Options.t ->
+  scheme:Casted_detect.Scheme.t ->
+  Casted_sched.Schedule.t ->
+  Diag.t list

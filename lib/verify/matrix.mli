@@ -1,0 +1,32 @@
+(** The whole verify sweep: every registered workload, linted and
+    differentially checked over the example cell matrix. This is what
+    [casted verify] runs; a clean build produces an empty report on
+    every entry. *)
+
+type entry = {
+  workload : string;
+  cell : Oracle.cell;
+  diags : Diag.t list;
+  divergences : Oracle.divergence list;
+}
+
+(** [run ()] checks [benchmarks] (default: the whole registry) at
+    [size] (default [Fault]) over [cells] (default {!Oracle.cells}),
+    fanning (workload, cell) jobs over [pool] when given. Entries come
+    back in (workload, cell) matrix order regardless of parallelism. *)
+val run :
+  ?pool:Casted_exec.Pool.t ->
+  ?benchmarks:string list ->
+  ?size:Casted_workloads.Workload.size ->
+  ?cells:Oracle.cell list ->
+  unit ->
+  entry list
+
+(** No entry has a diagnostic or divergence. *)
+val clean : entry list -> bool
+
+(** Total (diags, divergences) across all entries. *)
+val totals : entry list -> int * int
+
+val pp_entry : Format.formatter -> entry -> unit
+val to_json : entry list -> Casted_obs.Json.t

@@ -1,0 +1,158 @@
+module Scheme = Casted_detect.Scheme
+module Options = Casted_detect.Options
+module Pipeline = Casted_detect.Pipeline
+module Simulator = Casted_sim.Simulator
+module Decode = Casted_sim.Decode
+module Outcome = Casted_sim.Outcome
+module Pool = Casted_exec.Pool
+
+type cell = { scheme : Scheme.t; issue_width : int; delay : int }
+
+let pp_cell ppf c =
+  Format.fprintf ppf "%s/i%d/d%d" (Scheme.name c.scheme) c.issue_width c.delay
+
+let cells ?(issue_widths = [ 1; 2; 4 ]) ?(delays = [ 1; 2 ]) () =
+  List.concat_map
+    (fun issue_width ->
+      { scheme = Scheme.Noed; issue_width; delay = 1 }
+      :: { scheme = Scheme.Sced; issue_width; delay = 1 }
+      :: List.concat_map
+           (fun delay ->
+             [
+               { scheme = Scheme.Dced; issue_width; delay };
+               { scheme = Scheme.Casted; issue_width; delay };
+             ])
+           delays)
+    issue_widths
+
+type divergence = {
+  cell : cell;
+  field : string;
+  reference : string;
+  got : string;
+}
+
+let pp_divergence ppf d =
+  Format.fprintf ppf "%a: %s: expected %s, got %s" pp_cell d.cell d.field
+    d.reference d.got
+
+let divergence_to_json d =
+  let module J = Casted_obs.Json in
+  J.Obj
+    [
+      ("scheme", J.String (Scheme.name d.cell.scheme));
+      ("issue_width", J.Int d.cell.issue_width);
+      ("delay", J.Int d.cell.delay);
+      ("field", J.String d.field);
+      ("reference", J.String d.reference);
+      ("got", J.String d.got);
+    ]
+
+let hex s = Digest.to_hex (Digest.string s)
+let term_string t = Format.asprintf "%a" Outcome.pp_termination t
+
+let compile ?options cell program =
+  Pipeline.compile ?options ~scheme:cell.scheme ~issue_width:cell.issue_width
+    ~delay:cell.delay program
+
+let reference ?options ?fuel program =
+  let c = compile ?options { scheme = Scheme.Noed; issue_width = 1; delay = 1 }
+      program
+  in
+  Simulator.run ?fuel ~with_mem_digest:true c.Pipeline.schedule
+
+(* Field-for-field comparison of two runs of the same cell: [run] and
+   [run_decoded] promise bit-identical results, and a fault-free run is
+   deterministic, so any difference is a simulator bug. *)
+let cross_check cell (a : Outcome.run) (b : Outcome.run) =
+  let d field reference got = { cell; field; reference; got } in
+  let int field x y acc =
+    if x = y then acc
+    else d ("run vs run_decoded: " ^ field) (string_of_int x) (string_of_int y)
+         :: acc
+  in
+  []
+  |> int "cycles" a.Outcome.cycles b.Outcome.cycles
+  |> int "dyn_insns" a.Outcome.dyn_insns b.Outcome.dyn_insns
+  |> int "dyn_defs" a.Outcome.dyn_defs b.Outcome.dyn_defs
+  |> int "dyn_mem" a.Outcome.dyn_mem b.Outcome.dyn_mem
+  |> int "dyn_branches" a.Outcome.dyn_branches b.Outcome.dyn_branches
+  |> int "dyn_xreads" a.Outcome.dyn_xreads b.Outcome.dyn_xreads
+  |> int "dyn_checks" a.Outcome.dyn_checks b.Outcome.dyn_checks
+  |> int "slots_total" a.Outcome.slots_total b.Outcome.slots_total
+  |> int "exit_code" a.Outcome.exit_code b.Outcome.exit_code
+  |> fun acc ->
+  let acc =
+    if a.Outcome.termination = b.Outcome.termination then acc
+    else
+      d "run vs run_decoded: termination"
+        (term_string a.Outcome.termination)
+        (term_string b.Outcome.termination)
+      :: acc
+  in
+  let acc =
+    if String.equal a.Outcome.output b.Outcome.output then acc
+    else
+      d "run vs run_decoded: output" (hex a.Outcome.output)
+        (hex b.Outcome.output)
+      :: acc
+  in
+  let acc =
+    if String.equal a.Outcome.mem_digest b.Outcome.mem_digest then acc
+    else
+      d "run vs run_decoded: mem_digest"
+        (Digest.to_hex a.Outcome.mem_digest)
+        (Digest.to_hex b.Outcome.mem_digest)
+      :: acc
+  in
+  List.rev acc
+
+let check_cell ?options ?fuel ~reference:(ref_run : Outcome.run) program cell
+    =
+  let compiled = compile ?options cell program in
+  let sched = compiled.Pipeline.schedule in
+  let run = Simulator.run ?fuel ~with_mem_digest:true sched in
+  let decoded_run =
+    Simulator.run_decoded ?fuel ~with_mem_digest:true
+      (Decode.of_schedule sched)
+  in
+  let d field reference got = { cell; field; reference; got } in
+  let archi =
+    (if run.Outcome.termination = ref_run.Outcome.termination then []
+     else
+       [
+         d "termination"
+           (term_string ref_run.Outcome.termination)
+           (term_string run.Outcome.termination);
+       ])
+    @ (if run.Outcome.exit_code = ref_run.Outcome.exit_code then []
+       else
+         [
+           d "exit_code"
+             (string_of_int ref_run.Outcome.exit_code)
+             (string_of_int run.Outcome.exit_code);
+         ])
+    @ (if String.equal run.Outcome.output ref_run.Outcome.output then []
+       else
+         [ d "output" (hex ref_run.Outcome.output) (hex run.Outcome.output) ])
+    @
+    if String.equal run.Outcome.mem_digest ref_run.Outcome.mem_digest then []
+    else
+      [
+        d "mem_digest"
+          (Digest.to_hex ref_run.Outcome.mem_digest)
+          (Digest.to_hex run.Outcome.mem_digest);
+      ]
+  in
+  archi @ cross_check cell run decoded_run
+
+let differential ?pool ?issue_widths ?delays ?options ?fuel program =
+  let ref_run = reference ?options ?fuel program in
+  let cs = Array.of_list (cells ?issue_widths ?delays ()) in
+  let check cell = check_cell ?options ?fuel ~reference:ref_run program cell in
+  let per_cell =
+    match pool with
+    | Some p -> Pool.map p check cs
+    | None -> Array.map check cs
+  in
+  List.concat (Array.to_list per_cell)

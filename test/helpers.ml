@@ -75,6 +75,15 @@ let check_traps name body =
       Alcotest.failf "%s: expected a trap, got %a" name Outcome.pp_termination
         t
 
+(* Substring test, for asserting on error-message content. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.equal (String.sub haystack i nn) needle || go (i + 1)
+  in
+  nn = 0 || go 0
+
 let qcheck ?(count = 200) name gen prop =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count ~name gen prop)

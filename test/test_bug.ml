@@ -126,6 +126,50 @@ let test_tie_break_modes_both_work () =
         (Array.length a))
     [ Bug.Prefer_lower; Bug.Prefer_critical_pred ]
 
+(* Prefer_lower must keep the lowest-numbered cluster on a completion
+   tie. Independent roots on an empty reservation table tie across every
+   cluster (same arrival, same first free cycle), so each must land on
+   cluster 0 — whatever the cluster count, and regardless of any
+   critical-predecessor state left over from earlier candidates. *)
+let test_prefer_lower_keeps_lowest_on_tie () =
+  let dfg =
+    dfg_of (fun b ->
+        ignore (B.movi b 1L);
+        ignore (B.movi b 2L);
+        ignore (B.movi b 3L))
+  in
+  List.iter
+    (fun clusters ->
+      let config = Config.make ~clusters ~issue_width:8 ~delay:3 () in
+      let a = Bug.assign { Bug.tie_break = Bug.Prefer_lower } config dfg in
+      Array.iteri
+        (fun node c ->
+          Alcotest.(check int)
+            (Printf.sprintf "node %d on lowest cluster (of %d)" node clusters)
+            0 c)
+        a)
+    [ 1; 2; 3; 4 ]
+
+(* The same property must hold when the tied candidates carry different
+   critical predecessors: a chain rooted on cluster 0 keeps its
+   dependents there when the completion ties, because Prefer_lower must
+   never let crit_pred state override the lowest-cluster rule. *)
+let test_prefer_lower_ignores_crit_pred () =
+  let dfg =
+    dfg_of (fun b ->
+        let x = B.movi b 1L in
+        let y = B.addi b x 1L in
+        ignore (B.add b x y))
+  in
+  let config = Config.make ~clusters:3 ~issue_width:8 ~delay:0 () in
+  (* delay 0: arrival is cluster-independent, so every candidate ties
+     and the whole graph must sit on cluster 0. *)
+  let a = Bug.assign { Bug.tie_break = Bug.Prefer_lower } config dfg in
+  Array.iteri
+    (fun node c ->
+      Alcotest.(check int) (Printf.sprintf "node %d" node) 0 c)
+    a
+
 let suite =
   ( "bug",
     [
@@ -137,4 +181,8 @@ let suite =
       case "adaptive >= best fixed (paper SS II-B)"
         test_adaptive_at_least_matches_fixed;
       case "tie-break modes" test_tie_break_modes_both_work;
+      case "Prefer_lower keeps the lowest cluster on ties"
+        test_prefer_lower_keeps_lowest_on_tie;
+      case "Prefer_lower is immune to crit_pred state"
+        test_prefer_lower_ignores_crit_pred;
     ] )

@@ -7,6 +7,7 @@ module Stats = Casted_sim.Stats
 module Checkpoint = Casted_sim.Checkpoint
 module Montecarlo = Casted_sim.Montecarlo
 module Pool = Casted_exec.Pool
+module Workload = Casted_workloads.Workload
 
 (* A small kernel with loads, stores and conditional branches so every
    fault model has a non-empty population under CASTED. *)
@@ -75,6 +76,37 @@ let test_wilson_soundness () =
   let hw n = Stats.wilson_halfwidth ~successes:(n / 2) ~trials:n () in
   Alcotest.(check bool) "interval narrows with n" true
     (hw 10 > hw 100 && hw 100 > hw 10000)
+
+(* Boundary cases: all-success, all-failure and the one-trial sample
+   must stay inside [0,1], the halfwidth must shrink monotonically in
+   the trial count at a fixed rate, and one golden halfwidth pins the
+   formula itself. *)
+let test_wilson_boundaries () =
+  let in_unit name (successes, trials) =
+    let lo, hi = Stats.wilson ~successes ~trials () in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: 0 <= %.4f <= %.4f <= 1" name lo hi)
+      true
+      (0.0 <= lo && lo <= hi && hi <= 1.0)
+  in
+  in_unit "successes = trials = 1" (1, 1);
+  in_unit "successes = 0, trials = 1" (0, 1);
+  in_unit "successes = trials" (37, 37);
+  in_unit "successes = 0" (0, 37);
+  in_unit "successes = trials, large" (1_000_000, 1_000_000);
+  (* All-success intervals reach 1; all-failure intervals reach 0. *)
+  let _, hi = Stats.wilson ~successes:37 ~trials:37 () in
+  Alcotest.(check (float 1e-9)) "all-success upper bound is 1" 1.0 hi;
+  let lo, _ = Stats.wilson ~successes:0 ~trials:37 () in
+  Alcotest.(check (float 1e-9)) "all-failure lower bound is 0" 0.0 lo;
+  (* Monotone in trials at the all-success rate: more evidence, tighter
+     interval. *)
+  let hw n = Stats.wilson_halfwidth ~successes:n ~trials:n () in
+  Alcotest.(check bool) "halfwidth monotone in trials" true
+    (hw 1 > hw 10 && hw 10 > hw 100 && hw 100 > hw 10_000);
+  (* Golden value: 50/100 at z=1.96 has halfwidth 0.09617. *)
+  Alcotest.(check (float 1e-4)) "halfwidth golden value" 0.09617
+    (Stats.wilson_halfwidth ~successes:50 ~trials:100 ())
 
 let test_wilson_rejects_bad_counts () =
   let expect_invalid name f =
@@ -150,6 +182,7 @@ let test_checkpoint_round_trip () =
           trials = 300;
           next_index = 128;
           counts = [| 50; 60; 5; 10; 3 |];
+          identity = "cjpeg/fault/CASTED/i2/d2/burst";
         }
       in
       Checkpoint.save ~path t;
@@ -165,7 +198,9 @@ let test_checkpoint_round_trip () =
           Alcotest.(check int) "next_index" t.Checkpoint.next_index
             t'.Checkpoint.next_index;
           Alcotest.(check (array int)) "counts" t.Checkpoint.counts
-            t'.Checkpoint.counts
+            t'.Checkpoint.counts;
+          Alcotest.(check string) "identity" t.Checkpoint.identity
+            t'.Checkpoint.identity
       | Ok None -> Alcotest.fail "checkpoint vanished"
       | Error msg -> Alcotest.failf "round trip failed: %s" msg)
 
@@ -215,6 +250,7 @@ let test_resume_bit_identical () =
               trials;
               next_index = kill_at;
               counts;
+              identity = "";
             };
           List.iter
             (fun jobs ->
@@ -243,12 +279,83 @@ let test_resume_rejects_mismatch () =
           trials = 200;
           next_index = 64;
           counts = [| 30; 30; 2; 1; 1 |];
+          identity = "";
         };
       match
         Montecarlo.run ~seed:5 ~checkpoint:path ~resume:true ~trials:200 s
       with
       | _ -> Alcotest.fail "expected Invalid_argument on seed mismatch"
       | exception Invalid_argument _ -> ())
+
+(* The config-mismatch hole: a checkpoint carries the campaign's
+   (workload, scheme, config, fault-model) identity, and resuming under
+   any other identity must fail loudly even when seed, model, trial
+   count and tally shape all happen to match. *)
+let test_resume_rejects_identity_mismatch () =
+  let s = schedule () in
+  let saved ~identity path =
+    Checkpoint.save ~path
+      {
+        Checkpoint.seed = 5;
+        fuel_factor = 10;
+        model = Fault.Reg_bit;
+        trials = 200;
+        next_index = 64;
+        counts = [| 60; 2; 1; 1; 0 |];
+        identity;
+      }
+  in
+  with_tmp_checkpoint (fun path ->
+      saved ~identity:"h263dec/fault/DCED/i4/d1/reg-bit" path;
+      (match
+         Montecarlo.run ~seed:5 ~checkpoint:path ~resume:true
+           ~identity:"cjpeg/fault/CASTED/i2/d2/reg-bit" ~trials:200 s
+       with
+      | _ -> Alcotest.fail "expected Invalid_argument on identity mismatch"
+      | exception Invalid_argument msg ->
+          Alcotest.(check bool) "message names both identities" true
+            (Helpers.contains msg "h263dec/fault/DCED/i4/d1"
+            && Helpers.contains msg "cjpeg/fault/CASTED/i2/d2"));
+      (* A checkpoint written before the identity field existed (empty
+         identity) must also be rejected by an identity-carrying
+         resume. *)
+      saved ~identity:"" path;
+      match
+        Montecarlo.run ~seed:5 ~checkpoint:path ~resume:true
+          ~identity:"cjpeg/fault/CASTED/i2/d2/reg-bit" ~trials:200 s
+      with
+      | _ -> Alcotest.fail "expected Invalid_argument on legacy checkpoint"
+      | exception Invalid_argument _ -> ())
+
+(* End-to-end through the engine: the engine stamps its cache key into
+   the checkpoint, so resuming the same key works and resuming a
+   different scheme fails loudly. *)
+let test_engine_resume_identity () =
+  with_tmp_checkpoint (fun path ->
+      Casted_engine.Engine.with_engine ~jobs:2 (fun e ->
+          let key scheme =
+            Casted_engine.Cache.key ~workload:"cjpeg" ~size:Workload.Fault
+              ~scheme ~issue_width:2 ~delay:2 ()
+          in
+          let r =
+            Casted_engine.Engine.campaign e ~seed:7 ~checkpoint:path
+              ~trials:100 (key Scheme.Casted)
+          in
+          let resumed =
+            Casted_engine.Engine.campaign e ~seed:7 ~checkpoint:path
+              ~resume:true ~trials:100 (key Scheme.Casted)
+          in
+          same_result "engine re-resume of finished campaign" resumed r;
+          match
+            Casted_engine.Engine.campaign e ~seed:7 ~checkpoint:path
+              ~resume:true ~trials:100 (key Scheme.Dced)
+          with
+          | _ ->
+              Alcotest.fail "expected Invalid_argument on scheme mismatch"
+          | exception Invalid_argument msg ->
+              Alcotest.(check bool) "message names the checkpoint identity"
+                true
+                (Helpers.contains msg "CASTED" && Helpers.contains msg "DCED")))
 
 (* A finished campaign leaves a checkpoint whose index covers every
    trial, so re-resuming runs nothing and reproduces the tally. *)
@@ -294,6 +401,7 @@ let suite =
     [
       case "wilson known values" test_wilson_known_values;
       case "wilson soundness" test_wilson_soundness;
+      case "wilson boundary cases" test_wilson_boundaries;
       case "wilson rejects bad counts" test_wilson_rejects_bad_counts;
       case "raising trial is tallied" test_raising_trial_is_tallied;
       case "empty population is benign" test_empty_population_is_benign;
@@ -306,6 +414,10 @@ let suite =
         test_resume_bit_identical;
       case "resume rejects a mismatched checkpoint"
         test_resume_rejects_mismatch;
+      case "resume rejects a mismatched campaign identity"
+        test_resume_rejects_identity_mismatch;
+      case "engine stamps and enforces checkpoint identity"
+        test_engine_resume_identity;
       case "finished campaign leaves a complete checkpoint"
         test_checkpoint_written_and_final;
       case "pool map_result isolates raising tasks" test_pool_map_result;

@@ -202,6 +202,7 @@ let test_classification_rules () =
           l3_misses = 0;
           writebacks = 0;
         };
+      mem_digest = "";
     }
   in
   let with_term ?(output = "abcd") ?(exit_code = 0) termination =

@@ -1,0 +1,416 @@
+open Helpers
+module Schedule = Casted_sched.Schedule
+module Diag = Casted_verify.Diag
+module Lint = Casted_verify.Lint
+module Oracle = Casted_verify.Oracle
+module Fuzz = Casted_verify.Fuzz
+module Matrix = Casted_verify.Matrix
+
+(* ---------- helpers ---------- *)
+
+let compile ?(scheme = Scheme.Sced) ?(issue_width = 2) ?(delay = 1) program =
+  Pipeline.compile ~scheme ~issue_width ~delay program
+
+(* A small program exercising every invariant family: arithmetic
+   (replicas), a store and a conditional branch (checks), a call into a
+   protected callee (shadow copies for the result, parameter shadows,
+   argument checks). *)
+let mutation_program () =
+  let callee =
+    let x = Reg.gp 0 in
+    let b = B.create ~name:"inc" ~params:[ x ] ~ret_cls:(Some Reg.Gp) () in
+    let r = B.addi b x 1L in
+    B.ret b ~value:r ();
+    B.finish b
+  in
+  let b = B.create ~name:"main" () in
+  let base = B.movi b 0x100L in
+  let v = B.movi b 5L in
+  let w = B.add b v v in
+  let r = B.gp b in
+  B.call b ~dst:r "inc" [ w ];
+  B.st b Opcode.W8 ~value:r ~base 0L;
+  let p = B.cmpi b Cond.Lt r 10L in
+  B.if_ b p
+    (fun b -> ignore (B.addi b r 2L))
+    (fun b -> ignore (B.addi b r 3L));
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let p =
+    Program.make
+      ~funcs:[ B.finish b; callee ]
+      ~entry:"main" ~mem_size:4096 ~output_base:0x40 ~output_len:8 ()
+  in
+  Casted_ir.Validate.check_exn p;
+  p
+
+(* Remove instruction [id] from function [fname]: from the IR block
+   bodies and from the schedule's bundles and issue map, consistently —
+   mutation tests must trigger exactly the semantic rule under test, not
+   the structural schedule/IR agreement rules. *)
+let drop_insn (s : Schedule.t) fname id =
+  let fs = Schedule.find_func s fname in
+  let f = fs.Schedule.func in
+  List.iter
+    (fun (b : Block.t) ->
+      b.Block.body <- List.filter (fun i -> i.Insn.id <> id) b.Block.body)
+    f.Func.blocks;
+  Array.iter
+    (fun (bs : Schedule.block_schedule) ->
+      Hashtbl.remove bs.Schedule.issue_of id;
+      Array.iter
+        (fun bundle ->
+          Array.iteri
+            (fun cl slots ->
+              if Array.exists (fun i -> i.Insn.id = id) slots then
+                bundle.(cl) <-
+                  Array.of_list
+                    (List.filter
+                       (fun i -> i.Insn.id <> id)
+                       (Array.to_list slots)))
+            bundle)
+        bs.Schedule.bundles)
+    fs.Schedule.blocks
+
+(* Every instruction of [fname] satisfying [pred]. *)
+let find_insns (s : Schedule.t) fname pred =
+  let fs = Schedule.find_func s fname in
+  let found = ref [] in
+  Func.iter_insns fs.Schedule.func (fun _ i ->
+      if pred i then found := i :: !found);
+  List.rev !found
+
+let only_diag ~rule diags =
+  match diags with
+  | [ d ] ->
+      Alcotest.(check string)
+        "diagnostic rule" (Diag.rule_name rule)
+        (Diag.rule_name d.Diag.rule)
+  | ds ->
+      Alcotest.failf "expected exactly one %s diagnostic, got %d: %s"
+        (Diag.rule_name rule) (List.length ds)
+        (String.concat "; " (List.map Diag.to_string ds))
+
+(* ---------- lint is clean on the real pipeline ---------- *)
+
+let test_lint_clean_all_schemes () =
+  let program = mutation_program () in
+  List.iter
+    (fun (scheme, issue_width, delay) ->
+      let c = compile ~scheme ~issue_width ~delay program in
+      let diags = Lint.schedule ~scheme c.Pipeline.schedule in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/i%d/d%d clean" (Scheme.name scheme) issue_width
+           delay)
+        0 (List.length diags))
+    [
+      (Scheme.Noed, 1, 1); (Scheme.Noed, 4, 1); (Scheme.Sced, 1, 1);
+      (Scheme.Sced, 2, 1); (Scheme.Dced, 2, 3); (Scheme.Casted, 1, 1);
+      (Scheme.Casted, 2, 2); (Scheme.Casted, 4, 4);
+    ]
+
+let test_lint_clean_workload () =
+  let w =
+    match Casted_workloads.Registry.find "cjpeg" with
+    | Some w -> w
+    | None -> Alcotest.fail "cjpeg not registered"
+  in
+  let program = w.Casted_workloads.Workload.build Casted_workloads.Workload.Fault in
+  List.iter
+    (fun scheme ->
+      let c = compile ~scheme ~issue_width:2 ~delay:2 program in
+      let diags = Lint.schedule ~scheme c.Pipeline.schedule in
+      Alcotest.(check int)
+        (Scheme.name scheme ^ " clean")
+        0 (List.length diags))
+    [ Scheme.Noed; Scheme.Sced; Scheme.Dced; Scheme.Casted ]
+
+(* ---------- mutation self-tests: each dropped artifact produces
+   exactly its diagnostic ---------- *)
+
+let test_mutation_drop_check () =
+  let c = compile (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  (* The store's value-operand check: its (protected insn, register)
+     pair is unique, so dropping it uncovers exactly one read. *)
+  let store =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Original && Opcode.is_store i.Insn.op)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "no store in the hardened main"
+  in
+  let check =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Check && i.Insn.protects = store.Insn.id)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "store has no check"
+  in
+  drop_insn s "main" check.Insn.id;
+  only_diag ~rule:Diag.Missing_check (Lint.schedule ~scheme:Scheme.Sced s)
+
+let test_mutation_drop_shadow_copy () =
+  let c = compile (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  (* The call-result copy (replica_of >= 0; parameter copies carry -1). *)
+  let copy =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Shadow_copy && i.Insn.replica_of >= 0)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "no call-result shadow copy in main"
+  in
+  drop_insn s "main" copy.Insn.id;
+  only_diag ~rule:Diag.Missing_shadow_copy
+    (Lint.schedule ~scheme:Scheme.Sced s)
+
+let test_mutation_drop_replica () =
+  let c = compile (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  (* The replica of the [add]: its value feeds the call, so the shadow
+     map loses one entry but no other rule fires. *)
+  let add =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Original && i.Insn.op = Opcode.Add)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "no add in main"
+  in
+  let replica =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Replica && i.Insn.replica_of = add.Insn.id)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "add has no replica"
+  in
+  drop_insn s "main" replica.Insn.id;
+  only_diag ~rule:Diag.Missing_replica (Lint.schedule ~scheme:Scheme.Sced s)
+
+(* ---------- hand-built schedules for the machine-shape rules ---------- *)
+
+(* A two-cluster schedule built by hand: producer on cluster 0,
+   consumer on cluster 1. [slack] positions the consumer relative to
+   the earliest legal cycle (latency + inter-cluster delay); [slack =
+   -1] models a delay cycle dropped from the schedule. *)
+let cross_cluster_fixture ~slack =
+  let r1 = Reg.gp 0 and r2 = Reg.gp 1 in
+  let i_movi = Insn.make ~id:0 ~op:Opcode.Movi ~defs:[| r1 |] ~imm:7L () in
+  let i_add =
+    Insn.make ~id:1 ~op:Opcode.Add ~defs:[| r2 |] ~uses:[| r1; r1 |] ()
+  in
+  let i_halt = Insn.make ~id:2 ~op:Opcode.Halt () in
+  let block =
+    Block.make ~label:"entry" ~body:[ i_movi; i_add ] ~term:i_halt
+  in
+  let f = Func.make ~name:"main" () in
+  f.Func.blocks <- [ block ];
+  let program = Program.make ~funcs:[ f ] ~entry:"main" ~mem_size:256 () in
+  let config = Config.make ~clusters:2 ~issue_width:1 ~delay:2 () in
+  let lat = Latency.of_op config.Config.latencies Opcode.Movi in
+  let add_cycle = lat + config.Config.delay + slack in
+  let n = add_cycle + 2 in
+  let bundles = Array.init n (fun _ -> Array.init 2 (fun _ -> [||])) in
+  bundles.(0).(0) <- [| i_movi |];
+  bundles.(add_cycle).(1) <- [| i_add |];
+  bundles.(n - 1).(0) <- [| i_halt |];
+  let issue_of = Hashtbl.create 4 in
+  Hashtbl.replace issue_of 0 (0, 0);
+  Hashtbl.replace issue_of 1 (add_cycle, 1);
+  Hashtbl.replace issue_of 2 (n - 1, 0);
+  {
+    Schedule.program;
+    config;
+    funcs =
+      [
+        ( "main",
+          {
+            Schedule.func = f;
+            blocks = [| { Schedule.label = "entry"; bundles; issue_of } |];
+          } );
+      ];
+  }
+
+let test_mutation_drop_delay_cycle () =
+  (* At the legal cycle the fixture is clean; one cycle earlier it is
+     exactly one delay violation. *)
+  Alcotest.(check int)
+    "legal cross-cluster read is clean" 0
+    (List.length (Lint.schedule ~scheme:Scheme.Noed (cross_cluster_fixture ~slack:0)));
+  only_diag ~rule:Diag.Delay_violation
+    (Lint.schedule ~scheme:Scheme.Noed (cross_cluster_fixture ~slack:(-1)))
+
+let test_bundle_overflow () =
+  let s = cross_cluster_fixture ~slack:0 in
+  (* Issue a second, independent instruction in an occupied
+     width-1 slot. *)
+  let extra = Insn.make ~id:3 ~op:Opcode.Movi ~defs:[| Reg.gp 2 |] ~imm:1L () in
+  let fs = Schedule.find_func s "main" in
+  let bs = fs.Schedule.blocks.(0) in
+  bs.Schedule.bundles.(0).(0) <- [| bs.Schedule.bundles.(0).(0).(0); extra |];
+  Hashtbl.replace bs.Schedule.issue_of 3 (0, 0);
+  let block = List.hd fs.Schedule.func.Func.blocks in
+  block.Block.body <- [ List.hd block.Block.body; extra; List.nth block.Block.body 1 ];
+  only_diag ~rule:Diag.Bundle_overflow (Lint.schedule ~scheme:Scheme.Noed s)
+
+let test_unresolved_target () =
+  let s = cross_cluster_fixture ~slack:0 in
+  let fs = Schedule.find_func s "main" in
+  let block = List.hd fs.Schedule.func.Func.blocks in
+  (* Retarget the terminator at a label no block carries. *)
+  let bad_br = Insn.make ~id:2 ~op:Opcode.Br ~target:"nowhere" () in
+  block.Block.term <- bad_br;
+  let bs = fs.Schedule.blocks.(0) in
+  let n = Array.length bs.Schedule.bundles in
+  bs.Schedule.bundles.(n - 1).(0) <- [| bad_br |];
+  only_diag ~rule:Diag.Unresolved_target (Lint.schedule ~scheme:Scheme.Noed s)
+
+let test_replica_overlap () =
+  (* A replica that clobbers its own original's register. *)
+  let r0 = Reg.gp 0 in
+  let orig = Insn.make ~id:0 ~op:Opcode.Movi ~defs:[| r0 |] ~imm:3L () in
+  let replica =
+    Insn.make ~id:1 ~op:Opcode.Movi ~defs:[| r0 |] ~imm:3L ~role:Insn.Replica
+      ~replica_of:0 ()
+  in
+  let halt = Insn.make ~id:2 ~op:Opcode.Halt () in
+  let block = Block.make ~label:"entry" ~body:[ orig; replica ] ~term:halt in
+  let f = Func.make ~name:"main" () in
+  f.Func.blocks <- [ block ];
+  let program = Program.make ~funcs:[ f ] ~entry:"main" ~mem_size:256 () in
+  let config = Config.make ~clusters:1 ~issue_width:1 ~delay:1 () in
+  let bundles = Array.init 3 (fun _ -> Array.init 1 (fun _ -> [||])) in
+  bundles.(0).(0) <- [| orig |];
+  bundles.(1).(0) <- [| replica |];
+  bundles.(2).(0) <- [| halt |];
+  let issue_of = Hashtbl.create 4 in
+  Hashtbl.replace issue_of 0 (0, 0);
+  Hashtbl.replace issue_of 1 (1, 0);
+  Hashtbl.replace issue_of 2 (2, 0);
+  let s =
+    {
+      Schedule.program;
+      config;
+      funcs =
+        [
+          ( "main",
+            {
+              Schedule.func = f;
+              blocks = [| { Schedule.label = "entry"; bundles; issue_of } |];
+            } );
+        ];
+    }
+  in
+  match Lint.schedule ~scheme:Scheme.Sced s with
+  | [ d ] ->
+      Alcotest.(check string)
+        "rule" "replica-overlap"
+        (Diag.rule_name d.Diag.rule);
+      Alcotest.(check bool)
+        "message names the register" true
+        (contains d.Diag.message "r0")
+  | ds ->
+      Alcotest.failf "expected one replica-overlap, got %d" (List.length ds)
+
+(* ---------- differential oracle ---------- *)
+
+let test_oracle_clean () =
+  let program = mutation_program () in
+  let divs = Oracle.differential program in
+  Alcotest.(check int) "no divergences" 0 (List.length divs)
+
+let test_oracle_matrix_shape () =
+  let cells = Oracle.cells ~issue_widths:[ 1; 2 ] ~delays:[ 1; 3 ] () in
+  (* Per issue width: NOED + SCED once, DCED + CASTED per delay. *)
+  Alcotest.(check int) "cell count" (2 * (2 + (2 * 2))) (List.length cells)
+
+let test_oracle_detects_output_divergence () =
+  (* Two different programs pushed through the same oracle must
+     diverge: validates that the comparison actually bites. *)
+  let p1 = compute_program (fun b -> B.movi b 1L) in
+  let p2 = compute_program (fun b -> B.movi b 2L) in
+  let reference = Oracle.reference p1 in
+  let divs =
+    Oracle.check_cell ~reference p2
+      { Oracle.scheme = Scheme.Sced; issue_width = 2; delay = 1 }
+  in
+  Alcotest.(check bool) "diverges" true (divs <> []);
+  Alcotest.(check bool)
+    "output field named" true
+    (List.exists (fun d -> d.Oracle.field = "output") divs)
+
+(* ---------- matrix runner ---------- *)
+
+let test_matrix_single_workload () =
+  let cells = [ { Oracle.scheme = Scheme.Casted; issue_width = 2; delay = 2 } ] in
+  let entries = Matrix.run ~benchmarks:[ "cjpeg" ] ~cells () in
+  Alcotest.(check int) "one entry" 1 (List.length entries);
+  Alcotest.(check bool) "clean" true (Matrix.clean entries)
+
+let test_matrix_rejects_unknown () =
+  match Matrix.run ~benchmarks:[ "nonesuch" ] () with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the benchmark" true
+        (contains msg "nonesuch")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---------- fuzzer ---------- *)
+
+let test_fuzz_deterministic () =
+  let a = Fuzz.recipe ~seed:7 3 and b = Fuzz.recipe ~seed:7 3 in
+  Alcotest.(check bool) "same recipe" true (a = b);
+  let c = Fuzz.recipe ~seed:7 4 in
+  Alcotest.(check bool) "different index, different recipe" true (a <> c);
+  let pa = Casted_ir.Asm.print (Fuzz.emit_program a) in
+  let pb = Casted_ir.Asm.print (Fuzz.emit_program b) in
+  Alcotest.(check string) "same program text" pa pb
+
+let test_fuzz_small_campaign_clean () =
+  match Fuzz.run ~programs:5 ~seed:0xC457ED () with
+  | None -> ()
+  | Some f -> Alcotest.failf "fuzz failure: %a" Fuzz.pp_failure f
+
+let test_fuzz_programs_run () =
+  (* Generated programs execute to a clean exit under NOED. *)
+  for index = 0 to 4 do
+    let p = Fuzz.emit_program (Fuzz.recipe ~seed:99 index) in
+    Casted_ir.Validate.check_exn p;
+    let r = run_noed p in
+    match r.Outcome.termination with
+    | Outcome.Exit 0 -> ()
+    | t ->
+        Alcotest.failf "program %d did not exit cleanly: %a" index
+          Outcome.pp_termination t
+  done
+
+let suite =
+  ( "verify",
+    [
+      case "lint: clean on every scheme and shape" test_lint_clean_all_schemes;
+      case "lint: clean on a real workload" test_lint_clean_workload;
+      case "mutation: dropped check -> missing-check"
+        test_mutation_drop_check;
+      case "mutation: dropped shadow copy -> missing-shadow-copy"
+        test_mutation_drop_shadow_copy;
+      case "mutation: dropped replica -> missing-replica"
+        test_mutation_drop_replica;
+      case "mutation: dropped delay cycle -> delay-violation"
+        test_mutation_drop_delay_cycle;
+      case "lint: bundle overflow" test_bundle_overflow;
+      case "lint: unresolved branch target" test_unresolved_target;
+      case "lint: replica clobbering a master register" test_replica_overlap;
+      case "oracle: clean on the mutation program" test_oracle_clean;
+      case "oracle: matrix shape" test_oracle_matrix_shape;
+      case "oracle: detects an output divergence"
+        test_oracle_detects_output_divergence;
+      case "matrix: single workload, single cell" test_matrix_single_workload;
+      case "matrix: rejects unknown benchmarks" test_matrix_rejects_unknown;
+      case "fuzz: generation is deterministic" test_fuzz_deterministic;
+      case "fuzz: small campaign is clean" test_fuzz_small_campaign_clean;
+      case "fuzz: generated programs exit cleanly" test_fuzz_programs_run;
+    ] )
