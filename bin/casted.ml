@@ -346,9 +346,27 @@ let tables_cmd =
   Cmd.v (Cmd.info "tables" ~doc:"Print the paper's static tables (I-III)")
     Term.(const run $ issue_arg $ delay_arg)
 
+let no_replay_arg =
+  let doc =
+    "Disable golden-prefix replay and run every trial full-length. Replay \
+     (the default) starts each trial from the golden-run snapshot nearest \
+     its injection point; results are bit-identical either way, replay is \
+     just faster."
+  in
+  Arg.(value & flag & info [ "no-replay" ] ~doc)
+
+let allow_legacy_checkpoint_arg =
+  let doc =
+    "Allow $(b,--resume) to load a legacy identity-less checkpoint file. \
+     Such files carry nothing tying them to this campaign, so they are \
+     refused by default."
+  in
+  Arg.(value & flag & info [ "allow-legacy-checkpoint" ] ~doc)
+
 let campaign_cmd =
   let run bench scheme issue delay trials model ci_halfwidth checkpoint
-      checkpoint_every resume jobs trace metrics =
+      checkpoint_every resume no_replay allow_legacy_checkpoint jobs trace
+      metrics =
     if resume && checkpoint = None then begin
       Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
       exit 2
@@ -367,7 +385,8 @@ let campaign_cmd =
         in
         let result =
           Engine.campaign engine ~model ?ci_halfwidth ?checkpoint
-            ~checkpoint_every ~resume ~trials spec
+            ~checkpoint_every ~resume ~replay:(not no_replay)
+            ~allow_legacy_checkpoint ~trials spec
         in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
           (Scheme.name scheme) issue delay (Engine.jobs engine);
@@ -377,7 +396,10 @@ let campaign_cmd =
              ±%.2fpp)@."
             result.Montecarlo.trials trials
             (Option.value ci_halfwidth ~default:0.0);
-        Format.printf "%a@." Montecarlo.pp result);
+        Format.printf "%a@." Montecarlo.pp result;
+        match result.Montecarlo.replay with
+        | Some s -> Format.printf "%a@." Montecarlo.pp_replay s
+        | None -> ());
     0
   in
   Cmd.v
@@ -388,7 +410,8 @@ let campaign_cmd =
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
       $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ jobs_arg $ trace_arg $ metrics_arg)
+      $ resume_arg $ no_replay_arg $ allow_legacy_checkpoint_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
 
 let recover_cmd =
   let run bench issue delay trials model jobs trace metrics =

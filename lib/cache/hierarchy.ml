@@ -66,6 +66,25 @@ let stats t =
   }
 
 let reset t = Array.iter (fun (l, _) -> Level.clear l) t.levels
+let is_perfect t = t.perfect
+
+type snapshot = { levels : Level.snapshot array; snap_perfect : bool }
+
+let snapshot (t : t) =
+  { levels = Array.map (fun (l, _) -> Level.snapshot l) t.levels;
+    snap_perfect = t.perfect }
+
+let restore (t : t) snap =
+  if t.perfect <> snap.snap_perfect then
+    invalid_arg "Hierarchy.restore: perfect-cache mode mismatch";
+  if Array.length snap.levels <> Array.length t.levels then
+    invalid_arg "Hierarchy.restore: level count mismatch";
+  Array.iteri (fun i (l, _) -> Level.restore l snap.levels.(i)) t.levels
+
+let snapshot_perfect snap = snap.snap_perfect
+
+let snapshot_bytes snap =
+  Array.fold_left (fun acc l -> acc + Level.snapshot_bytes l) 0 snap.levels
 
 let pp_stats ppf s =
   Format.fprintf ppf

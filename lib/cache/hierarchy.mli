@@ -30,4 +30,25 @@ val perfect : Casted_machine.Config.cache_config -> t
 val stats : t -> stats
 val reset : t -> unit
 
+(** Whether this hierarchy was built with {!perfect}. *)
+val is_perfect : t -> bool
+
+(** Immutable copy of the whole hierarchy's state (all levels' tags,
+    dirty bits, LRU stamps, statistics) plus the perfect-cache flag.
+    Never mutated after capture, so safe to share across domains. *)
+type snapshot
+
+val snapshot : t -> snapshot
+
+(** Write a snapshot back into a hierarchy of the same geometry and
+    perfect-cache mode. Raises [Invalid_argument] on a mode or level
+    mismatch. *)
+val restore : t -> snapshot -> unit
+
+(** The perfect-cache flag the snapshot was captured under. *)
+val snapshot_perfect : snapshot -> bool
+
+(** Approximate heap footprint of a snapshot, in bytes. *)
+val snapshot_bytes : snapshot -> int
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -10,6 +10,14 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable writebacks : int;
+  (* Journal of sets mutated since the last [clear]: large levels see a
+     handful of distinct sets per short run, so clearing, snapshotting
+     and restoring walk the journal instead of the whole array —
+     O(touched), not O(capacity). Every way mutation goes through
+     [touch]. *)
+  touched : int array;  (* stack of touched set indices *)
+  touched_flag : Bytes.t;  (* per-set membership bit for the stack *)
+  mutable n_touched : int;
 }
 
 type outcome = Hit | Miss of { evicted_dirty : bool }
@@ -39,6 +47,9 @@ let create ~size_bytes ~block_bytes ~assoc =
     hits = 0;
     misses = 0;
     writebacks = 0;
+    touched = Array.make n_sets 0;
+    touched_flag = Bytes.make n_sets '\000';
+    n_touched = 0;
   }
 
 let of_config (c : Casted_machine.Config.cache_level) =
@@ -52,10 +63,18 @@ let locate t addr =
   let tag = block / t.n_sets in
   (set, tag)
 
+let touch t set_idx =
+  if Bytes.unsafe_get t.touched_flag set_idx = '\000' then begin
+    Bytes.unsafe_set t.touched_flag set_idx '\001';
+    t.touched.(t.n_touched) <- set_idx;
+    t.n_touched <- t.n_touched + 1
+  end
+
 let access t ~addr ~write =
   if addr < 0 then invalid_arg "Level.access: negative address";
   t.clock <- t.clock + 1;
   let set_idx, tag = locate t addr in
+  touch t set_idx;
   let set = t.sets.(set_idx) in
   let hit = Array.find_opt (fun w -> w.tag = tag) set in
   match hit with
@@ -89,18 +108,100 @@ let reset_stats t =
   t.misses <- 0;
   t.writebacks <- 0
 
+(* O(touched): only sets in the journal can differ from the pristine
+   all-invalid state, because every way mutation records its set. *)
 let clear t =
-  Array.iter
-    (fun set ->
-      Array.iter
-        (fun w ->
-          w.tag <- -1;
-          w.dirty <- false;
-          w.stamp <- 0)
-        set)
-    t.sets;
+  for k = 0 to t.n_touched - 1 do
+    let s = t.touched.(k) in
+    Bytes.unsafe_set t.touched_flag s '\000';
+    Array.iter
+      (fun w ->
+        w.tag <- -1;
+        w.dirty <- false;
+        w.stamp <- 0)
+      t.sets.(s)
+  done;
+  t.n_touched <- 0;
   t.clock <- 0;
   reset_stats t
 
 let num_sets t = t.n_sets
 let block_bytes t = t.block_bytes
+
+(* Sparse snapshot: only the touched sets (everything else is in the
+   pristine all-invalid state a [clear] re-establishes). [set_idx.(k)]
+   names the k-th captured set; its ways live at [k * assoc ..] in the
+   flat arrays. Never mutated after capture — safe to share read-only
+   across domains. *)
+type snapshot = {
+  snap_sets : int;  (* geometry guard: n_sets *)
+  assoc : int;
+  set_idx : int array;
+  tags : int array;  (* length = |set_idx| * assoc *)
+  stamps : int array;
+  dirty : Bytes.t;
+  clock : int;
+  s_hits : int;
+  s_misses : int;
+  s_writebacks : int;
+}
+
+let snapshot t =
+  let assoc = Array.length t.sets.(0) in
+  let n = t.n_touched * assoc in
+  let set_idx = Array.sub t.touched 0 t.n_touched in
+  let tags = Array.make (max n 1) (-1) in
+  let stamps = Array.make (max n 1) 0 in
+  let dirty = Bytes.make (max n 1) '\000' in
+  for k = 0 to t.n_touched - 1 do
+    let set = t.sets.(set_idx.(k)) in
+    for w = 0 to assoc - 1 do
+      let i = (k * assoc) + w in
+      tags.(i) <- set.(w).tag;
+      stamps.(i) <- set.(w).stamp;
+      if set.(w).dirty then Bytes.unsafe_set dirty i '\001'
+    done
+  done;
+  {
+    snap_sets = t.n_sets;
+    assoc;
+    set_idx;
+    tags;
+    stamps;
+    dirty;
+    clock = t.clock;
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_writebacks = t.writebacks;
+  }
+
+(* O(touched of t + touched of snap): clear the level back to pristine,
+   then write the snapshot's sets (re-journalling them, so a later
+   [clear] undoes the restore too). *)
+let restore t snap =
+  let assoc = Array.length t.sets.(0) in
+  if snap.snap_sets <> t.n_sets || snap.assoc <> assoc then
+    invalid_arg "Level.restore: geometry mismatch";
+  clear t;
+  for k = 0 to Array.length snap.set_idx - 1 do
+    let s = snap.set_idx.(k) in
+    touch t s;
+    let set = t.sets.(s) in
+    for w = 0 to assoc - 1 do
+      let i = (k * assoc) + w in
+      set.(w).tag <- snap.tags.(i);
+      set.(w).stamp <- snap.stamps.(i);
+      set.(w).dirty <- Bytes.unsafe_get snap.dirty i <> '\000'
+    done
+  done;
+  t.clock <- snap.clock;
+  t.hits <- snap.s_hits;
+  t.misses <- snap.s_misses;
+  t.writebacks <- snap.s_writebacks
+
+(* Rough heap footprint of one snapshot, for observability. *)
+let snapshot_bytes snap =
+  let words =
+    (2 * Array.length snap.tags) + Array.length snap.set_idx + 8
+  in
+  (words * Sys.word_size / 8) + Bytes.length snap.dirty

@@ -24,7 +24,25 @@ val hits : t -> int
 val misses : t -> int
 val writebacks : t -> int
 val reset_stats : t -> unit
+
+(** Back to the pristine all-invalid state. O(sets touched since the
+    last clear), not O(capacity): mutations are journalled. *)
 val clear : t -> unit
 
 val num_sets : t -> int
 val block_bytes : t -> int
+
+(** An immutable copy of a level's replacement and statistics state,
+    cheap to share read-only across domains. *)
+type snapshot
+
+(** Sparse copy of tags, dirty bits, LRU stamps and counters — only the
+    sets touched since the last clear are captured, O(touched). *)
+val snapshot : t -> snapshot
+
+(** Write a snapshot back into a level of the same geometry (clears the
+    level first; O(touched), both sides). *)
+val restore : t -> snapshot -> unit
+
+(** Approximate heap footprint of a snapshot, in bytes. *)
+val snapshot_bytes : snapshot -> int

@@ -44,22 +44,28 @@ let identity k =
 type t = {
   table : (key, Pipeline.compiled) Hashtbl.t;
   decoded_table : (key, Casted_sim.Decode.t) Hashtbl.t;
+  replay_table : (key, Casted_sim.Replay.t) Hashtbl.t;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable decoded_hits : int;
   mutable decoded_misses : int;
+  mutable replay_hits : int;
+  mutable replay_misses : int;
 }
 
 let create () =
   {
     table = Hashtbl.create 64;
     decoded_table = Hashtbl.create 64;
+    replay_table = Hashtbl.create 64;
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
     decoded_hits = 0;
     decoded_misses = 0;
+    replay_hits = 0;
+    replay_misses = 0;
   }
 
 let build k =
@@ -137,6 +143,40 @@ let decoded t k =
          else "engine.cache.decoded_misses");
       d
 
+(* Replay snapshot sets ride alongside the decoded program: captured
+   once per key (one golden run), then shared read-only by every
+   campaign and pool domain revisiting the configuration — a sweep
+   re-running one point never re-captures. Same discipline: capture
+   outside the lock, first insert wins. *)
+let replay t k =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.replay_table k with
+  | Some r ->
+      t.replay_hits <- t.replay_hits + 1;
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr "engine.cache.replay_hits";
+      r
+  | None ->
+      Mutex.unlock t.mutex;
+      let d = decoded t k in
+      let r = Casted_sim.Replay.capture d in
+      Mutex.lock t.mutex;
+      let r, hit =
+        match Hashtbl.find_opt t.replay_table k with
+        | Some prior ->
+            t.replay_hits <- t.replay_hits + 1;
+            (prior, true)
+        | None ->
+            t.replay_misses <- t.replay_misses + 1;
+            Hashtbl.add t.replay_table k r;
+            (r, false)
+      in
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr
+        (if hit then "engine.cache.replay_hits"
+         else "engine.cache.replay_misses");
+      r
+
 type stats = {
   hits : int;
   misses : int;
@@ -144,6 +184,9 @@ type stats = {
   decoded_hits : int;
   decoded_misses : int;
   decoded_entries : int;
+  replay_hits : int;
+  replay_misses : int;
+  replay_entries : int;
 }
 
 let stats t =
@@ -156,6 +199,9 @@ let stats t =
       decoded_hits = t.decoded_hits;
       decoded_misses = t.decoded_misses;
       decoded_entries = Hashtbl.length t.decoded_table;
+      replay_hits = t.replay_hits;
+      replay_misses = t.replay_misses;
+      replay_entries = Hashtbl.length t.replay_table;
     }
   in
   Mutex.unlock t.mutex;

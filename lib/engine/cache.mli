@@ -66,6 +66,14 @@ val compile : t -> key -> Casted_detect.Pipeline.compiled
     as {!compile}: decode runs outside the mutex, first insert wins. *)
 val decoded : t -> key -> Casted_sim.Decode.t
 
+(** [replay t key] returns the memoized golden-run snapshot set
+    ({!Casted_sim.Replay.capture} over {!decoded}) for [key], capturing
+    it on first use. The set is immutable; repeated lookups return the
+    physically equal value, so every campaign and pool worker on one
+    engine replays from the same snapshots. Same locking discipline as
+    {!compile}. *)
+val replay : t -> key -> Casted_sim.Replay.t
+
 type stats = {
   hits : int;
   misses : int;
@@ -73,6 +81,9 @@ type stats = {
   decoded_hits : int;  (** {!decoded} lookups served from the table *)
   decoded_misses : int;  (** decodes actually performed *)
   decoded_entries : int;
+  replay_hits : int;  (** {!replay} lookups served from the table *)
+  replay_misses : int;  (** snapshot captures actually performed *)
+  replay_entries : int;
 }
 
 val stats : t -> stats

@@ -133,19 +133,24 @@ let simulate t key =
 
 let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Casted_sim.Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?(resume = false) ~trials key =
+    ?checkpoint_every ?(resume = false) ?(replay = true)
+    ?(allow_legacy_checkpoint = false) ~trials key =
   (* Compile (cached) under the compile timer, then hand the memoized
-     decoded program to the campaign: thousands of trials, one decode. *)
+     decoded program — and, with replay on, the memoized golden-run
+     snapshot set — to the campaign: thousands of trials, one decode,
+     one capture, shared read-only across pool domains and across
+     campaigns revisiting this configuration. *)
   let (_ : Pipeline.compiled) = compile t key in
   let decoded = Cache.decoded t.cache key in
+  let replay_set = if replay then Some (Cache.replay t.cache key) else None in
   let identity =
     Printf.sprintf "%s/%s" (Cache.identity key)
       (Casted_sim.Fault.model_name model)
   in
   timed t `Campaign (fun () ->
       Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
-        ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity ~trials
-        decoded)
+        ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity ~replay
+        ?replay_set ~allow_legacy_checkpoint ~trials decoded)
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
    per issue width (compiled at delay 1, recorded as delay 0, like the
@@ -262,5 +267,7 @@ let utilisation t =
       Printf.sprintf "decoded: %d entries, %d hits, %d misses"
         cs.Cache.decoded_entries cs.Cache.decoded_hits
         cs.Cache.decoded_misses;
+      Printf.sprintf "replay:  %d snapshot sets, %d hits, %d captures"
+        cs.Cache.replay_entries cs.Cache.replay_hits cs.Cache.replay_misses;
       "";
     ]

@@ -91,7 +91,10 @@ val simulate :
     [trials] Monte-Carlo trials over the pool. Identical to the
     sequential {!Casted_sim.Montecarlo.run} with the same [seed];
     the optional knobs ([model], [ci_halfwidth], [checkpoint],
-    [checkpoint_every], [resume]) are forwarded to it. *)
+    [checkpoint_every], [resume], [replay], [allow_legacy_checkpoint])
+    are forwarded to it. With [replay] on (the default) the golden-run
+    snapshot set comes from the engine cache ({!Cache.replay}), so
+    campaigns revisiting a configuration share one capture. *)
 val campaign :
   t ->
   ?seed:int ->
@@ -101,6 +104,8 @@ val campaign :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:bool ->
+  ?replay:bool ->
+  ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Cache.key ->
   Casted_sim.Montecarlo.result

@@ -29,7 +29,7 @@ let save ~path t =
 
 let ( let* ) = Result.bind
 
-let load ~path =
+let load ?(allow_legacy = false) ~path () =
   if not (Sys.file_exists path) then Ok None
   else begin
     let ic = open_in path in
@@ -75,11 +75,27 @@ let load ~path =
         in
         let* trials = int_field "trials" in
         let* next_index = int_field "next" in
-        (* Pre-identity checkpoints carry no campaign identity; treat as
-           the empty identity so a resume that supplies one fails loudly
-           instead of silently merging unrelated tallies. *)
-        let identity =
-          match Hashtbl.find_opt table "identity" with Some v -> v | None -> ""
+        (* Pre-identity checkpoints carry no campaign identity, so
+           nothing ties them to the campaign resuming from them.
+           Refuse them unless the caller explicitly opted in (the CLI's
+           --allow-legacy-checkpoint), and even then warn loudly: a
+           legacy file resumed into the wrong campaign silently merges
+           unrelated tallies. *)
+        let* identity =
+          match Hashtbl.find_opt table "identity" with
+          | Some v -> Ok v
+          | None when allow_legacy ->
+              Printf.eprintf
+                "warning: %s is a legacy identity-less checkpoint; \
+                 resuming it without any campaign-identity check\n%!"
+                path;
+              Ok ""
+          | None ->
+              Error
+                (Printf.sprintf
+                   "%s: legacy checkpoint without a campaign identity — \
+                    pass --allow-legacy-checkpoint to resume it anyway"
+                   path)
         in
         let* counts_s = field "counts" in
         let* counts =

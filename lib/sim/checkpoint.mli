@@ -32,8 +32,14 @@ type t = {
     identity contains a newline (it must fit the one-line format). *)
 val save : path:string -> t -> unit
 
-(** [load ~path] is [Ok None] when no checkpoint exists at [path],
+(** [load ~path ()] is [Ok None] when no checkpoint exists at [path],
     [Ok (Some t)] for a well-formed checkpoint, and [Error msg] for a
     file that exists but does not parse — a corrupt checkpoint must
-    abort loudly, never silently restart the campaign. *)
-val load : path:string -> (t option, string) result
+    abort loudly, never silently restart the campaign.
+
+    A legacy file with no [identity] field at all (pre-identity format)
+    is an [Error] unless [allow_legacy] is set, in which case it loads
+    with the empty identity after a loud warning on stderr: nothing
+    ties such a file to the campaign resuming from it. *)
+val load :
+  ?allow_legacy:bool -> path:string -> unit -> (t option, string) result

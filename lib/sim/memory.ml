@@ -1,19 +1,57 @@
 module Opcode = Casted_ir.Opcode
 
-type t = { bytes : Bytes.t; size : int }
+(* Dirty pages are journalled so per-trial reset and state snapshots
+   cost O(pages written), not O(arena size): a trial touches a few
+   pages of stack and output, the arena is megabytes. *)
+let page_shift = 12
+let page_size = 1 lsl page_shift
+
+type t = {
+  bytes : Bytes.t;
+  size : int;
+  dirty : int array;  (* stack of dirtied page indices *)
+  dirty_flag : Bytes.t;  (* per-page membership bit for the stack *)
+  mutable n_dirty : int;
+}
+
+let n_pages size = (size + page_size - 1) lsr page_shift
 
 let create ~size =
   if size <= 0 then invalid_arg "Memory.create: non-positive size";
-  { bytes = Bytes.make size '\000'; size }
+  let np = n_pages size in
+  {
+    bytes = Bytes.make size '\000';
+    size;
+    dirty = Array.make np 0;
+    dirty_flag = Bytes.make np '\000';
+    n_dirty = 0;
+  }
 
 let size t = t.size
+
+(* Every mutation of [t.bytes] journals the pages it touches; [a] and
+   [len] are already bounds-checked by the caller. *)
+let mark t a len =
+  let p1 = (a + len - 1) lsr page_shift in
+  let p = ref (a lsr page_shift) in
+  while !p <= p1 do
+    if Bytes.unsafe_get t.dirty_flag !p = '\000' then begin
+      Bytes.unsafe_set t.dirty_flag !p '\001';
+      t.dirty.(t.n_dirty) <- !p;
+      t.n_dirty <- t.n_dirty + 1
+    end;
+    incr p
+  done
 
 let load_image t segments =
   List.iter
     (fun (addr, s) ->
       if addr < 0 || addr + String.length s > t.size then
         invalid_arg "Memory.load_image: segment out of bounds";
-      Bytes.blit_string s 0 t.bytes addr (String.length s))
+      if String.length s > 0 then begin
+        Bytes.blit_string s 0 t.bytes addr (String.length s);
+        mark t addr (String.length s)
+      end)
     segments
 
 let pristine ~size segments =
@@ -21,12 +59,74 @@ let pristine ~size segments =
   load_image t segments;
   t.bytes
 
-let of_image image = { bytes = Bytes.copy image; size = Bytes.length image }
+let of_image image =
+  let size = Bytes.length image in
+  let np = n_pages size in
+  {
+    bytes = Bytes.copy image;
+    size;
+    dirty = Array.make np 0;
+    dirty_flag = Bytes.make np '\000';
+    n_dirty = 0;
+  }
+
+let clear_journal t =
+  for k = 0 to t.n_dirty - 1 do
+    Bytes.unsafe_set t.dirty_flag t.dirty.(k) '\000'
+  done;
+  t.n_dirty <- 0
 
 let reset t image =
   if Bytes.length image <> t.size then
     invalid_arg "Memory.reset: image size mismatch";
-  Bytes.blit image 0 t.bytes 0 t.size
+  Bytes.blit image 0 t.bytes 0 t.size;
+  clear_journal t
+
+let page_len t p =
+  let base = p lsl page_shift in
+  min page_size (t.size - base)
+
+(* O(dirty pages): blit only the journalled pages back from [base].
+   Correct because the journal covers every byte written since the last
+   [reset]/[undo_writes] against the same [base] — everywhere else the
+   arena already equals it. *)
+let undo_writes t base =
+  if Bytes.length base <> t.size then
+    invalid_arg "Memory.undo_writes: image size mismatch";
+  for k = 0 to t.n_dirty - 1 do
+    let p = t.dirty.(k) in
+    Bytes.unsafe_set t.dirty_flag p '\000';
+    let a = p lsl page_shift in
+    Bytes.blit base a t.bytes a (page_len t p)
+  done;
+  t.n_dirty <- 0
+
+(* Sparse snapshot of everything written since the last reset: the
+   dirty pages, packed. Immutable after capture. *)
+type delta = { d_size : int; pages : int array; data : Bytes.t }
+
+let delta t =
+  let pages = Array.sub t.dirty 0 t.n_dirty in
+  let data = Bytes.create (t.n_dirty * page_size) in
+  Array.iteri
+    (fun k p ->
+      Bytes.blit t.bytes (p lsl page_shift) data (k * page_size)
+        (page_len t p))
+    pages;
+  { d_size = t.size; pages; data }
+
+let apply_delta t d =
+  if d.d_size <> t.size then
+    invalid_arg "Memory.apply_delta: arena size mismatch";
+  Array.iteri
+    (fun k p ->
+      let a = p lsl page_shift in
+      let len = page_len t p in
+      Bytes.blit d.data (k * page_size) t.bytes a len;
+      mark t a len)
+    d.pages
+
+let delta_bytes d = Bytes.length d.data + (Array.length d.pages * 8) + 32
 
 let check t ~addr ~bytes =
   if Int64.compare addr 0L < 0 || Int64.compare addr (Int64.of_int t.size) >= 0
@@ -52,6 +152,7 @@ let read t ~addr ~width ~signed =
 let write t ~addr ~width v =
   let bytes = Opcode.width_bytes width in
   let a = check t ~addr ~bytes in
+  mark t a bytes;
   match width with
   | Opcode.W1 -> Bytes.set_uint8 t.bytes a (Int64.to_int v land 0xFF)
   | Opcode.W2 -> Bytes.set_uint16_le t.bytes a (Int64.to_int v land 0xFFFF)
@@ -70,9 +171,12 @@ let flip_bit t ~addr ~bit =
   if Int64.compare addr 0L >= 0 && Int64.compare addr (Int64.of_int t.size) < 0
   then begin
     let a = Int64.to_int addr in
+    mark t a 1;
     let b = Bytes.get_uint8 t.bytes a in
     Bytes.set_uint8 t.bytes a (b lxor (1 lsl (bit land 7)))
   end
+
+let image t = Bytes.copy t.bytes
 
 let extract t ~base ~len =
   if base < 0 || len < 0 || base + len > t.size then

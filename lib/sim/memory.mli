@@ -27,6 +27,31 @@ val of_image : Bytes.t -> t
     length differs from the arena size. *)
 val reset : t -> Bytes.t -> unit
 
+(** [undo_writes t base] re-initialises the arena from [base] by
+    blitting back only the pages written since the last {!reset} /
+    {!undo_writes} / {!of_image} — O(pages dirtied), not O(size). Only
+    valid against the same [base] the arena was last reset from (writes
+    are journalled relative to it); raises [Invalid_argument] on a size
+    mismatch. *)
+val undo_writes : t -> Bytes.t -> unit
+
+(** Sparse snapshot of the pages written since the last reset —
+    immutable after capture, safe to share read-only across domains. *)
+type delta
+
+(** [delta t] captures the arena's dirty pages, O(pages dirtied). *)
+val delta : t -> delta
+
+(** [apply_delta t d] blits the delta's pages into the arena (and
+    journals them as dirty, so a later {!undo_writes} removes them
+    again). Restoring a snapshot is [undo_writes t base] followed by
+    [apply_delta t d]. Raises [Invalid_argument] if [d] was captured
+    from an arena of a different size. *)
+val apply_delta : t -> delta -> unit
+
+(** Approximate heap footprint of a delta, in bytes. *)
+val delta_bytes : delta -> int
+
 (** [read t ~addr ~width ~signed] returns the (sign- or zero-extended)
     value. Raises {!Trap.Trap} on bounds or alignment violations. *)
 val read : t -> addr:int64 -> width:Casted_ir.Opcode.width -> signed:bool -> int64
@@ -43,3 +68,7 @@ val flip_bit : t -> addr:int64 -> bit:int -> unit
 
 (** Copy of [len] bytes starting at [base] (bounds-checked). *)
 val extract : t -> base:int -> len:int -> string
+
+(** Fresh copy of the whole arena, suitable for {!reset} /
+    {!of_image} — the state-snapshot primitive. *)
+val image : t -> Bytes.t

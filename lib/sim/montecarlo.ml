@@ -9,6 +9,17 @@ let class_name = function
   | Data_corrupt -> "data-corrupt"
   | Timeout -> "timeout"
 
+(* How golden-prefix replay fared, over the trials this process ran
+   (resumed trials from an earlier process left no per-trial record in
+   the checkpoint). *)
+type replay_stats = {
+  snapshots : int;
+  snapshot_bytes : int;
+  replayed : int;  (* trials started from a snapshot *)
+  full_runs : int;  (* trials that fell back to full execution *)
+  mean_suffix : float;  (* mean fraction of the golden run executed *)
+}
+
 type result = {
   trials : int;
   benign : int;
@@ -20,6 +31,7 @@ type result = {
   golden_dyn : int;
   population : int;
   model : Fault.model;
+  replay : replay_stats option;
 }
 
 let count r = function
@@ -66,6 +78,7 @@ type golden = {
   run : Outcome.run;
   pop : Fault.population;
   fuel : int;
+  replay : Replay.t option;
 }
 
 let population_of_run (r : Outcome.run) =
@@ -76,8 +89,19 @@ let population_of_run (r : Outcome.run) =
     xcluster_reads = r.Outcome.dyn_xreads;
   }
 
-let golden_decoded ?(fuel_factor = 10) decoded =
-  let run = Simulator.run_decoded decoded in
+let golden_decoded ?(fuel_factor = 10) ?(replay = false) ?replay_set decoded =
+  (* The replay capture pass IS a golden run (the snapshot hook only
+     copies state), so campaigns with replay on pay no extra run. *)
+  let replay_set =
+    match replay_set with
+    | Some _ as r -> r
+    | None -> if replay then Some (Replay.capture decoded) else None
+  in
+  let run =
+    match replay_set with
+    | Some r -> Replay.golden r
+    | None -> Simulator.run_decoded decoded
+  in
   (match run.Outcome.termination with
   | Outcome.Exit _ -> ()
   | t ->
@@ -88,6 +112,7 @@ let golden_decoded ?(fuel_factor = 10) decoded =
     run;
     pop = population_of_run run;
     fuel = fuel_factor * max 1 run.Outcome.dyn_insns;
+    replay = replay_set;
   }
 
 let golden ?fuel_factor sched =
@@ -96,19 +121,45 @@ let golden ?fuel_factor sched =
 (* Each trial draws from its own RNG seeded by (campaign seed, trial
    index), so the outcome of trial [i] does not depend on which domain
    runs it or on the trials before it. *)
-let trial_decoded ?(model = Fault.Reg_bit) ~golden:g ~seed ~index decoded =
+(* One trial, reporting how it ran: [(class, suffix fraction, replayed)]
+   where the fraction is the share of the golden run actually executed
+   (1.0 for a full-length run). When the golden carries a replay set,
+   the trial restores the latest snapshot preceding its fault's trigger
+   event and executes only the suffix — bit-identical to the full run
+   (Simulator.run_replayed), just cheaper. *)
+let trial_instrumented ~model ~golden:g ~seed ~index decoded =
   if Fault.population_size model g.pop = 0 then
     (* The fault path does not exist in this configuration (e.g. no
        cross-cluster reads on a single-cluster scheme): nothing to
        inject, the run is the golden run. *)
-    Benign
+    (Benign, 1.0, false)
   else begin
     let rng = Rng.create ~seed:(Rng.derive ~seed index) in
     let fault = Fault.random model rng ~population:g.pop in
-    classify_result ~golden:g.run
-      (try Ok (Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
-       with e -> Error e)
+    let snap =
+      match g.replay with Some r -> Replay.find r fault | None -> None
+    in
+    match snap with
+    | Some snapshot ->
+        let c =
+          classify_result ~golden:g.run
+            (try
+               Ok (Simulator.run_replayed ~fault ~fuel:g.fuel ~snapshot decoded)
+             with e -> Error e)
+        in
+        (c, Replay.suffix_fraction (Option.get g.replay) snapshot, true)
+    | None ->
+        let c =
+          classify_result ~golden:g.run
+            (try Ok (Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
+             with e -> Error e)
+        in
+        (c, 1.0, false)
   end
+
+let trial_decoded ?(model = Fault.Reg_bit) ~golden ~seed ~index decoded =
+  let c, _, _ = trial_instrumented ~model ~golden ~seed ~index decoded in
+  c
 
 let trial ?model ~golden ~seed ~index sched =
   trial_decoded ?model ~golden ~seed ~index (Decode.of_schedule sched)
@@ -120,7 +171,7 @@ let idx = function
   | Data_corrupt -> 3
   | Timeout -> 4
 
-let result_of_counts ~golden:g ~model ~trials counts =
+let result_of_counts ?replay_stats ~golden:g ~model ~trials counts =
   {
     trials;
     benign = counts.(0);
@@ -132,6 +183,7 @@ let result_of_counts ~golden:g ~model ~trials counts =
     golden_dyn = g.run.Outcome.dyn_insns;
     population = Fault.population_size model g.pop;
     model;
+    replay = replay_stats;
   }
 
 let tally ?(model = Fault.Reg_bit) ~golden:g classes =
@@ -148,7 +200,8 @@ let chunk_trials = 64
 
 let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?(checkpoint_every = 256) ?(resume = false) ?(identity = "") ~trials
+    ?(checkpoint_every = 256) ?(resume = false) ?(identity = "")
+    ?(replay = true) ?replay_set ?(allow_legacy_checkpoint = false) ~trials
     decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
@@ -158,13 +211,14 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     invalid_arg "Montecarlo.run: resume requires a checkpoint path";
   let g =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.golden" (fun () ->
-        golden_decoded ~fuel_factor decoded)
+        golden_decoded ~fuel_factor ~replay ?replay_set decoded)
   in
   let counts = Array.make 5 0 in
   let start =
     match (resume, checkpoint) with
     | true, Some path -> (
-        match Checkpoint.load ~path with
+        match Checkpoint.load ~allow_legacy:allow_legacy_checkpoint ~path ()
+        with
         | Error msg -> invalid_arg ("Montecarlo.run: " ^ msg)
         | Ok None -> 0
         | Ok (Some c) ->
@@ -193,7 +247,12 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
             end)
     | _ -> 0
   in
-  let one index = trial_decoded ~model ~golden:g ~seed ~index decoded in
+  (* Replay bookkeeping, accumulated on the coordinator at chunk
+     boundaries so it cannot perturb trial order or results. *)
+  let n_replayed = ref 0 in
+  let n_full = ref 0 in
+  let suffix_sum = ref 0.0 in
+  let one index = trial_instrumented ~model ~golden:g ~seed ~index decoded in
   let map_chunk lo hi =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.chunk"
       ~args:[ ("lo", Casted_obs.Json.Int lo); ("hi", Casted_obs.Json.Int hi) ]
@@ -236,7 +295,17 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     else begin
       let hi = min trials (lo + chunk_trials) in
       Array.iter
-        (fun c -> counts.(idx c) <- counts.(idx c) + 1)
+        (fun (c, suffix, replayed) ->
+          counts.(idx c) <- counts.(idx c) + 1;
+          if g.replay <> None then begin
+            if replayed then incr n_replayed else incr n_full;
+            suffix_sum := !suffix_sum +. suffix;
+            if Casted_obs.Metrics.enabled () then begin
+              Casted_obs.Metrics.incr
+                (if replayed then "replay.hits" else "replay.misses");
+              Casted_obs.Metrics.observe "replay.suffix_fraction" suffix
+            end
+          end)
         (map_chunk lo hi);
       let last_saved =
         if checkpoint <> None && (hi - last_saved >= checkpoint_every || hi = trials)
@@ -250,14 +319,32 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     end
   in
   let done_ = go start start in
-  result_of_counts ~golden:g ~model ~trials:done_ counts
+  let replay_stats =
+    match g.replay with
+    | None -> None
+    | Some r ->
+        let executed = !n_replayed + !n_full in
+        Some
+          {
+            snapshots = Replay.count r;
+            snapshot_bytes = Replay.total_bytes r;
+            replayed = !n_replayed;
+            full_runs = !n_full;
+            mean_suffix =
+              (if executed = 0 then 1.0
+               else !suffix_sum /. float_of_int executed);
+          }
+  in
+  result_of_counts ?replay_stats ~golden:g ~model ~trials:done_ counts
 
 (* Decode once per campaign, not once per trial: the decoded program is
    immutable and shared read-only by every pool domain. *)
 let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ~trials sched =
+    ?checkpoint_every ?resume ?identity ?replay ?allow_legacy_checkpoint
+    ~trials sched =
   run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ~trials
+    ?checkpoint_every ?resume ?identity ?replay ?allow_legacy_checkpoint
+    ~trials
     (Decode.of_schedule sched)
 
 let pp ppf r =
@@ -269,3 +356,13 @@ let pp ppf r =
   Format.fprintf ppf "%d trials (%s, population %d): %s" r.trials
     (Fault.model_name r.model) r.population
     (String.concat ", " (List.map item all_classes))
+
+let pp_replay ppf (s : replay_stats) =
+  let executed = s.replayed + s.full_runs in
+  Format.fprintf ppf
+    "replay: %d snapshots (%.1f KiB), %d/%d trials replayed, mean suffix \
+     %.1f%%"
+    s.snapshots
+    (float_of_int s.snapshot_bytes /. 1024.0)
+    s.replayed executed
+    (100.0 *. s.mean_suffix)

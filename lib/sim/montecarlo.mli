@@ -20,6 +20,20 @@ type classification = Benign | Detected | Exception | Data_corrupt | Timeout
 val all_classes : classification list
 val class_name : classification -> string
 
+(** How golden-prefix replay fared, over the trials the reporting
+    process ran itself (a resumed campaign's earlier trials left no
+    per-trial record in the checkpoint — the tallies still cover them,
+    these statistics do not). *)
+type replay_stats = {
+  snapshots : int;  (** snapshots captured on the golden run *)
+  snapshot_bytes : int;  (** approximate heap footprint of the set *)
+  replayed : int;  (** trials started from a snapshot *)
+  full_runs : int;  (** trials that fell back to full execution *)
+  mean_suffix : float;
+      (** mean fraction of the golden run actually executed per trial
+          ([1.0] = every trial ran full-length) *)
+}
+
 type result = {
   trials : int;  (** trials actually run (≤ requested with early stop) *)
   benign : int;
@@ -31,6 +45,8 @@ type result = {
   golden_dyn : int;
   population : int;  (** size of the campaign model's injection pool *)
   model : Fault.model;
+  replay : replay_stats option;
+      (** [Some] iff the campaign ran with golden-prefix replay *)
 }
 
 val count : result -> classification -> int
@@ -53,11 +69,14 @@ val classify_result :
   golden:Outcome.run -> (Outcome.run, exn) Stdlib.result -> classification
 
 (** The golden (fault-free) reference: its run, the per-model injection
-    populations, and the faulty-run fuel budget. *)
+    populations, the faulty-run fuel budget, and (with replay on) the
+    snapshot set trials start from. *)
 type golden = {
   run : Outcome.run;
   pop : Fault.population;  (** dynamic event populations *)
   fuel : int;  (** [fuel_factor * dyn_insns], the paper's time-out *)
+  replay : Replay.t option;
+      (** golden-run snapshots for prefix replay, shared read-only *)
 }
 
 (** The {!Fault.population} counted by a finished run. *)
@@ -67,8 +86,15 @@ val population_of_run : Outcome.run -> Fault.population
     exit cleanly. *)
 val golden : ?fuel_factor:int -> Casted_sched.Schedule.t -> golden
 
-(** {!golden} over an already-decoded program (skips the decode). *)
-val golden_decoded : ?fuel_factor:int -> Decode.t -> golden
+(** {!golden} over an already-decoded program (skips the decode).
+
+    @param replay capture a snapshot set during the golden run
+      ({!Replay.capture}) for prefix replay; the captured golden run is
+      bit-identical to a plain one (default false).
+    @param replay_set use this pre-captured set (e.g. the engine
+      cache's memoized one) instead of capturing; implies replay. *)
+val golden_decoded :
+  ?fuel_factor:int -> ?replay:bool -> ?replay_set:Replay.t -> Decode.t -> golden
 
 (** [trial ~golden ~seed ~index schedule] runs faulty trial [index] of
     a campaign with the given campaign [seed] and fault [model]
@@ -130,7 +156,15 @@ val chunk_trials : int
       (workload, scheme, config, fault-model) tuple here). Stamped into
       every checkpoint; a resume whose identity differs from the
       checkpoint's fails loudly instead of silently merging tallies
-      from a different campaign. Default [""]. *)
+      from a different campaign. Default [""].
+    @param replay golden-prefix replay (default true): capture
+      snapshots on the golden run and start each trial from the latest
+      snapshot preceding its fault's trigger event. Bit-identical
+      results — same tallies, same intervals — for every fault model at
+      any pool size; only the wall clock changes.
+    @param allow_legacy_checkpoint accept resuming from an
+      identity-less legacy checkpoint file (default false: such files
+      are rejected loudly — see {!Checkpoint.load}). *)
 val run :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
@@ -141,6 +175,8 @@ val run :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?identity:string ->
+  ?replay:bool ->
+  ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Casted_sched.Schedule.t ->
   result
@@ -149,7 +185,11 @@ val run :
     [run_decoded (Decode.of_schedule sched)] — the engine's campaign
     path passes the engine-cache's memoized decoded program here, so a
     sweep re-running one configuration never re-decodes it. The decoded
-    program is immutable and shared read-only across pool domains. *)
+    program is immutable and shared read-only across pool domains.
+
+    @param replay_set start trials from this pre-captured snapshot set
+      (the engine passes its memoized one) instead of capturing afresh.
+      Supplying it enables replay regardless of the [replay] flag. *)
 val run_decoded :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
@@ -160,9 +200,15 @@ val run_decoded :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?identity:string ->
+  ?replay:bool ->
+  ?replay_set:Replay.t ->
+  ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Decode.t ->
   result
 
 (** Render the tally with a 95% Wilson interval on every class rate. *)
 val pp : Format.formatter -> result -> unit
+
+(** One-line rendering of a campaign's replay statistics. *)
+val pp_replay : Format.formatter -> replay_stats -> unit

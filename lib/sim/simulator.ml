@@ -13,66 +13,19 @@ exception Halted of int
 exception Check_failed of int
 exception Out_of_fuel
 
-(* Per-call register file with scoreboard metadata: for every register we
-   track its value, the time it becomes readable and the cluster that
-   produced it (cross-cluster reads pay the interconnect delay). *)
-type frame = {
-  gp : int64 array;
-  fpv : float array;
-  prv : bool array;
-  gp_ready : int array;
-  fp_ready : int array;
-  pr_ready : int array;
-  gp_home : int array;
-  fp_home : int array;
-  pr_home : int array;
-}
-
-let make_frame func ~time =
-  let n c = max 1 (Func.reg_count func c) in
-  let ngp = n Reg.Gp and nfp = n Reg.Fp and npr = n Reg.Pr in
-  {
-    gp = Array.make ngp 0L;
-    fpv = Array.make nfp 0.0;
-    prv = Array.make npr false;
-    gp_ready = Array.make ngp time;
-    fp_ready = Array.make nfp time;
-    pr_ready = Array.make npr time;
-    gp_home = Array.make ngp (-1);
-    fp_home = Array.make nfp (-1);
-    pr_home = Array.make npr (-1);
-  }
-
-(* A value crossing a call boundary. *)
-type value = V_gp of int64 | V_fp of float | V_pr of bool
-
-(* Control transfer is a mutable ctx field instead of a per-block ref so
-   the bundle-issue loop allocates nothing: [xfer_none] while the block
-   runs, a block index after a (taken) branch, [xfer_return] after Ret
-   (with the value parked in [retv]). Nested calls save and restore the
-   pair around the callee. *)
-let xfer_none = -2
-let xfer_return = -1
-
+(* All run-mutable machine state (counters, clock, control transfer,
+   memory arena, cache model, register files) lives in State; the ctx
+   only carries the run's immutable configuration plus the state. This
+   split is what makes golden-prefix replay possible: State.snapshot at
+   an entry-function block boundary captures the whole machine. *)
 type ctx = {
   d : Decode.t;
   config : Config.t;
-  mem : Memory.t;
-  hier : Hierarchy.t;
   fuel : int;
   fault : Fault.t option;
   profile : Profile.t option;
-  mutable time : int;  (* issue time of the last issued bundle *)
-  mutable dyn : int;
-  mutable defs : int;  (* dynamic register slots written *)
-  mutable mems : int;  (* dynamic memory accesses (loads + stores) *)
-  mutable branches : int;  (* dynamic conditional branches *)
-  mutable xreads : int;  (* operand reads crossing the cluster boundary *)
-  roles : int array;  (* dynamic count per role *)
-  mutable depth : int;
-  mutable tmax : int;  (* scratch for bundle issue-time computation *)
-  mutable xfer : int;
-  mutable retv : value option;
+  on_block : (State.t -> State.regfile -> int -> unit) option;
+  st : State.t;
 }
 
 let role_index = function
@@ -83,40 +36,40 @@ let role_index = function
 
 (* Operand access. *)
 
-let reg_need ctx fr ~cluster r =
+let reg_need ctx (fr : State.regfile) ~cluster r =
   let idx = Reg.idx r in
   let ready, home =
     match Reg.cls r with
-    | Reg.Gp -> (fr.gp_ready.(idx), fr.gp_home.(idx))
-    | Reg.Fp -> (fr.fp_ready.(idx), fr.fp_home.(idx))
-    | Reg.Pr -> (fr.pr_ready.(idx), fr.pr_home.(idx))
+    | Reg.Gp -> (fr.State.gp_ready.(idx), fr.State.gp_home.(idx))
+    | Reg.Fp -> (fr.State.fp_ready.(idx), fr.State.fp_home.(idx))
+    | Reg.Pr -> (fr.State.pr_ready.(idx), fr.State.pr_home.(idx))
   in
   if home >= 0 && home <> cluster then ready + ctx.config.Config.delay
   else ready
 
-let write_gp fr r v ~ready ~home =
+let write_gp (fr : State.regfile) r v ~ready ~home =
   let i = Reg.idx r in
-  fr.gp.(i) <- v;
-  fr.gp_ready.(i) <- max fr.gp_ready.(i) ready;
-  fr.gp_home.(i) <- home
+  fr.State.gp.(i) <- v;
+  fr.State.gp_ready.(i) <- max fr.State.gp_ready.(i) ready;
+  fr.State.gp_home.(i) <- home
 
-let write_fp fr r v ~ready ~home =
+let write_fp (fr : State.regfile) r v ~ready ~home =
   let i = Reg.idx r in
-  fr.fpv.(i) <- v;
-  fr.fp_ready.(i) <- max fr.fp_ready.(i) ready;
-  fr.fp_home.(i) <- home
+  fr.State.fpv.(i) <- v;
+  fr.State.fp_ready.(i) <- max fr.State.fp_ready.(i) ready;
+  fr.State.fp_home.(i) <- home
 
-let write_pr fr r v ~ready ~home =
+let write_pr (fr : State.regfile) r v ~ready ~home =
   let i = Reg.idx r in
-  fr.prv.(i) <- v;
-  fr.pr_ready.(i) <- max fr.pr_ready.(i) ready;
-  fr.pr_home.(i) <- home
+  fr.State.prv.(i) <- v;
+  fr.State.pr_ready.(i) <- max fr.State.pr_ready.(i) ready;
+  fr.State.pr_home.(i) <- home
 
 let write_value fr r v ~ready ~home =
   match (Reg.cls r, v) with
-  | Reg.Gp, V_gp x -> write_gp fr r x ~ready ~home
-  | Reg.Fp, V_fp x -> write_fp fr r x ~ready ~home
-  | Reg.Pr, V_pr x -> write_pr fr r x ~ready ~home
+  | Reg.Gp, State.V_gp x -> write_gp fr r x ~ready ~home
+  | Reg.Fp, State.V_fp x -> write_fp fr r x ~ready ~home
+  | Reg.Pr, State.V_pr x -> write_pr fr r x ~ready ~home
   | _ -> invalid_arg "Simulator: value class mismatch"
 
 (* Cross-cluster-aware operand reads. Every value consumed from a
@@ -125,65 +78,68 @@ let write_value fr r v ~ready ~home =
    register file itself keeps the good value). *)
 
 let xcluster_hit ctx =
-  ctx.xreads <- ctx.xreads + 1;
+  let st = ctx.st in
+  st.State.xreads <- st.State.xreads + 1;
   match ctx.fault with
   | Some (Fault.Xcluster_flip { target_read; bit }) ->
-      if ctx.xreads = target_read + 1 then Some bit else None
+      if st.State.xreads = target_read + 1 then Some bit else None
   | Some _ | None -> None
 
-let use_gp ctx fr ~cluster r =
+let use_gp ctx (fr : State.regfile) ~cluster r =
   let i = Reg.idx r in
-  let v = fr.gp.(i) in
-  let home = fr.gp_home.(i) in
+  let v = fr.State.gp.(i) in
+  let home = fr.State.gp_home.(i) in
   if home >= 0 && home <> cluster then
     match xcluster_hit ctx with
     | Some bit -> Fault.flip_int ~bit v
     | None -> v
   else v
 
-let use_fp ctx fr ~cluster r =
+let use_fp ctx (fr : State.regfile) ~cluster r =
   let i = Reg.idx r in
-  let v = fr.fpv.(i) in
-  let home = fr.fp_home.(i) in
+  let v = fr.State.fpv.(i) in
+  let home = fr.State.fp_home.(i) in
   if home >= 0 && home <> cluster then
     match xcluster_hit ctx with
     | Some bit -> Fault.flip_float ~bit v
     | None -> v
   else v
 
-let use_pr ctx fr ~cluster r =
+let use_pr ctx (fr : State.regfile) ~cluster r =
   let i = Reg.idx r in
-  let v = fr.prv.(i) in
-  let home = fr.pr_home.(i) in
+  let v = fr.State.prv.(i) in
+  let home = fr.State.pr_home.(i) in
   if home >= 0 && home <> cluster then
     match xcluster_hit ctx with Some _ -> not v | None -> v
   else v
 
 let use_value ctx fr ~cluster r =
   match Reg.cls r with
-  | Reg.Gp -> V_gp (use_gp ctx fr ~cluster r)
-  | Reg.Fp -> V_fp (use_fp ctx fr ~cluster r)
-  | Reg.Pr -> V_pr (use_pr ctx fr ~cluster r)
+  | Reg.Gp -> State.V_gp (use_gp ctx fr ~cluster r)
+  | Reg.Fp -> State.V_fp (use_fp ctx fr ~cluster r)
+  | Reg.Pr -> State.V_pr (use_pr ctx fr ~cluster r)
 
 (* Register-file fault injection: flip bit(s) of one dynamically written
    register slot, right after write-back. Slots are counted one by one,
    so the target is uniform over written slots regardless of how many
    slots an instruction defines. *)
-let inject_slot ctx fr r =
-  ctx.defs <- ctx.defs + 1;
+let inject_slot ctx (fr : State.regfile) r =
+  let st = ctx.st in
+  st.State.defs <- st.State.defs + 1;
   let flip ~bit ~width =
     let i = Reg.idx r in
     match Reg.cls r with
-    | Reg.Gp -> fr.gp.(i) <- Fault.flip_burst ~bit ~width fr.gp.(i)
-    | Reg.Fp -> fr.fpv.(i) <- Fault.flip_float_burst ~bit ~width fr.fpv.(i)
-    | Reg.Pr -> fr.prv.(i) <- not fr.prv.(i)
+    | Reg.Gp -> fr.State.gp.(i) <- Fault.flip_burst ~bit ~width fr.State.gp.(i)
+    | Reg.Fp ->
+        fr.State.fpv.(i) <- Fault.flip_float_burst ~bit ~width fr.State.fpv.(i)
+    | Reg.Pr -> fr.State.prv.(i) <- not fr.State.prv.(i)
   in
   match ctx.fault with
-  | Some (Fault.Reg_flip { target_slot; bit }) when ctx.defs = target_slot + 1
-    ->
+  | Some (Fault.Reg_flip { target_slot; bit })
+    when st.State.defs = target_slot + 1 ->
       flip ~bit ~width:1
   | Some (Fault.Burst_flip { target_slot; bit; width })
-    when ctx.defs = target_slot + 1 ->
+    when st.State.defs = target_slot + 1 ->
       flip ~bit ~width
   | Some _ | None -> ()
 
@@ -191,14 +147,17 @@ let inject_slot ctx fr r =
    of one byte inside the touched 64-byte line — a cache-line upset seen
    by every later read of that line. *)
 let touch_mem ctx addr =
-  ctx.mems <- ctx.mems + 1;
+  let st = ctx.st in
+  st.State.mems <- st.State.mems + 1;
   match ctx.fault with
   | Some (Fault.Mem_flip { target_access; offset; bit })
-    when ctx.mems = target_access + 1 ->
+    when st.State.mems = target_access + 1 ->
       let line =
         Int64.logand addr (Int64.lognot (Int64.of_int (Fault.line_bytes - 1)))
       in
-      Memory.flip_bit ctx.mem ~addr:(Int64.add line (Int64.of_int offset)) ~bit
+      Memory.flip_bit st.State.mem
+        ~addr:(Int64.add line (Int64.of_int offset))
+        ~bit
   | Some _ | None -> ()
 
 let max_call_depth = 10_000
@@ -213,69 +172,88 @@ let addr_int addr =
 (* The interpreter proper, over the pre-decoded form (Decode.t): branch
    targets and callees are indices, latencies and role indices are
    baked into each dinsn, and bundle issue runs as plain for-loops over
-   ctx fields — no per-bundle closures or refs, so the hot loop
+   state fields — no per-bundle closures or refs, so the hot loop
    allocates only what the simulated machine itself demands (call
    frames, call argument lists, the rare Ret value). *)
 
-let rec exec_func ctx (df : Decode.dfunc) (args : value list) : value option =
-  ctx.depth <- ctx.depth + 1;
-  if ctx.depth > max_call_depth then raise (Trap.Trap Trap.Stack_overflow);
+let rec exec_func ctx (df : Decode.dfunc) (args : State.value list) :
+    State.value option =
+  let st = ctx.st in
+  st.State.depth <- st.State.depth + 1;
+  if st.State.depth > max_call_depth then raise (Trap.Trap Trap.Stack_overflow);
   let func = df.Decode.func in
-  let fr = make_frame func ~time:(ctx.time + 1) in
+  let fr = State.make_regfile func ~time:(st.State.time + 1) in
   List.iter2
-    (fun r v -> write_value fr r v ~ready:(ctx.time + 1) ~home:(-1))
+    (fun r v -> write_value fr r v ~ready:(st.State.time + 1) ~home:(-1))
     func.Func.params args;
+  let result = exec_blocks ctx fr df ~start:0 in
+  st.State.depth <- st.State.depth - 1;
+  result
+
+(* The block loop, factored out of exec_func so a replayed run can
+   re-enter the entry function at an arbitrary block. At the loop top
+   with depth = 1 (entry function, call stack empty) the machine state
+   is fully described by State.t + the entry register file — that is
+   where the snapshot hook fires, and where State.snapshot is valid. *)
+and exec_blocks ctx (fr : State.regfile) (df : Decode.dfunc) ~start :
+    State.value option =
+  let st = ctx.st in
+  let func = df.Decode.func in
   let blocks = df.Decode.blocks in
   let result = ref None in
-  let cur = ref 0 in
+  let cur = ref start in
   let running = ref true in
   while !running do
+    (match ctx.on_block with
+    | Some hook when st.State.depth = 1 -> hook st fr !cur
+    | Some _ | None -> ());
     let b = blocks.(!cur) in
     (* The static schedule is authoritative for the in-order lockstep
        machine: bundle [i] may not issue before [block_start + at]
        (empty cycles, stripped at decode time, are real NOPs). Dynamic
        stalls (cache misses, cross-block operands) push it further. *)
-    let block_start = ctx.time + 1 in
-    ctx.xfer <- xfer_none;
-    ctx.retv <- None;
+    let block_start = st.State.time + 1 in
+    st.State.xfer <- State.xfer_none;
+    st.State.retv <- None;
     let bundles = b.Decode.bundles in
     for i = 0 to Array.length bundles - 1 do
       let db = bundles.(i) in
-      exec_bundle ctx fr ~not_before:(block_start + db.Decode.at)
+      exec_bundle ctx fr
+        ~not_before:(block_start + db.Decode.at)
         db.Decode.slots
     done;
     (match ctx.profile with
     | Some profile ->
         Profile.record profile ~func:func.Func.name ~label:b.Decode.label
-          ~cycles:(ctx.time + 1 - block_start)
+          ~cycles:(st.State.time + 1 - block_start)
     | None -> ());
-    if ctx.xfer >= 0 then cur := ctx.xfer
-    else if ctx.xfer = xfer_return then begin
-      result := ctx.retv;
+    if st.State.xfer >= 0 then cur := st.State.xfer
+    else if st.State.xfer = State.xfer_return then begin
+      result := st.State.retv;
       running := false
     end
     else invalid_arg "Simulator: block finished without control transfer"
   done;
-  ctx.depth <- ctx.depth - 1;
   !result
 
 and exec_bundle ctx fr ~not_before (slots : Decode.dinsn array array) =
   (* Issue time: lockstep across clusters, so one maximum over all
      operand arrival times of the whole bundle. *)
-  let t0 = ctx.time + 1 in
-  ctx.tmax <- (if not_before > t0 then not_before else t0);
+  let st = ctx.st in
+  let t0 = st.State.time + 1 in
+  st.State.tmax <- (if not_before > t0 then not_before else t0);
   for cluster = 0 to Array.length slots - 1 do
     let insns = slots.(cluster) in
     for k = 0 to Array.length insns - 1 do
       let uses = insns.(k).Decode.uses in
       for u = 0 to Array.length uses - 1 do
         let need = reg_need ctx fr ~cluster uses.(u) in
-        if need > ctx.tmax then ctx.tmax <- need
+        if need > st.State.tmax then st.State.tmax <- need
       done
     done
   done;
-  let t = ctx.tmax in
-  ctx.time <- t;
+  let t = st.State.tmax in
+  st.State.time <- t;
   (* Read phase: all operands (including loaded memory) are sampled
      before any write of this bundle lands. *)
   for cluster = 0 to Array.length slots - 1 do
@@ -286,9 +264,10 @@ and exec_bundle ctx fr ~not_before (slots : Decode.dinsn array array) =
   done
 
 and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
-  ctx.dyn <- ctx.dyn + 1;
-  if ctx.dyn > ctx.fuel then raise Out_of_fuel;
-  ctx.roles.(di.Decode.role) <- ctx.roles.(di.Decode.role) + 1;
+  let st = ctx.st in
+  st.State.dyn <- st.State.dyn + 1;
+  if st.State.dyn > ctx.fuel then raise Out_of_fuel;
+  st.State.roles.(di.Decode.role) <- st.State.roles.(di.Decode.role) + 1;
   let uses = di.Decode.uses in
   let defs = di.Decode.defs in
   let latency = di.Decode.latency in
@@ -365,28 +344,31 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
       in
       let addr = Int64.add (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm in
       let latency =
-        Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false
+        Hierarchy.access st.State.hier ~addr:(addr_int addr) ~write:false
       in
-      let v = Memory.read ctx.mem ~addr ~width:w ~signed in
+      let v = Memory.read st.State.mem ~addr ~width:w ~signed in
       touch_mem ctx addr;
       write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Fld ->
       let addr = Int64.add (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm in
       let latency =
-        Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:false
+        Hierarchy.access st.State.hier ~addr:(addr_int addr) ~write:false
       in
-      let v = Memory.read_float ctx.mem ~addr in
+      let v = Memory.read_float st.State.mem ~addr in
       touch_mem ctx addr;
       write_fp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.St w ->
       let addr = Int64.add (use_gp ctx fr ~cluster uses.(1)) di.Decode.imm in
-      Memory.write ctx.mem ~addr ~width:w (use_gp ctx fr ~cluster uses.(0));
-      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
+      Memory.write st.State.mem ~addr ~width:w
+        (use_gp ctx fr ~cluster uses.(0));
+      ignore
+        (Hierarchy.access st.State.hier ~addr:(addr_int addr) ~write:true);
       touch_mem ctx addr
   | Opcode.Fst ->
       let addr = Int64.add (use_gp ctx fr ~cluster uses.(1)) di.Decode.imm in
-      Memory.write_float ctx.mem ~addr (use_fp ctx fr ~cluster uses.(0));
-      ignore (Hierarchy.access ctx.hier ~addr:(addr_int addr) ~write:true);
+      Memory.write_float st.State.mem ~addr (use_fp ctx fr ~cluster uses.(0));
+      ignore
+        (Hierarchy.access st.State.hier ~addr:(addr_int addr) ~write:true);
       touch_mem ctx addr
   | Opcode.Chk ->
       let ok =
@@ -405,26 +387,26 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
               (use_pr ctx fr ~cluster uses.(1))
       in
       if not ok then raise (Check_failed di.Decode.id)
-  | Opcode.Br -> ctx.xfer <- di.Decode.target
+  | Opcode.Br -> st.State.xfer <- di.Decode.target
   | Opcode.Brc flag ->
       let taken = Bool.equal (use_pr ctx fr ~cluster uses.(0)) flag in
-      ctx.branches <- ctx.branches + 1;
+      st.State.branches <- st.State.branches + 1;
       let taken =
         match ctx.fault with
         | Some (Fault.Branch_flip { target_branch })
-          when ctx.branches = target_branch + 1 ->
+          when st.State.branches = target_branch + 1 ->
             not taken
         | Some _ | None -> taken
       in
-      ctx.xfer <- (if taken then di.Decode.target else di.Decode.target2)
+      st.State.xfer <- (if taken then di.Decode.target else di.Decode.target2)
   | Opcode.Ret ->
       let v =
         if Array.length uses > 0 then
           Some (use_value ctx fr ~cluster uses.(0))
         else None
       in
-      ctx.xfer <- xfer_return;
-      ctx.retv <- v
+      st.State.xfer <- State.xfer_return;
+      st.State.retv <- v
   | Opcode.Halt ->
       let code =
         if Array.length uses > 0 then
@@ -437,17 +419,17 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
       let args =
         List.map (use_value ctx fr ~cluster) (Array.to_list uses)
       in
-      (* The callee drives ctx.xfer/retv for its own blocks; restore the
+      (* The callee drives xfer/retv for its own blocks; restore the
          caller's pending transfer around the nested execution. *)
-      let saved_xfer = ctx.xfer in
-      let saved_retv = ctx.retv in
+      let saved_xfer = st.State.xfer in
+      let saved_retv = st.State.retv in
       let result = exec_func ctx callee args in
-      ctx.xfer <- saved_xfer;
-      ctx.retv <- saved_retv;
+      st.State.xfer <- saved_xfer;
+      st.State.retv <- saved_retv;
       (match (Array.length defs, result) with
       | 0, _ -> ()
       | 1, Some v ->
-          write_value fr defs.(0) v ~ready:(ctx.time + 1) ~home:cluster
+          write_value fr defs.(0) v ~ready:(st.State.time + 1) ~home:cluster
       | 1, None -> invalid_arg "Simulator: call expected a return value"
       | _ -> invalid_arg "Simulator: call with multiple defs")
   | Opcode.Nop -> ());
@@ -484,113 +466,93 @@ let record_metrics (r : Outcome.run) =
     M.incr ~by:c.Casted_cache.Hierarchy.writebacks "cache.writebacks"
   end
 
-(* Each executor domain keeps one working memory arena and restores the
-   campaign's pristine image into it with a single [Bytes.blit] per
-   trial — no [Memory.create] + [load_image] per run. The arena is
-   private to the domain (pool workers run trials sequentially), and it
-   is reset before any instruction executes, so trials cannot observe
-   each other's stores. *)
-let scratch_mem : Memory.t option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let trial_memory image =
-  let r = Domain.DLS.get scratch_mem in
-  match !r with
-  | Some m when Memory.size m = Bytes.length image ->
-      Memory.reset m image;
-      m
-  | _ ->
-      let m = Memory.of_image image in
-      r := Some m;
-      m
-
-(* Same treatment for the cache model: building the three levels
-   allocates tens of thousands of way records, so each domain keeps one
-   hierarchy per (geometry, perfect) and cold-restores it with
-   [Hierarchy.reset] — field writes, no allocation — per run. *)
-let scratch_hier :
-    (Config.cache_config * bool * Hierarchy.t) option ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref None)
-
-let trial_hierarchy cc ~perfect =
-  let r = Domain.DLS.get scratch_hier in
-  match !r with
-  | Some (cc', perfect', h) when perfect' = perfect && cc' = cc ->
-      Hierarchy.reset h;
-      h
-  | _ ->
-      let h = if perfect then Hierarchy.perfect cc else Hierarchy.create cc in
-      r := Some (cc, perfect, h);
-      h
-
-let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
-    ?(with_mem_digest = false) (d : Decode.t) =
-  let mem = trial_memory d.Decode.image in
-  let hier =
-    trial_hierarchy d.Decode.config.Config.cache ~perfect:perfect_cache
-  in
-  let ctx =
-    {
-      d;
-      config = d.Decode.config;
-      mem;
-      hier;
-      fuel;
-      fault;
-      profile;
-      time = -1;
-      dyn = 0;
-      defs = 0;
-      mems = 0;
-      branches = 0;
-      xreads = 0;
-      roles = Array.make 4 0;
-      depth = 0;
-      tmax = 0;
-      xfer = xfer_none;
-      retv = None;
-    }
-  in
-  let entry = d.Decode.funcs.(d.Decode.entry) in
-  let termination =
-    try
-      let (_ : value option) = exec_func ctx entry [] in
-      (* Entry returned instead of halting: treat as exit 0. *)
-      Outcome.Exit 0
-    with
-    | Halted code -> Outcome.Exit code
-    | Check_failed id -> Outcome.Detected id
-    | Trap.Trap t -> Outcome.Trapped t
-    | Out_of_fuel -> Outcome.Timeout
-  in
+(* Assemble the Outcome.run from a finished (or trapped) machine. Shared
+   by the full-execution and replayed paths so the two can only differ
+   through State itself. *)
+let finish ctx ~with_mem_digest termination =
+  let st = ctx.st in
+  let d = ctx.d in
   let output =
-    Memory.extract mem ~base:d.Decode.output_base ~len:d.Decode.output_len
+    Memory.extract st.State.mem ~base:d.Decode.output_base
+      ~len:d.Decode.output_len
   in
-  let cycles = ctx.time + 1 in
+  let cycles = st.State.time + 1 in
   let r =
     {
       Outcome.termination;
       cycles;
-      dyn_insns = ctx.dyn;
-      dyn_defs = ctx.defs;
-      dyn_mem = ctx.mems;
-      dyn_branches = ctx.branches;
-      dyn_xreads = ctx.xreads;
-      dyn_checks = ctx.roles.(role_index Insn.Check);
-      dyn_by_role = ctx.roles;
+      dyn_insns = st.State.dyn;
+      dyn_defs = st.State.defs;
+      dyn_mem = st.State.mems;
+      dyn_branches = st.State.branches;
+      dyn_xreads = st.State.xreads;
+      dyn_checks = st.State.roles.(role_index Insn.Check);
+      dyn_by_role = st.State.roles;
       slots_total =
         cycles * ctx.config.Config.clusters * ctx.config.Config.issue_width;
       output;
       exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
-      cache = Hierarchy.stats hier;
+      cache = Hierarchy.stats st.State.hier;
       mem_digest =
         (if with_mem_digest then
-           Digest.string (Memory.extract mem ~base:0 ~len:(Memory.size mem))
+           Digest.string
+             (Memory.extract st.State.mem ~base:0
+                ~len:(Memory.size st.State.mem))
          else "");
     }
   in
   record_metrics r;
   r
+
+let termination_of f =
+  try f () with
+  | Halted code -> Outcome.Exit code
+  | Check_failed id -> Outcome.Detected id
+  | Trap.Trap t -> Outcome.Trapped t
+  | Out_of_fuel -> Outcome.Timeout
+
+let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
+    ?(with_mem_digest = false) ?on_block (d : Decode.t) =
+  let st =
+    State.fresh ~image:d.Decode.image ~cache:d.Decode.config.Config.cache
+      ~perfect:perfect_cache
+  in
+  let ctx =
+    { d; config = d.Decode.config; fuel; fault; profile; on_block; st }
+  in
+  let entry = d.Decode.funcs.(d.Decode.entry) in
+  let termination =
+    termination_of (fun () ->
+        let (_ : State.value option) = exec_func ctx entry [] in
+        (* Entry returned instead of halting: treat as exit 0. *)
+        Outcome.Exit 0)
+  in
+  finish ctx ~with_mem_digest termination
+
+(* Golden-prefix replay: restore a snapshot taken by the golden pass and
+   re-run only the entry function's block loop from the captured block.
+   With the same decoded program, fuel and fault, the result is
+   bit-identical to a full run — the prefix up to the snapshot is, by
+   the snapshot's validity condition (taken before the fault's trigger
+   event), identical to the golden prefix that produced it. *)
+let run_replayed ?fault ?(fuel = max_int) ?(with_mem_digest = false)
+    ~snapshot (d : Decode.t) =
+  let st, fr = State.restore ~cache:d.Decode.config.Config.cache snapshot in
+  let ctx =
+    { d; config = d.Decode.config; fuel; fault; profile = None;
+      on_block = None; st }
+  in
+  let entry = d.Decode.funcs.(d.Decode.entry) in
+  let termination =
+    termination_of (fun () ->
+        let (_ : State.value option) =
+          exec_blocks ctx fr entry ~start:snapshot.State.block
+        in
+        Outcome.Exit 0)
+  in
+  let module M = Casted_obs.Metrics in
+  if M.enabled () then M.incr "sim.replays";
+  finish ctx ~with_mem_digest termination
 
 let run ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest sched =
   run_decoded ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest

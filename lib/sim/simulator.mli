@@ -50,12 +50,37 @@ val run :
     decode once and call this per trial; the decoded program is
     read-only and safe to share across pool domains. Each executor
     domain also keeps a private scratch memory arena that is restored
-    from [decoded.image] with one blit per run. *)
+    from [decoded.image] with one blit per run.
+
+    @param on_block called at every entry-function block-loop top where
+      the call stack is empty (depth 1) with the machine state, the
+      entry register file and the block index about to execute — the
+      only program points where {!State.snapshot} is valid. The golden
+      pass of {!Replay.capture} uses it to record snapshots; plain runs
+      leave it unset and pay nothing. *)
 val run_decoded :
   ?fault:Fault.t ->
   ?fuel:int ->
   ?perfect_cache:bool ->
   ?profile:Profile.t ->
   ?with_mem_digest:bool ->
+  ?on_block:(State.t -> State.regfile -> int -> unit) ->
+  Decode.t ->
+  Outcome.run
+
+(** [run_replayed ~snapshot decoded] restores [snapshot] (captured by a
+    golden pass over the same decoded program) and executes only the
+    remaining suffix. Bit-identical to
+    [run_decoded ?fault ?fuel decoded] whenever the snapshot precedes
+    the fault's trigger event (see {!Replay.find}) and the snapshot's
+    perfect-cache mode matches the run's: the prefix a full run would
+    execute before the trigger is exactly the golden prefix the
+    snapshot captured. Counters and cycle counts resume from the
+    snapshot, so every {!Outcome.run} field reports whole-run totals. *)
+val run_replayed :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  snapshot:State.snapshot ->
   Decode.t ->
   Outcome.run

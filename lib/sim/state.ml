@@ -1,0 +1,234 @@
+(* First-class machine state for the pre-decoded simulator.
+
+   Everything a run mutates lives here: the dynamic-event counters that
+   size injection populations, the lockstep clock, the control-transfer
+   scratch, the working memory arena and the cache-hierarchy model, plus
+   the per-call register file ([regfile]). Pulling the state out of the
+   interpreter makes it snapshotable: [snapshot] captures the whole
+   machine in O(state size) at an entry-function block boundary (call
+   stack empty), and [restore] rebuilds an equivalent machine from it —
+   the foundation of golden-prefix replay (Replay). *)
+
+module Reg = Casted_ir.Reg
+module Func = Casted_ir.Func
+module Config = Casted_machine.Config
+module Hierarchy = Casted_cache.Hierarchy
+
+(* Per-call register file with scoreboard metadata: for every register we
+   track its value, the time it becomes readable and the cluster that
+   produced it (cross-cluster reads pay the interconnect delay). *)
+type regfile = {
+  gp : int64 array;
+  fpv : float array;
+  prv : bool array;
+  gp_ready : int array;
+  fp_ready : int array;
+  pr_ready : int array;
+  gp_home : int array;
+  fp_home : int array;
+  pr_home : int array;
+}
+
+let make_regfile func ~time =
+  let n c = max 1 (Func.reg_count func c) in
+  let ngp = n Reg.Gp and nfp = n Reg.Fp and npr = n Reg.Pr in
+  {
+    gp = Array.make ngp 0L;
+    fpv = Array.make nfp 0.0;
+    prv = Array.make npr false;
+    gp_ready = Array.make ngp time;
+    fp_ready = Array.make nfp time;
+    pr_ready = Array.make npr time;
+    gp_home = Array.make ngp (-1);
+    fp_home = Array.make nfp (-1);
+    pr_home = Array.make npr (-1);
+  }
+
+let copy_regfile rf =
+  {
+    gp = Array.copy rf.gp;
+    fpv = Array.copy rf.fpv;
+    prv = Array.copy rf.prv;
+    gp_ready = Array.copy rf.gp_ready;
+    fp_ready = Array.copy rf.fp_ready;
+    pr_ready = Array.copy rf.pr_ready;
+    gp_home = Array.copy rf.gp_home;
+    fp_home = Array.copy rf.fp_home;
+    pr_home = Array.copy rf.pr_home;
+  }
+
+(* A value crossing a call boundary. *)
+type value = V_gp of int64 | V_fp of float | V_pr of bool
+
+(* Control transfer is a mutable state field instead of a per-block ref
+   so the bundle-issue loop allocates nothing: [xfer_none] while the
+   block runs, a block index after a (taken) branch, [xfer_return] after
+   Ret (with the value parked in [retv]). *)
+let xfer_none = -2
+let xfer_return = -1
+
+type t = {
+  mem : Memory.t;
+  base : Bytes.t;  (* pristine image [mem] was last reset from *)
+  hier : Hierarchy.t;
+  mutable time : int;  (* issue time of the last issued bundle *)
+  mutable dyn : int;
+  mutable defs : int;  (* dynamic register slots written *)
+  mutable mems : int;  (* dynamic memory accesses (loads + stores) *)
+  mutable branches : int;  (* dynamic conditional branches *)
+  mutable xreads : int;  (* operand reads crossing the cluster boundary *)
+  roles : int array;  (* dynamic count per role *)
+  mutable depth : int;
+  mutable tmax : int;  (* scratch for bundle issue-time computation *)
+  mutable xfer : int;
+  mutable retv : value option;
+}
+
+(* Each executor domain keeps one working memory arena — no
+   [Memory.create] + [load_image] per run. The arena is private to the
+   domain (pool workers run trials sequentially), and it is reset before
+   any instruction executes, so trials cannot observe each other's
+   stores. When consecutive runs share the same pristine image (the
+   common case: one campaign, thousands of trials), the reset is
+   [Memory.undo_writes] — O(pages the previous trial dirtied), not a
+   full-arena blit. *)
+type mem_scratch = { m : Memory.t; mutable m_base : Bytes.t }
+
+let scratch_mem : mem_scratch option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch_memory base =
+  let r = Domain.DLS.get scratch_mem in
+  match !r with
+  | Some s when Memory.size s.m = Bytes.length base ->
+      if s.m_base == base then Memory.undo_writes s.m base
+      else begin
+        Memory.reset s.m base;
+        s.m_base <- base
+      end;
+      s.m
+  | _ ->
+      let m = Memory.of_image base in
+      r := Some { m; m_base = base };
+      m
+
+(* Same treatment for the cache model: building the three levels
+   allocates tens of thousands of way records, so each domain keeps one
+   hierarchy per (geometry, perfect) and cold-restores it with
+   [Hierarchy.reset] — field writes, no allocation — per run. *)
+let scratch_hier :
+    (Config.cache_config * bool * Hierarchy.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let scratch_hierarchy cc ~perfect =
+  let r = Domain.DLS.get scratch_hier in
+  match !r with
+  | Some (cc', perfect', h) when perfect' = perfect && cc' = cc ->
+      Hierarchy.reset h;
+      h
+  | _ ->
+      let h = if perfect then Hierarchy.perfect cc else Hierarchy.create cc in
+      r := Some (cc, perfect, h);
+      h
+
+let fresh ~image ~cache ~perfect =
+  {
+    mem = scratch_memory image;
+    base = image;
+    hier = scratch_hierarchy cache ~perfect;
+    time = -1;
+    dyn = 0;
+    defs = 0;
+    mems = 0;
+    branches = 0;
+    xreads = 0;
+    roles = Array.make 4 0;
+    depth = 0;
+    tmax = 0;
+    xfer = xfer_none;
+    retv = None;
+  }
+
+(* A snapshot is only taken at an entry-function block-loop top with the
+   call stack empty (depth = 1), where [xfer]/[retv]/[tmax] are dead:
+   the block body overwrites them before any read. So the snapshot needs
+   exactly the counters, the clock, the entry register file, the memory
+   state, the cache state and the block index to resume at. The memory
+   is a sparse delta over the (shared, never-mutated) pristine image, so
+   a snapshot costs O(pages written so far), not O(arena). All captured
+   fields are deep copies, never mutated after capture — safe to share
+   read-only across pool domains. *)
+type snapshot = {
+  s_time : int;
+  s_dyn : int;
+  s_defs : int;
+  s_mems : int;
+  s_branches : int;
+  s_xreads : int;
+  s_roles : int array;
+  block : int;  (* entry-function block index to resume at *)
+  regs : regfile;
+  mem_base : Bytes.t;  (* shared pristine image, not a copy *)
+  mem_delta : Memory.delta;
+  cache : Hierarchy.snapshot;
+}
+
+let snapshot st ~regs ~block =
+  {
+    s_time = st.time;
+    s_dyn = st.dyn;
+    s_defs = st.defs;
+    s_mems = st.mems;
+    s_branches = st.branches;
+    s_xreads = st.xreads;
+    s_roles = Array.copy st.roles;
+    block;
+    regs = copy_regfile regs;
+    mem_base = st.base;
+    mem_delta = Memory.delta st.mem;
+    cache = Hierarchy.snapshot st.hier;
+  }
+
+let restore ~cache snap =
+  let hier =
+    scratch_hierarchy cache ~perfect:(Hierarchy.snapshot_perfect snap.cache)
+  in
+  Hierarchy.restore hier snap.cache;
+  let mem = scratch_memory snap.mem_base in
+  Memory.apply_delta mem snap.mem_delta;
+  let st =
+    {
+      mem;
+      base = snap.mem_base;
+      hier;
+      time = snap.s_time;
+      dyn = snap.s_dyn;
+      defs = snap.s_defs;
+      mems = snap.s_mems;
+      branches = snap.s_branches;
+      xreads = snap.s_xreads;
+      roles = Array.copy snap.s_roles;
+      (* Resuming inside the entry function's block loop: one live call
+         frame, no pending transfer. *)
+      depth = 1;
+      tmax = 0;
+      xfer = xfer_none;
+      retv = None;
+    }
+  in
+  (st, copy_regfile snap.regs)
+
+let regfile_bytes rf =
+  let words =
+    Array.length rf.gp + Array.length rf.fpv + Array.length rf.prv
+    + Array.length rf.gp_ready + Array.length rf.fp_ready
+    + Array.length rf.pr_ready + Array.length rf.gp_home
+    + Array.length rf.fp_home + Array.length rf.pr_home
+  in
+  words * Sys.word_size / 8
+
+let snapshot_bytes snap =
+  Memory.delta_bytes snap.mem_delta
+  + Hierarchy.snapshot_bytes snap.cache
+  + regfile_bytes snap.regs
+  + ((Array.length snap.s_roles + 8) * Sys.word_size / 8)

@@ -1,0 +1,116 @@
+(** First-class machine state for the pre-decoded simulator.
+
+    Everything {!Simulator} mutates during a run lives here: the
+    dynamic-event counters campaigns size injection populations from,
+    the lockstep clock, the control-transfer scratch, the working memory
+    arena and the cache-hierarchy model, plus the per-call register file.
+
+    The payoff is {!snapshot}/{!restore}: at an entry-function block
+    boundary with the call stack empty, these fields are the {e whole}
+    machine, so a snapshot there plus the (immutable) decoded program
+    determines the rest of the run exactly — the foundation of
+    golden-prefix replay ({!Replay}). *)
+
+(** Per-call register file with scoreboard metadata: value, ready time
+    and producing cluster per register. *)
+type regfile = {
+  gp : int64 array;
+  fpv : float array;
+  prv : bool array;
+  gp_ready : int array;
+  fp_ready : int array;
+  pr_ready : int array;
+  gp_home : int array;
+  fp_home : int array;
+  pr_home : int array;
+}
+
+(** Fresh register file for one call of [func]; every register becomes
+    readable at [time], homes are unset. *)
+val make_regfile : Casted_ir.Func.t -> time:int -> regfile
+
+val copy_regfile : regfile -> regfile
+
+(** A value crossing a call boundary. *)
+type value = V_gp of int64 | V_fp of float | V_pr of bool
+
+(** Sentinels for the [xfer] control-transfer field: [xfer_none] while a
+    block runs, a block index after a taken branch, [xfer_return] after
+    Ret (value parked in [retv]). *)
+val xfer_none : int
+
+val xfer_return : int
+
+type t = {
+  mem : Memory.t;
+  base : Bytes.t;  (** pristine image [mem] was last reset from *)
+  hier : Casted_cache.Hierarchy.t;
+  mutable time : int;  (** issue time of the last issued bundle *)
+  mutable dyn : int;
+  mutable defs : int;  (** dynamic register slots written *)
+  mutable mems : int;  (** dynamic memory accesses (loads + stores) *)
+  mutable branches : int;  (** dynamic conditional branches *)
+  mutable xreads : int;  (** operand reads crossing the cluster boundary *)
+  roles : int array;  (** dynamic count per role *)
+  mutable depth : int;
+  mutable tmax : int;  (** scratch for bundle issue-time computation *)
+  mutable xfer : int;
+  mutable retv : value option;
+}
+
+(** Per-domain scratch memory arena reset to [image]. Reused across
+    runs on the same domain; when the same image object is passed again
+    the reset is [Memory.undo_writes] — O(pages the previous run
+    dirtied) — and only a new image pays a full-arena blit. *)
+val scratch_memory : Bytes.t -> Memory.t
+
+(** Per-domain scratch cache hierarchy for (geometry, perfect), reset
+    field-by-field per run. *)
+val scratch_hierarchy :
+  Casted_machine.Config.cache_config -> perfect:bool -> Casted_cache.Hierarchy.t
+
+(** Machine state at the start of a run (clock at -1, counters zero),
+    backed by the calling domain's scratch arena and hierarchy. *)
+val fresh :
+  image:Bytes.t ->
+  cache:Casted_machine.Config.cache_config ->
+  perfect:bool ->
+  t
+
+(** A deep, immutable copy of the machine at an entry-function
+    block-loop top: counters, clock, entry register file, memory state
+    (a sparse {!Memory.delta} over the shared pristine image), cache
+    state, and the block index to resume at. Safe to share read-only
+    across pool domains. Only valid when the call stack is empty
+    (depth 1) — [xfer]/[retv]/[tmax] are dead there and are not
+    captured. *)
+type snapshot = {
+  s_time : int;
+  s_dyn : int;
+  s_defs : int;
+  s_mems : int;
+  s_branches : int;
+  s_xreads : int;
+  s_roles : int array;
+  block : int;
+  regs : regfile;
+  mem_base : Bytes.t;  (** shared pristine image, not a copy *)
+  mem_delta : Memory.delta;
+  cache : Casted_cache.Hierarchy.snapshot;
+}
+
+(** [snapshot st ~regs ~block] captures the machine; O(pages written +
+    cache sets touched), not O(arena + cache capacity). *)
+val snapshot : t -> regs:regfile -> block:int -> snapshot
+
+(** [restore ~cache snap] rebuilds an equivalent machine on the calling
+    domain's scratch (dirty-page undo + delta apply on the arena,
+    sparse hierarchy restore) and returns it with a private copy of the
+    snapshot's register file. The returned state has [depth = 1] and no
+    pending transfer — ready for the entry function's block loop at
+    [snap.block]. *)
+val restore :
+  cache:Casted_machine.Config.cache_config -> snapshot -> t * regfile
+
+(** Approximate heap footprint of a snapshot, in bytes. *)
+val snapshot_bytes : snapshot -> int

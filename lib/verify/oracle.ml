@@ -4,6 +4,7 @@ module Pipeline = Casted_detect.Pipeline
 module Simulator = Casted_sim.Simulator
 module Decode = Casted_sim.Decode
 module Outcome = Casted_sim.Outcome
+module Replay = Casted_sim.Replay
 module Pool = Casted_exec.Pool
 
 type cell = { scheme : Scheme.t; issue_width : int; delay : int }
@@ -61,15 +62,16 @@ let reference ?options ?fuel program =
   in
   Simulator.run ?fuel ~with_mem_digest:true c.Pipeline.schedule
 
-(* Field-for-field comparison of two runs of the same cell: [run] and
-   [run_decoded] promise bit-identical results, and a fault-free run is
-   deterministic, so any difference is a simulator bug. *)
-let cross_check cell (a : Outcome.run) (b : Outcome.run) =
+(* Field-for-field comparison of two runs of the same cell: [run],
+   [run_decoded] and [run_replayed] all promise bit-identical results,
+   and a fault-free run is deterministic, so any difference is a
+   simulator bug. [label] names the pair being compared, e.g.
+   ["run vs run_decoded"]. *)
+let cross_check_with ~label cell (a : Outcome.run) (b : Outcome.run) =
   let d field reference got = { cell; field; reference; got } in
   let int field x y acc =
     if x = y then acc
-    else d ("run vs run_decoded: " ^ field) (string_of_int x) (string_of_int y)
-         :: acc
+    else d (label ^ ": " ^ field) (string_of_int x) (string_of_int y) :: acc
   in
   []
   |> int "cycles" a.Outcome.cycles b.Outcome.cycles
@@ -85,7 +87,7 @@ let cross_check cell (a : Outcome.run) (b : Outcome.run) =
   let acc =
     if a.Outcome.termination = b.Outcome.termination then acc
     else
-      d "run vs run_decoded: termination"
+      d (label ^ ": termination")
         (term_string a.Outcome.termination)
         (term_string b.Outcome.termination)
       :: acc
@@ -93,28 +95,46 @@ let cross_check cell (a : Outcome.run) (b : Outcome.run) =
   let acc =
     if String.equal a.Outcome.output b.Outcome.output then acc
     else
-      d "run vs run_decoded: output" (hex a.Outcome.output)
-        (hex b.Outcome.output)
+      d (label ^ ": output") (hex a.Outcome.output) (hex b.Outcome.output)
       :: acc
   in
   let acc =
     if String.equal a.Outcome.mem_digest b.Outcome.mem_digest then acc
     else
-      d "run vs run_decoded: mem_digest"
+      d (label ^ ": mem_digest")
         (Digest.to_hex a.Outcome.mem_digest)
         (Digest.to_hex b.Outcome.mem_digest)
       :: acc
   in
   List.rev acc
 
+let cross_check cell a b = cross_check_with ~label:"run vs run_decoded" cell a b
+
+(* The replay leg of the three-way check: capture a small snapshot set
+   on the cell's program (dense stride, so the thinning path is
+   exercised too) and replay the fault-free run from EVERY snapshot.
+   Each replayed suffix must land on the decoded run field for field —
+   cycles, every counter, output, cache stats, the whole memory image.
+   Any miss means State.snapshot/restore lost a piece of the machine. *)
+let replay_cross_check ?fuel cell (decoded_run : Outcome.run) decoded =
+  let r = Replay.capture ~init_stride:32 ~target:4 ?fuel decoded in
+  Replay.snapshots r |> Array.to_list
+  |> List.concat_map (fun snapshot ->
+         let replayed =
+           Simulator.run_replayed ?fuel ~with_mem_digest:true ~snapshot
+             decoded
+         in
+         cross_check_with ~label:"run_decoded vs run_replayed" cell
+           decoded_run replayed)
+
 let check_cell ?options ?fuel ~reference:(ref_run : Outcome.run) program cell
     =
   let compiled = compile ?options cell program in
   let sched = compiled.Pipeline.schedule in
+  let decoded = Decode.of_schedule sched in
   let run = Simulator.run ?fuel ~with_mem_digest:true sched in
   let decoded_run =
-    Simulator.run_decoded ?fuel ~with_mem_digest:true
-      (Decode.of_schedule sched)
+    Simulator.run_decoded ?fuel ~with_mem_digest:true decoded
   in
   let d field reference got = { cell; field; reference; got } in
   let archi =
@@ -145,6 +165,7 @@ let check_cell ?options ?fuel ~reference:(ref_run : Outcome.run) program cell
       ]
   in
   archi @ cross_check cell run decoded_run
+  @ replay_cross_check ?fuel cell decoded_run decoded
 
 let differential ?pool ?issue_widths ?delays ?options ?fuel program =
   let ref_run = reference ?options ?fuel program in

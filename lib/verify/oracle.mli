@@ -7,9 +7,13 @@
     a compiler or simulator bug, RepTFD-style: the reference execution
     is the oracle.
 
-    Each cell additionally cross-checks [Simulator.run] against
-    [Simulator.run_decoded] on the schedule, field for field: the
-    pre-decoded interpreter must be bit-identical to the direct one. *)
+    Each cell additionally cross-checks the three execution paths
+    against each other, field for field: [Simulator.run] vs
+    [Simulator.run_decoded] on the schedule (the pre-decoded
+    interpreter must be bit-identical to the direct one), and
+    [Simulator.run_replayed] from {e every} snapshot of a dense
+    {!Casted_sim.Replay.capture} vs the decoded run (golden-prefix
+    replay must lose no piece of the machine state). *)
 
 type cell = {
   scheme : Casted_detect.Scheme.t;
@@ -45,8 +49,9 @@ val reference :
 
 (** [check_cell ?options ?fuel ~reference program cell] compiles
     [program] for [cell], runs it fault-free, and returns every
-    divergence: architectural outcome vs the reference, and
-    [run] vs [run_decoded] on the cell's own schedule. *)
+    divergence: architectural outcome vs the reference, plus the
+    three-way [run] / [run_decoded] / [run_replayed] cross-check on the
+    cell's own schedule. *)
 val check_cell :
   ?options:Casted_detect.Options.t ->
   ?fuel:int ->

@@ -186,7 +186,7 @@ let test_checkpoint_round_trip () =
         }
       in
       Checkpoint.save ~path t;
-      match Checkpoint.load ~path with
+      match Checkpoint.load ~path () with
       | Ok (Some t') ->
           Alcotest.(check int) "seed" t.Checkpoint.seed t'.Checkpoint.seed;
           Alcotest.(check int) "fuel" t.Checkpoint.fuel_factor
@@ -205,7 +205,7 @@ let test_checkpoint_round_trip () =
       | Error msg -> Alcotest.failf "round trip failed: %s" msg)
 
 let test_checkpoint_missing_and_corrupt () =
-  (match Checkpoint.load ~path:"/nonexistent/casted.ckpt" with
+  (match Checkpoint.load ~path:"/nonexistent/casted.ckpt" () with
   | Ok None -> ()
   | Ok (Some _) -> Alcotest.fail "phantom checkpoint"
   | Error msg -> Alcotest.failf "missing file must be Ok None, got %s" msg);
@@ -213,7 +213,7 @@ let test_checkpoint_missing_and_corrupt () =
       let oc = open_out path in
       output_string oc "not a checkpoint\n";
       close_out oc;
-      match Checkpoint.load ~path with
+      match Checkpoint.load ~path () with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "corrupt checkpoint must be a loud error")
 
@@ -366,7 +366,7 @@ let test_checkpoint_written_and_final () =
         Montecarlo.run ~seed:6 ~checkpoint:path ~checkpoint_every:64
           ~trials:100 s
       in
-      (match Checkpoint.load ~path with
+      (match Checkpoint.load ~path () with
       | Ok (Some c) ->
           Alcotest.(check int) "final index" 100 c.Checkpoint.next_index
       | Ok None -> Alcotest.fail "no checkpoint written"

@@ -72,6 +72,40 @@ let test_run_matches_run_decoded () =
       let b = Simulator.run_decoded (Decode.of_schedule sched) in
       Alcotest.(check bool) "identical outcomes" true (a = b)
 
+(* The replay path must land on the same frozen fixture: capture a
+   snapshot set on each entry and check that resuming from the LAST
+   snapshot (the most state restored, the least re-executed) still
+   reproduces every pinned field. *)
+let check_entry_replayed (e : Golden_fixture.entry) () =
+  let w = Option.get (Registry.find e.Golden_fixture.workload) in
+  let program = w.W.build W.Fault in
+  let compiled =
+    Pipeline.compile
+      ~scheme:(scheme_of_name e.Golden_fixture.scheme)
+      ~issue_width:e.Golden_fixture.issue ~delay:e.Golden_fixture.delay
+      program
+  in
+  let d = Decode.of_schedule compiled.Pipeline.schedule in
+  let capture = Casted_sim.Replay.capture ~init_stride:64 ~target:16 d in
+  let snaps = Casted_sim.Replay.snapshots capture in
+  if Array.length snaps = 0 then
+    Alcotest.failf "no snapshots captured for %s" e.Golden_fixture.workload;
+  let r =
+    Simulator.run_replayed ~snapshot:snaps.(Array.length snaps - 1) d
+  in
+  let ck what = Alcotest.(check int) what in
+  ck "cycles" e.Golden_fixture.cycles r.Outcome.cycles;
+  ck "dyn_insns" e.Golden_fixture.dyn_insns r.Outcome.dyn_insns;
+  ck "dyn_defs" e.Golden_fixture.dyn_defs r.Outcome.dyn_defs;
+  ck "dyn_mem" e.Golden_fixture.dyn_mem r.Outcome.dyn_mem;
+  ck "dyn_branches" e.Golden_fixture.dyn_branches r.Outcome.dyn_branches;
+  ck "dyn_xreads" e.Golden_fixture.dyn_xreads r.Outcome.dyn_xreads;
+  ck "dyn_checks" e.Golden_fixture.dyn_checks r.Outcome.dyn_checks;
+  ck "exit_code" e.Golden_fixture.exit_code r.Outcome.exit_code;
+  Alcotest.(check string)
+    "output md5" e.Golden_fixture.output_md5
+    (Digest.to_hex (Digest.string r.Outcome.output))
+
 let suite =
   let case e =
     Alcotest.test_case
@@ -80,7 +114,16 @@ let suite =
          e.Golden_fixture.delay)
       `Quick (check_entry e)
   in
+  let replay_case e =
+    Alcotest.test_case
+      (Printf.sprintf "replayed: %s %s issue=%d delay=%d"
+         e.Golden_fixture.workload e.Golden_fixture.scheme
+         e.Golden_fixture.issue e.Golden_fixture.delay)
+      `Quick
+      (check_entry_replayed e)
+  in
   ( "golden",
-    Alcotest.test_case "run = run_decoded . decode" `Quick
-      test_run_matches_run_decoded
-    :: List.map case Golden_fixture.entries )
+    (Alcotest.test_case "run = run_decoded . decode" `Quick
+       test_run_matches_run_decoded
+    :: List.map case Golden_fixture.entries)
+    @ List.map replay_case Golden_fixture.entries )
