@@ -80,8 +80,8 @@ let perf_size = if fast then W.Fault else W.Perf
 let all_sections =
   [
     "table1"; "table2"; "table3"; "fig6_7"; "fig8"; "fig9"; "fig10";
-    "ablations"; "placement"; "recovery"; "cse_on_hardened"; "selective";
-    "sim_throughput"; "microbench";
+    "ablations"; "placement"; "recovery"; "recovery_overhead";
+    "cse_on_hardened"; "selective"; "sim_throughput"; "microbench";
   ]
 
 let sections =
@@ -273,6 +273,67 @@ let section_recovery () =
         (Montecarlo.percent det_mc Montecarlo.Data_corrupt)
         (Montecarlo.percent rec_mc Montecarlo.Data_corrupt))
     [ "cjpeg"; "h263dec" ]
+
+(* Recovery-scheme cost/benefit through the real pipeline: runtime
+   overhead, recovered fraction, residual SDC, MWTF and campaign
+   throughput of CASTED (detection-only) vs the TMR and ROLLBACK
+   recovery schemes, against the NOED baseline. Feeds the
+   `recovery_overhead` section of BENCH.json; the recovered-fraction
+   floors are checked by scripts/perf_check.py in CI. *)
+let recovery_overhead_json : Obs.Json.t ref = ref Obs.Json.Null
+
+let section_recovery_overhead () =
+  banner "Recovery overhead: CASTED vs TMR vs ROLLBACK (cjpeg, issue 2 delay 2)";
+  let f x = Obs.Json.Float x in
+  let key scheme =
+    Casted_engine.Cache.key ~workload:"cjpeg" ~size:W.Fault ~scheme
+      ~issue_width:2 ~delay:2 ()
+  in
+  let _, noed = Engine.simulate engine (key Scheme.Noed) in
+  let base = noed.Outcome.cycles in
+  let n = min trials 150 in
+  let one scheme =
+    let t0 = Unix.gettimeofday () in
+    let r = Engine.campaign engine ~seed ~trials:n (key scheme) in
+    let wall = Unix.gettimeofday () -. t0 in
+    let overhead =
+      float_of_int r.Montecarlo.golden_cycles /. float_of_int base
+    in
+    let recovered = Montecarlo.recovered_fraction r in
+    let sdc =
+      float_of_int r.Montecarlo.corrupt
+      /. float_of_int (max 1 r.Montecarlo.trials)
+    in
+    let tps = float_of_int r.Montecarlo.trials /. wall in
+    let mwtf = Montecarlo.mwtf ~baseline_cycles:base r in
+    Printf.printf
+      "%-10s overhead %.2fx, recovered %5.1f%%, sdc %4.1f%%, mwtf %s, %.0f \
+       trials/s\n"
+      (Scheme.name scheme) overhead (100.0 *. recovered) (100.0 *. sdc)
+      (if Float.is_finite mwtf then Printf.sprintf "%.1f" mwtf else "inf")
+      tps;
+    ( String.lowercase_ascii (Scheme.name scheme),
+      Obs.Json.Obj
+        [
+          ("overhead", f overhead);
+          ("recovered_fraction", f recovered);
+          ("sdc_fraction", f sdc);
+          (* JSON has no infinity: an SDC-free campaign reports null. *)
+          ("mwtf", if Float.is_finite mwtf then f mwtf else Obs.Json.Null);
+          ("trials_per_s", f tps);
+          ("trials", Obs.Json.Int r.Montecarlo.trials);
+        ] )
+  in
+  let rows = List.map one [ Scheme.Casted; Scheme.Tmr; Scheme.Rollback ] in
+  recovery_overhead_json :=
+    Obs.Json.Obj
+      ([
+         ("workload", Obs.Json.String "cjpeg");
+         ("issue", Obs.Json.Int 2);
+         ("delay", Obs.Json.Int 2);
+         ("noed_cycles", Obs.Json.Int base);
+       ]
+      @ rows)
 
 let section_cse_on_hardened () =
   banner "Ablation: late CSE/DCE on hardened code (SS IV-A)";
@@ -654,6 +715,7 @@ let write_bench_json ~total_s =
                !section_times) );
         ("headline", summary_json);
         ("sim_throughput", !sim_throughput_json);
+        ("recovery_overhead", !recovery_overhead_json);
         ("engine", engine_json);
         ("total_seconds", f total_s);
       ]
@@ -680,6 +742,7 @@ let () =
   run "ablations" section_ablations;
   run "placement" section_placement;
   run "recovery" section_recovery;
+  run "recovery_overhead" section_recovery_overhead;
   run "cse_on_hardened" section_cse_on_hardened;
   run "selective" section_selective;
   run "sim_throughput" section_sim_throughput;

@@ -32,15 +32,21 @@ let bench_arg =
   let doc = "Benchmark name (see $(b,casted list))." in
   Arg.(value & opt string "cjpeg" & info [ "w"; "benchmark" ] ~doc)
 
+let scheme_names = String.concat ", " (List.map Scheme.name Scheme.all)
+
 let scheme_arg =
   let parse s =
     match Scheme.of_string s with
     | Some v -> Ok v
-    | None -> Error (`Msg ("unknown scheme " ^ s))
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown scheme %s (use %s)" s scheme_names))
   in
   let print ppf s = Format.pp_print_string ppf (Scheme.name s) in
   let scheme_conv = Arg.conv (parse, print) in
-  let doc = "Scheme: NOED, SCED, DCED or CASTED." in
+  let doc =
+    "Scheme: NOED, SCED, DCED or CASTED (detection); TMR or ROLLBACK \
+     (recovery)."
+  in
   Arg.(value & opt scheme_conv Scheme.Casted & info [ "s"; "scheme" ] ~doc)
 
 let issue_arg =
@@ -363,10 +369,45 @@ let allow_legacy_checkpoint_arg =
   in
   Arg.(value & flag & info [ "allow-legacy-checkpoint" ] ~doc)
 
+let retry_budget_arg =
+  let doc =
+    "Rollback retry budget: how many region re-executions a trial may \
+     spend before its original failure is reported. Defaults to the \
+     engine's budget for ROLLBACK and to no recovery loop for the other \
+     schemes."
+  in
+  Arg.(
+    value & opt (some int) None & info [ "retry-budget" ] ~docv:"N" ~doc)
+
+let min_recovered_arg =
+  let doc =
+    "Fail (exit 1) when the recovered fraction falls below $(docv) percent \
+     — a CI guard for recovery campaigns."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "min-recovered" ] ~docv:"PCT" ~doc)
+
+(* MWTF (Reis et al.) needs the unprotected runtime: the golden cycles
+   of the NOED build of the same benchmark at the same issue width. *)
+let noed_baseline_cycles engine ~bench ~issue =
+  let key =
+    Casted_engine.Cache.key ~workload:bench ~size:W.Fault ~scheme:Scheme.Noed
+      ~issue_width:issue ~delay:1 ()
+  in
+  let _, run = Engine.simulate engine key in
+  run.Outcome.cycles
+
+let pp_mwtf ppf m =
+  if Float.is_integer m && Float.abs m < 1e9 then
+    Format.fprintf ppf "%.0f" m
+  else Format.fprintf ppf "%.2f" m
+
 let campaign_cmd =
   let run bench scheme issue delay trials model ci_halfwidth checkpoint
-      checkpoint_every resume no_replay allow_legacy_checkpoint jobs trace
-      metrics =
+      checkpoint_every resume no_replay allow_legacy_checkpoint retry_budget
+      min_recovered jobs trace metrics =
     if resume && checkpoint = None then begin
       Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
       exit 2
@@ -386,7 +427,7 @@ let campaign_cmd =
         let result =
           Engine.campaign engine ~model ?ci_halfwidth ?checkpoint
             ~checkpoint_every ~resume ~replay:(not no_replay)
-            ~allow_legacy_checkpoint ~trials spec
+            ~allow_legacy_checkpoint ?retry_budget ~trials spec
         in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
           (Scheme.name scheme) issue delay (Engine.jobs engine);
@@ -397,56 +438,92 @@ let campaign_cmd =
             result.Montecarlo.trials trials
             (Option.value ci_halfwidth ~default:0.0);
         Format.printf "%a@." Montecarlo.pp result;
-        match result.Montecarlo.replay with
+        (match result.Montecarlo.replay with
         | Some s -> Format.printf "%a@." Montecarlo.pp_replay s
         | None -> ());
+        let recovered_pct =
+          100.0 *. Montecarlo.recovered_fraction result
+        in
+        let baseline_cycles = noed_baseline_cycles engine ~bench ~issue in
+        Format.printf
+          "recovered: %d/%d (%.1f%%); MWTF vs NOED (%d baseline cycles): \
+           %a@."
+          result.Montecarlo.recovered result.Montecarlo.trials recovered_pct
+          baseline_cycles pp_mwtf
+          (Montecarlo.mwtf ~baseline_cycles result);
+        match min_recovered with
+        | Some threshold when recovered_pct < threshold ->
+            Printf.eprintf
+              "casted: recovered fraction %.1f%% is below the required \
+               %.1f%%\n"
+              recovered_pct threshold;
+            exit 1
+        | _ -> ());
     0
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:
          "Run one Monte-Carlo fault campaign (checkpointable, resumable, \
-          with Wilson confidence intervals and optional early stopping)")
+          with Wilson confidence intervals, optional early stopping, and \
+          recovered-fraction / MWTF reporting)")
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
       $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ no_replay_arg $ allow_legacy_checkpoint_arg $ jobs_arg
-      $ trace_arg $ metrics_arg)
+      $ resume_arg $ no_replay_arg $ allow_legacy_checkpoint_arg
+      $ retry_budget_arg $ min_recovered_arg $ jobs_arg $ trace_arg
+      $ metrics_arg)
 
 let recover_cmd =
-  let run bench issue delay trials model jobs trace metrics =
+  let run bench issue delay trials model retry_budget jobs trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
-    let w = find_workload bench in
-    let program = w.W.build W.Fault in
-    let hardened, stats =
-      Casted_detect.Recover.program Casted_detect.Options.default program
-    in
-    let config = Casted_machine.Config.dual_core ~issue_width:issue ~delay in
-    let schedule =
-      Casted_sched.List_scheduler.schedule_program config
-        (Casted_sched.Assign.Adaptive Casted_sched.Bug.default_options)
-        hardened
-    in
-    Format.printf "%s / CASTED-R on %a@." bench Casted_machine.Config.pp
-      config;
-    Format.printf "instrumentation: %a@." Casted_detect.Recover.pp_stats stats;
-    let r = Simulator.run schedule in
-    Format.printf "golden: %a@." Outcome.pp r;
-    let mc =
-      Pool.with_pool ~jobs:(resolve_jobs jobs) (fun pool ->
-          Montecarlo.run ~pool ~model ~trials schedule)
-    in
-    Format.printf "faults: %a@." Montecarlo.pp mc;
+    ignore (find_workload bench);
+    with_engine jobs (fun engine ->
+        let key scheme =
+          Casted_engine.Cache.key ~workload:bench ~size:W.Fault ~scheme
+            ~issue_width:issue ~delay ()
+        in
+        let baseline_cycles = noed_baseline_cycles engine ~bench ~issue in
+        Format.printf
+          "%s issue %d delay %d: %d %s trials per scheme (%d jobs, NOED \
+           baseline %d cycles)@."
+          bench issue delay trials
+          (Casted_sim.Fault.model_name model)
+          (Engine.jobs engine) baseline_cycles;
+        Format.printf "%-10s %9s %9s %10s %10s %6s %8s@." "scheme" "overhead"
+          "benign%" "recovered%" "detected%" "sdc%" "mwtf";
+        List.iter
+          (fun scheme ->
+            let r =
+              Engine.campaign engine ~model ?retry_budget ~trials (key scheme)
+            in
+            let overhead =
+              float_of_int r.Montecarlo.golden_cycles
+              /. float_of_int baseline_cycles
+            in
+            let mwtf =
+              Format.asprintf "%a" pp_mwtf (Montecarlo.mwtf ~baseline_cycles r)
+            in
+            Format.printf "%-10s %8.2fx %9.1f %10.1f %10.1f %6.1f %8s@."
+              (Scheme.name scheme) overhead
+              (Montecarlo.percent r Montecarlo.Benign)
+              (Montecarlo.percent r Montecarlo.Recovered)
+              (Montecarlo.percent r Montecarlo.Detected)
+              (Montecarlo.percent r Montecarlo.Data_corrupt)
+              mwtf)
+          [ Scheme.Casted; Scheme.Tmr; Scheme.Rollback ]);
     0
   in
   Cmd.v
     (Cmd.info "recover"
        ~doc:
-         "Run the CASTED-R extension (triplication + majority voting) on a \
-          benchmark")
+         "Run the recovery campaign: CASTED (detection), TMR (triplication \
+          + majority voting) and ROLLBACK (region checkpoints + bounded \
+          re-execution) side by side, with runtime overhead, recovered \
+          fraction and MWTF against the NOED baseline")
     Term.(
       const run $ bench_arg $ issue_arg $ delay_arg $ trials_arg $ model_arg
-      $ jobs_arg $ trace_arg $ metrics_arg)
+      $ retry_budget_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let placement_cmd =
   let run bench issue size =
@@ -661,9 +738,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Lint every schedule against the SWIFT invariants and \
-          differentially check all four schemes against the NOED reference \
-          across the example matrix; exits 1 on any diagnostic or \
-          divergence")
+          differentially check all six schemes (detection and recovery) \
+          against the NOED reference across the example matrix; exits 1 on \
+          any diagnostic or divergence")
     Term.(const run $ benches $ size_arg $ jobs_arg $ json)
 
 let fuzz_cmd =
@@ -726,9 +803,10 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
-         "Push seeded random programs through the full pipeline under all \
-          four schemes, failing on any lint diagnostic or oracle \
-          divergence; failures are shrunk to a minimal reproducer")
+         "Push seeded random programs through the full pipeline under \
+          detection and recovery schemes alike, failing on any lint \
+          diagnostic or oracle divergence; failures are shrunk to a minimal \
+          reproducer")
     Term.(const run $ programs $ seed $ program $ jobs_arg $ reproducer)
 
 let version_cmd =

@@ -33,8 +33,24 @@ let compile ?(options = Options.default) ?bug_options ?(optimize = false)
       in
       let program, stats =
         Obs.Trace.with_span ~cat:"compile" "pipeline.transform" (fun () ->
-            if Scheme.hardened scheme then Transform.program options program
-            else (Casted_ir.Clone.program program, Transform.zero_stats))
+            match scheme with
+            | Scheme.Noed ->
+                (Casted_ir.Clone.program program, Transform.zero_stats)
+            | Scheme.Sced | Scheme.Dced | Scheme.Casted ->
+                Transform.program options program
+            | Scheme.Tmr ->
+                let p, s = Recover.program options program in
+                ( p,
+                  {
+                    Transform.originals = s.Recover.originals;
+                    replicas = s.Recover.replicas;
+                    checks = s.Recover.votes + s.Recover.fallback_checks;
+                    shadow_copies = s.Recover.shadow_copies;
+                  } )
+            | Scheme.Rollback ->
+                let p, s = Transform.program options program in
+                let p, _regions = Rollback.program p in
+                (p, s))
       in
       let strategy =
         match (Scheme.strategy scheme, bug_options) with

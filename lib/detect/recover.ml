@@ -81,14 +81,45 @@ let triplicate_block ctx block =
   in
   block.Block.body <- List.concat_map expand block.Block.body
 
-let copy_op cls =
-  match cls with
-  | Reg.Gp -> Opcode.Mov
-  | Reg.Fp -> Opcode.Fmov
+(* Shadow copies of one register into both shadow spaces. Gp/Fp copy
+   with a plain move; there is no predicate move, so a Pr register is
+   materialised into a scratch GP ([Sel] of 1/0) and re-compared into
+   each shadow predicate. The shadows are then honest copies that a
+   later {!fallback_check} can trap against — this used to be an
+   [invalid_arg] abort for predicate-class registers. *)
+let shadow_copy_pair ctx ?replica_of r =
+  ctx.n_copies <- ctx.n_copies + 2;
+  match Reg.cls r with
+  | Reg.Gp ->
+      [
+        mk ctx ~op:Opcode.Mov ~defs:[| s1 ctx r |] ~uses:[| r |]
+          ~role:Insn.Shadow_copy ?replica_of ();
+        mk ctx ~op:Opcode.Mov ~defs:[| s2 ctx r |] ~uses:[| r |]
+          ~role:Insn.Shadow_copy ?replica_of ();
+      ]
+  | Reg.Fp ->
+      [
+        mk ctx ~op:Opcode.Fmov ~defs:[| s1 ctx r |] ~uses:[| r |]
+          ~role:Insn.Shadow_copy ?replica_of ();
+        mk ctx ~op:Opcode.Fmov ~defs:[| s2 ctx r |] ~uses:[| r |]
+          ~role:Insn.Shadow_copy ?replica_of ();
+      ]
   | Reg.Pr ->
-      invalid_arg
-        "Recover: cannot shadow a predicate register defined by \
-         non-replicated code"
+      let one = Func.fresh_reg ctx.func Reg.Gp in
+      let zero = Func.fresh_reg ctx.func Reg.Gp in
+      let g = Func.fresh_reg ctx.func Reg.Gp in
+      [
+        mk ctx ~op:Opcode.Movi ~defs:[| one |] ~imm:1L ~role:Insn.Shadow_copy
+          ?replica_of ();
+        mk ctx ~op:Opcode.Movi ~defs:[| zero |] ~imm:0L
+          ~role:Insn.Shadow_copy ?replica_of ();
+        mk ctx ~op:Opcode.Sel ~defs:[| g |] ~uses:[| r; one; zero |]
+          ~role:Insn.Shadow_copy ?replica_of ();
+        mk ctx ~op:(Opcode.Cmpi Cond.Ne) ~defs:[| s1 ctx r |] ~uses:[| g |]
+          ~imm:0L ~role:Insn.Shadow_copy ?replica_of ();
+        mk ctx ~op:(Opcode.Cmpi Cond.Ne) ~defs:[| s2 ctx r |] ~uses:[| g |]
+          ~imm:0L ~role:Insn.Shadow_copy ?replica_of ();
+      ]
 
 (* Shadow copies after non-replicated definitions and for parameters,
    into both shadow spaces. *)
@@ -101,15 +132,7 @@ let shadow_copies_block ctx block =
     then
       insn
       :: List.concat_map
-           (fun r ->
-             ctx.n_copies <- ctx.n_copies + 2;
-             let op = copy_op (Reg.cls r) in
-             [
-               mk ctx ~op ~defs:[| s1 ctx r |] ~uses:[| r |]
-                 ~role:Insn.Shadow_copy ~replica_of:insn.Insn.id ();
-               mk ctx ~op ~defs:[| s2 ctx r |] ~uses:[| r |]
-                 ~role:Insn.Shadow_copy ~replica_of:insn.Insn.id ();
-             ])
+           (fun r -> shadow_copy_pair ctx ~replica_of:insn.Insn.id r)
            (Array.to_list insn.Insn.defs)
     else [ insn ]
   in
@@ -119,17 +142,7 @@ let shadow_params ctx =
   if ctx.options.Options.shadow_params && ctx.func.Func.params <> [] then begin
     let entry = Func.entry ctx.func in
     let copies =
-      List.concat_map
-        (fun r ->
-          ctx.n_copies <- ctx.n_copies + 2;
-          let op = copy_op (Reg.cls r) in
-          [
-            mk ctx ~op ~defs:[| s1 ctx r |] ~uses:[| r |]
-              ~role:Insn.Shadow_copy ();
-            mk ctx ~op ~defs:[| s2 ctx r |] ~uses:[| r |]
-              ~role:Insn.Shadow_copy ();
-          ])
-        ctx.func.Func.params
+      List.concat_map (fun r -> shadow_copy_pair ctx r) ctx.func.Func.params
     in
     entry.Block.body <- copies @ entry.Block.body
   end

@@ -2,15 +2,17 @@ module Config = Casted_machine.Config
 module Assign = Casted_sched.Assign
 module Bug = Casted_sched.Bug
 
-type t = Noed | Sced | Dced | Casted
+type t = Noed | Sced | Dced | Casted | Tmr | Rollback
 
-let all = [ Noed; Sced; Dced; Casted ]
+let all = [ Noed; Sced; Dced; Casted; Tmr; Rollback ]
 
 let name = function
   | Noed -> "NOED"
   | Sced -> "SCED"
   | Dced -> "DCED"
   | Casted -> "CASTED"
+  | Tmr -> "TMR"
+  | Rollback -> "ROLLBACK"
 
 let of_string s =
   match String.uppercase_ascii s with
@@ -18,16 +20,24 @@ let of_string s =
   | "SCED" -> Some Sced
   | "DCED" -> Some Dced
   | "CASTED" -> Some Casted
+  | "TMR" -> Some Tmr
+  | "ROLLBACK" -> Some Rollback
   | _ -> None
 
-let hardened = function Noed -> false | Sced | Dced | Casted -> true
+let hardened = function
+  | Noed -> false
+  | Sced | Dced | Casted | Tmr | Rollback -> true
+
+let recovers = function
+  | Tmr | Rollback -> true
+  | Noed | Sced | Dced | Casted -> false
 
 let machine t ~issue_width ~delay =
   match t with
   | Noed | Sced -> Config.single_core ~issue_width
-  | Dced | Casted -> Config.dual_core ~issue_width ~delay
+  | Dced | Casted | Tmr | Rollback -> Config.dual_core ~issue_width ~delay
 
 let strategy = function
   | Noed | Sced -> Assign.Single_cluster
   | Dced -> Assign.Dual_fixed
-  | Casted -> Assign.Adaptive Bug.default_options
+  | Casted | Tmr | Rollback -> Assign.Adaptive Bug.default_options

@@ -1,4 +1,5 @@
-(** The four schemes the paper evaluates (§IV-B).
+(** The four schemes the paper evaluates (§IV-B), plus the two
+    recovery schemes this codebase adds on top.
 
     - [Noed]: unmodified code on a single cluster (the normalisation
       baseline);
@@ -6,19 +7,31 @@
     - [Dced]: detection code, original stream on cluster 0 and redundant
       stream on cluster 1 (fixed placement);
     - [Casted]: detection code, adaptive BUG placement over both
-      clusters. *)
+      clusters;
+    - [Tmr]: SWIFT-R-style triplication with majority voting
+      ({!Recover}): a single corrupted copy is voted out and repaired
+      in place, so faults are {e corrected}, not just trapped;
+    - [Rollback]: CASTED-style detection plus region checkpoints
+      ({!Rollback}): a fired check restores the last region snapshot
+      and re-executes instead of trapping. *)
 
-type t = Noed | Sced | Dced | Casted
+type t = Noed | Sced | Dced | Casted | Tmr | Rollback
 
 val all : t list
 val name : t -> string
+
+(** Case-insensitive lookup by {!name}. *)
 val of_string : string -> t option
 
-(** Does the scheme run the error-detection pass? *)
+(** Does the scheme run a redundancy transform (anything but NOED)? *)
 val hardened : t -> bool
 
+(** Can the scheme repair a detected fault instead of trapping? True
+    for [Tmr] (in-place vote) and [Rollback] (checkpoint restore). *)
+val recovers : t -> bool
+
 (** The machine the scheme targets at a given configuration point.
-    NOED and SCED run on one cluster; DCED and CASTED on two. *)
+    NOED and SCED run on one cluster; the rest on two. *)
 val machine :
   t -> issue_width:int -> delay:int -> Casted_machine.Config.t
 

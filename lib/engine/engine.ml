@@ -131,9 +131,14 @@ let simulate t key =
   in
   (compiled, run)
 
+(* Rollback campaigns run every trial through Simulator.run_recovering
+   with this retry budget (a fault that keeps re-failing after this many
+   restores reports its original failure). *)
+let default_retry_budget = 3
+
 let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Casted_sim.Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?(resume = false) ?(replay = true)
+    ?checkpoint_every ?(resume = false) ?(replay = true) ?retry_budget
     ?(allow_legacy_checkpoint = false) ~trials key =
   (* Compile (cached) under the compile timer, then hand the memoized
      decoded program — and, with replay on, the memoized golden-run
@@ -142,6 +147,17 @@ let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
      campaigns revisiting this configuration. *)
   let (_ : Pipeline.compiled) = compile t key in
   let decoded = Cache.decoded t.cache key in
+  (* A rollback schedule restores its own region checkpoints mid-trial,
+     which golden-prefix replay cannot express: such campaigns get the
+     recovering executor (and no replay set) instead. *)
+  let retry_budget =
+    match retry_budget with
+    | Some _ as b -> b
+    | None ->
+        if key.Cache.scheme = Scheme.Rollback then Some default_retry_budget
+        else None
+  in
+  let replay = replay && retry_budget = None in
   let replay_set = if replay then Some (Cache.replay t.cache key) else None in
   let identity =
     Printf.sprintf "%s/%s" (Cache.identity key)
@@ -150,7 +166,7 @@ let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   timed t `Campaign (fun () ->
       Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
         ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity ~replay
-        ?replay_set ~allow_legacy_checkpoint ~trials decoded)
+        ?replay_set ?retry_budget ~allow_legacy_checkpoint ~trials decoded)
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
    per issue width (compiled at delay 1, recorded as delay 0, like the

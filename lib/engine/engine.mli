@@ -94,7 +94,14 @@ val simulate :
     [checkpoint_every], [resume], [replay], [allow_legacy_checkpoint])
     are forwarded to it. With [replay] on (the default) the golden-run
     snapshot set comes from the engine cache ({!Cache.replay}), so
-    campaigns revisiting a configuration share one capture. *)
+    campaigns revisiting a configuration share one capture.
+
+    A {!Casted_detect.Scheme.Rollback} spec automatically runs every
+    trial through {!Casted_sim.Simulator.run_recovering} with
+    [retry_budget] (default {!default_retry_budget}) and replay forced
+    off — a rollback trial restores its own region checkpoints, which
+    prefix replay cannot express. Pass [retry_budget] explicitly to
+    override the budget (or to run any other scheme recovering). *)
 val campaign :
   t ->
   ?seed:int ->
@@ -105,10 +112,15 @@ val campaign :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?replay:bool ->
+  ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Cache.key ->
   Casted_sim.Montecarlo.result
+
+(** Rollback budget {!campaign} uses when the spec's scheme is
+    [Rollback] and no explicit [retry_budget] is given. *)
+val default_retry_budget : int
 
 (** [sweep t ~size ()] runs the performance grid of the paper's
     Figs. 6-8: NOED and SCED once per issue width, DCED and CASTED per

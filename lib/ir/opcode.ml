@@ -47,6 +47,7 @@ type t =
   | Ret
   | Halt
   | Chk
+  | Cpt
   | Nop
 
 type unit_kind = U_int | U_fp | U_mem | U_branch
@@ -54,7 +55,7 @@ type unit_kind = U_int | U_fp | U_mem | U_branch
 let unit_kind = function
   | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sra | Mov
   | Movi | Addi | Muli | Andi | Xori | Shli | Shri | Srai | Cmp _ | Cmpi _ | Sel
-  | Chk | Nop ->
+  | Chk | Cpt | Nop ->
       U_int
   | Fadd | Fsub | Fmul | Fdiv | Fmov | Fmovi | Fcmp _ | Itof | Ftoi -> U_fp
   | Ld _ | Lds _ | St _ | Fld | Fst -> U_mem
@@ -70,11 +71,16 @@ let is_control_flow = function
 
 let is_terminator = function Br | Brc _ | Ret | Halt -> true | _ -> false
 let is_check = function Chk -> true | _ -> false
+let is_checkpoint = function Cpt -> true | _ -> false
 
 let replicable op =
-  (not (is_store op)) && (not (is_control_flow op)) && not (is_check op)
+  (not (is_store op))
+  && (not (is_control_flow op))
+  && (not (is_check op))
+  && not (is_checkpoint op)
 
-let has_side_effect op = is_store op || is_control_flow op || is_check op
+let has_side_effect op =
+  is_store op || is_control_flow op || is_check op || is_checkpoint op
 
 let uses_imm = function
   | Movi | Addi | Muli | Andi | Xori | Shli | Shri | Srai | Cmpi _ | Ld _ | Lds _
@@ -109,6 +115,7 @@ let signature = function
   | Call | Ret -> None
   | Halt -> None
   | Chk -> None
+  | Cpt -> Some ([], [])
   | Nop -> Some ([], [])
 
 let equal (a : t) (b : t) = a = b
@@ -158,6 +165,7 @@ let mnemonic = function
   | Ret -> "ret"
   | Halt -> "halt"
   | Chk -> "chk"
+  | Cpt -> "cpt"
   | Nop -> "nop"
 
 let pp ppf t = Format.pp_print_string ppf (mnemonic t)

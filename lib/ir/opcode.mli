@@ -66,6 +66,9 @@ type t =
   (* Error detection support. *)
   | Chk  (** compare two same-class registers; trap to the detection
              handler if they differ. Emitted by the detection pass. *)
+  | Cpt  (** checkpoint marker: its block's top is a rollback-region
+             boundary where the simulator snapshots the machine.
+             Emitted by the rollback pass; executes as a no-op. *)
   | Nop
 
 (** Functional-unit class, used for statistics and the pretty printer. *)
@@ -86,9 +89,10 @@ val is_control_flow : t -> bool
 val is_terminator : t -> bool
 
 val is_check : t -> bool
+val is_checkpoint : t -> bool
 
 (** Instructions the detection pass replicates: everything that is not a
-    store, not control flow and not already detection code. *)
+    store, not control flow and not already detection or recovery code. *)
 val replicable : t -> bool
 
 (** Instructions with externally visible effects (memory writes, control

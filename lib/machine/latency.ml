@@ -57,6 +57,7 @@ let of_op t (op : Opcode.t) =
     | Br | Brc _ | Ret | Halt -> t.branch
     | Call -> t.call
     | Chk -> t.check
+    | Cpt -> 1
     | Nop -> 1
   in
   max 1 l

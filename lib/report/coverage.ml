@@ -69,8 +69,8 @@ let fig10 ?engine ?seed ?model ?(trials = 300) ?(benchmark = "h263dec")
 let render rows =
   let headers =
     [
-      "benchmark"; "scheme"; "issue"; "delay"; "benign"; "detected";
-      "exception"; "corrupt"; "timeout";
+      "benchmark"; "scheme"; "issue"; "delay"; "benign"; "recovered";
+      "detected"; "exception"; "corrupt"; "timeout";
     ]
   in
   let row r =
@@ -86,6 +86,7 @@ let render rows =
       string_of_int r.issue;
       string_of_int r.delay;
       p Montecarlo.Benign;
+      p Montecarlo.Recovered;
       p Montecarlo.Detected;
       p Montecarlo.Exception;
       p Montecarlo.Data_corrupt;

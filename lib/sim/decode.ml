@@ -20,7 +20,7 @@ type dinsn = {
 }
 
 type dbundle = { at : int; slots : dinsn array array }
-type dblock = { label : string; bundles : dbundle array }
+type dblock = { label : string; bundles : dbundle array; checkpoint : bool }
 type dfunc = { func : Casted_ir.Func.t; blocks : dblock array }
 
 type t = {
@@ -112,7 +112,18 @@ let of_schedule (sched : Schedule.t) : t =
                   { at; slots = Array.map (Array.map decode_one) bundle }
                   :: !bundles)
             b.Schedule.bundles;
-          { label = b.Schedule.label; bundles = Array.of_list (List.rev !bundles) }
+          let bundles = Array.of_list (List.rev !bundles) in
+          (* A block holding a Cpt marker is a rollback-region head: its
+             loop top is where run_recovering snapshots the machine. *)
+          let checkpoint =
+            Array.exists
+              (fun db ->
+                Array.exists
+                  (Array.exists (fun di -> di.op = Opcode.Cpt))
+                  db.slots)
+              bundles
+          in
+          { label = b.Schedule.label; bundles; checkpoint }
         in
         if Array.length fs.Schedule.blocks = 0 then
           invalid_arg

@@ -52,6 +52,9 @@ type dbundle = {
 type dblock = {
   label : string;  (** for profiling only *)
   bundles : dbundle array;  (** empty cycles stripped *)
+  checkpoint : bool;
+      (** the block carries a [Cpt] marker: its loop top is a
+          rollback-region boundary ({!Simulator.run_recovering}) *)
 }
 
 type dfunc = {

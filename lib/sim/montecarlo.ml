@@ -1,6 +1,13 @@
-type classification = Benign | Detected | Exception | Data_corrupt | Timeout
+type classification =
+  | Benign
+  | Detected
+  | Exception
+  | Data_corrupt
+  | Timeout
+  | Recovered
 
-let all_classes = [ Benign; Detected; Exception; Data_corrupt; Timeout ]
+let all_classes =
+  [ Benign; Recovered; Detected; Exception; Data_corrupt; Timeout ]
 
 let class_name = function
   | Benign -> "benign"
@@ -8,6 +15,7 @@ let class_name = function
   | Exception -> "exception"
   | Data_corrupt -> "data-corrupt"
   | Timeout -> "timeout"
+  | Recovered -> "recovered"
 
 (* How golden-prefix replay fared, over the trials this process ran
    (resumed trials from an earlier process left no per-trial record in
@@ -27,6 +35,7 @@ type result = {
   exceptions : int;
   corrupt : int;
   timeouts : int;
+  recovered : int;
   golden_cycles : int;
   golden_dyn : int;
   population : int;
@@ -40,6 +49,7 @@ let count r = function
   | Exception -> r.exceptions
   | Data_corrupt -> r.corrupt
   | Timeout -> r.timeouts
+  | Recovered -> r.recovered
 
 let percent r c =
   if r.trials = 0 then 0.0
@@ -54,15 +64,24 @@ let halfwidth ?z r c =
   (hi -. lo) /. 2.0
 
 let classify ~golden (run : Outcome.run) =
+  let architecturally_clean code =
+    code = golden.Outcome.exit_code
+    && String.equal run.Outcome.output golden.Outcome.output
+  in
   match run.Outcome.termination with
   | Outcome.Detected _ -> Detected
   | Outcome.Trapped _ -> Exception
   | Outcome.Timeout -> Timeout
+  | Outcome.Recovered { exit_code; _ } ->
+      (* The rollback machinery retried, but only a golden-matching
+         completion counts as a recovery. *)
+      if architecturally_clean exit_code then Recovered else Data_corrupt
   | Outcome.Exit code ->
-      if
-        code = golden.Outcome.exit_code
-        && String.equal run.Outcome.output golden.Outcome.output
-      then Benign
+      if architecturally_clean code then
+        (* A TMR run repairs faults in place and exits normally; a
+           correction that fired separates "the scheme actively saved
+           the run" from "the fault was benign anyway". *)
+        if run.Outcome.dyn_corrections > 0 then Recovered else Benign
       else Data_corrupt
 
 (* A trial whose simulation raised instead of terminating cleanly is a
@@ -127,7 +146,7 @@ let golden ?fuel_factor sched =
    the trial restores the latest snapshot preceding its fault's trigger
    event and executes only the suffix — bit-identical to the full run
    (Simulator.run_replayed), just cheaper. *)
-let trial_instrumented ~model ~golden:g ~seed ~index decoded =
+let trial_instrumented ?retry_budget ~model ~golden:g ~seed ~index decoded =
   if Fault.population_size model g.pop = 0 then
     (* The fault path does not exist in this configuration (e.g. no
        cross-cluster reads on a single-cluster scheme): nothing to
@@ -136,6 +155,21 @@ let trial_instrumented ~model ~golden:g ~seed ~index decoded =
   else begin
     let rng = Rng.create ~seed:(Rng.derive ~seed index) in
     let fault = Fault.random model rng ~population:g.pop in
+    match retry_budget with
+    | Some retry_budget ->
+        (* Rollback trials own the snapshot machinery themselves (the
+           region checkpoints), so golden-prefix replay stays out of the
+           picture: run_decoded forces it off for these campaigns. *)
+        let c =
+          classify_result ~golden:g.run
+            (try
+               Ok
+                 (Simulator.run_recovering ~fault ~fuel:g.fuel ~retry_budget
+                    decoded)
+             with e -> Error e)
+        in
+        (c, 1.0, false)
+    | None -> (
     let snap =
       match g.replay with Some r -> Replay.find r fault | None -> None
     in
@@ -154,15 +188,19 @@ let trial_instrumented ~model ~golden:g ~seed ~index decoded =
             (try Ok (Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
              with e -> Error e)
         in
-        (c, 1.0, false)
+        (c, 1.0, false))
   end
 
-let trial_decoded ?(model = Fault.Reg_bit) ~golden ~seed ~index decoded =
-  let c, _, _ = trial_instrumented ~model ~golden ~seed ~index decoded in
+let trial_decoded ?retry_budget ?(model = Fault.Reg_bit) ~golden ~seed ~index
+    decoded =
+  let c, _, _ =
+    trial_instrumented ?retry_budget ~model ~golden ~seed ~index decoded
+  in
   c
 
-let trial ?model ~golden ~seed ~index sched =
-  trial_decoded ?model ~golden ~seed ~index (Decode.of_schedule sched)
+let trial ?retry_budget ?model ~golden ~seed ~index sched =
+  trial_decoded ?retry_budget ?model ~golden ~seed ~index
+    (Decode.of_schedule sched)
 
 let idx = function
   | Benign -> 0
@@ -170,6 +208,9 @@ let idx = function
   | Exception -> 2
   | Data_corrupt -> 3
   | Timeout -> 4
+  | Recovered -> 5
+
+let n_classes = List.length all_classes
 
 let result_of_counts ?replay_stats ~golden:g ~model ~trials counts =
   {
@@ -179,6 +220,7 @@ let result_of_counts ?replay_stats ~golden:g ~model ~trials counts =
     exceptions = counts.(2);
     corrupt = counts.(3);
     timeouts = counts.(4);
+    recovered = counts.(5);
     golden_cycles = g.run.Outcome.cycles;
     golden_dyn = g.run.Outcome.dyn_insns;
     population = Fault.population_size model g.pop;
@@ -187,7 +229,7 @@ let result_of_counts ?replay_stats ~golden:g ~model ~trials counts =
   }
 
 let tally ?(model = Fault.Reg_bit) ~golden:g classes =
-  let counts = Array.make 5 0 in
+  let counts = Array.make n_classes 0 in
   Array.iter (fun c -> counts.(idx c) <- counts.(idx c) + 1) classes;
   result_of_counts ~golden:g ~model ~trials:(Array.length classes) counts
 
@@ -201,19 +243,24 @@ let chunk_trials = 64
 let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
     ?(checkpoint_every = 256) ?(resume = false) ?(identity = "")
-    ?(replay = true) ?replay_set ?(allow_legacy_checkpoint = false) ~trials
-    decoded =
+    ?(replay = true) ?replay_set ?retry_budget
+    ?(allow_legacy_checkpoint = false) ~trials decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
       invalid_arg "Montecarlo.run: ci_halfwidth must be positive"
   | _ -> ());
   if resume && checkpoint = None then
     invalid_arg "Montecarlo.run: resume requires a checkpoint path";
+  (* Rollback trials restore their own region checkpoints mid-run, which
+     golden-prefix replay's restored-suffix execution cannot express:
+     replay is forced off for recovering campaigns. *)
+  let replay = replay && retry_budget = None in
+  let replay_set = if retry_budget = None then replay_set else None in
   let g =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.golden" (fun () ->
         golden_decoded ~fuel_factor ~replay ?replay_set decoded)
   in
-  let counts = Array.make 5 0 in
+  let counts = Array.make n_classes 0 in
   let start =
     match (resume, checkpoint) with
     | true, Some path -> (
@@ -234,7 +281,7 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
               || c.Checkpoint.fuel_factor <> fuel_factor
               || c.Checkpoint.model <> model
               || c.Checkpoint.trials <> trials
-              || Array.length c.Checkpoint.counts <> 5
+              || Array.length c.Checkpoint.counts <> n_classes
             then
               invalid_arg
                 (Printf.sprintf
@@ -242,7 +289,7 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
                     different campaign (seed/model/trials/fuel mismatch)"
                    path)
             else begin
-              Array.blit c.Checkpoint.counts 0 counts 0 5;
+              Array.blit c.Checkpoint.counts 0 counts 0 n_classes;
               c.Checkpoint.next_index
             end)
     | _ -> 0
@@ -252,7 +299,9 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   let n_replayed = ref 0 in
   let n_full = ref 0 in
   let suffix_sum = ref 0.0 in
-  let one index = trial_instrumented ~model ~golden:g ~seed ~index decoded in
+  let one index =
+    trial_instrumented ?retry_budget ~model ~golden:g ~seed ~index decoded
+  in
   let map_chunk lo hi =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.chunk"
       ~args:[ ("lo", Casted_obs.Json.Int lo); ("hi", Casted_obs.Json.Int hi) ]
@@ -340,12 +389,28 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
 (* Decode once per campaign, not once per trial: the decoded program is
    immutable and shared read-only by every pool domain. *)
 let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ?replay ?allow_legacy_checkpoint
-    ~trials sched =
+    ?checkpoint_every ?resume ?identity ?replay ?retry_budget
+    ?allow_legacy_checkpoint ~trials sched =
   run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ?replay ?allow_legacy_checkpoint
-    ~trials
+    ?checkpoint_every ?resume ?identity ?replay ?retry_budget
+    ?allow_legacy_checkpoint ~trials
     (Decode.of_schedule sched)
+
+let recovered_fraction r =
+  if r.trials = 0 then 0.0
+  else float_of_int r.recovered /. float_of_int r.trials
+
+(* Mean Work To Failure (Reis et al.), relative to an unprotected
+   baseline: MWTF = 1 / (execution-time overhead × SDC fraction). A
+   scheme that doubles runtime but kills 10× more silent corruptions is
+   still a 5× MWTF win; a campaign with zero corrupt trials has
+   unbounded MWTF at this sample size. *)
+let mwtf ~baseline_cycles r =
+  let overhead =
+    float_of_int r.golden_cycles /. float_of_int (max 1 baseline_cycles)
+  in
+  let sdc = float_of_int r.corrupt /. float_of_int (max 1 r.trials) in
+  if sdc <= 0.0 then infinity else 1.0 /. (overhead *. sdc)
 
 let pp ppf r =
   let item c =

@@ -3,7 +3,10 @@
     A campaign first executes the golden (fault-free) run to collect
     the reference output and the per-model injection populations, then
     runs up to [trials] faulty executions under one {!Fault.model},
-    classifying each into the paper's five outcome categories.
+    classifying each into the paper's five outcome categories — plus
+    [Recovered] for recovery schemes (TMR voting, region rollback)
+    where a fault fired a correction or rollback and the run still
+    produced the golden output.
 
     Campaigns are statistically rigorous and crash-proof:
     - every class rate carries a 95% Wilson score interval
@@ -15,7 +18,17 @@
     - a trial whose simulation raises is classified and counted
       ({!classify_result}), never allowed to kill the campaign. *)
 
-type classification = Benign | Detected | Exception | Data_corrupt | Timeout
+type classification =
+  | Benign  (** golden output, no correction ever fired *)
+  | Detected  (** a check trapped (detection-only schemes) *)
+  | Exception  (** machine trap, or the simulator itself raised *)
+  | Data_corrupt  (** wrong exit code or output bytes (SDC) *)
+  | Timeout  (** fuel budget exhausted *)
+  | Recovered
+      (** golden output, but only because the scheme actively repaired
+          the fault: a TMR vote corrected a corrupted copy
+          ([dyn_corrections > 0]), or a rollback retry chain ended in
+          {!Outcome.Recovered} *)
 
 val all_classes : classification list
 val class_name : classification -> string
@@ -41,6 +54,7 @@ type result = {
   exceptions : int;
   corrupt : int;
   timeouts : int;
+  recovered : int;
   golden_cycles : int;
   golden_dyn : int;
   population : int;  (** size of the campaign model's injection pool *)
@@ -59,6 +73,16 @@ val interval : ?z:float -> result -> classification -> float * float
 
 (** Half the Wilson interval width, in percentage points. *)
 val halfwidth : ?z:float -> result -> classification -> float
+
+(** Fraction of trials (0..1) the scheme actively repaired. *)
+val recovered_fraction : result -> float
+
+(** Mean Work To Failure relative to an unprotected baseline:
+    [1 / (overhead × SDC-fraction)] where overhead is this campaign's
+    golden cycle count over [baseline_cycles] (the NOED golden run of
+    the same workload and issue width). [infinity] when the campaign
+    saw no corrupt trial at this sample size. *)
+val mwtf : baseline_cycles:int -> result -> float
 
 (** Classify one faulty run against the golden run. *)
 val classify : golden:Outcome.run -> Outcome.run -> classification
@@ -104,8 +128,13 @@ val golden_decoded :
     lets the engine fan trials over domains while staying bit-identical
     to a sequential campaign. A model whose population is empty in this
     configuration yields [Benign]; a simulation that raises yields
-    [Exception]. *)
+    [Exception].
+
+    @param retry_budget run the trial through
+      {!Simulator.run_recovering} with this rollback budget instead of
+      a plain (or replayed) run — the rollback-scheme campaign path. *)
 val trial :
+  ?retry_budget:int ->
   ?model:Fault.model ->
   golden:golden ->
   seed:int ->
@@ -117,6 +146,7 @@ val trial :
     exactly [trial_decoded ... (Decode.of_schedule sched)]; campaigns
     use this form so the schedule is decoded once, not once per trial. *)
 val trial_decoded :
+  ?retry_budget:int ->
   ?model:Fault.model ->
   golden:golden ->
   seed:int ->
@@ -162,6 +192,11 @@ val chunk_trials : int
       snapshot preceding its fault's trigger event. Bit-identical
       results — same tallies, same intervals — for every fault model at
       any pool size; only the wall clock changes.
+    @param retry_budget run every trial through
+      {!Simulator.run_recovering} with this rollback budget (the
+      rollback-scheme campaign path). Forces replay off: rollback
+      trials restore their own region checkpoints, which prefix replay
+      cannot express.
     @param allow_legacy_checkpoint accept resuming from an
       identity-less legacy checkpoint file (default false: such files
       are rejected loudly — see {!Checkpoint.load}). *)
@@ -176,6 +211,7 @@ val run :
   ?resume:bool ->
   ?identity:string ->
   ?replay:bool ->
+  ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Casted_sched.Schedule.t ->
@@ -202,6 +238,7 @@ val run_decoded :
   ?identity:string ->
   ?replay:bool ->
   ?replay_set:Replay.t ->
+  ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   trials:int ->
   Decode.t ->

@@ -1,5 +1,6 @@
 type termination =
   | Exit of int
+  | Recovered of { exit_code : int; retries : int }
   | Detected of int
   | Trapped of Trap.t
   | Timeout
@@ -13,6 +14,7 @@ type run = {
   dyn_branches : int;
   dyn_xreads : int;
   dyn_checks : int;
+  dyn_corrections : int;
   dyn_by_role : int array;
   slots_total : int;
   output : string;
@@ -23,6 +25,10 @@ type run = {
 
 let pp_termination ppf = function
   | Exit c -> Format.fprintf ppf "exit %d" c
+  | Recovered { exit_code; retries } ->
+      Format.fprintf ppf "exit %d (recovered after %d rollback%s)" exit_code
+        retries
+        (if retries = 1 then "" else "s")
   | Detected id -> Format.fprintf ppf "error detected (check %d)" id
   | Trapped t -> Format.fprintf ppf "trap: %a" Trap.pp t
   | Timeout -> Format.pp_print_string ppf "timeout"

@@ -2,6 +2,9 @@
 
 type termination =
   | Exit of int  (** [Halt] executed with this exit code *)
+  | Recovered of { exit_code : int; retries : int }
+      (** [Halt] executed after [retries] region rollbacks repaired one
+          or more detections ({!Simulator.run_recovering}) *)
   | Detected of int  (** a [Chk] fired; carries the check's insn id *)
   | Trapped of Trap.t  (** machine exception *)
   | Timeout  (** dynamic instruction budget exhausted *)
@@ -22,13 +25,17 @@ type run = {
                          the {!Fault.Xcluster} population *)
   dyn_checks : int;  (** dynamic [Chk] instructions executed (the
                          {!Casted_ir.Insn.Check} role count) *)
+  dyn_corrections : int;
+      (** faults repaired in place by a TMR voting sequence (a
+          [Check]-role [Sel] whose agreeing replicas outvoted a
+          diverging master copy); always 0 fault-free *)
   dyn_by_role : int array;  (** dynamic count per {!Casted_ir.Insn.role} *)
   slots_total : int;  (** issue slots the machine offered over the run:
                           cycles × clusters × issue width. The single
                           source of truth for slot-occupancy
                           accounting. *)
   output : string;  (** contents of the program's output region *)
-  exit_code : int;  (** exit code, or -1 when not [Exit] *)
+  exit_code : int;  (** exit code, or -1 when not [Exit]/[Recovered] *)
   cache : Casted_cache.Hierarchy.stats;
   mem_digest : string;
       (** digest of the whole memory image after the run, or [""] when

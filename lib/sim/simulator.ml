@@ -304,11 +304,22 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
         (Cond.eval_int c (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm)
         ~ready:(t + latency) ~home:cluster
   | Opcode.Sel ->
+      let p = use_pr ctx fr ~cluster uses.(0) in
       let v =
-        if use_pr ctx fr ~cluster uses.(0) then
-          use_gp ctx fr ~cluster uses.(1)
+        if p then use_gp ctx fr ~cluster uses.(1)
         else use_gp ctx fr ~cluster uses.(2)
       in
+      (* A voting Sel (role Check, emitted by the TMR pass as
+         [v := p ? s1 : r]) repairs a diverged copy in both directions:
+         agreeing replicas outvoting the master (p true, v <> r), or
+         the master outvoting a corrupted replica (p false — replicas
+         never disagree in a fault-free run). Count the repair; the
+         master's raw register cell is read directly so the
+         cross-cluster accounting stays exactly as without TMR. *)
+      if
+        di.Decode.role = 2 (* Insn.Check *)
+        && ((not p) || not (Int64.equal v fr.State.gp.(Reg.idx uses.(2))))
+      then st.State.corrections <- st.State.corrections + 1;
       write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv ->
       write_fp fr defs.(0)
@@ -432,6 +443,11 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
           write_value fr defs.(0) v ~ready:(st.State.time + 1) ~home:cluster
       | 1, None -> invalid_arg "Simulator: call expected a return value"
       | _ -> invalid_arg "Simulator: call with multiple defs")
+  | Opcode.Cpt ->
+      (* Region-boundary marker: the snapshot fires at the enclosing
+         block's loop top (run_recovering); executing the marker itself
+         does nothing. *)
+      ()
   | Opcode.Nop -> ());
   for i = 0 to Array.length defs - 1 do
     inject_slot ctx fr defs.(i)
@@ -487,11 +503,15 @@ let finish ctx ~with_mem_digest termination =
       dyn_branches = st.State.branches;
       dyn_xreads = st.State.xreads;
       dyn_checks = st.State.roles.(role_index Insn.Check);
+      dyn_corrections = st.State.corrections;
       dyn_by_role = st.State.roles;
       slots_total =
         cycles * ctx.config.Config.clusters * ctx.config.Config.issue_width;
       output;
-      exit_code = (match termination with Outcome.Exit c -> c | _ -> -1);
+      exit_code =
+        (match termination with
+        | Outcome.Exit c | Outcome.Recovered { exit_code = c; _ } -> c
+        | _ -> -1);
       cache = Hierarchy.stats st.State.hier;
       mem_digest =
         (if with_mem_digest then
@@ -553,6 +573,96 @@ let run_replayed ?fault ?(fuel = max_int) ?(with_mem_digest = false)
   let module M = Casted_obs.Metrics in
   if M.enabled () then M.incr "sim.replays";
   finish ctx ~with_mem_digest termination
+
+(* Region rollback: execute with a snapshot taken at every
+   checkpoint-flagged block top of the entry function; when a check
+   fires (or the machine traps), restore the latest snapshot and
+   re-execute with the fault disarmed — the injected upset is a
+   transient, so the retry sees clean hardware. A corrupted checkpoint
+   (the fault landed before the snapshot its detection fires after)
+   re-fails deterministically and exhausts the bounded retry budget, in
+   which case the original failure is reported. Work thrown away by
+   failed attempts is folded into the final run's [cycles]/[dyn_insns]
+   so recovery pays its true cost. *)
+let run_recovering ?fault ?(fuel = max_int) ?(with_mem_digest = false)
+    ~retry_budget (d : Decode.t) =
+  let entry = d.Decode.funcs.(d.Decode.entry) in
+  let eblocks = entry.Decode.blocks in
+  let latest = ref None in
+  let on_block st fr cur =
+    if eblocks.(cur).Decode.checkpoint then
+      latest := Some (State.snapshot st ~regs:fr ~block:cur)
+  in
+  let wasted_cycles = ref 0 in
+  let wasted_dyn = ref 0 in
+  let rec attempt ~fault ~retries ~(from : State.snapshot option) =
+    let st, runner =
+      match from with
+      | None ->
+          let st =
+            State.fresh ~image:d.Decode.image
+              ~cache:d.Decode.config.Config.cache ~perfect:false
+          in
+          ( st,
+            fun ctx ->
+              let (_ : State.value option) = exec_func ctx entry [] in
+              () )
+      | Some snap ->
+          let st, fr =
+            State.restore ~cache:d.Decode.config.Config.cache snap
+          in
+          ( st,
+            fun ctx ->
+              let (_ : State.value option) =
+                exec_blocks ctx fr entry ~start:snap.State.block
+              in
+              () )
+    in
+    let ctx =
+      { d; config = d.Decode.config; fuel; fault; profile = None;
+        on_block = Some on_block; st }
+    in
+    let assemble termination =
+      let r = finish ctx ~with_mem_digest termination in
+      if !wasted_cycles = 0 && !wasted_dyn = 0 then r
+      else
+        let cycles = r.Outcome.cycles + !wasted_cycles in
+        {
+          r with
+          Outcome.cycles;
+          dyn_insns = r.Outcome.dyn_insns + !wasted_dyn;
+          slots_total =
+            cycles * ctx.config.Config.clusters
+            * ctx.config.Config.issue_width;
+        }
+    in
+    let outcome =
+      try
+        runner ctx;
+        Ok (Outcome.Exit 0)
+      with
+      | Halted code ->
+          Ok
+            (if retries > 0 then
+               Outcome.Recovered { exit_code = code; retries }
+             else Outcome.Exit code)
+      | Out_of_fuel -> Ok Outcome.Timeout
+      | Check_failed id -> Error (Outcome.Detected id)
+      | Trap.Trap tr -> Error (Outcome.Trapped tr)
+    in
+    match outcome with
+    | Ok termination -> assemble termination
+    | Error termination -> (
+        match !latest with
+        | Some snap when retries < retry_budget ->
+            wasted_cycles :=
+              !wasted_cycles + (st.State.time - snap.State.s_time);
+            wasted_dyn := !wasted_dyn + (st.State.dyn - snap.State.s_dyn);
+            Casted_obs.Metrics.incr "sim.rollbacks";
+            attempt ~fault:None ~retries:(retries + 1) ~from:(Some snap)
+        | _ -> assemble termination)
+  in
+  attempt ~fault ~retries:0 ~from:None
 
 let run ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest sched =
   run_decoded ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest

@@ -84,3 +84,26 @@ val run_replayed :
   snapshot:State.snapshot ->
   Decode.t ->
   Outcome.run
+
+(** [run_recovering ~retry_budget decoded] executes a rollback-hardened
+    program ({!Casted_detect.Scheme.Rollback}): a {!State.snapshot} is
+    taken at every checkpoint-flagged block top of the entry function
+    (the region boundaries the rollback pass marked with
+    {!Casted_ir.Opcode.Cpt}), and a fired check or machine trap no
+    longer ends the run — the latest snapshot is restored and the
+    suffix re-executed with the (transient) fault disarmed, up to
+    [retry_budget] times. A run that completes after at least one
+    rollback terminates with {!Outcome.Recovered}; a retry chain that
+    keeps failing (the fault corrupted the checkpoint itself) exhausts
+    the budget and reports the original failure. Cycles and dynamic
+    instructions thrown away by failed attempts are folded into the
+    final {!Outcome.run}, so recovery pays its re-execution cost.
+    On a schedule with no checkpoint blocks this is plain
+    [run_decoded]. Timeouts never retry: the fuel budget is global. *)
+val run_recovering :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  retry_budget:int ->
+  Decode.t ->
+  Outcome.run

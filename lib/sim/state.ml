@@ -77,6 +77,7 @@ type t = {
   mutable mems : int;  (* dynamic memory accesses (loads + stores) *)
   mutable branches : int;  (* dynamic conditional branches *)
   mutable xreads : int;  (* operand reads crossing the cluster boundary *)
+  mutable corrections : int;  (* faults repaired by voting sequences *)
   roles : int array;  (* dynamic count per role *)
   mutable depth : int;
   mutable tmax : int;  (* scratch for bundle issue-time computation *)
@@ -142,6 +143,7 @@ let fresh ~image ~cache ~perfect =
     mems = 0;
     branches = 0;
     xreads = 0;
+    corrections = 0;
     roles = Array.make 4 0;
     depth = 0;
     tmax = 0;
@@ -165,6 +167,7 @@ type snapshot = {
   s_mems : int;
   s_branches : int;
   s_xreads : int;
+  s_corrections : int;
   s_roles : int array;
   block : int;  (* entry-function block index to resume at *)
   regs : regfile;
@@ -181,6 +184,7 @@ let snapshot st ~regs ~block =
     s_mems = st.mems;
     s_branches = st.branches;
     s_xreads = st.xreads;
+    s_corrections = st.corrections;
     s_roles = Array.copy st.roles;
     block;
     regs = copy_regfile regs;
@@ -207,6 +211,7 @@ let restore ~cache snap =
       mems = snap.s_mems;
       branches = snap.s_branches;
       xreads = snap.s_xreads;
+      corrections = snap.s_corrections;
       roles = Array.copy snap.s_roles;
       (* Resuming inside the entry function's block loop: one live call
          frame, no pending transfer. *)

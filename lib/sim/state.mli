@@ -51,6 +51,8 @@ type t = {
   mutable mems : int;  (** dynamic memory accesses (loads + stores) *)
   mutable branches : int;  (** dynamic conditional branches *)
   mutable xreads : int;  (** operand reads crossing the cluster boundary *)
+  mutable corrections : int;
+      (** single faults repaired by a voting sequence (TMR) *)
   roles : int array;  (** dynamic count per role *)
   mutable depth : int;
   mutable tmax : int;  (** scratch for bundle issue-time computation *)
@@ -91,6 +93,7 @@ type snapshot = {
   s_mems : int;
   s_branches : int;
   s_xreads : int;
+  s_corrections : int;
   s_roles : int array;
   block : int;
   regs : regfile;

@@ -7,6 +7,10 @@ type rule =
   | Unresolved_target
   | Delay_violation
   | Schedule_mismatch
+  | Missing_vote
+  | Partial_vote_rewrite
+  | Missing_checkpoint
+  | Misplaced_checkpoint
 
 let rule_name = function
   | Replica_overlap -> "replica-overlap"
@@ -17,6 +21,10 @@ let rule_name = function
   | Unresolved_target -> "unresolved-target"
   | Delay_violation -> "delay-violation"
   | Schedule_mismatch -> "schedule-mismatch"
+  | Missing_vote -> "missing-vote"
+  | Partial_vote_rewrite -> "partial-vote-rewrite"
+  | Missing_checkpoint -> "missing-checkpoint"
+  | Misplaced_checkpoint -> "misplaced-checkpoint"
 
 let all_rules =
   [
@@ -28,6 +36,10 @@ let all_rules =
     Unresolved_target;
     Delay_violation;
     Schedule_mismatch;
+    Missing_vote;
+    Partial_vote_rewrite;
+    Missing_checkpoint;
+    Misplaced_checkpoint;
   ]
 
 type t = {

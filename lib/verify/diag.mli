@@ -37,6 +37,19 @@ type rule =
       (** the schedule disagrees with the IR: missing, duplicated or
           unknown instructions, inconsistent issue map, or mismatched
           block structure *)
+  | Missing_vote
+      (** TMR: a protected instruction reads a triplicated GP register
+          with no majority-vote [Sel] covering it in its block *)
+  | Partial_vote_rewrite
+      (** TMR: a majority vote does not rewrite all three copies with
+          the voted value, leaving a diverged copy live after the
+          vote *)
+  | Missing_checkpoint
+      (** Rollback: a region head (entry block or backward-branch
+          target) of the entry function carries no [Cpt] marker *)
+  | Misplaced_checkpoint
+      (** Rollback: a [Cpt] marker outside the entry function, not at
+          the head of its block's body, or duplicated within a block *)
 
 val rule_name : rule -> string
 val all_rules : rule list

@@ -97,7 +97,8 @@ let wants_check (options : Options.t) (i : Insn.t) =
    protected function. All three rules work per block, because the
    transform emits replicas, checks and copies into the block of the
    instruction they serve. *)
-let lint_coverage acc ~fname (options : Options.t) (f : Func.t) shadow =
+let lint_coverage acc ~fname ~voting (options : Options.t) (f : Func.t) shadow
+    =
   let block_rules (b : Block.t) =
     let insns = Block.insns b in
     let replicas_of = Hashtbl.create 16 in
@@ -124,7 +125,11 @@ let lint_coverage acc ~fname (options : Options.t) (f : Func.t) shadow =
               Diag.Missing_replica
               (Format.asprintf "replicable instruction %a has no replica"
                  Insn.pp i);
-          (* Non-replicated consumers: a check per shadowed operand. *)
+          (* Non-replicated consumers: a check per shadowed operand —
+             for a detection scheme a [Chk] against the shadow, for TMR
+             a majority-vote [Sel] whose fallthrough operand is the
+             protected register (GP operands; the rest keep the
+             detection check as TMR's own fallback). *)
           if (not (Opcode.replicable i.Insn.op)) && wants_check options i
           then begin
             let seen = ref Reg.Set.empty in
@@ -135,23 +140,42 @@ let lint_coverage acc ~fname (options : Options.t) (f : Func.t) shadow =
                   match Reg.Tbl.find_opt shadow r with
                   | None -> () (* outside the replication scope *)
                   | Some r' ->
-                      let covered =
-                        List.exists
-                          (fun (c : Insn.t) ->
-                            Array.length c.Insn.uses = 2
-                            && ((Reg.equal c.Insn.uses.(0) r
-                                && Reg.equal c.Insn.uses.(1) r')
-                               || (Reg.equal c.Insn.uses.(0) r'
-                                  && Reg.equal c.Insn.uses.(1) r)))
-                          (Hashtbl.find_all checks_of i.Insn.id)
-                      in
-                      if not covered then
-                        add acc ~block:b.Block.label ~insn:i.Insn.id
-                          ~func:fname Diag.Missing_check
-                          (Format.asprintf
-                             "%a reads %a but no check compares it against \
-                              its shadow %a"
-                             Insn.pp i Reg.pp r Reg.pp r')
+                      if voting && Reg.cls r = Reg.Gp then begin
+                        let voted =
+                          List.exists
+                            (fun (c : Insn.t) ->
+                              c.Insn.op = Opcode.Sel
+                              && Array.length c.Insn.uses = 3
+                              && Reg.equal c.Insn.uses.(1) r'
+                              && Reg.equal c.Insn.uses.(2) r)
+                            (Hashtbl.find_all checks_of i.Insn.id)
+                        in
+                        if not voted then
+                          add acc ~block:b.Block.label ~insn:i.Insn.id
+                            ~func:fname Diag.Missing_vote
+                            (Format.asprintf
+                               "%a reads %a but no majority vote covers it \
+                                (expected a Sel over %a and its shadow %a)"
+                               Insn.pp i Reg.pp r Reg.pp r Reg.pp r')
+                      end
+                      else
+                        let covered =
+                          List.exists
+                            (fun (c : Insn.t) ->
+                              Array.length c.Insn.uses = 2
+                              && ((Reg.equal c.Insn.uses.(0) r
+                                  && Reg.equal c.Insn.uses.(1) r')
+                                 || (Reg.equal c.Insn.uses.(0) r'
+                                    && Reg.equal c.Insn.uses.(1) r)))
+                            (Hashtbl.find_all checks_of i.Insn.id)
+                        in
+                        if not covered then
+                          add acc ~block:b.Block.label ~insn:i.Insn.id
+                            ~func:fname Diag.Missing_check
+                            (Format.asprintf
+                               "%a reads %a but no check compares it against \
+                                its shadow %a"
+                               Insn.pp i Reg.pp r Reg.pp r')
                 end)
               i.Insn.uses
           end;
@@ -205,6 +229,143 @@ let lint_coverage acc ~fname (options : Options.t) (f : Func.t) shadow =
                Reg.pp p))
       f.Func.params
   end
+
+(* Vote integrity under TMR: every majority vote (a Check-role [Sel],
+   emitted only by the recovery pass) must rewrite all three copies —
+   master, both replicas — with the voted value, or a diverged copy
+   stays live after the vote and a later vote can be outvoted by stale
+   state. The replica pair is recovered from the vote's own compare
+   ([Cmp Eq p <- s1, s2]), not trusted from the pass. *)
+let lint_votes acc ~fname (f : Func.t) =
+  let block_rules (b : Block.t) =
+    let insns = Block.insns b in
+    List.iter
+      (fun (i : Insn.t) ->
+        if
+          i.Insn.role = Insn.Check
+          && i.Insn.op = Opcode.Sel
+          && Array.length i.Insn.uses = 3
+          && Array.length i.Insn.defs = 1
+        then begin
+          let p = i.Insn.uses.(0) in
+          let a = i.Insn.uses.(1) in
+          let r = i.Insn.uses.(2) in
+          let v = i.Insn.defs.(0) in
+          let compare_b =
+            List.find_map
+              (fun (c : Insn.t) ->
+                match c.Insn.op with
+                | Opcode.Cmp _
+                  when c.Insn.role = Insn.Check
+                       && Array.length c.Insn.defs = 1
+                       && Reg.equal c.Insn.defs.(0) p
+                       && Array.length c.Insn.uses = 2
+                       && Reg.equal c.Insn.uses.(0) a ->
+                    Some c.Insn.uses.(1)
+                | _ -> None)
+              insns
+          in
+          match compare_b with
+          | None ->
+              add acc ~block:b.Block.label ~insn:i.Insn.id ~func:fname
+                Diag.Partial_vote_rewrite
+                (Format.asprintf
+                   "vote %a has no compare defining its predicate %a over \
+                    the replica pair"
+                   Insn.pp i Reg.pp p)
+          | Some breg ->
+              List.iter
+                (fun target ->
+                  let rewritten =
+                    List.exists
+                      (fun (c : Insn.t) ->
+                        c.Insn.role = Insn.Check
+                        && c.Insn.op = Opcode.Mov
+                        && Array.length c.Insn.defs = 1
+                        && Reg.equal c.Insn.defs.(0) target
+                        && Array.length c.Insn.uses = 1
+                        && Reg.equal c.Insn.uses.(0) v)
+                      insns
+                  in
+                  if not rewritten then
+                    add acc ~block:b.Block.label ~insn:i.Insn.id ~func:fname
+                      Diag.Partial_vote_rewrite
+                      (Format.asprintf
+                         "vote %a never rewrites copy %a with the voted \
+                          value %a"
+                         Insn.pp i Reg.pp target Reg.pp v))
+                [ r; a; breg ]
+        end)
+      insns
+  in
+  List.iter block_rules f.Func.blocks
+
+(* Checkpoint placement under Rollback, reconstructed from layout
+   rather than trusted from the pass: every region head of the entry
+   function — entry block, every target of a backward (or self) branch
+   — must open with a [Cpt] marker (re-executing a region is only
+   idempotent if its head really is snapshotted), checkpoints must sit
+   first in their block's body and appear at most once, and no other
+   function may carry one (snapshots are invalid below the entry
+   frame). *)
+let lint_checkpoints acc ~entry (funcs : (string * Func.t) list) =
+  let is_cpt (i : Insn.t) = Opcode.is_checkpoint i.Insn.op in
+  List.iter
+    (fun (fname, (f : Func.t)) ->
+      if not (String.equal fname entry) then
+        Func.iter_insns f (fun block i ->
+            if is_cpt i then
+              add acc ~block:block.Block.label ~insn:i.Insn.id ~func:fname
+                Diag.Misplaced_checkpoint
+                "checkpoint outside the entry function: snapshots are only \
+                 valid at entry-function block tops")
+      else begin
+        let blocks = Array.of_list f.Func.blocks in
+        let index_of = Hashtbl.create (2 * Array.length blocks) in
+        Array.iteri
+          (fun idx b ->
+            if not (Hashtbl.mem index_of b.Block.label) then
+              Hashtbl.add index_of b.Block.label idx)
+          blocks;
+        let heads = Array.make (Array.length blocks) false in
+        if Array.length heads > 0 then heads.(0) <- true;
+        Array.iteri
+          (fun idx b ->
+            List.iter
+              (fun label ->
+                match Hashtbl.find_opt index_of label with
+                | Some j when j <= idx -> heads.(j) <- true
+                | _ -> ())
+              (Block.successors b))
+          blocks;
+        Array.iteri
+          (fun idx (b : Block.t) ->
+            let cpts = List.filter is_cpt b.Block.body in
+            (match (heads.(idx), cpts) with
+            | true, [] ->
+                add acc ~block:b.Block.label ~func:fname
+                  Diag.Missing_checkpoint
+                  "region head (entry block or backward-branch target) has \
+                   no checkpoint marker"
+            | _, _ :: _ :: _ ->
+                List.iter
+                  (fun (extra : Insn.t) ->
+                    add acc ~block:b.Block.label ~insn:extra.Insn.id
+                      ~func:fname Diag.Misplaced_checkpoint
+                      "block carries more than one checkpoint marker")
+                  (List.tl cpts)
+            | _ -> ());
+            match (b.Block.body, cpts) with
+            | first :: _, c :: _ when not (is_cpt first) ->
+                add acc ~block:b.Block.label ~insn:c.Insn.id ~func:fname
+                  Diag.Misplaced_checkpoint
+                  "checkpoint marker is not the first instruction of its \
+                   block: the snapshot taken at the block top would not \
+                   cover the instructions before it"
+            | _ -> ())
+          blocks
+      end)
+    funcs
 
 (* Structure of one scheduled block against its IR block: same
    instruction set, once each, legal bundle shapes, consistent issue
@@ -307,7 +468,7 @@ let lint_targets acc ~fname (labels : (string, unit) Hashtbl.t)
    inter-cluster delay when the producer sits on another cluster. The
    same bound applies between a check and the instruction it guards,
    which is how "a delay cycle dropped from the schedule" surfaces. *)
-let lint_timing acc ~fname (config : Config.t)
+let lint_timing acc ~fname ~voting (config : Config.t)
     (bs : Schedule.block_schedule) position =
   let latency (i : Insn.t) = Latency.of_op config.Config.latencies i.Insn.op in
   let last_def = Reg.Tbl.create 32 in
@@ -349,9 +510,18 @@ let lint_timing acc ~fname (config : Config.t)
       Array.iter
         (fun r -> Reg.Tbl.replace last_def r (cycle, cluster, latency i))
         i.Insn.defs;
-      (* A check must complete before the instruction it guards
-         issues, or the fault window it guards is open. *)
-      if i.Insn.role = Insn.Check && i.Insn.protects >= 0 then
+      (* A detection check must complete before the instruction it
+         guards issues, or the fault window it guards is open. Under a
+         voting scheme only the fallback [Chk]s are fail-stop: the vote
+         chain feeds the guarded instruction through a data dependency
+         on the repaired master (already covered by the operand-timing
+         rule above), and the shadow rewrites may legally complete
+         later. *)
+      if
+        i.Insn.role = Insn.Check
+        && i.Insn.protects >= 0
+        && ((not voting) || Opcode.is_check i.Insn.op)
+      then
         match Hashtbl.find_opt position i.Insn.protects with
         | None -> ()
         | Some (pc, pcl) ->
@@ -365,7 +535,7 @@ let lint_timing acc ~fname (config : Config.t)
                     guards (insn %d) issues at cycle %d"
                    required i.Insn.protects pc))
 
-let lint_func acc ~options ~hardened (config : Config.t)
+let lint_func acc ~options ~hardened ~voting (config : Config.t)
     (callees : (string, unit) Hashtbl.t) fname
     (fs : Schedule.func_schedule) =
   let f = fs.Schedule.func in
@@ -384,17 +554,19 @@ let lint_func acc ~options ~hardened (config : Config.t)
     let ir = ir_blocks.(k) and bs = fs.Schedule.blocks.(k) in
     let position = lint_block_structure acc ~fname config ir bs in
     lint_targets acc ~fname labels callees bs;
-    lint_timing acc ~fname config bs position
+    lint_timing acc ~fname ~voting config bs position
   done;
   if hardened && f.Func.protect then begin
     let _by_id, shadow = reconstruct_shadows f in
     lint_isolation acc ~fname f;
-    lint_coverage acc ~fname options f shadow
+    lint_coverage acc ~fname ~voting options f shadow;
+    if voting then lint_votes acc ~fname f
   end
 
 let schedule ?(options = Options.default) ~scheme (s : Schedule.t) =
   let acc = { diags = [] } in
   let hardened = Scheme.hardened scheme in
+  let voting = scheme = Scheme.Tmr in
   let config = s.Schedule.config in
   let callees = Hashtbl.create 8 in
   List.iter (fun (name, _) -> Hashtbl.replace callees name ()) s.Schedule.funcs;
@@ -410,6 +582,11 @@ let schedule ?(options = Options.default) ~scheme (s : Schedule.t) =
     s.Schedule.program.Program.funcs;
   List.iter
     (fun (fname, fs) ->
-      lint_func acc ~options ~hardened config callees fname fs)
+      lint_func acc ~options ~hardened ~voting config callees fname fs)
     s.Schedule.funcs;
+  if scheme = Scheme.Rollback then
+    lint_checkpoints acc ~entry
+      (List.map
+         (fun (fname, fs) -> (fname, fs.Schedule.func))
+         s.Schedule.funcs);
   List.rev acc.diags

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
-"""Guard the simulator's throughput floor.
+"""Guard the bench harness's quality/throughput floors.
 
 Usage: perf_check.py BENCH.json scripts/perf_baseline.json
 
-Reads the `sim_throughput` section the bench harness writes (see
-EXPERIMENTS.md) and compares each metric named in the baseline's "min"
-table against `baseline * (1 - margin)`. Exits non-zero on any
-regression past the margin, so CI fails when the pre-decoded core
-loses its speedup.
+Reads sections of BENCH.json (see EXPERIMENTS.md) and compares each
+metric named in the baseline against `baseline * (1 - margin)`. The
+baseline's top-level "min" table applies to the `sim_throughput`
+section (its historical shape); a top-level "recovery_overhead" object
+carries its own "min" (and optional "margin") table for the
+`recovery_overhead` section. Exits non-zero on any regression past the
+margin, so CI fails when the pre-decoded core loses its speedup or a
+recovery scheme stops recovering.
 
 The committed baseline values are deliberately conservative (shared CI
 runners are slower and noisier than a dev box); they are floors against
@@ -19,15 +22,35 @@ import json
 import sys
 
 
-def lookup(doc, dotted):
+def lookup(section, doc, dotted):
     node = doc
     for part in dotted.split("."):
         if not isinstance(node, dict) or part not in node:
-            sys.exit(f"perf_check: BENCH.json has no field sim_throughput.{dotted}")
+            sys.exit(f"perf_check: BENCH.json has no field {section}.{dotted}")
         node = node[part]
     if not isinstance(node, (int, float)):
-        sys.exit(f"perf_check: sim_throughput.{dotted} is not a number")
+        sys.exit(f"perf_check: {section}.{dotted} is not a number")
     return float(node)
+
+
+def check_section(bench, section, mins, margin, failures):
+    doc = bench.get(section)
+    if not isinstance(doc, dict):
+        sys.exit(
+            f"perf_check: BENCH.json has no {section} section "
+            f"(run bench with CASTED_SECTIONS={section})"
+        )
+    for dotted, baseline_value in mins.items():
+        measured = lookup(section, doc, dotted)
+        floor = float(baseline_value) * (1.0 - margin)
+        ok = measured >= floor
+        print(
+            f"{section}.{dotted}: measured {measured:.3f}, "
+            f"baseline {float(baseline_value):.3f}, floor {floor:.3f} "
+            f"[{'ok' if ok else 'REGRESSED'}]"
+        )
+        if not ok:
+            failures.append(f"{section}.{dotted}")
 
 
 def main():
@@ -38,33 +61,25 @@ def main():
     with open(sys.argv[2]) as fh:
         base = json.load(fh)
 
-    st = bench.get("sim_throughput")
-    if not isinstance(st, dict):
-        sys.exit(
-            "perf_check: BENCH.json has no sim_throughput section "
-            "(run bench with CASTED_SECTIONS=sim_throughput)"
-        )
-
     margin = float(base.get("margin", 0.30))
     failures = []
-    for dotted, baseline_value in base["min"].items():
-        measured = lookup(st, dotted)
-        floor = float(baseline_value) * (1.0 - margin)
-        ok = measured >= floor
-        print(
-            f"sim_throughput.{dotted}: measured {measured:.1f}, "
-            f"baseline {float(baseline_value):.1f}, floor {floor:.1f} "
-            f"[{'ok' if ok else 'REGRESSED'}]"
+    check_section(bench, "sim_throughput", base["min"], margin, failures)
+    recovery = base.get("recovery_overhead")
+    if isinstance(recovery, dict):
+        check_section(
+            bench,
+            "recovery_overhead",
+            recovery.get("min", {}),
+            float(recovery.get("margin", margin)),
+            failures,
         )
-        if not ok:
-            failures.append(dotted)
 
     if failures:
         sys.exit(
-            f"perf_check: throughput regressed more than {margin * 100:.0f}% "
-            f"below baseline in: {', '.join(failures)}"
+            "perf_check: metrics regressed below their baseline floor: "
+            + ", ".join(failures)
         )
-    print(f"perf_check: all metrics within {margin * 100:.0f}% of baseline")
+    print("perf_check: all metrics within margin of baseline")
 
 
 if __name__ == "__main__":

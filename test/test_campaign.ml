@@ -37,7 +37,8 @@ let same_result msg (a : Montecarlo.result) (b : Montecarlo.result) =
   ck "detected" a.Montecarlo.detected b.Montecarlo.detected;
   ck "exceptions" a.Montecarlo.exceptions b.Montecarlo.exceptions;
   ck "corrupt" a.Montecarlo.corrupt b.Montecarlo.corrupt;
-  ck "timeouts" a.Montecarlo.timeouts b.Montecarlo.timeouts
+  ck "timeouts" a.Montecarlo.timeouts b.Montecarlo.timeouts;
+  ck "recovered" a.Montecarlo.recovered b.Montecarlo.recovered
 
 (* Wilson interval: a known value, the empty-sample convention, the
    edge rates, and basic soundness over a sweep. *)
@@ -229,7 +230,7 @@ let test_resume_bit_identical () =
   List.iter
     (fun kill_at ->
       with_tmp_checkpoint (fun path ->
-          let counts = Array.make 5 0 in
+          let counts = Array.make (List.length Montecarlo.all_classes) 0 in
           for index = 0 to kill_at - 1 do
             let c = Montecarlo.trial ~golden:g ~seed ~index s in
             let i =
@@ -239,6 +240,7 @@ let test_resume_bit_identical () =
               | Montecarlo.Exception -> 2
               | Montecarlo.Data_corrupt -> 3
               | Montecarlo.Timeout -> 4
+              | Montecarlo.Recovered -> 5
             in
             counts.(i) <- counts.(i) + 1
           done;
@@ -376,6 +378,31 @@ let test_checkpoint_written_and_final () =
       in
       same_result "re-resume of a finished campaign" resumed r)
 
+(* Recovery campaigns keep the engine's determinism contract: the
+   recovered tally of a TMR (voting) and a ROLLBACK (retrying) campaign
+   is bit-identical whatever the pool size, and is non-empty under
+   reg-bit faults. *)
+let test_recovery_campaign_deterministic () =
+  List.iter
+    (fun scheme ->
+      let key =
+        Casted_engine.Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme
+          ~issue_width:2 ~delay:2 ()
+      in
+      let run jobs =
+        Casted_engine.Engine.with_engine ~jobs (fun e ->
+            Casted_engine.Engine.campaign e ~seed:9 ~trials:120 key)
+      in
+      let seq = run 1 and par = run 4 in
+      same_result
+        (Scheme.name scheme ^ " recovery campaign jobs=4 vs jobs=1")
+        par seq;
+      Alcotest.(check bool)
+        (Scheme.name scheme ^ " recovers some trials")
+        true
+        (seq.Montecarlo.recovered > 0))
+    [ Scheme.Tmr; Scheme.Rollback ]
+
 (* Pool.map_result: raising tasks land as Error in their own slot;
    every other task still completes. *)
 let test_pool_map_result () =
@@ -420,5 +447,7 @@ let suite =
         test_engine_resume_identity;
       case "finished campaign leaves a complete checkpoint"
         test_checkpoint_written_and_final;
+      case "recovery campaigns are pool-size independent"
+        test_recovery_campaign_deterministic;
       case "pool map_result isolates raising tasks" test_pool_map_result;
     ] )

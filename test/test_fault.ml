@@ -154,7 +154,7 @@ let test_hardened_run_has_no_sdc () =
         | Montecarlo.Data_corrupt ->
             Alcotest.failf "silent corruption at def %d bit %d" def bit
         | Montecarlo.Benign | Montecarlo.Detected | Montecarlo.Exception
-        | Montecarlo.Timeout ->
+        | Montecarlo.Timeout | Montecarlo.Recovered ->
             ())
       [ 0; 31; 63 ]
   done
@@ -188,6 +188,7 @@ let test_classification_rules () =
       dyn_branches = 1;
       dyn_xreads = 0;
       dyn_checks = 0;
+      dyn_corrections = 0;
       dyn_by_role = [| 10; 0; 0; 0 |];
       slots_total = 40;
       output = "abcd";

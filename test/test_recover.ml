@@ -1,6 +1,7 @@
 open Helpers
 module Recover = Casted_detect.Recover
 module Fault = Casted_sim.Fault
+module Decode = Casted_sim.Decode
 module Montecarlo = Casted_sim.Montecarlo
 module W = Casted_workloads.Workload
 module Registry = Casted_workloads.Registry
@@ -92,7 +93,10 @@ let test_faults_are_recovered () =
       incr injected;
       let c = Montecarlo.classify ~golden r in
       bump (Montecarlo.class_name c);
-      if c = Montecarlo.Benign then incr recovered;
+      (* Benign = the flipped copy never mattered; Recovered = a vote
+         actively repaired it. Both end bit-identical to golden. *)
+      if c = Montecarlo.Benign || c = Montecarlo.Recovered then
+        incr recovered;
       go (def + 7)
     end
   in
@@ -122,9 +126,113 @@ let test_recovery_beats_detection_on_completion () =
     (det_result.Montecarlo.detected > 0);
   Alcotest.(check bool) "recovery completes benignly far more often" true
     (Montecarlo.percent rec_result Montecarlo.Benign
+     +. Montecarlo.percent rec_result Montecarlo.Recovered
     > Montecarlo.percent det_result Montecarlo.Benign +. 25.0);
   Alcotest.(check bool) "recovery (almost) never silently corrupts" true
     (Montecarlo.percent rec_result Montecarlo.Data_corrupt < 3.0)
+
+(* TMR through the pipeline entry point (scheme dispatch, not the raw
+   pass): a trial whose fault was voted out must be bit-identical to
+   the golden run — same output bytes, same exit code — not merely
+   "close". *)
+let test_tmr_single_fault_bit_identity () =
+  let p = kernel () in
+  let c = Pipeline.compile ~scheme:Scheme.Tmr ~issue_width:2 ~delay:2 p in
+  let s = c.Pipeline.schedule in
+  let golden = Simulator.run s in
+  let fuel = 10 * golden.Outcome.dyn_insns in
+  let corrected = ref 0 in
+  let rec go def =
+    if def < golden.Outcome.dyn_defs && !corrected < 5 then begin
+      let fault = Fault.Reg_flip { target_slot = def; bit = 11 } in
+      let r = Simulator.run ~fault ~fuel s in
+      if r.Outcome.dyn_corrections > 0 && r.Outcome.termination = Outcome.Exit 0
+      then begin
+        incr corrected;
+        Alcotest.(check string)
+          (Printf.sprintf "def %d: output bit-identical" def)
+          golden.Outcome.output r.Outcome.output;
+        Alcotest.(check int)
+          (Printf.sprintf "def %d: exit code" def)
+          golden.Outcome.exit_code r.Outcome.exit_code
+      end;
+      go (def + 3)
+    end
+  in
+  go 0;
+  Alcotest.(check bool) "some trials were actively corrected" true
+    (!corrected > 0)
+
+(* Rollback retry budgets. A fault detected inside the region it
+   corrupts is repaired by one restore (the re-execution runs with the
+   fault disarmed). A fault that corrupts state *before* the next
+   checkpoint and is detected *after* it poisons the snapshot itself:
+   every retry restores the same corrupt state, the budget runs out,
+   and the original detection is reported — raising the budget cannot
+   help. *)
+let test_rollback_budget_exhaustion () =
+  let p = kernel () in
+  let c = Pipeline.compile ~scheme:Scheme.Rollback ~issue_width:2 ~delay:2 p in
+  let decoded = Decode.of_schedule c.Pipeline.schedule in
+  let golden = Simulator.run_decoded decoded in
+  let fuel = 20 * golden.Outcome.dyn_insns in
+  let exhausted = ref None in
+  let recovered_retries = ref None in
+  let rec go def =
+    if
+      def < golden.Outcome.dyn_defs
+      && (!exhausted = None || !recovered_retries = None)
+    then begin
+      let fault = Fault.Reg_flip { target_slot = def; bit = 11 } in
+      let r = Simulator.run_recovering ~fault ~fuel ~retry_budget:1 decoded in
+      (match r.Outcome.termination with
+      | Outcome.Detected _ when !exhausted = None -> exhausted := Some def
+      | Outcome.Recovered { retries; _ } when !recovered_retries = None ->
+          recovered_retries := Some retries
+      | _ -> ());
+      go (def + 1)
+    end
+  in
+  go 0;
+  (match !recovered_retries with
+  | Some retries ->
+      Alcotest.(check int) "recovery used exactly the one retry" 1 retries
+  | None -> Alcotest.fail "no fault was recovered by a rollback");
+  match !exhausted with
+  | None -> Alcotest.fail "no fault exhausts a retry budget of 1"
+  | Some def -> (
+      let fault = Fault.Reg_flip { target_slot = def; bit = 11 } in
+      let again =
+        Simulator.run_recovering ~fault ~fuel ~retry_budget:4 decoded
+      in
+      match again.Outcome.termination with
+      | Outcome.Detected _ -> ()
+      | t ->
+          Alcotest.failf
+            "poisoned snapshot must stay detected under a larger budget: %a"
+            Outcome.pp_termination t)
+
+(* The acceptance bar of the recovery campaign: under reg-bit faults a
+   strict majority of TMR trials on a real workload is classified
+   Recovered (the tiny kernels above have too many dead values — most
+   flips land benign), and the MWTF accessors are sane against a NOED
+   baseline. *)
+let test_tmr_majority_recovered () =
+  let p =
+    match Registry.find "cjpeg" with
+    | Some w -> w.W.build W.Fault
+    | None -> Alcotest.fail "cjpeg not registered"
+  in
+  let c = Pipeline.compile ~scheme:Scheme.Tmr ~issue_width:2 ~delay:2 p in
+  let r = Montecarlo.run ~seed:3 ~trials:300 c.Pipeline.schedule in
+  Alcotest.(check bool)
+    (Printf.sprintf "strict majority recovered (%.1f%%)"
+       (100.0 *. Montecarlo.recovered_fraction r))
+    true
+    (Montecarlo.recovered_fraction r > 0.5);
+  let baseline = run_scheme Scheme.Noed p in
+  let mwtf = Montecarlo.mwtf ~baseline_cycles:baseline.Outcome.cycles r in
+  Alcotest.(check bool) "mwtf is positive" true (mwtf > 0.0)
 
 let test_recovery_overhead_larger () =
   (* Triplication costs more than duplication: dynamic instruction count
@@ -147,5 +255,11 @@ let suite =
         test_faults_are_recovered;
       case "recovery completes where detection stops"
         test_recovery_beats_detection_on_completion;
+      case "TMR single-fault trial is bit-identical to golden"
+        test_tmr_single_fault_bit_identity;
+      case "rollback retry budget exhausts on a poisoned snapshot"
+        test_rollback_budget_exhaustion;
+      case "TMR reg-bit campaign recovers a strict majority"
+        test_tmr_majority_recovered;
       case "recovery costs more than detection" test_recovery_overhead_larger;
     ] )

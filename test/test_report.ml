@@ -132,7 +132,9 @@ let test_coverage_render () =
     in
     go 0
   in
-  Alcotest.(check bool) "mentions benchmark" true (contains s "cjpeg")
+  Alcotest.(check bool) "mentions benchmark" true (contains s "cjpeg");
+  Alcotest.(check bool) "carries the recovered column" true
+    (contains s "recovered")
 
 let test_static_tables () =
   let t1 =

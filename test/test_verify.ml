@@ -106,7 +106,8 @@ let test_lint_clean_all_schemes () =
     [
       (Scheme.Noed, 1, 1); (Scheme.Noed, 4, 1); (Scheme.Sced, 1, 1);
       (Scheme.Sced, 2, 1); (Scheme.Dced, 2, 3); (Scheme.Casted, 1, 1);
-      (Scheme.Casted, 2, 2); (Scheme.Casted, 4, 4);
+      (Scheme.Casted, 2, 2); (Scheme.Casted, 4, 4); (Scheme.Tmr, 1, 1);
+      (Scheme.Tmr, 2, 2); (Scheme.Rollback, 2, 2); (Scheme.Rollback, 4, 1);
     ]
 
 let test_lint_clean_workload () =
@@ -123,7 +124,10 @@ let test_lint_clean_workload () =
       Alcotest.(check int)
         (Scheme.name scheme ^ " clean")
         0 (List.length diags))
-    [ Scheme.Noed; Scheme.Sced; Scheme.Dced; Scheme.Casted ]
+    [
+      Scheme.Noed; Scheme.Sced; Scheme.Dced; Scheme.Casted; Scheme.Tmr;
+      Scheme.Rollback;
+    ]
 
 (* ---------- mutation self-tests: each dropped artifact produces
    exactly its diagnostic ---------- *)
@@ -191,6 +195,117 @@ let test_mutation_drop_replica () =
   in
   drop_insn s "main" replica.Insn.id;
   only_diag ~rule:Diag.Missing_replica (Lint.schedule ~scheme:Scheme.Sced s)
+
+(* ---------- mutation self-tests: recovery-scheme rules ---------- *)
+
+(* The store's majority vote under TMR: a Check-role [Sel] protecting
+   the store. Dropping it leaves the store reading a triplicated
+   register with no vote. *)
+let tmr_vote_of s ~protects =
+  match
+    find_insns s "main" (fun i ->
+        i.Insn.role = Insn.Check && i.Insn.op = Opcode.Sel
+        && i.Insn.protects = protects)
+  with
+  | i :: _ -> i
+  | [] -> Alcotest.fail "protected insn has no majority vote"
+
+let tmr_store s =
+  match
+    find_insns s "main" (fun i ->
+        i.Insn.role = Insn.Original && Opcode.is_store i.Insn.op)
+  with
+  | i :: _ -> i
+  | [] -> Alcotest.fail "no store in the hardened main"
+
+let test_mutation_drop_vote () =
+  let c = compile ~scheme:Scheme.Tmr (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  let store = tmr_store s in
+  let vote = tmr_vote_of s ~protects:store.Insn.id in
+  drop_insn s "main" vote.Insn.id;
+  only_diag ~rule:Diag.Missing_vote (Lint.schedule ~scheme:Scheme.Tmr s)
+
+let test_mutation_drop_vote_rewrite () =
+  let c = compile ~scheme:Scheme.Tmr (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  let store = tmr_store s in
+  let vote = tmr_vote_of s ~protects:store.Insn.id in
+  (* The Mov writing the voted value back into the master copy
+     (the vote's third operand). *)
+  let voted = vote.Insn.defs.(0) and master = vote.Insn.uses.(2) in
+  let rewrite =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Check && i.Insn.op = Opcode.Mov
+          && Array.length i.Insn.defs = 1
+          && Reg.equal i.Insn.defs.(0) master
+          && Array.length i.Insn.uses = 1
+          && Reg.equal i.Insn.uses.(0) voted)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "vote has no master write-back"
+  in
+  drop_insn s "main" rewrite.Insn.id;
+  only_diag ~rule:Diag.Partial_vote_rewrite
+    (Lint.schedule ~scheme:Scheme.Tmr s)
+
+let test_mutation_drop_checkpoint () =
+  let c = compile ~scheme:Scheme.Rollback (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  let cpt =
+    match
+      find_insns s "main" (fun i -> Opcode.is_checkpoint i.Insn.op)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "no checkpoint in the rollback main"
+  in
+  drop_insn s "main" cpt.Insn.id;
+  only_diag ~rule:Diag.Missing_checkpoint
+    (Lint.schedule ~scheme:Scheme.Rollback s)
+
+let test_mutation_sink_checkpoint () =
+  let c = compile ~scheme:Scheme.Rollback (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  (* Sink the entry block's checkpoint below its first neighbour: the
+     marker survives but no longer covers the whole region. The lint
+     reads IR body order, so the schedule needs no touch-up. *)
+  let fs = Schedule.find_func s "main" in
+  let entry = List.hd fs.Schedule.func.Func.blocks in
+  (match entry.Block.body with
+  | cpt :: next :: rest when Opcode.is_checkpoint cpt.Insn.op ->
+      entry.Block.body <- next :: cpt :: rest
+  | _ -> Alcotest.fail "entry block does not open with a checkpoint");
+  only_diag ~rule:Diag.Misplaced_checkpoint
+    (Lint.schedule ~scheme:Scheme.Rollback s)
+
+let test_mutation_duplicate_checkpoint () =
+  let c = compile ~scheme:Scheme.Rollback (mutation_program ()) in
+  let s = c.Pipeline.schedule in
+  (* A second marker in the helper function: checkpoints are only valid
+     at entry-function block tops. Schedule and issue map are patched
+     consistently so only the placement rule fires. *)
+  let fs = Schedule.find_func s "inc" in
+  let block = List.hd fs.Schedule.func.Func.blocks in
+  let extra = Insn.make ~id:100_000 ~op:Opcode.Cpt () in
+  block.Block.body <- extra :: block.Block.body;
+  let bs = fs.Schedule.blocks.(0) in
+  let width = s.Schedule.config.Config.issue_width in
+  let placed = ref false in
+  Array.iteri
+    (fun cycle bundle ->
+      Array.iteri
+        (fun cl slots ->
+          if (not !placed) && Array.length slots < width then begin
+            bundle.(cl) <- Array.append slots [| extra |];
+            Hashtbl.replace bs.Schedule.issue_of extra.Insn.id (cycle, cl);
+            placed := true
+          end)
+        bundle)
+    bs.Schedule.bundles;
+  if not !placed then Alcotest.fail "no free issue slot for the marker";
+  only_diag ~rule:Diag.Misplaced_checkpoint
+    (Lint.schedule ~scheme:Scheme.Rollback s)
 
 (* ---------- hand-built schedules for the machine-shape rules ---------- *)
 
@@ -326,8 +441,9 @@ let test_oracle_clean () =
 
 let test_oracle_matrix_shape () =
   let cells = Oracle.cells ~issue_widths:[ 1; 2 ] ~delays:[ 1; 3 ] () in
-  (* Per issue width: NOED + SCED once, DCED + CASTED per delay. *)
-  Alcotest.(check int) "cell count" (2 * (2 + (2 * 2))) (List.length cells)
+  (* Per issue width: NOED + SCED once; DCED, CASTED, TMR and ROLLBACK
+     per delay. *)
+  Alcotest.(check int) "cell count" (2 * (2 + (4 * 2))) (List.length cells)
 
 let test_oracle_detects_output_divergence () =
   (* Two different programs pushed through the same oracle must
@@ -401,6 +517,15 @@ let suite =
         test_mutation_drop_replica;
       case "mutation: dropped delay cycle -> delay-violation"
         test_mutation_drop_delay_cycle;
+      case "mutation: dropped vote -> missing-vote" test_mutation_drop_vote;
+      case "mutation: dropped vote write-back -> partial-vote-rewrite"
+        test_mutation_drop_vote_rewrite;
+      case "mutation: dropped checkpoint -> missing-checkpoint"
+        test_mutation_drop_checkpoint;
+      case "mutation: sunk checkpoint -> misplaced-checkpoint"
+        test_mutation_sink_checkpoint;
+      case "mutation: checkpoint in a callee -> misplaced-checkpoint"
+        test_mutation_duplicate_checkpoint;
       case "lint: bundle overflow" test_bundle_overflow;
       case "lint: unresolved branch target" test_unresolved_target;
       case "lint: replica clobbering a master register" test_replica_overlap;
