@@ -81,7 +81,7 @@ let all_sections =
   [
     "table1"; "table2"; "table3"; "fig6_7"; "fig8"; "fig9"; "fig10";
     "ablations"; "placement"; "recovery"; "recovery_overhead";
-    "cse_on_hardened"; "selective"; "sim_throughput"; "microbench";
+    "cse_on_hardened"; "selective"; "sim_throughput"; "store"; "microbench";
   ]
 
 let sections =
@@ -532,6 +532,72 @@ let section_sim_throughput () =
         ("replay_speedup_jobs1", f speedup);
       ]
 
+(* The persistent result store: how much a warm store actually saves.
+   Fills one campaign cell cold (simulating every trial and banking the
+   tally), then serves the identical request warm — the fast path every
+   incremental matrix re-run rides. *)
+let store_json : Obs.Json.t ref = ref Obs.Json.Null
+
+let section_store () =
+  banner "Result store (cold fill vs warm serve, cjpeg CASTED i2 d2)";
+  let module Store = Casted_store.Store in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "casted-bench-store-%d" (Unix.getpid ()))
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+  @@ fun () ->
+  let store = Store.open_exn ~create:true dir in
+  let store_trials = if fast then 128 else 512 in
+  let spec =
+    Casted_engine.Cache.key ~workload:"cjpeg" ~size:W.Fault
+      ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 ()
+  in
+  let f x = Obs.Json.Float x in
+  let timed_run label =
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
+    let sc =
+      Engine.campaign_stored engine ~seed ~store ~trials:store_trials spec
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "%-5s %d trials in %.3fs (%d simulated, %d served)\n%!"
+      label store_trials wall sc.Engine.simulated sc.Engine.served;
+    (sc, wall)
+  in
+  let cold, cold_s = timed_run "cold:" in
+  let warm, warm_s = timed_run "warm:" in
+  assert (warm.Engine.simulated = 0);
+  assert (
+    Montecarlo.counts warm.Engine.result = Montecarlo.counts cold.Engine.result);
+  let stats = Store.stats store in
+  let speedup = if warm_s > 0.0 then cold_s /. warm_s else 0.0 in
+  Printf.printf
+    "warm serve: %.0fx faster; %d bytes banked per cell (%d read back)\n%!"
+    speedup stats.Store.bytes_written stats.Store.bytes_read;
+  store_json :=
+    Obs.Json.Obj
+      [
+        ("workload", Obs.Json.String "cjpeg");
+        ("scheme", Obs.Json.String "CASTED");
+        ("trials", Obs.Json.Int store_trials);
+        ("cold_s", f cold_s);
+        ("warm_s", f warm_s);
+        ("warm_speedup", f speedup);
+        ("entry_bytes", Obs.Json.Int stats.Store.bytes_written);
+        ("warm_simulated", Obs.Json.Int warm.Engine.simulated);
+        ("warm_served", Obs.Json.Int warm.Engine.served);
+      ]
+
 (* Bechamel micro-benchmarks: one per table/figure family, measuring the
    machinery that regenerates it. *)
 
@@ -715,6 +781,7 @@ let write_bench_json ~total_s =
                !section_times) );
         ("headline", summary_json);
         ("sim_throughput", !sim_throughput_json);
+        ("store", !store_json);
         ("recovery_overhead", !recovery_overhead_json);
         ("engine", engine_json);
         ("total_seconds", f total_s);
@@ -746,6 +813,7 @@ let () =
   run "cse_on_hardened" section_cse_on_hardened;
   run "selective" section_selective;
   run "sim_throughput" section_sim_throughput;
+  run "store" section_store;
   run "microbench" section_microbench;
   banner "Engine utilisation";
   print_string (Engine.utilisation engine);

@@ -15,6 +15,8 @@ module Report = Casted_report
 module Engine = Casted_engine.Engine
 module Pool = Casted_exec.Pool
 module Obs = Casted_obs
+module Store = Casted_store.Store
+module Work = Casted_store.Work
 
 let version = "1.1.0"
 
@@ -34,7 +36,7 @@ let bench_arg =
 
 let scheme_names = String.concat ", " (List.map Scheme.name Scheme.all)
 
-let scheme_arg =
+let scheme_conv =
   let parse s =
     match Scheme.of_string s with
     | Some v -> Ok v
@@ -42,7 +44,9 @@ let scheme_arg =
         Error (`Msg (Printf.sprintf "unknown scheme %s (use %s)" s scheme_names))
   in
   let print ppf s = Format.pp_print_string ppf (Scheme.name s) in
-  let scheme_conv = Arg.conv (parse, print) in
+  Arg.conv (parse, print)
+
+let scheme_arg =
   let doc =
     "Scheme: NOED, SCED, DCED or CASTED (detection); TMR or ROLLBACK \
      (recovery)."
@@ -73,7 +77,7 @@ let trials_arg =
     value & opt int 300
     & info [ "trials" ] ~doc:"Monte-Carlo trials per campaign.")
 
-let model_arg =
+let model_conv =
   let parse s =
     match Casted_sim.Fault.model_of_string s with
     | Some m -> Ok m
@@ -88,7 +92,9 @@ let model_arg =
   let print ppf m =
     Format.pp_print_string ppf (Casted_sim.Fault.model_name m)
   in
-  let model_conv = Arg.conv (parse, print) in
+  Arg.conv (parse, print)
+
+let model_arg =
   let doc =
     "Fault model: $(b,reg-bit) (the paper's single register bit flip), \
      $(b,burst) (2-4 adjacent bits), $(b,mem) (cache-line corruption), \
@@ -131,6 +137,47 @@ let resume_arg =
      the same benchmark/scheme/seed/model/trials configuration."
   in
   Arg.(value & flag & info [ "resume" ] ~doc)
+
+let store_arg =
+  let doc =
+    "Persistent result store directory (created if absent). The campaign \
+     becomes incremental: a cell whose tally is already banked at this \
+     (benchmark, scheme, config, fault model, seed, trials) identity is \
+     served with zero simulation; a partially banked cell resumes at its \
+     banked trial index; the final tally is written back. Incompatible \
+     with $(b,--ci-halfwidth) and $(b,--checkpoint)/$(b,--resume) (the \
+     store subsumes both)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ k; n ] -> (
+        match (int_of_string_opt k, int_of_string_opt n) with
+        | Some k, Some n when n >= 1 && k >= 0 && k < n -> Ok (k, n)
+        | _ -> Error (`Msg (Printf.sprintf "bad shard %S (use K/N, 0 <= K < N)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad shard %S (use K/N, 0 <= K < N)" s))
+  in
+  let print ppf (k, n) = Format.fprintf ppf "%d/%d" k n in
+  Arg.conv (parse, print)
+
+let shard_arg =
+  let doc =
+    "Simulate only shard $(docv) (= K/N, zero-based) of the campaign: the \
+     64-trial chunks whose index ≡ K (mod N). Requires $(b,--store); run \
+     the other shards as separate processes against the same store and \
+     the cell's merged tally — bit-identical to an unsharded run — is \
+     published when the last shard lands."
+  in
+  Arg.(value & opt (some shard_conv) None & info [ "shard" ] ~docv:"K/N" ~doc)
+
+let open_store ?(create = true) dir =
+  match Store.open_dir ~create dir with
+  | Ok s -> s
+  | Error msg ->
+      Printf.eprintf "casted: %s\n" msg;
+      exit 2
 
 let jobs_arg =
   let doc =
@@ -407,9 +454,26 @@ let pp_mwtf ppf m =
 let campaign_cmd =
   let run bench scheme issue delay trials model ci_halfwidth checkpoint
       checkpoint_every resume no_replay allow_legacy_checkpoint retry_budget
-      min_recovered jobs trace metrics =
+      min_recovered store_dir shard jobs trace metrics =
     if resume && checkpoint = None then begin
       Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
+      exit 2
+    end;
+    if shard <> None && store_dir = None then begin
+      Printf.eprintf "casted: --shard requires --store DIR\n";
+      exit 2
+    end;
+    if store_dir <> None && ci_halfwidth <> None then begin
+      Printf.eprintf
+        "casted: --store cannot be combined with --ci-halfwidth (early \
+         stopping would make the banked trial count depend on the sampling \
+         path)\n";
+      exit 2
+    end;
+    if store_dir <> None && (checkpoint <> None || resume) then begin
+      Printf.eprintf
+        "casted: --store subsumes --checkpoint/--resume — the store is the \
+         durable partial tally\n";
       exit 2
     end;
     with_obs ~trace ~metrics @@ fun () ->
@@ -424,19 +488,34 @@ let campaign_cmd =
           Casted_engine.Cache.key ~workload:bench ~size:W.Fault ~scheme
             ~issue_width:issue ~delay ()
         in
-        let result =
-          Engine.campaign engine ~model ?ci_halfwidth ?checkpoint
+        let store = Option.map open_store store_dir in
+        let sc =
+          Engine.campaign_stored engine ~model ?ci_halfwidth ?checkpoint
             ~checkpoint_every ~resume ~replay:(not no_replay)
-            ~allow_legacy_checkpoint ?retry_budget ~trials spec
+            ~allow_legacy_checkpoint ?retry_budget ?store
+            ?shard ~trials spec
         in
+        let result = sc.Engine.result in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
           (Scheme.name scheme) issue delay (Engine.jobs engine);
-        if result.Montecarlo.trials < trials then
+        if ci_halfwidth <> None && result.Montecarlo.trials < trials then
           Format.printf
             "stopped early at %d/%d trials (detected-rate CI half-width ≤ \
              ±%.2fpp)@."
             result.Montecarlo.trials trials
             (Option.value ci_halfwidth ~default:0.0);
+        (match (store_dir, shard) with
+        | Some dir, _ ->
+            Format.printf
+              "store: %s — %d trials served, %d simulated%s@." dir
+              sc.Engine.served sc.Engine.simulated
+              (if sc.Engine.complete then ""
+               else
+                 Format.asprintf " (shard %d/%d tally only — other shards \
+                                  outstanding)"
+                   (fst (Option.value shard ~default:(0, 1)))
+                   (snd (Option.value shard ~default:(0, 1))))
+        | None, _ -> ());
         Format.printf "%a@." Montecarlo.pp result;
         (match result.Montecarlo.replay with
         | Some s -> Format.printf "%a@." Montecarlo.pp_replay s
@@ -452,7 +531,8 @@ let campaign_cmd =
           baseline_cycles pp_mwtf
           (Montecarlo.mwtf ~baseline_cycles result);
         match min_recovered with
-        | Some threshold when recovered_pct < threshold ->
+        | Some threshold when sc.Engine.complete && recovered_pct < threshold
+          ->
             Printf.eprintf
               "casted: recovered fraction %.1f%% is below the required \
                %.1f%%\n"
@@ -465,14 +545,15 @@ let campaign_cmd =
     (Cmd.info "campaign"
        ~doc:
          "Run one Monte-Carlo fault campaign (checkpointable, resumable, \
-          with Wilson confidence intervals, optional early stopping, and \
-          recovered-fraction / MWTF reporting)")
+          incremental against a persistent result store, shardable across \
+          processes, with Wilson confidence intervals, optional early \
+          stopping, and recovered-fraction / MWTF reporting)")
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
       $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
       $ resume_arg $ no_replay_arg $ allow_legacy_checkpoint_arg
-      $ retry_budget_arg $ min_recovered_arg $ jobs_arg $ trace_arg
-      $ metrics_arg)
+      $ retry_budget_arg $ min_recovered_arg $ store_arg $ shard_arg
+      $ jobs_arg $ trace_arg $ metrics_arg)
 
 let recover_cmd =
   let run bench issue delay trials model retry_budget jobs trace metrics =
@@ -809,6 +890,411 @@ let fuzz_cmd =
           reproducer")
     Term.(const run $ programs $ seed $ program $ jobs_arg $ reproducer)
 
+(* Store subcommands: inspect, audit and sweep a result store. *)
+
+let store_dir_pos =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Result store directory.")
+
+let parse_size = function
+  | "perf" -> Some W.Perf
+  | "fault" -> Some W.Fault
+  | _ -> None
+
+(* Rebuild the engine campaign coordinates from an entry's explicit
+   spec fields. [None] when any name no longer resolves (a store from a
+   different casted version). *)
+let campaign_of_spec (spec : Store.spec) =
+  match
+    ( Registry.find spec.Store.workload,
+      parse_size spec.Store.size,
+      Scheme.of_string spec.Store.scheme,
+      Casted_sim.Fault.model_of_string spec.Store.model )
+  with
+  | Some _, Some size, Some scheme, Some model ->
+      Some
+        ( Casted_engine.Cache.key ~workload:spec.Store.workload ~size ~scheme
+            ~issue_width:spec.Store.issue ~delay:spec.Store.delay (),
+          model )
+  | _ -> None
+
+let pp_counts ppf counts =
+  let names = [| "benign"; "detected"; "exception"; "sdc"; "timeout";
+                 "recovered" |] in
+  let first = ref true in
+  Array.iteri
+    (fun i n ->
+      if n > 0 && i < Array.length names then begin
+        Format.fprintf ppf "%s%d %s" (if !first then "" else ", ")
+          n names.(i);
+        first := false
+      end)
+    counts;
+  if !first then Format.pp_print_string ppf "empty"
+
+let store_ls_cmd =
+  let run dir =
+    let s = open_store ~create:false dir in
+    match Store.list s with
+    | Error msg ->
+        Printf.eprintf "casted: %s\n" msg;
+        1
+    | Ok entries ->
+        let corrupt = ref 0 in
+        let trials = ref 0 in
+        List.iter
+          (function
+            | Ok (e : Store.entry) ->
+                trials := !trials + e.Store.trials_done;
+                Format.printf "%-60s %6d trials  (%a)@."
+                  (Store.address e.Store.key)
+                  e.Store.trials_done pp_counts e.Store.counts
+            | Error msg ->
+                incr corrupt;
+                Printf.eprintf "casted: %s\n" msg)
+          entries;
+        Format.printf "%d entries, %d trials banked%s@." (List.length entries)
+          !trials
+          (if !corrupt = 0 then ""
+           else Printf.sprintf ", %d CORRUPT" !corrupt);
+        if !corrupt = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "ls"
+       ~doc:
+         "List every banked tally (address, trial count, outcome \
+          breakdown); corrupt or mis-addressed entries are reported and \
+          exit 1")
+    Term.(const run $ store_dir_pos)
+
+let store_audit_cmd =
+  let run dir sample jobs =
+    let s = open_store ~create:false dir in
+    match Store.list s with
+    | Error msg ->
+        Printf.eprintf "casted: %s\n" msg;
+        1
+    | Ok entries ->
+        let corrupt =
+          List.filter_map
+            (function Error msg -> Some msg | Ok _ -> None)
+            entries
+        in
+        List.iter (Printf.eprintf "casted: %s\n") corrupt;
+        let entries =
+          List.filter_map
+            (function Ok (e : Store.entry) -> Some e | Error _ -> None)
+            entries
+        in
+        (* Deterministic sample: the listing is sorted by address, take
+           an even stride through it. *)
+        let picked =
+          if sample <= 0 || sample >= List.length entries then entries
+          else begin
+            let arr = Array.of_list entries in
+            let n = Array.length arr in
+            List.init sample (fun i -> arr.(i * n / sample))
+          end
+        in
+        let audited = ref 0 and skipped = ref 0 and bad = ref 0 in
+        with_engine jobs (fun engine ->
+            List.iter
+              (fun (e : Store.entry) ->
+                match Option.map campaign_of_spec e.Store.spec with
+                | None | Some None ->
+                    incr skipped;
+                    Printf.eprintf
+                      "casted: skipping %s (no reconstructible spec)\n"
+                      (Store.address e.Store.key)
+                | Some (Some (key, model)) ->
+                    incr audited;
+                    let k = e.Store.key in
+                    let retry_budget =
+                      if k.Store.retry_budget < 0 then None
+                      else Some k.Store.retry_budget
+                    in
+                    let shard = k.Store.shard in
+                    let trials =
+                      if snd shard = 1 then e.Store.trials_done
+                      else k.Store.trials
+                    in
+                    let r =
+                      Engine.campaign engine ~seed:k.Store.seed
+                        ~fuel_factor:k.Store.fuel_factor ~model ?retry_budget
+                        ~shard ~trials key
+                    in
+                    if
+                      Montecarlo.counts r <> e.Store.counts
+                      || r.Montecarlo.golden_cycles <> e.Store.golden_cycles
+                      || r.Montecarlo.golden_dyn <> e.Store.golden_dyn
+                      || r.Montecarlo.population <> e.Store.population
+                    then begin
+                      incr bad;
+                      Format.eprintf
+                        "casted: AUDIT MISMATCH %s@.  banked:      %a \
+                         (golden %d cycles, %d insns, population %d)@.  \
+                         resimulated: %a (golden %d cycles, %d insns, \
+                         population %d)@."
+                        (Store.address e.Store.key)
+                        pp_counts e.Store.counts e.Store.golden_cycles
+                        e.Store.golden_dyn e.Store.population pp_counts
+                        (Montecarlo.counts r) r.Montecarlo.golden_cycles
+                        r.Montecarlo.golden_dyn r.Montecarlo.population
+                    end)
+              picked);
+        Format.printf
+          "audit: %d entries re-simulated, %d skipped, %d mismatched%s@."
+          !audited !skipped !bad
+          (if corrupt = [] then ""
+           else Printf.sprintf ", %d corrupt" (List.length corrupt));
+        if !bad = 0 && corrupt = [] then 0 else 1
+  in
+  let sample =
+    Arg.(
+      value & opt int 0
+      & info [ "sample" ] ~docv:"N"
+          ~doc:
+            "Audit only $(docv) entries (an even, deterministic stride \
+             through the address-sorted listing). 0 audits everything.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Re-simulate banked tallies and fail loudly (exit 1) on any \
+          mismatch — the store's end-to-end integrity check: a mismatch \
+          means the simulator no longer reproduces the banked campaign")
+    Term.(const run $ store_dir_pos $ sample $ jobs_arg)
+
+let store_gc_cmd =
+  let run dir force =
+    let s = open_store ~create:false dir in
+    let tmp = Store.gc_tmp s in
+    let locks = Work.gc_locks ~force s in
+    match Store.gc_shards s with
+    | Error msg ->
+        Printf.eprintf "casted: %s\n" msg;
+        1
+    | Ok shards ->
+        Format.printf
+          "gc: removed %d tmp files, %d stale locks, %d merged-away shard \
+           entries@."
+          tmp locks shards;
+        0
+  in
+  let force =
+    Arg.(
+      value & flag
+      & info [ "force" ]
+          ~doc:
+            "Remove every lock, not just stale ones (only safe when no \
+             worker is running).")
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Sweep debris: orphan tmp files from killed writers, stale locks \
+          of dead workers, and shard entries already covered by a merged \
+          full entry")
+    Term.(const run $ store_dir_pos $ force)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect, audit and garbage-collect a persistent result store")
+    [ store_ls_cmd; store_audit_cmd; store_gc_cmd ]
+
+(* The worker: claim identity-keyed units from DIR/queue and stream
+   tallies into the store. *)
+
+let work_cmd =
+  let run store_dir benches schemes issues delays models trials seed fuel
+      enqueue enqueue_only jobs trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
+    let s = open_store store_dir in
+    let enqueued = ref 0 in
+    if enqueue || enqueue_only then begin
+      let benchmarks = if benches = [] then Registry.names () else benches in
+      List.iter (fun b -> ignore (find_workload b)) benchmarks;
+      List.iter
+        (fun workload ->
+          List.iter
+            (fun scheme ->
+              List.iter
+                (fun issue ->
+                  List.iter
+                    (fun delay ->
+                      List.iter
+                        (fun model ->
+                          let u =
+                            {
+                              Work.workload;
+                              size = "fault";
+                              scheme = Scheme.name scheme;
+                              issue;
+                              delay;
+                              model = Casted_sim.Fault.model_name model;
+                              seed;
+                              trials;
+                              fuel_factor = fuel;
+                              retry_budget = -1;
+                            }
+                          in
+                          if Work.enqueue s u then incr enqueued)
+                        models)
+                    delays)
+                issues)
+            schemes)
+        benchmarks;
+      Format.printf "work: enqueued %d new units@." !enqueued
+    end;
+    if enqueue_only then 0
+    else begin
+      let units =
+        match Work.units s with
+        | Ok us -> us
+        | Error msg ->
+            Printf.eprintf "casted: %s\n" msg;
+            exit 2
+      in
+      let ran = ref 0 and busy = ref 0 and broken = ref 0 in
+      let served = ref 0 and simulated = ref 0 in
+      with_engine jobs (fun engine ->
+          List.iter
+            (function
+              | Error msg ->
+                  incr broken;
+                  Printf.eprintf "casted: %s\n" msg
+              | Ok (u : Work.unit_spec) -> (
+                  match
+                    ( Registry.find u.Work.workload,
+                      parse_size u.Work.size,
+                      Scheme.of_string u.Work.scheme,
+                      Casted_sim.Fault.model_of_string u.Work.model )
+                  with
+                  | Some _, Some size, Some scheme, Some model -> (
+                      match Work.claim s u with
+                      | Work.Busy owner ->
+                          incr busy;
+                          Format.printf "work: %s busy (%s)@."
+                            (Work.address u) owner
+                      | Work.Claimed ->
+                          Fun.protect
+                            ~finally:(fun () -> Work.release s u)
+                            (fun () ->
+                              let key =
+                                Casted_engine.Cache.key
+                                  ~workload:u.Work.workload ~size ~scheme
+                                  ~issue_width:u.Work.issue
+                                  ~delay:u.Work.delay ()
+                              in
+                              let retry_budget =
+                                if u.Work.retry_budget < 0 then None
+                                else Some u.Work.retry_budget
+                              in
+                              let sc =
+                                Engine.campaign_stored engine
+                                  ~seed:u.Work.seed
+                                  ~fuel_factor:u.Work.fuel_factor ~model
+                                  ?retry_budget ~store:s
+                                  ~trials:u.Work.trials key
+                              in
+                              incr ran;
+                              served := !served + sc.Engine.served;
+                              simulated := !simulated + sc.Engine.simulated;
+                              Format.printf
+                                "work: %s — %d served, %d simulated@."
+                                (Work.address u) sc.Engine.served
+                                sc.Engine.simulated))
+                  | _ ->
+                      incr broken;
+                      Printf.eprintf
+                        "casted: unit %s names an unknown \
+                         workload/scheme/model — skipping\n"
+                        (Work.address u)))
+            units);
+      Format.printf
+        "work: %d units run (%d trials served from the store, %d \
+         simulated), %d busy, %d broken@."
+        !ran !served !simulated !busy !broken;
+      if !broken = 0 then 0 else 1
+    end
+  in
+  let benches =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"BENCHMARK"
+          ~doc:"Benchmarks for $(b,--enqueue) (default: all).")
+  in
+  let schemes =
+    Arg.(
+      value
+      & opt (list scheme_conv) [ Scheme.Casted ]
+      & info [ "schemes" ] ~docv:"S,.."
+          ~doc:"Schemes for $(b,--enqueue) (comma-separated).")
+  in
+  let issues =
+    Arg.(
+      value & opt (list int) [ 2 ]
+      & info [ "issues" ] ~docv:"I,.." ~doc:"Issue widths for $(b,--enqueue).")
+  in
+  let delays =
+    Arg.(
+      value & opt (list int) [ 2 ]
+      & info [ "delays" ] ~docv:"D,.." ~doc:"Delays for $(b,--enqueue).")
+  in
+  let models =
+    Arg.(
+      value
+      & opt (list model_conv) [ Casted_sim.Fault.Reg_bit ]
+      & info [ "models" ] ~docv:"M,.."
+          ~doc:"Fault models for $(b,--enqueue).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xCA57ED
+      & info [ "seed" ] ~docv:"S" ~doc:"Campaign seed for enqueued units.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 10
+      & info [ "fuel" ] ~docv:"F" ~doc:"Fuel factor for enqueued units.")
+  in
+  let enqueue =
+    Arg.(
+      value & flag
+      & info [ "enqueue" ]
+          ~doc:
+            "First enqueue the benchmark × scheme × issue × delay × model \
+             matrix as work units, then drain the queue.")
+  in
+  let enqueue_only =
+    Arg.(
+      value & flag
+      & info [ "enqueue-only" ]
+          ~doc:"Enqueue the matrix and exit without claiming any unit.")
+  in
+  let store_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:"Result store directory holding the queue (created if absent).")
+  in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Cooperative campaign worker: claim identity-keyed work units \
+          from the store's queue via crash-tolerant lock files, simulate \
+          each cell incrementally against the store, and release. Any \
+          number of workers (or hosts sharing the directory) can drain one \
+          queue; a killed worker's lock is broken automatically")
+    Term.(
+      const run $ store_req $ benches $ schemes $ issues $ delays $ models
+      $ trials_arg $ seed $ fuel $ enqueue $ enqueue_only $ jobs_arg
+      $ trace_arg $ metrics_arg)
+
 let version_cmd =
   let run () =
     print_endline ("casted " ^ version);
@@ -825,7 +1311,8 @@ let main =
     [
       list_cmd; compile_cmd; run_cmd; sweep_cmd; scaling_cmd; faults_cmd;
       campaign_cmd; tables_cmd; recover_cmd; placement_cmd; profile_cmd;
-      pressure_cmd; asm_cmd; trace_cmd; verify_cmd; fuzz_cmd; version_cmd;
+      pressure_cmd; asm_cmd; trace_cmd; verify_cmd; fuzz_cmd; store_cmd;
+      work_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -23,19 +23,54 @@ let pp_key ppf k =
   Format.fprintf ppf "%s/%s/%s/i%d/d%d" k.workload (Workload.size_name k.size)
     (Scheme.name k.scheme) k.issue_width k.delay
 
-(* One line, stable across runs: what a campaign checkpoint embeds so a
-   resume can prove it belongs to the same (workload, scheme, config)
-   point. Non-default knobs are folded in as a structural hash — enough
-   to tell two campaigns apart, no need to be readable. *)
+(* One line, stable across runs AND across casted/OCaml versions: what
+   campaign checkpoints embed, and what the on-disk result store hashes
+   into entry addresses, so both can prove a tally belongs to the same
+   (workload, scheme, config) point. Non-default knobs are folded in as
+   an FNV-1a hash of an explicit canonical rendering — never
+   [Hashtbl.hash], whose value is an implementation detail that may
+   change between compiler releases and would silently orphan every
+   persisted entry. The exact strings are pinned by golden unit
+   tests. *)
+let canonical_extras k =
+  let scope =
+    match k.options.Options.scope with
+    | Options.Full -> "full"
+    | Options.Store_slice -> "store-slice"
+  in
+  let bug =
+    match k.bug_options with
+    | None -> "default"
+    | Some { Casted_sched.Bug.tie_break = Casted_sched.Bug.Prefer_lower } ->
+        "prefer-lower"
+    | Some { Casted_sched.Bug.tie_break = Casted_sched.Bug.Prefer_critical_pred
+        } ->
+        "prefer-critical-pred"
+  in
+  Printf.sprintf
+    "stores=%b,branches=%b,calls=%b,params=%b,scope=%s,bug=%s,optimize=%b"
+    k.options.Options.check_stores k.options.Options.check_branches
+    k.options.Options.check_calls k.options.Options.shadow_params scope bug
+    k.optimize
+
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    s;
+  !h
+
 let identity k =
   let extras =
     if
       k.options = Options.default && k.bug_options = None
       && not k.optimize
     then ""
-    else
-      Printf.sprintf "/x%08x"
-        (Hashtbl.hash (k.options, k.bug_options, k.optimize))
+    else Printf.sprintf "/x%016Lx" (fnv1a64 (canonical_extras k))
   in
   Format.asprintf "%a%s" pp_key k extras
 

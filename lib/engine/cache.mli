@@ -44,8 +44,12 @@ val pp_key : Format.formatter -> key -> unit
 
 (** One-line stable identity for [key] — what campaign checkpoints
     embed so [--resume] can refuse a checkpoint from a different
-    (workload, scheme, config) point. Non-default options are folded in
-    as a structural hash suffix. *)
+    (workload, scheme, config) point, and what the on-disk result
+    store hashes into entry addresses. The rendering is pinned by
+    golden unit tests and must never change shape silently: doing so
+    orphans every persisted store entry and checkpoint. Non-default
+    options are folded in as an FNV-1a hash of an explicit canonical
+    rendering (stable across OCaml releases, unlike [Hashtbl.hash]). *)
 val identity : key -> string
 
 type t

@@ -30,11 +30,31 @@ let zero_counters =
     sweep_s = 0.0;
   }
 
+type store_counters = {
+  full_hits : int;
+  partial_hits : int;
+  store_misses : int;
+  store_writes : int;
+  trials_served : int;
+  trials_simulated : int;
+}
+
+let zero_store_counters =
+  {
+    full_hits = 0;
+    partial_hits = 0;
+    store_misses = 0;
+    store_writes = 0;
+    trials_served = 0;
+    trials_simulated = 0;
+  }
+
 type t = {
   pool : Pool.t;
   cache : Cache.t;
   mutex : Mutex.t;
   mutable counts : job_counters;
+  mutable store_counts : store_counters;
 }
 
 let create ?jobs () =
@@ -51,6 +71,7 @@ let create ?jobs () =
     cache = Cache.create ();
     mutex = Mutex.create ();
     counts = zero_counters;
+    store_counts = zero_store_counters;
   }
 
 let jobs t = Pool.jobs t.pool
@@ -136,37 +157,318 @@ let simulate t key =
    restores reports its original failure). *)
 let default_retry_budget = 3
 
-let campaign t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
+(* Resolve the per-scheme recovery default: an explicit budget always
+   wins, a Rollback spec gets the engine default, everything else runs
+   without a recovery loop. *)
+let resolve_retry_budget key = function
+  | Some _ as b -> b
+  | None ->
+      if key.Cache.scheme = Scheme.Rollback then Some default_retry_budget
+      else None
+
+let campaign_identity key model =
+  Printf.sprintf "%s/%s" (Cache.identity key)
+    (Casted_sim.Fault.model_name model)
+
+type stored_campaign = {
+  result : Montecarlo.result;
+  simulated : int;
+  served : int;
+  complete : bool;
+}
+
+let bump_store t f =
+  Mutex.lock t.mutex;
+  t.store_counts <- f t.store_counts;
+  Mutex.unlock t.mutex
+
+module Store = Casted_store.Store
+
+(* A store entry only round-trips into a campaign spec when the key has
+   nothing beyond the explicit coordinates (default pass options) —
+   exactly the keys the CLI builds. Anything else persists fine but
+   cannot be audited or re-enqueued from the entry alone. *)
+let spec_of_key (key : Cache.key) model =
+  if
+    key.Cache.options = Casted_detect.Options.default
+    && key.Cache.bug_options = None
+    && not key.Cache.optimize
+  then
+    Some
+      {
+        Store.workload = key.Cache.workload;
+        size = Workload.size_name key.Cache.size;
+        scheme = Scheme.name key.Cache.scheme;
+        issue = key.Cache.issue_width;
+        delay = key.Cache.delay;
+        model = Casted_sim.Fault.model_name model;
+      }
+  else None
+
+let result_of_entry ~model (e : Store.entry) =
+  let name = Casted_sim.Fault.model_name model in
+  if not (String.equal e.Store.model name) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.campaign: store entry for %S was tallied under fault model \
+          %s, not %s — corrupt store"
+         (Store.address e.Store.key) e.Store.model name);
+  Montecarlo.of_counts ~model ~golden_cycles:e.Store.golden_cycles
+    ~golden_dyn:e.Store.golden_dyn ~population:e.Store.population
+    e.Store.counts
+
+let entry_of_result ~spec (skey : Store.key) (r : Montecarlo.result) =
+  {
+    Store.key = skey;
+    trials_done = r.Montecarlo.trials;
+    counts = Montecarlo.counts r;
+    golden_cycles = r.Montecarlo.golden_cycles;
+    golden_dyn = r.Montecarlo.golden_dyn;
+    population = r.Montecarlo.population;
+    model = Casted_sim.Fault.model_name r.Montecarlo.model;
+    spec;
+  }
+
+(* A resumed or re-simulated cell must agree with the banked entry
+   about its golden run: a mismatch means the identity tuple no longer
+   pins the simulation (a silent simulator change, or a corrupt store)
+   and merging the tallies would be meaningless. *)
+let check_golden_agreement ~what (e : Store.entry) (r : Montecarlo.result) =
+  if
+    e.Store.golden_cycles <> r.Montecarlo.golden_cycles
+    || e.Store.golden_dyn <> r.Montecarlo.golden_dyn
+    || e.Store.population <> r.Montecarlo.population
+  then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.campaign: %s: store entry %S banked a golden run of \
+          %d cycles / %d insns / population %d but this build simulates \
+          %d / %d / %d — the identity no longer pins the simulation; \
+          refusing to merge (run `casted store audit`)"
+         what
+         (Store.address e.Store.key)
+         e.Store.golden_cycles e.Store.golden_dyn e.Store.population
+         r.Montecarlo.golden_cycles r.Montecarlo.golden_dyn
+         r.Montecarlo.population)
+
+let store_fail msg = invalid_arg ("Engine.campaign: result store: " ^ msg)
+let store_get = function Ok v -> v | Error msg -> store_fail msg
+
+let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Casted_sim.Fault.Reg_bit) ?ci_halfwidth ?checkpoint
     ?checkpoint_every ?(resume = false) ?(replay = true) ?retry_budget
-    ?(allow_legacy_checkpoint = false) ~trials key =
+    ?(allow_legacy_checkpoint = false) ?store ?(shard = (0, 1)) ~trials key =
+  let retry_budget = resolve_retry_budget key retry_budget in
+  let identity = campaign_identity key model in
   (* Compile (cached) under the compile timer, then hand the memoized
      decoded program — and, with replay on, the memoized golden-run
      snapshot set — to the campaign: thousands of trials, one decode,
      one capture, shared read-only across pool domains and across
-     campaigns revisiting this configuration. *)
-  let (_ : Pipeline.compiled) = compile t key in
-  let decoded = Cache.decoded t.cache key in
-  (* A rollback schedule restores its own region checkpoints mid-trial,
-     which golden-prefix replay cannot express: such campaigns get the
-     recovering executor (and no replay set) instead. *)
-  let retry_budget =
-    match retry_budget with
-    | Some _ as b -> b
-    | None ->
-        if key.Cache.scheme = Scheme.Rollback then Some default_retry_budget
-        else None
+     campaigns revisiting this configuration. The store's full-hit path
+     never gets here: a banked tally costs no compile, no decode, no
+     golden run. *)
+  let simulate ?prior ~shard n_trials =
+    let (_ : Pipeline.compiled) = compile t key in
+    let decoded = Cache.decoded t.cache key in
+    let replay = replay && retry_budget = None in
+    let replay_set =
+      if replay then Some (Cache.replay t.cache key) else None
+    in
+    timed t `Campaign (fun () ->
+        Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
+          ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity
+          ~replay ?replay_set ?retry_budget ~allow_legacy_checkpoint ~shard
+          ?prior ~trials:n_trials decoded)
   in
-  let replay = replay && retry_budget = None in
-  let replay_set = if replay then Some (Cache.replay t.cache key) else None in
-  let identity =
-    Printf.sprintf "%s/%s" (Cache.identity key)
-      (Casted_sim.Fault.model_name model)
-  in
-  timed t `Campaign (fun () ->
-      Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
-        ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity ~replay
-        ?replay_set ?retry_budget ~allow_legacy_checkpoint ~trials decoded)
+  match store with
+  | None ->
+      let result = simulate ~shard trials in
+      {
+        result;
+        simulated = result.Montecarlo.trials;
+        served = 0;
+        complete = shard = (0, 1);
+      }
+  | Some s ->
+      if ci_halfwidth <> None then
+        invalid_arg
+          "Engine.campaign: a store-backed campaign cannot use \
+           ci_halfwidth (early stopping would make the banked trial count \
+           depend on the sampling path)";
+      if checkpoint <> None || resume then
+        invalid_arg
+          "Engine.campaign: a store-backed campaign is its own checkpoint \
+           — drop --checkpoint/--resume";
+      let retry_for_store = Option.value retry_budget ~default:(-1) in
+      let skey =
+        Store.key ~retry_budget:retry_for_store ~shard ~identity ~seed
+          ~fuel_factor ~trials ()
+      in
+      let spec = spec_of_key key model in
+      let serve ?(simulated = 0) (e : Store.entry) ~complete =
+        {
+          result = result_of_entry ~model e;
+          simulated;
+          served = e.Store.trials_done - simulated;
+          complete;
+        }
+      in
+      let write_merged () =
+        (* All shards banked: publish the summed tally as the cell's
+           full entry so every later lookup is a single-read hit. *)
+        match
+          store_get (Store.merge_shards ~chunk:Montecarlo.chunk_trials s skey)
+        with
+        | None -> None
+        | Some merged ->
+            Store.put s merged;
+            bump_store t (fun c ->
+                { c with store_writes = c.store_writes + 1 });
+            Some merged
+      in
+      if snd shard = 1 then begin
+        match store_get (Store.find s skey) with
+        | Some e when e.Store.trials_done = trials ->
+            bump_store t (fun c ->
+                {
+                  c with
+                  full_hits = c.full_hits + 1;
+                  trials_served = c.trials_served + trials;
+                });
+            Casted_obs.Metrics.incr "engine.store.full_hits";
+            serve e ~complete:true
+        | Some e when e.Store.trials_done < trials ->
+            (* Incremental fill: resume from the banked tally exactly as
+               a checkpoint resume would, then extend the entry. *)
+            let result =
+              simulate ~shard
+                ~prior:(e.Store.trials_done, e.Store.counts)
+                trials
+            in
+            check_golden_agreement ~what:"incremental resume" e result;
+            Store.put s (entry_of_result ~spec skey result);
+            bump_store t (fun c ->
+                {
+                  c with
+                  partial_hits = c.partial_hits + 1;
+                  store_writes = c.store_writes + 1;
+                  trials_served = c.trials_served + e.Store.trials_done;
+                  trials_simulated =
+                    c.trials_simulated + (trials - e.Store.trials_done);
+                });
+            Casted_obs.Metrics.incr "engine.store.partial_hits";
+            {
+              result;
+              simulated = trials - e.Store.trials_done;
+              served = e.Store.trials_done;
+              complete = true;
+            }
+        | Some e ->
+            (* The banked tally covers MORE trials than requested; the
+               first [trials] of it cannot be recovered from counts.
+               Simulate the request fresh and leave the richer entry
+               alone. *)
+            let result = simulate ~shard trials in
+            check_golden_agreement ~what:"oversized entry" e result;
+            bump_store t (fun c ->
+                {
+                  c with
+                  store_misses = c.store_misses + 1;
+                  trials_simulated = c.trials_simulated + trials;
+                });
+            Casted_obs.Metrics.incr "engine.store.misses";
+            { result; simulated = trials; served = 0; complete = true }
+        | None -> (
+            (* Absent cell — but its shards may already cover it. *)
+            match write_merged () with
+            | Some merged ->
+                bump_store t (fun c ->
+                    {
+                      c with
+                      full_hits = c.full_hits + 1;
+                      trials_served = c.trials_served + trials;
+                    });
+                Casted_obs.Metrics.incr "engine.store.full_hits";
+                serve merged ~complete:true
+            | None ->
+                let result = simulate ~shard trials in
+                Store.put s (entry_of_result ~spec skey result);
+                bump_store t (fun c ->
+                    {
+                      c with
+                      store_misses = c.store_misses + 1;
+                      store_writes = c.store_writes + 1;
+                      trials_simulated = c.trials_simulated + trials;
+                    });
+                Casted_obs.Metrics.incr "engine.store.misses";
+                { result; simulated = trials; served = 0; complete = true })
+      end
+      else begin
+        (* Shard worker: serve the cell if it is already complete,
+           otherwise fill this shard and merge if that was the last
+           one. *)
+        let full_key = { skey with Store.shard = (0, 1) } in
+        match store_get (Store.find s full_key) with
+        | Some e when e.Store.trials_done = trials ->
+            bump_store t (fun c ->
+                {
+                  c with
+                  full_hits = c.full_hits + 1;
+                  trials_served = c.trials_served + trials;
+                });
+            Casted_obs.Metrics.incr "engine.store.full_hits";
+            serve e ~complete:true
+        | _ -> (
+            match store_get (Store.find s skey) with
+            | Some own -> (
+                (* This shard is banked; the cell completes when the
+                   others land. *)
+                bump_store t (fun c ->
+                    {
+                      c with
+                      full_hits = c.full_hits + 1;
+                      trials_served = c.trials_served + own.Store.trials_done;
+                    });
+                Casted_obs.Metrics.incr "engine.store.full_hits";
+                match write_merged () with
+                | Some merged -> serve merged ~complete:true
+                | None -> serve own ~complete:false)
+            | None -> (
+                let result = simulate ~shard trials in
+                Store.put s (entry_of_result ~spec skey result);
+                bump_store t (fun c ->
+                    {
+                      c with
+                      store_misses = c.store_misses + 1;
+                      store_writes = c.store_writes + 1;
+                      trials_simulated =
+                        c.trials_simulated + result.Montecarlo.trials;
+                    });
+                Casted_obs.Metrics.incr "engine.store.misses";
+                match write_merged () with
+                | Some merged ->
+                    {
+                      result = result_of_entry ~model merged;
+                      simulated = result.Montecarlo.trials;
+                      served = trials - result.Montecarlo.trials;
+                      complete = true;
+                    }
+                | None ->
+                    {
+                      result;
+                      simulated = result.Montecarlo.trials;
+                      served = 0;
+                      complete = false;
+                    }))
+      end
+
+let campaign t ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
+    ?checkpoint_every ?resume ?replay ?retry_budget ?allow_legacy_checkpoint
+    ?store ?shard ~trials key =
+  (campaign_stored t ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
+     ?checkpoint_every ?resume ?replay ?retry_budget ?allow_legacy_checkpoint
+     ?store ?shard ~trials key)
+    .result
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
    per issue width (compiled at delay 1, recorded as delay 0, like the
@@ -245,6 +547,12 @@ let counters t =
   Mutex.unlock t.mutex;
   c
 
+let store_counters t =
+  Mutex.lock t.mutex;
+  let c = t.store_counts in
+  Mutex.unlock t.mutex;
+  c
+
 let utilisation t =
   let s = Pool.stats t.pool in
   let c = counters t in
@@ -269,21 +577,33 @@ let utilisation t =
     | [] -> "jobs:    none"
     | parts -> "jobs:    " ^ String.concat ", " parts
   in
+  let sc = store_counters t in
+  let store_lines =
+    if sc = zero_store_counters then []
+    else
+      [
+        Printf.sprintf
+          "store:   %d full hits, %d partial, %d misses, %d writes — %d \
+           trials served, %d simulated"
+          sc.full_hits sc.partial_hits sc.store_misses sc.store_writes
+          sc.trials_served sc.trials_simulated;
+      ]
+  in
   String.concat "\n"
-    [
-      Printf.sprintf
-        "engine:  %d jobs (%d worker domains), %d tasks, %.1f tasks/s"
-        s.Pool.jobs s.Pool.domains s.Pool.tasks throughput;
-      Printf.sprintf "busy:    %.1fs over %.1fs wall, utilisation %.0f%%"
-        s.Pool.busy_s s.Pool.wall_s
-        (100.0 *. Pool.utilisation s);
-      jobs_line;
-      Printf.sprintf "cache:   %d entries, %d hits, %d misses" cs.Cache.entries
-        cs.Cache.hits cs.Cache.misses;
-      Printf.sprintf "decoded: %d entries, %d hits, %d misses"
-        cs.Cache.decoded_entries cs.Cache.decoded_hits
-        cs.Cache.decoded_misses;
-      Printf.sprintf "replay:  %d snapshot sets, %d hits, %d captures"
-        cs.Cache.replay_entries cs.Cache.replay_hits cs.Cache.replay_misses;
-      "";
-    ]
+    ([
+       Printf.sprintf
+         "engine:  %d jobs (%d worker domains), %d tasks, %.1f tasks/s"
+         s.Pool.jobs s.Pool.domains s.Pool.tasks throughput;
+       Printf.sprintf "busy:    %.1fs over %.1fs wall, utilisation %.0f%%"
+         s.Pool.busy_s s.Pool.wall_s
+         (100.0 *. Pool.utilisation s);
+       jobs_line;
+       Printf.sprintf "cache:   %d entries, %d hits, %d misses" cs.Cache.entries
+         cs.Cache.hits cs.Cache.misses;
+       Printf.sprintf "decoded: %d entries, %d hits, %d misses"
+         cs.Cache.decoded_entries cs.Cache.decoded_hits
+         cs.Cache.decoded_misses;
+       Printf.sprintf "replay:  %d snapshot sets, %d hits, %d captures"
+         cs.Cache.replay_entries cs.Cache.replay_hits cs.Cache.replay_misses;
+     ]
+    @ store_lines @ [ "" ])

@@ -101,7 +101,10 @@ val simulate :
     [retry_budget] (default {!default_retry_budget}) and replay forced
     off — a rollback trial restores its own region checkpoints, which
     prefix replay cannot express. Pass [retry_budget] explicitly to
-    override the budget (or to run any other scheme recovering). *)
+    override the budget (or to run any other scheme recovering).
+
+    With [store] set the campaign becomes incremental: see
+    {!campaign_stored}, of which this is the [.result] projection. *)
 val campaign :
   t ->
   ?seed:int ->
@@ -114,6 +117,8 @@ val campaign :
   ?replay:bool ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
+  ?store:Casted_store.Store.t ->
+  ?shard:int * int ->
   trials:int ->
   Cache.key ->
   Casted_sim.Montecarlo.result
@@ -121,6 +126,75 @@ val campaign :
 (** Rollback budget {!campaign} uses when the spec's scheme is
     [Rollback] and no explicit [retry_budget] is given. *)
 val default_retry_budget : int
+
+(** {2 The persistent result store} *)
+
+(** What a store-backed campaign actually did. [result] is the tally
+    this process can vouch for: the cell's full tally when [complete],
+    otherwise just this shard's share. [simulated] trials were run by
+    this call; [served] came out of the store. *)
+type stored_campaign = {
+  result : Casted_sim.Montecarlo.result;
+  simulated : int;  (** trials this call actually simulated *)
+  served : int;  (** trials served from banked store entries *)
+  complete : bool;
+      (** [result] covers all [trials] of the cell (as opposed to one
+          shard of a cell whose other shards are still outstanding) *)
+}
+
+(** [campaign_stored t ~store ~trials spec] is {!campaign} made
+    incremental against an on-disk {!Casted_store.Store}:
+
+    - {b full hit} — the store holds the cell at ≥ the identical
+      identity tuple with [trials_done = trials]: the tally is served
+      with {e zero} simulation, zero compiles, zero decodes.
+    - {b partial hit} — banked [trials_done < trials]: simulation
+      resumes at the banked trial index (the per-trial RNG derivation
+      makes the union bit-identical to a cold run of [trials]) and the
+      extended entry replaces the old one.
+    - {b miss} — the cell is simulated and banked. A banked entry with
+      {e more} trials than requested is left alone and the request
+      simulated fresh (a prefix cannot be recovered from counts).
+
+    With [shard = (k, n)], this process simulates only the campaign
+    chunks owned by shard [k] of [n] (absolute 64-trial grid, so the
+    [n] shards partition the trial space exactly), banks the shard
+    entry, and — if it completed the cell — merges all [n] shard
+    entries into the full entry. [complete = false] means other shards
+    are still outstanding; re-running any shard once they land (or
+    {!Casted_store.Store.merge_shards}) produces the merged tally,
+    bit-identical to an unsharded run.
+
+    Store-backed campaigns refuse [ci_halfwidth] (early stopping would
+    make the banked trial count depend on the sampling path) and
+    [checkpoint]/[resume] (the store subsumes both). A resumed cell
+    whose golden run disagrees with the banked entry raises
+    [Invalid_argument] — the identity no longer pins the simulation.
+
+    Without [store] this is exactly {!campaign} (plus the shard
+    restriction when [shard] is given). *)
+val campaign_stored :
+  t ->
+  ?seed:int ->
+  ?fuel_factor:int ->
+  ?model:Casted_sim.Fault.model ->
+  ?ci_halfwidth:float ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?replay:bool ->
+  ?retry_budget:int ->
+  ?allow_legacy_checkpoint:bool ->
+  ?store:Casted_store.Store.t ->
+  ?shard:int * int ->
+  trials:int ->
+  Cache.key ->
+  stored_campaign
+
+(** The campaign identity string a store entry (and a checkpoint) is
+    keyed on: [Cache.identity spec ^ "/" ^ fault model name]. Pinned by
+    golden tests alongside {!Cache.identity}. *)
+val campaign_identity : Cache.key -> Casted_sim.Fault.model -> string
 
 (** [sweep t ~size ()] runs the performance grid of the paper's
     Figs. 6-8: NOED and SCED once per issue width, DCED and CASTED per
@@ -149,6 +223,20 @@ type job_counters = {
 
 val counters : t -> job_counters
 
+(** Result-store traffic across this engine's store-backed campaigns
+    (all zero when no campaign used a store). *)
+type store_counters = {
+  full_hits : int;  (** cells served entirely from the store *)
+  partial_hits : int;  (** cells resumed from a banked prefix *)
+  store_misses : int;  (** cells simulated from scratch *)
+  store_writes : int;  (** entries written (new, extended or merged) *)
+  trials_served : int;  (** trials that needed no simulation *)
+  trials_simulated : int;  (** trials actually run by store campaigns *)
+}
+
+val store_counters : t -> store_counters
+
 (** Multi-line human-readable summary: pool size and utilisation, task
-    throughput, per-job-kind counts and times, cache hit rate. *)
+    throughput, per-job-kind counts and times, cache hit rate, and —
+    when a result store saw traffic — store hit/miss/trial counters. *)
 val utilisation : t -> string

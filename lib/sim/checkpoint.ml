@@ -13,7 +13,10 @@ let magic = "casted-checkpoint v1"
 let save ~path t =
   if String.contains t.identity '\n' then
     invalid_arg "Checkpoint.save: identity must not contain newlines";
-  let tmp = path ^ ".tmp" in
+  (* The tmp name is unique per process: cooperating campaign workers
+     share directories, and two of them writing [path ^ ".tmp"] would
+     interleave before the rename. *)
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
   let oc = open_out tmp in
   Printf.fprintf oc "%s\n" magic;
   Printf.fprintf oc "seed=%d\n" t.seed;

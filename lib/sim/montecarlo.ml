@@ -244,13 +244,54 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
     ?(checkpoint_every = 256) ?(resume = false) ?(identity = "")
     ?(replay = true) ?replay_set ?retry_budget
-    ?(allow_legacy_checkpoint = false) ~trials decoded =
+    ?(allow_legacy_checkpoint = false) ?(shard = (0, 1)) ?prior ~trials
+    decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
       invalid_arg "Montecarlo.run: ci_halfwidth must be positive"
   | _ -> ());
   if resume && checkpoint = None then
     invalid_arg "Montecarlo.run: resume requires a checkpoint path";
+  (* Sharded and store-resumed campaigns own their merge bookkeeping
+     (the result store); mixing them with the checkpoint file or the
+     early stop would make the tally depend on which mechanism fired
+     first, so the combinations are rejected outright. *)
+  let shard_k, shard_n = shard in
+  if shard_n < 1 || shard_k < 0 || shard_k >= shard_n then
+    invalid_arg
+      (Printf.sprintf "Montecarlo.run: shard %d/%d is malformed" shard_k
+         shard_n);
+  if shard_n > 1 && (ci_halfwidth <> None || checkpoint <> None || prior <> None)
+  then
+    invalid_arg
+      "Montecarlo.run: a sharded campaign cannot combine with \
+       ci_halfwidth, checkpoint or prior (shards merge through the result \
+       store)";
+  (match prior with
+  | None -> ()
+  | Some (start, counts) ->
+      if checkpoint <> None then
+        invalid_arg
+          "Montecarlo.run: prior and checkpoint are two resume sources — \
+           pass one";
+      if ci_halfwidth <> None then
+        invalid_arg "Montecarlo.run: prior cannot combine with ci_halfwidth";
+      if start < 0 || start > trials then
+        invalid_arg
+          (Printf.sprintf "Montecarlo.run: prior index %d outside [0, %d]"
+             start trials);
+      if Array.length counts <> n_classes then
+        invalid_arg
+          (Printf.sprintf
+             "Montecarlo.run: prior carries %d outcome classes, expected %d"
+             (Array.length counts) n_classes);
+      if Array.fold_left ( + ) 0 counts <> start then
+        invalid_arg
+          (Printf.sprintf
+             "Montecarlo.run: prior counts sum to %d but %d trials are \
+              recorded"
+             (Array.fold_left ( + ) 0 counts)
+             start));
   (* Rollback trials restore their own region checkpoints mid-run, which
      golden-prefix replay's restored-suffix execution cannot express:
      replay is forced off for recovering campaigns. *)
@@ -292,7 +333,15 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
               Array.blit c.Checkpoint.counts 0 counts 0 n_classes;
               c.Checkpoint.next_index
             end)
-    | _ -> 0
+    | _ -> (
+        (* A store-resumed campaign continues from a persisted tally:
+           identical discipline to the checkpoint path, just with the
+           caller (the engine's result store) holding the counts. *)
+        match prior with
+        | Some (start, prior_counts) ->
+            Array.blit prior_counts 0 counts 0 n_classes;
+            start
+        | None -> 0)
   in
   (* Replay bookkeeping, accumulated on the coordinator at chunk
      boundaries so it cannot perturb trial order or results. *)
@@ -336,6 +385,12 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
              ~trials:done_ ()
         <= target
   in
+  (* A shard owns the chunks whose index (on the absolute grid anchored
+     at trial 0) is congruent to it modulo the shard count. The grid is
+     identical for every shard, so the union of all shards' trials is
+     exactly [0, trials) with no overlap, and summed tallies are
+     bit-identical to the single-process campaign. *)
+  let owned lo = shard_n = 1 || lo / chunk_trials mod shard_n = shard_k in
   let rec go lo last_saved =
     if lo >= trials || narrow_enough lo then begin
       if lo > last_saved then save_checkpoint lo;
@@ -343,19 +398,20 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     end
     else begin
       let hi = min trials (lo + chunk_trials) in
-      Array.iter
-        (fun (c, suffix, replayed) ->
-          counts.(idx c) <- counts.(idx c) + 1;
-          if g.replay <> None then begin
-            if replayed then incr n_replayed else incr n_full;
-            suffix_sum := !suffix_sum +. suffix;
-            if Casted_obs.Metrics.enabled () then begin
-              Casted_obs.Metrics.incr
-                (if replayed then "replay.hits" else "replay.misses");
-              Casted_obs.Metrics.observe "replay.suffix_fraction" suffix
-            end
-          end)
-        (map_chunk lo hi);
+      if owned lo then
+        Array.iter
+          (fun (c, suffix, replayed) ->
+            counts.(idx c) <- counts.(idx c) + 1;
+            if g.replay <> None then begin
+              if replayed then incr n_replayed else incr n_full;
+              suffix_sum := !suffix_sum +. suffix;
+              if Casted_obs.Metrics.enabled () then begin
+                Casted_obs.Metrics.incr
+                  (if replayed then "replay.hits" else "replay.misses");
+                Casted_obs.Metrics.observe "replay.suffix_fraction" suffix
+              end
+            end)
+          (map_chunk lo hi);
       let last_saved =
         if checkpoint <> None && (hi - last_saved >= checkpoint_every || hi = trials)
         then begin
@@ -367,7 +423,11 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
       go hi last_saved
     end
   in
-  let done_ = go start start in
+  let (_ : int) = go start start in
+  (* Tallied trials: the absolute index for a plain campaign, only the
+     owned chunks for a shard. The counts are the ground truth either
+     way. *)
+  let done_ = Array.fold_left ( + ) 0 counts in
   let replay_stats =
     match g.replay with
     | None -> None
@@ -390,11 +450,43 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
    immutable and shared read-only by every pool domain. *)
 let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
     ?checkpoint_every ?resume ?identity ?replay ?retry_budget
-    ?allow_legacy_checkpoint ~trials sched =
+    ?allow_legacy_checkpoint ?shard ?prior ~trials sched =
   run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
     ?checkpoint_every ?resume ?identity ?replay ?retry_budget
-    ?allow_legacy_checkpoint ~trials
+    ?allow_legacy_checkpoint ?shard ?prior ~trials
     (Decode.of_schedule sched)
+
+(* Per-class counts in checkpoint order (the [idx] order) — what the
+   checkpoint file and the result store persist. *)
+let counts r =
+  [| r.benign; r.detected; r.exceptions; r.corrupt; r.timeouts; r.recovered |]
+
+(* Rebuild a result from persisted counts — the store's hit path, which
+   must not need a golden run (that is the whole point of the store). *)
+let of_counts ?(model = Fault.Reg_bit) ~golden_cycles ~golden_dyn ~population
+    counts =
+  if Array.length counts <> n_classes then
+    invalid_arg
+      (Printf.sprintf "Montecarlo.of_counts: %d outcome classes, expected %d"
+         (Array.length counts) n_classes);
+  Array.iter
+    (fun c ->
+      if c < 0 then invalid_arg "Montecarlo.of_counts: negative count")
+    counts;
+  {
+    trials = Array.fold_left ( + ) 0 counts;
+    benign = counts.(0);
+    detected = counts.(1);
+    exceptions = counts.(2);
+    corrupt = counts.(3);
+    timeouts = counts.(4);
+    recovered = counts.(5);
+    golden_cycles;
+    golden_dyn;
+    population;
+    model;
+    replay = None;
+  }
 
 let recovered_fraction r =
   if r.trials = 0 then 0.0

@@ -158,6 +158,25 @@ val trial_decoded :
 val tally :
   ?model:Fault.model -> golden:golden -> classification array -> result
 
+(** Per-class counts in the persistence order shared by campaign
+    checkpoints and the result store: benign, detected, exception,
+    data-corrupt, timeout, recovered. [Array.fold_left (+) 0 (counts r)
+    = r.trials] always. *)
+val counts : result -> int array
+
+(** Rebuild a {!result} from persisted counts (checkpoint order) and
+    the golden-run scalars — the result store's hit path, which serves
+    a finished tally without re-running anything, golden run included.
+    [trials] is the sum of [counts]; [replay] is [None]. Raises
+    [Invalid_argument] on a wrong-length or negative counts array. *)
+val of_counts :
+  ?model:Fault.model ->
+  golden_cycles:int ->
+  golden_dyn:int ->
+  population:int ->
+  int array ->
+  result
+
 (** Campaigns advance in chunks of this many trials; early-stop checks
     and checkpoint writes happen only at chunk boundaries (absolute
     trial indices), which is why neither the pool size nor a kill point
@@ -199,7 +218,21 @@ val chunk_trials : int
       cannot express.
     @param allow_legacy_checkpoint accept resuming from an
       identity-less legacy checkpoint file (default false: such files
-      are rejected loudly — see {!Checkpoint.load}). *)
+      are rejected loudly — see {!Checkpoint.load}).
+    @param shard [(k, n)]: simulate only the chunks whose index on the
+      absolute chunk grid is congruent to [k] modulo [n] (default
+      [(0, 1)] — everything). The grid is anchored at trial 0 and
+      identical for every shard, so the [n] shard tallies partition
+      [0, trials) exactly and sum to the single-process tally
+      bit-for-bit (the result store performs that merge). A sharded
+      campaign's [result.trials] counts only its own trials. [n > 1]
+      cannot combine with [ci_halfwidth], [checkpoint] or [prior].
+    @param prior [(done, counts)]: resume from a persisted tally —
+      start at trial index [done] with per-class [counts] (checkpoint
+      order) pre-seeded, exactly as a checkpoint resume would. This is
+      the result store's incremental path: a cell with [done] trials
+      banked simulates only [done, trials). Cannot combine with
+      [checkpoint] (two resume sources) or [ci_halfwidth]. *)
 val run :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
@@ -213,6 +246,8 @@ val run :
   ?replay:bool ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
+  ?shard:int * int ->
+  ?prior:int * int array ->
   trials:int ->
   Casted_sched.Schedule.t ->
   result
@@ -240,6 +275,8 @@ val run_decoded :
   ?replay_set:Replay.t ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
+  ?shard:int * int ->
+  ?prior:int * int array ->
   trials:int ->
   Decode.t ->
   result

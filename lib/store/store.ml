@@ -1,0 +1,517 @@
+(* On-disk content-addressed campaign-result store. See store.mli for
+   the layout and merge semantics. *)
+
+type key = {
+  identity : string;
+  seed : int;
+  fuel_factor : int;
+  retry_budget : int;
+  shard : int * int;
+  trials : int;
+}
+
+let key ?(retry_budget = -1) ?(shard = (0, 1)) ~identity ~seed ~fuel_factor
+    ~trials () =
+  let k, n = shard in
+  if n < 1 || k < 0 || k >= n then
+    invalid_arg (Printf.sprintf "Store.key: shard %d/%d is malformed" k n);
+  if trials < 0 then invalid_arg "Store.key: trials must be non-negative";
+  if String.contains identity '\n' || String.contains identity '|' then
+    invalid_arg "Store.key: identity must not contain newlines or '|'";
+  { identity; seed; fuel_factor; retry_budget; shard; trials }
+
+(* The canonical address. A full entry (shard 0/1) is addressed without
+   its trial count so it can extend in place as more trials accumulate;
+   a shard entry is pinned to its campaign length, since its chunk
+   ownership only means anything for one fixed total. Pinned by golden
+   tests: changing this shape orphans every store on disk. *)
+let address k =
+  let base =
+    Printf.sprintf "%s|seed=%d|fuel=%d|retry=%d" k.identity k.seed
+      k.fuel_factor k.retry_budget
+  in
+  match k.shard with
+  | 0, 1 -> base
+  | s, n -> Printf.sprintf "%s|trials=%d|shard=%d/%d" base k.trials s n
+
+let hash k = Digest.to_hex (Digest.string (address k))
+
+type spec = {
+  workload : string;
+  size : string;
+  scheme : string;
+  issue : int;
+  delay : int;
+  model : string;
+}
+
+type entry = {
+  key : key;
+  trials_done : int;
+  counts : int array;
+  golden_cycles : int;
+  golden_dyn : int;
+  population : int;
+  model : string;
+  spec : spec option;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+type t = {
+  dir : string;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let magic = "casted-store v1"
+let entry_magic = "casted-store-entry v1"
+let dir t = t.dir
+let entries_dir t = Filename.concat t.dir "entries"
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Atomic publish: write to a tmp file unique to this process, then
+   rename. Readers never observe a half-written file; two processes
+   racing on one path each rename a complete file and the last one
+   wins (for store entries both wrote the same bit-identical tally). *)
+let atomic_write ~path content =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try output_string oc content
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let mkdir_p path =
+  if not (Sys.file_exists path) then
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let open_dir ?(create = false) dir =
+  let manifest = manifest_path dir in
+  let init () =
+    {
+      dir;
+      mutex = Mutex.create ();
+      hits = 0;
+      misses = 0;
+      writes = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+    }
+  in
+  if Sys.file_exists manifest then begin
+    let content = String.trim (read_file manifest) in
+    if String.equal content magic then Ok (init ())
+    else
+      Error
+        (Printf.sprintf
+           "%s: version sentinel is %S, expected %S — refusing a store \
+            written by an unknown casted version"
+           manifest content magic)
+  end
+  else if Sys.file_exists dir && not (Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else if Sys.file_exists dir && Array.length (Sys.readdir dir) > 0 then
+    (* Never adopt somebody else's non-empty directory, even when asked
+       to create: initialising a store inside it would mix our entries
+       into foreign files. *)
+    Error
+      (Printf.sprintf
+         "%s: directory exists but has no MANIFEST — not a casted result \
+          store"
+         dir)
+  else if not (create || Sys.file_exists dir) then
+    Error (Printf.sprintf "%s: no such store (pass --create to make one)" dir)
+  else begin
+    mkdir_p dir;
+    mkdir_p (Filename.concat dir "entries");
+    mkdir_p (Filename.concat dir "queue");
+    mkdir_p (Filename.concat dir "locks");
+    atomic_write ~path:manifest (magic ^ "\n");
+    Ok (init ())
+  end
+
+let open_exn ?create dir =
+  match open_dir ?create dir with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Store.open_dir: " ^ msg)
+
+let entry_path t k = Filename.concat (entries_dir t) (hash k ^ ".entry")
+
+(* Key/value lines, checkpoint-style: order-independent parse, loud on
+   anything missing or malformed. *)
+let parse_fields lines =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match String.index_opt line '=' with
+      | Some i ->
+          Hashtbl.replace table (String.sub line 0 i)
+            (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> ())
+    lines;
+  table
+
+let ( let* ) = Result.bind
+
+let field ~path table name =
+  match Hashtbl.find_opt table name with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing field %s" path name)
+
+let int_field ~path table name =
+  let* v = field ~path table name in
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None ->
+      Error (Printf.sprintf "%s: field %s is not an integer (%S)" path name v)
+
+let render_entry e =
+  let b = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let k, n = e.key.shard in
+  line "%s" entry_magic;
+  line "identity=%s" e.key.identity;
+  line "seed=%d" e.key.seed;
+  line "fuel_factor=%d" e.key.fuel_factor;
+  line "retry_budget=%d" e.key.retry_budget;
+  line "shard=%d/%d" k n;
+  line "trials=%d" e.key.trials;
+  line "trials_done=%d" e.trials_done;
+  line "counts=%s"
+    (String.concat "," (Array.to_list (Array.map string_of_int e.counts)));
+  line "golden_cycles=%d" e.golden_cycles;
+  line "golden_dyn=%d" e.golden_dyn;
+  line "population=%d" e.population;
+  line "model=%s" e.model;
+  (match e.spec with
+  | None -> ()
+  | Some s ->
+      line "workload=%s" s.workload;
+      line "size=%s" s.size;
+      line "scheme=%s" s.scheme;
+      line "issue=%d" s.issue;
+      line "delay=%d" s.delay);
+  Buffer.contents b
+
+let validate_entry e =
+  let sum = Array.fold_left ( + ) 0 e.counts in
+  if sum <> e.trials_done then
+    Error
+      (Printf.sprintf "counts sum to %d but trials_done is %d" sum
+         e.trials_done)
+  else if e.trials_done < 0 || e.trials_done > e.key.trials then
+    Error
+      (Printf.sprintf "trials_done %d outside [0, %d]" e.trials_done
+         e.key.trials)
+  else Ok ()
+
+let parse_entry ~path content =
+  match String.split_on_char '\n' content with
+  | header :: fields when String.equal header entry_magic ->
+      let table = parse_fields fields in
+      let* identity = field ~path table "identity" in
+      let* seed = int_field ~path table "seed" in
+      let* fuel_factor = int_field ~path table "fuel_factor" in
+      let* retry_budget = int_field ~path table "retry_budget" in
+      let* shard_s = field ~path table "shard" in
+      let* shard =
+        match String.split_on_char '/' shard_s with
+        | [ k; n ] -> (
+            match (int_of_string_opt k, int_of_string_opt n) with
+            | Some k, Some n when n >= 1 && k >= 0 && k < n -> Ok (k, n)
+            | _ -> Error (Printf.sprintf "%s: malformed shard %S" path shard_s)
+            )
+        | _ -> Error (Printf.sprintf "%s: malformed shard %S" path shard_s)
+      in
+      let* trials = int_field ~path table "trials" in
+      let* trials_done = int_field ~path table "trials_done" in
+      let* counts_s = field ~path table "counts" in
+      let* counts =
+        let parts = String.split_on_char ',' counts_s in
+        let parsed = List.filter_map int_of_string_opt parts in
+        if List.length parsed = List.length parts && parts <> [] then
+          Ok (Array.of_list parsed)
+        else Error (Printf.sprintf "%s: malformed counts %S" path counts_s)
+      in
+      let* golden_cycles = int_field ~path table "golden_cycles" in
+      let* golden_dyn = int_field ~path table "golden_dyn" in
+      let* population = int_field ~path table "population" in
+      let* model = field ~path table "model" in
+      let spec =
+        match
+          ( Hashtbl.find_opt table "workload",
+            Hashtbl.find_opt table "size",
+            Hashtbl.find_opt table "scheme",
+            Option.bind (Hashtbl.find_opt table "issue") int_of_string_opt,
+            Option.bind (Hashtbl.find_opt table "delay") int_of_string_opt )
+        with
+        | Some workload, Some size, Some scheme, Some issue, Some delay ->
+            Some { workload; size; scheme; issue; delay; model }
+        | _ -> None
+      in
+      let e =
+        {
+          key = { identity; seed; fuel_factor; retry_budget; shard; trials };
+          trials_done;
+          counts;
+          golden_cycles;
+          golden_dyn;
+          population;
+          model;
+          spec;
+        }
+      in
+      let* () =
+        Result.map_error (fun msg -> path ^ ": " ^ msg) (validate_entry e)
+      in
+      (* The filename is the address: a mismatch means the file was
+         corrupted, hand-edited or moved — refuse it loudly rather than
+         serve a tally for the wrong cell. *)
+      let expected = hash e.key ^ ".entry" in
+      if not (String.equal (Filename.basename path) expected) then
+        Error
+          (Printf.sprintf
+             "%s: content addresses %s (key %S) — entry is corrupt or \
+              misplaced"
+             path expected (address e.key))
+      else Ok e
+  | header :: _ ->
+      Error
+        (Printf.sprintf "%s: version sentinel is %S, expected %S" path
+           (String.trim header) entry_magic)
+  | [] -> Error (Printf.sprintf "%s: empty entry" path)
+
+let tick t f =
+  Mutex.lock t.mutex;
+  f t;
+  Mutex.unlock t.mutex
+
+let find t k =
+  let path = entry_path t k in
+  if not (Sys.file_exists path) then begin
+    tick t (fun t -> t.misses <- t.misses + 1);
+    Casted_obs.Metrics.incr "store.misses";
+    Ok None
+  end
+  else begin
+    let content = read_file path in
+    match parse_entry ~path content with
+    | Error msg -> Error msg
+    | Ok entry ->
+        if not (String.equal (address entry.key) (address k)) then
+          Error
+            (Printf.sprintf
+               "%s: entry belongs to %S, not %S — hash collision or corrupt \
+                store"
+               path (address entry.key) (address k))
+        else begin
+          tick t (fun t ->
+              t.hits <- t.hits + 1;
+              t.bytes_read <- t.bytes_read + String.length content);
+          Casted_obs.Metrics.incr "store.hits";
+          Casted_obs.Metrics.incr ~by:(String.length content)
+            "store.bytes_read";
+          Ok (Some entry)
+        end
+  end
+
+let put t e =
+  (match validate_entry e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Store.put: " ^ msg));
+  let content = render_entry e in
+  atomic_write ~path:(entry_path t e.key) content;
+  tick t (fun t ->
+      t.writes <- t.writes + 1;
+      t.bytes_written <- t.bytes_written + String.length content);
+  Casted_obs.Metrics.incr "store.writes";
+  Casted_obs.Metrics.incr ~by:(String.length content) "store.bytes_written"
+
+let list t =
+  let dir = entries_dir t in
+  if not (Sys.file_exists dir) then
+    Error (Printf.sprintf "%s: no entries directory" t.dir)
+  else begin
+    let names =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun n -> Filename.check_suffix n ".entry")
+      |> List.sort String.compare
+    in
+    Ok
+      (List.map
+         (fun name ->
+           let path = Filename.concat dir name in
+           parse_entry ~path (read_file path))
+         names)
+  end
+
+(* Expected trial count of shard [s] of [n] over [0, trials): the
+   chunks (64-trial groups, Montecarlo.chunk_trials) whose index mod n
+   is s. Must mirror the montecarlo chunk grid exactly. *)
+let shard_share ~chunk ~trials ~n s =
+  let total = ref 0 in
+  let lo = ref 0 in
+  let i = ref 0 in
+  while !lo < trials do
+    let hi = min trials (!lo + chunk) in
+    if !i mod n = s then total := !total + (hi - !lo);
+    lo := hi;
+    incr i
+  done;
+  !total
+
+let merge_shards ?(chunk = 64) t k =
+  let _, n = k.shard in
+  let rec gather s acc =
+    if s >= n then Ok (Some (List.rev acc))
+    else
+      match find t { k with shard = (s, n) } with
+      | Error msg -> Error msg
+      | Ok None -> Ok None
+      | Ok (Some e) -> gather (s + 1) (e :: acc)
+  in
+  match gather 0 [] with
+  | Error msg -> Error msg
+  | Ok None -> Ok None
+  | Ok (Some shards) ->
+      let reference = List.hd shards in
+      let counts = Array.make (Array.length reference.counts) 0 in
+      let* () =
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            let s, _ = e.key.shard in
+            let expected = shard_share ~chunk ~trials:k.trials ~n s in
+            if e.trials_done <> expected then
+              Error
+                (Printf.sprintf
+                   "shard %d/%d of %S tallied %d trials, expected %d — \
+                    incomplete or from a different chunk grid"
+                   s n k.identity e.trials_done expected)
+            else if Array.length e.counts <> Array.length counts then
+              Error
+                (Printf.sprintf
+                   "shard %d/%d of %S has %d outcome classes, shard 0 has %d"
+                   s n k.identity (Array.length e.counts)
+                   (Array.length counts))
+            else if
+              e.golden_cycles <> reference.golden_cycles
+              || e.golden_dyn <> reference.golden_dyn
+              || e.population <> reference.population
+              || not (String.equal e.model reference.model)
+            then
+              Error
+                (Printf.sprintf
+                   "shard %d/%d of %S disagrees with shard 0 about the \
+                    golden run (cycles/dyn/population/model) — shards did \
+                    not simulate the same cell"
+                   s n k.identity)
+            else begin
+              Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) e.counts;
+              Ok ()
+            end)
+          (Ok ()) shards
+      in
+      let sum = Array.fold_left ( + ) 0 counts in
+      if sum <> k.trials then
+        Error
+          (Printf.sprintf
+             "merged shards of %S tally %d trials, expected %d" k.identity
+             sum k.trials)
+      else
+        Ok
+          (Some
+             {
+               reference with
+               key = { k with shard = (0, 1) };
+               trials_done = k.trials;
+               counts;
+             })
+
+let gc_tmp ?(age_s = 60.0) t =
+  let now = Unix.gettimeofday () in
+  let removed = ref 0 in
+  let sweep dir =
+    if Sys.file_exists dir then
+      Array.iter
+        (fun name ->
+          let path = Filename.concat dir name in
+          let is_tmp =
+            (* foo.tmp.<pid> — the unique suffix atomic_write uses. *)
+            match String.index_opt name '.' with
+            | None -> false
+            | Some _ ->
+                List.exists
+                  (fun part -> String.equal part "tmp")
+                  (String.split_on_char '.' name)
+          in
+          if is_tmp then
+            match Unix.stat path with
+            | { Unix.st_mtime; _ } when now -. st_mtime > age_s ->
+                (try Sys.remove path with Sys_error _ -> ());
+                incr removed
+            | _ -> ()
+            | exception Unix.Unix_error _ -> ())
+        (Sys.readdir dir)
+  in
+  sweep (entries_dir t);
+  sweep (Filename.concat t.dir "queue");
+  sweep (Filename.concat t.dir "locks");
+  sweep t.dir;
+  !removed
+
+let gc_shards t =
+  let* entries = list t in
+  let shard_entries =
+    List.filter_map
+      (fun e ->
+        match e with
+        | Ok e when snd e.key.shard > 1 -> Some e
+        | _ -> None)
+      entries
+  in
+  let removed = ref 0 in
+  List.iter
+    (fun (e : entry) ->
+      match find t { e.key with shard = (0, 1) } with
+      | Ok (Some full) when full.trials_done >= e.key.trials ->
+          (try Sys.remove (entry_path t e.key) with Sys_error _ -> ());
+          incr removed
+      | _ -> ())
+    shard_entries;
+  Ok !removed
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      writes = t.writes;
+      bytes_read = t.bytes_read;
+      bytes_written = t.bytes_written;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s

@@ -1,0 +1,168 @@
+(** Persistent content-addressed campaign-result store.
+
+    The engine's compiled/decoded/replay caches and campaign
+    checkpoints die with the process, so every sweep over the
+    issue-width × delay × scheme × fault-model × workload matrix used
+    to re-simulate cells whose tallies were already known bit-for-bit.
+    The store keeps finished (and partially finished) campaign tallies
+    on disk, keyed by the same identity discipline campaign checkpoints
+    already use ({!Casted_engine.Cache.identity} plus the fault model,
+    seed, fuel factor and retry budget), so re-running a matrix only
+    simulates the delta.
+
+    {b Layout.} A store is a directory:
+
+    {v
+    DIR/MANIFEST            "casted-store v1" — version sentinel
+    DIR/entries/<md5>.entry one tally per campaign cell (or shard)
+    DIR/queue/<md5>.unit    work units (see {!Work})
+    DIR/locks/<md5>.lock    in-flight claims (see {!Work})
+    v}
+
+    An entry's filename is the MD5 of its canonical key string, so the
+    key {e is} the address: two processes writing the same cell write
+    the same file (atomically, last writer wins — both wrote the same
+    bit-identical tally for equal [trials]), and a lookup is one hash
+    plus one file read.
+
+    {b Merge semantics.} Tallies merge exactly as campaign checkpoint
+    chunks merge: per-class counts sum, because trial [i]'s outcome
+    depends only on [(seed, i, model)] (see
+    {!Casted_sim.Montecarlo.trial}). A full entry carries the tally of
+    trials [0, trials_done); a shard entry ([shard = (k, n)], [n > 1])
+    carries the tally of the chunks owned by shard [k] out of [n] over
+    a fixed total; summing all [n] shard entries reproduces the
+    single-process tally bit-for-bit.
+
+    {b Integrity.} Every read re-derives the canonical key string from
+    the entry's own fields and refuses (loudly, [Error]) an entry whose
+    hash does not match its filename, whose counts do not sum to its
+    recorded trials, or whose version sentinel is unknown. Writes are
+    atomic (unique tmp file + [rename]), so a SIGKILL can never leave a
+    half-written entry behind — at worst an orphan tmp file that
+    {!gc_tmp} sweeps.
+
+    All operations record [store.*] {!Casted_obs.Metrics} counters
+    (hits, misses, writes, bytes read/written). *)
+
+(** A campaign cell's identity. [identity] is the engine's rendering of
+    (workload, scheme, config, fault model) — the same string campaign
+    checkpoints embed. [retry_budget] is [-1] when the campaign runs no
+    recovery loop. [shard = (k, n)] with [n = 1] is a full (unsharded)
+    entry; [trials] is the requested campaign length for shard entries
+    and is {e not} part of a full entry's address (full entries extend
+    in place as more trials accumulate). *)
+type key = {
+  identity : string;
+  seed : int;
+  fuel_factor : int;
+  retry_budget : int;
+  shard : int * int;
+  trials : int;
+}
+
+val key :
+  ?retry_budget:int ->
+  ?shard:int * int ->
+  identity:string ->
+  seed:int ->
+  fuel_factor:int ->
+  trials:int ->
+  unit ->
+  key
+
+(** The canonical string hashed into the entry's filename. Pinned by
+    golden tests — changing its shape orphans every store on disk. *)
+val address : key -> string
+
+(** MD5 hex of {!address}. *)
+val hash : key -> string
+
+(** One stored tally. [counts] is indexed by
+    {!Casted_sim.Montecarlo} class order (benign, detected, exception,
+    data-corrupt, timeout, recovered — the checkpoint order);
+    [trials_done] always equals the sum of [counts]. The [spec_*]
+    fields, when present, record the explicit cell coordinates so
+    [casted store audit] and workers can rebuild the campaign; an entry
+    written from a non-reconstructible spec (non-default pass options)
+    has [spec = None]. *)
+type spec = {
+  workload : string;
+  size : string;
+  scheme : string;
+  issue : int;
+  delay : int;
+  model : string;
+}
+
+type entry = {
+  key : key;
+  trials_done : int;
+  counts : int array;
+  golden_cycles : int;
+  golden_dyn : int;
+  population : int;
+  model : string;
+  spec : spec option;
+}
+
+type t
+
+(** [open_dir ~create dir] opens (or with [create], initialises) a
+    store directory, verifying the MANIFEST version sentinel. A
+    directory that exists but is not a store, or a store written by an
+    unknown version, is a loud [Error] — never silently reused. *)
+val open_dir : ?create:bool -> string -> (t, string) result
+
+(** {!open_dir}, raising [Invalid_argument] on error. *)
+val open_exn : ?create:bool -> string -> t
+
+val dir : t -> string
+
+(** [find t key] reads the entry at [key]'s address. [Ok None] when
+    absent; [Error] on a corrupt, mis-addressed or wrong-version
+    entry. Counted as a hit or miss. *)
+val find : t -> key -> (entry option, string) result
+
+(** [put t entry] atomically writes [entry] at its key's address
+    (unique tmp + rename). Raises [Invalid_argument] on a malformed
+    entry (counts/trials mismatch, newline in identity). *)
+val put : t -> entry -> unit
+
+(** All entries, sorted by address, skipping nothing: a corrupt entry
+    is an [Error] naming the file. *)
+val list : t -> ((entry, string) result list, string) result
+
+(** [merge_shards t key] — [key] with [shard = (_, n)], [n >= 1] —
+    looks up all [n] shard entries of the cell and, when every one is
+    present and complete, returns the summed tally as a full entry
+    (shard [(0, 1)], [trials_done = trials]). Returns [Ok None] while
+    shards are missing; [Error] on corrupt entries or on shards that
+    disagree about golden cycles / population (which would mean the
+    shards did not run the same cell). [chunk] is the campaign chunk
+    size the shards split on (pass
+    {!Casted_sim.Montecarlo.chunk_trials}; default 64). *)
+val merge_shards : ?chunk:int -> t -> key -> (entry option, string) result
+
+(** Remove orphan tmp files older than [age_s] seconds (default 60) —
+    debris of SIGKILLed writers. Returns how many were removed. *)
+val gc_tmp : ?age_s:float -> t -> int
+
+(** Remove shard entries whose cell already has a full entry covering
+    at least as many trials. Returns how many were removed. *)
+val gc_shards : t -> (int, string) result
+
+(** Lifetime counters of this handle (process-local). *)
+type stats = {
+  hits : int;  (** lookups answered from disk *)
+  misses : int;  (** lookups that found no entry *)
+  writes : int;  (** entries written *)
+  bytes_read : int;
+  bytes_written : int;
+}
+
+val stats : t -> stats
+
+(** Atomic write helper shared with {!Work}: writes [content] to
+    [path] via a tmp file unique to this process, then renames. *)
+val atomic_write : path:string -> string -> unit

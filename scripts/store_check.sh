@@ -1,0 +1,131 @@
+#!/usr/bin/env bash
+# Result-store end-to-end check, the store-smoke CI job:
+#
+#   1. zero-resimulation fast path — a campaign run cold into a store
+#      and rerun warm must serve every trial from disk (0 simulated)
+#      with a tally bit-identical to a storeless reference run;
+#   2. crash-tolerant sharding — of a 2-worker sharded run, one worker
+#      is SIGKILLed mid-flight; re-running the killed shard completes
+#      the cell and the merged tally matches the uninterrupted
+#      reference bit-for-bit;
+#   3. store hygiene — `casted store gc` sweeps the killed worker's
+#      debris and `casted store audit` re-simulates a banked entry and
+#      agrees with it;
+#   4. worker queue drill — `casted work --enqueue` fills a matrix,
+#      a second drain of the same queue simulates nothing.
+#
+# Knobs:
+#   CASTED_BIN  path to the casted binary
+#               (default _build/default/bin/casted.exe)
+#   TRIALS      campaign length (default 6000; must be long enough that
+#               the shard kill lands before that worker finishes)
+#   MODEL       fault model to campaign under (default reg-bit)
+set -euo pipefail
+
+BIN=${CASTED_BIN:-_build/default/bin/casted.exe}
+TRIALS=${TRIALS:-6000}
+MODEL=${MODEL:-reg-bit}
+ARGS=(campaign -w cjpeg -s casted --issue 2 --delay 2
+      --trials "$TRIALS" --fault-model "$MODEL")
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# Only the tally lines are comparable across runs: the jobs count, the
+# store summary and the replay statistics (absent when nothing was
+# simulated) legitimately differ.
+tally() { grep -E '^[0-9]+ trials |^recovered:' "$1"; }
+
+must_match() { # reference-tally actual-out label
+  tally "$2" > "$2.tally"
+  if ! diff -u "$1" "$2.tally"; then
+    echo "store_check: $3 tally differs from the reference" >&2
+    exit 1
+  fi
+}
+
+must_serve() { # out served simulated label
+  if ! grep -q "$2 trials served, $3 simulated" "$1"; then
+    echo "store_check: $4: expected '$2 trials served, $3 simulated'" >&2
+    cat "$1" >&2
+    exit 1
+  fi
+}
+
+echo "== reference: uninterrupted, storeless campaign"
+"$BIN" "${ARGS[@]}" --jobs 2 > "$workdir/reference.out"
+tally "$workdir/reference.out" > "$workdir/reference.tally"
+
+store="$workdir/store"
+echo "== cold fill into $store"
+"$BIN" "${ARGS[@]}" --jobs 2 --store "$store" > "$workdir/cold.out"
+must_serve "$workdir/cold.out" 0 "$TRIALS" "cold fill"
+must_match "$workdir/reference.tally" "$workdir/cold.out" "cold fill"
+
+echo "== warm rerun must simulate zero trials"
+"$BIN" "${ARGS[@]}" --jobs 4 --store "$store" > "$workdir/warm.out"
+must_serve "$workdir/warm.out" "$TRIALS" 0 "warm rerun"
+must_match "$workdir/reference.tally" "$workdir/warm.out" "warm rerun"
+
+echo "== 2-worker sharded run, shard 0 SIGKILLed mid-flight"
+store2="$workdir/store2"
+"$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 0/2 \
+  > "$workdir/shard0.out" 2>&1 &
+pid0=$!
+"$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 1/2 \
+  > "$workdir/shard1.out" 2>&1 &
+pid1=$!
+sleep 0.2
+kill -9 "$pid0" 2>/dev/null || true
+wait "$pid0" 2>/dev/null || true
+if ! wait "$pid1"; then
+  echo "store_check: the surviving shard worker failed:" >&2
+  cat "$workdir/shard1.out" >&2
+  exit 1
+fi
+
+banked=$(find "$store2/entries" -name '*.entry' | wc -l)
+if [ "$banked" -ge 2 ]; then
+  echo "store_check: shard 0 finished before the kill ($banked entries);" >&2
+  echo "             raise TRIALS so the kill lands mid-run" >&2
+  exit 1
+fi
+echo "   killed shard 0 mid-flight ($banked of 2 shard entries banked)"
+
+echo "== re-run the killed shard: completes the cell and merges"
+"$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 0/2 \
+  > "$workdir/shard0.resumed.out"
+if grep -q "other shards outstanding" "$workdir/shard0.resumed.out"; then
+  echo "store_check: resumed shard did not merge the cell" >&2
+  cat "$workdir/shard0.resumed.out" >&2
+  exit 1
+fi
+must_match "$workdir/reference.tally" "$workdir/shard0.resumed.out" \
+  "resumed shard merge"
+
+echo "== merged cell serves an unsharded rerun with zero simulation"
+"$BIN" "${ARGS[@]}" --jobs 4 --store "$store2" > "$workdir/merged.out"
+must_serve "$workdir/merged.out" "$TRIALS" 0 "merged rerun"
+must_match "$workdir/reference.tally" "$workdir/merged.out" "merged rerun"
+
+echo "== gc sweeps the killed worker's debris; audit re-simulates"
+"$BIN" store gc "$store2"
+"$BIN" store audit "$store" --sample 1 --jobs 2
+
+echo "== worker queue drill: enqueue a matrix, drain it twice"
+wstore="$workdir/wstore"
+"$BIN" work --store "$wstore" --enqueue cjpeg h263dec --schemes casted,tmr \
+  --trials 120 --jobs 2 > "$workdir/work1.out"
+grep -q "enqueued 4 new units" "$workdir/work1.out"
+grep -q "4 units run" "$workdir/work1.out"
+"$BIN" work --store "$wstore" --jobs 2 > "$workdir/work2.out"
+if ! grep -q "4 units run (480 trials served from the store, 0 simulated)" \
+    "$workdir/work2.out"; then
+  echo "store_check: second queue drain re-simulated banked cells" >&2
+  cat "$workdir/work2.out" >&2
+  exit 1
+fi
+
+echo "store_check: OK — warm store serves campaigns with zero simulation,"
+echo "             and a SIGKILLed sharded run resumes to the bit-identical"
+echo "             merged tally"

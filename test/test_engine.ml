@@ -252,6 +252,82 @@ let test_campaign_deterministic_all_models () =
         par seq)
     Casted_sim.Fault.all_models
 
+(* Golden pins for the identity strings that campaign checkpoints embed
+   and the result store hashes into entry addresses. These literals are
+   the on-disk compatibility contract: if one of these checks fails, the
+   change orphans every persisted checkpoint and store entry, so it must
+   be an explicit migration, never an accident. *)
+let test_identity_golden_matrix () =
+  let expected =
+    List.concat_map
+      (fun s ->
+        List.map
+          (fun m -> Printf.sprintf "cjpeg/fault/%s/i2/d2/%s" s m)
+          [ "reg-bit"; "burst"; "mem"; "control"; "xcluster" ])
+      [ "NOED"; "SCED"; "DCED"; "CASTED"; "TMR"; "ROLLBACK" ]
+  in
+  let actual =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun model ->
+            Engine.campaign_identity
+              (Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme
+                 ~issue_width:2 ~delay:2 ())
+              model)
+          Casted_sim.Fault.all_models)
+      Scheme.all
+  in
+  Alcotest.(check (list string))
+    "every scheme × fault model identity" expected actual
+
+let test_identity_golden_configs () =
+  let check msg expected key =
+    Alcotest.(check string) msg expected (Cache.identity key)
+  in
+  check "default options, sample config" "h263dec/perf/DCED/i4/d1"
+    (Cache.key ~workload:"h263dec" ~size:Workload.Perf ~scheme:Scheme.Dced
+       ~issue_width:4 ~delay:1 ());
+  (* Non-default knobs fold in as a pinned FNV-1a suffix. *)
+  check "no-stores ablation" "cjpeg/fault/CASTED/i2/d2/xf5bb32206b43d266"
+    (Cache.key
+       ~options:{ Options.default with Options.check_stores = false }
+       ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+       ~issue_width:2 ~delay:2 ());
+  check "store-slice scope" "cjpeg/fault/CASTED/i2/d2/xa580c2a3b24ae35c"
+    (Cache.key
+       ~options:{ Options.default with Options.scope = Options.Store_slice }
+       ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+       ~issue_width:2 ~delay:2 ());
+  check "bug override + optimize" "cjpeg/fault/CASTED/i2/d2/x56456894ab29bed7"
+    (Cache.key
+       ~bug_options:
+         {
+           Casted_sched.Bug.tie_break = Casted_sched.Bug.Prefer_critical_pred;
+         }
+       ~optimize:true ~workload:"cjpeg" ~size:Workload.Fault
+       ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 ());
+  (* Distinct knob settings must not collide onto one suffix. *)
+  let ids =
+    List.map Cache.identity
+      [
+        Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+          ~issue_width:2 ~delay:2 ();
+        Cache.key
+          ~options:{ Options.default with Options.check_stores = false }
+          ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+          ~issue_width:2 ~delay:2 ();
+        Cache.key
+          ~options:{ Options.default with Options.check_branches = false }
+          ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+          ~issue_width:2 ~delay:2 ();
+        Cache.key ~optimize:true ~workload:"cjpeg" ~size:Workload.Fault
+          ~scheme:Scheme.Casted ~issue_width:2 ~delay:2 ();
+      ]
+  in
+  Alcotest.(check int) "all distinct" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
 let suite =
   ( "engine",
     [
@@ -270,4 +346,8 @@ let suite =
       case "rng derive 100k sweep, no collisions" test_rng_derive_sweep;
       case "campaign deterministic for every model"
         test_campaign_deterministic_all_models;
+      case "identity golden: scheme × model matrix"
+        test_identity_golden_matrix;
+      case "identity golden: config samples and knob suffixes"
+        test_identity_golden_configs;
     ] )

@@ -1,0 +1,483 @@
+(* The persistent result store: content addressing, atomic writes,
+   corruption refusal, incremental campaigns, shard merging and the
+   work queue. *)
+
+open Helpers
+module Store = Casted_store.Store
+module Work = Casted_store.Work
+module Engine = Casted_engine.Engine
+module Cache = Casted_engine.Cache
+module Montecarlo = Casted_sim.Montecarlo
+module Workload = Casted_workloads.Workload
+
+let spec =
+  Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme:Scheme.Casted
+    ~issue_width:2 ~delay:2 ()
+
+(* Fresh store directory per test, removed afterwards. *)
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_store_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "casted-store-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  if Sys.file_exists dir then rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let with_store f = with_store_dir (fun dir -> f (Store.open_exn ~create:true dir))
+
+let same_result msg (a : Montecarlo.result) (b : Montecarlo.result) =
+  Alcotest.(check (array int))
+    (msg ^ ": counts") (Montecarlo.counts a) (Montecarlo.counts b);
+  Alcotest.(check int) (msg ^ ": trials") a.Montecarlo.trials
+    b.Montecarlo.trials;
+  Alcotest.(check int)
+    (msg ^ ": golden_cycles") a.Montecarlo.golden_cycles
+    b.Montecarlo.golden_cycles;
+  Alcotest.(check int)
+    (msg ^ ": golden_dyn") a.Montecarlo.golden_dyn b.Montecarlo.golden_dyn;
+  Alcotest.(check int)
+    (msg ^ ": population") a.Montecarlo.population b.Montecarlo.population
+
+(* Golden pins for the on-disk address shapes (the content-addressing
+   contract: changing these orphans every store on disk). *)
+let test_address_golden () =
+  let full =
+    Store.key ~retry_budget:(-1)
+      ~identity:"cjpeg/fault/CASTED/i2/d2/reg-bit" ~seed:7 ~fuel_factor:10
+      ~trials:256 ()
+  in
+  Alcotest.(check string)
+    "full entry address" "cjpeg/fault/CASTED/i2/d2/reg-bit|seed=7|fuel=10|retry=-1"
+    (Store.address full);
+  let shard =
+    Store.key ~retry_budget:3 ~shard:(1, 4)
+      ~identity:"cjpeg/fault/ROLLBACK/i2/d2/reg-bit" ~seed:7 ~fuel_factor:10
+      ~trials:256 ()
+  in
+  Alcotest.(check string)
+    "shard entry address"
+    "cjpeg/fault/ROLLBACK/i2/d2/reg-bit|seed=7|fuel=10|retry=3|trials=256|shard=1/4"
+    (Store.address shard);
+  Alcotest.(check string)
+    "work unit address"
+    "cjpeg/fault/CASTED/i2/d2/reg-bit|seed=7|trials=256|fuel=10|retry=-1"
+    (Work.address
+       {
+         Work.workload = "cjpeg";
+         size = "fault";
+         scheme = "CASTED";
+         issue = 2;
+         delay = 2;
+         model = "reg-bit";
+         seed = 7;
+         trials = 256;
+         fuel_factor = 10;
+         retry_budget = -1;
+       })
+
+let sample_entry ?(identity = "cjpeg/fault/CASTED/i2/d2/reg-bit") ?shard
+    ?(trials = 100) ?(counts = [| 10; 85; 3; 1; 1; 0 |]) () =
+  let key =
+    Store.key ~retry_budget:(-1) ?shard ~identity ~seed:7 ~fuel_factor:10
+      ~trials ()
+  in
+  {
+    Store.key;
+    trials_done = Array.fold_left ( + ) 0 counts;
+    counts;
+    golden_cycles = 4242;
+    golden_dyn = 1234;
+    population = 9999;
+    model = "reg-bit";
+    spec =
+      Some
+        {
+          Store.workload = "cjpeg";
+          size = "fault";
+          scheme = "CASTED";
+          issue = 2;
+          delay = 2;
+          model = "reg-bit";
+        };
+  }
+
+let test_roundtrip () =
+  with_store (fun s ->
+      let e = sample_entry () in
+      (match Store.find s e.Store.key with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "found an entry in a fresh store"
+      | Error msg -> Alcotest.fail msg);
+      Store.put s e;
+      (match Store.find s e.Store.key with
+      | Ok (Some got) ->
+          Alcotest.(check string)
+            "address" (Store.address e.Store.key)
+            (Store.address got.Store.key);
+          Alcotest.(check (array int)) "counts" e.Store.counts got.Store.counts;
+          Alcotest.(check int) "trials_done" e.Store.trials_done
+            got.Store.trials_done;
+          Alcotest.(check int) "golden_cycles" e.Store.golden_cycles
+            got.Store.golden_cycles;
+          Alcotest.(check bool) "spec survived" true (got.Store.spec <> None)
+      | Ok None -> Alcotest.fail "entry vanished"
+      | Error msg -> Alcotest.fail msg);
+      let st = Store.stats s in
+      Alcotest.(check int) "one miss" 1 st.Store.misses;
+      Alcotest.(check int) "one hit" 1 st.Store.hits;
+      Alcotest.(check int) "one write" 1 st.Store.writes;
+      Alcotest.(check bool) "bytes flowed" true
+        (st.Store.bytes_written > 0 && st.Store.bytes_read > 0))
+
+let test_reopen_persists () =
+  with_store_dir (fun dir ->
+      let e = sample_entry () in
+      Store.put (Store.open_exn ~create:true dir) e;
+      match Store.find (Store.open_exn ~create:false dir) e.Store.key with
+      | Ok (Some got) ->
+          Alcotest.(check (array int)) "counts survive reopen" e.Store.counts
+            got.Store.counts
+      | Ok None -> Alcotest.fail "entry lost across reopen"
+      | Error msg -> Alcotest.fail msg)
+
+let expect_error msg = function
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail msg
+
+let test_corruption_refused () =
+  with_store_dir (fun dir ->
+      let s = Store.open_exn ~create:true dir in
+      let e = sample_entry () in
+      Store.put s e;
+      let entries = Filename.concat dir "entries" in
+      let path =
+        Filename.concat entries (Store.hash e.Store.key ^ ".entry")
+      in
+      (* Tamper with a tally digit: the counts/trials consistency check
+         must refuse the entry. *)
+      let content =
+        let ic = open_in_bin path in
+        let c = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        c
+      in
+      let tampered =
+        let sub = "trials_done=100" and by = "trials_done=199" in
+        match String.index_opt content 't' with
+        | None -> Alcotest.fail "entry has no tally field"
+        | Some _ ->
+            let rec find i =
+              if i + String.length sub > String.length content then
+                Alcotest.fail "entry has no trials_done=100 field"
+              else if String.sub content i (String.length sub) = sub then
+                String.sub content 0 i
+                ^ by
+                ^ String.sub content
+                    (i + String.length sub)
+                    (String.length content - i - String.length sub)
+              else find (i + 1)
+            in
+            find 0
+      in
+      let oc = open_out_bin path in
+      output_string oc tampered;
+      close_out oc;
+      expect_error "tampered tally accepted" (Store.find s e.Store.key);
+      (* A mis-addressed (renamed) entry must be refused too: the
+         filename no longer matches the content's own address. *)
+      let oc = open_out_bin path in
+      output_string oc content;
+      close_out oc;
+      let misplaced = Filename.concat entries (String.make 32 'a' ^ ".entry")
+      in
+      Sys.rename path misplaced;
+      (match Store.list s with
+      | Ok [ Error _ ] -> ()
+      | Ok _ -> Alcotest.fail "misplaced entry accepted"
+      | Error msg -> Alcotest.fail msg);
+      Sys.remove misplaced;
+      (* An unknown version sentinel refuses the whole store. *)
+      let oc = open_out (Filename.concat dir "MANIFEST") in
+      output_string oc "casted-store v999\n";
+      close_out oc;
+      expect_error "unknown store version opened"
+        (Store.open_dir ~create:false dir))
+
+let test_open_refuses_non_store () =
+  with_store_dir (fun dir ->
+      Unix.mkdir dir 0o755;
+      let oc = open_out (Filename.concat dir "README") in
+      output_string oc "not a store\n";
+      close_out oc;
+      expect_error "non-store directory adopted"
+        (Store.open_dir ~create:true dir))
+
+(* The tentpole regression: a campaign run twice against the same store
+   simulates zero trials the second time and returns the bit-identical
+   tally — at jobs=1 and jobs=4. *)
+let test_campaign_twice_zero_resim () =
+  List.iter
+    (fun jobs ->
+      with_store (fun s ->
+          let trials = 96 and seed = 11 in
+          let cold, warm =
+            Engine.with_engine ~jobs (fun e ->
+                let cold =
+                  Engine.campaign_stored e ~seed ~store:s ~trials spec
+                in
+                let warm =
+                  Engine.campaign_stored e ~seed ~store:s ~trials spec
+                in
+                (cold, warm))
+          in
+          Alcotest.(check int) "cold run simulated everything" trials
+            cold.Engine.simulated;
+          Alcotest.(check int) "warm run simulated nothing" 0
+            warm.Engine.simulated;
+          Alcotest.(check int) "warm run served everything" trials
+            warm.Engine.served;
+          Alcotest.(check bool) "both complete" true
+            (cold.Engine.complete && warm.Engine.complete);
+          same_result
+            (Printf.sprintf "jobs=%d warm vs cold" jobs)
+            warm.Engine.result cold.Engine.result;
+          (* A separate process (fresh engine, fresh caches) over the
+             same directory is served too. *)
+          let other =
+            Engine.with_engine ~jobs:1 (fun e ->
+                Engine.campaign_stored e ~seed ~store:s ~trials spec)
+          in
+          Alcotest.(check int) "fresh engine simulated nothing" 0
+            other.Engine.simulated;
+          same_result "fresh engine tally" other.Engine.result
+            cold.Engine.result))
+    [ 1; 4 ]
+
+(* Incremental fill: extending a banked 64-trial cell to 128 simulates
+   only the delta and matches a cold 128-trial run bit for bit. *)
+let test_incremental_extend () =
+  with_store (fun s ->
+      let seed = 5 in
+      Engine.with_engine ~jobs:2 (fun e ->
+          let first = Engine.campaign_stored e ~seed ~store:s ~trials:64 spec in
+          Alcotest.(check int) "first fill" 64 first.Engine.simulated;
+          let second =
+            Engine.campaign_stored e ~seed ~store:s ~trials:128 spec
+          in
+          Alcotest.(check int) "extension simulated the delta" 64
+            second.Engine.simulated;
+          Alcotest.(check int) "extension served the prefix" 64
+            second.Engine.served;
+          let cold = Engine.campaign e ~seed ~trials:128 spec in
+          same_result "extended vs cold" second.Engine.result cold;
+          (* The cell is now banked at 128: asking for the original 64
+             again must not clobber the richer entry. *)
+          let smaller =
+            Engine.campaign_stored e ~seed ~store:s ~trials:64 spec
+          in
+          Alcotest.(check int) "oversized entry bypassed" 64
+            smaller.Engine.simulated;
+          let again =
+            Engine.campaign_stored e ~seed ~store:s ~trials:128 spec
+          in
+          Alcotest.(check int) "128-trial entry still banked" 0
+            again.Engine.simulated))
+
+(* The sharding regression: a 2-shard run against one store merges to
+   the bit-identical tally of a 1-shard run — at jobs=1 and jobs=4. *)
+let test_shard_merge_matches_single () =
+  List.iter
+    (fun jobs ->
+      with_store (fun s ->
+          let trials = 192 and seed = 3 in
+          let single =
+            Engine.with_engine ~jobs (fun e ->
+                Engine.campaign e ~seed ~trials spec)
+          in
+          let s0, s1 =
+            Engine.with_engine ~jobs (fun e ->
+                let s0 =
+                  Engine.campaign_stored e ~seed ~store:s ~shard:(0, 2)
+                    ~trials spec
+                in
+                let s1 =
+                  Engine.campaign_stored e ~seed ~store:s ~shard:(1, 2)
+                    ~trials spec
+                in
+                (s0, s1))
+          in
+          Alcotest.(check bool) "shard 0 incomplete alone" false
+            s0.Engine.complete;
+          Alcotest.(check bool) "last shard completes the cell" true
+            s1.Engine.complete;
+          Alcotest.(check int) "shards partition the trials" trials
+            (s0.Engine.simulated + s1.Engine.simulated);
+          same_result
+            (Printf.sprintf "jobs=%d merged vs single" jobs)
+            s1.Engine.result single;
+          (* The merged full entry now serves unsharded requests. *)
+          let warm =
+            Engine.with_engine ~jobs:1 (fun e ->
+                Engine.campaign_stored e ~seed ~store:s ~trials spec)
+          in
+          Alcotest.(check int) "merged entry serves with zero simulation" 0
+            warm.Engine.simulated;
+          same_result "served merge" warm.Engine.result single))
+    [ 1; 4 ]
+
+let test_store_rejects_early_stop_and_checkpoint () =
+  with_store (fun s ->
+      Engine.with_engine ~jobs:1 (fun e ->
+          let raises msg f =
+            match f () with
+            | (_ : Engine.stored_campaign) ->
+                Alcotest.fail (msg ^ ": no exception")
+            | exception Invalid_argument _ -> ()
+          in
+          raises "ci_halfwidth" (fun () ->
+              Engine.campaign_stored e ~store:s ~ci_halfwidth:1.0 ~trials:64
+                spec);
+          raises "checkpoint" (fun () ->
+              Engine.campaign_stored e ~store:s ~checkpoint:"/tmp/x" ~trials:64
+                spec)))
+
+let test_work_queue_and_claims () =
+  with_store (fun s ->
+      let u =
+        {
+          Work.workload = "cjpeg";
+          size = "fault";
+          scheme = "CASTED";
+          issue = 2;
+          delay = 2;
+          model = "reg-bit";
+          seed = 7;
+          trials = 64;
+          fuel_factor = 10;
+          retry_budget = -1;
+        }
+      in
+      Alcotest.(check bool) "first enqueue" true (Work.enqueue s u);
+      Alcotest.(check bool) "idempotent enqueue" false (Work.enqueue s u);
+      (match Work.units s with
+      | Ok [ Ok got ] ->
+          Alcotest.(check string) "unit round-trips" (Work.address u)
+            (Work.address got)
+      | Ok l -> Alcotest.failf "expected one unit, got %d" (List.length l)
+      | Error msg -> Alcotest.fail msg);
+      (match Work.claim s u with
+      | Work.Claimed -> ()
+      | Work.Busy o -> Alcotest.failf "fresh unit busy (%s)" o);
+      (* A live claim (our own pid) is not stealable. *)
+      (match Work.claim s u with
+      | Work.Busy _ -> ()
+      | Work.Claimed -> Alcotest.fail "double-claimed a held lock");
+      Work.release s u;
+      (match Work.claim s u with
+      | Work.Claimed -> ()
+      | Work.Busy o -> Alcotest.failf "released unit busy (%s)" o);
+      Work.release s u)
+
+let test_work_stale_lock_broken () =
+  with_store_dir (fun dir ->
+      let s = Store.open_exn ~create:true dir in
+      let u =
+        {
+          Work.workload = "cjpeg";
+          size = "fault";
+          scheme = "CASTED";
+          issue = 2;
+          delay = 2;
+          model = "reg-bit";
+          seed = 7;
+          trials = 64;
+          fuel_factor = 10;
+          retry_budget = -1;
+        }
+      in
+      ignore (Work.enqueue s u);
+      (* Forge a lock owned by a dead pid on this host — what a
+         SIGKILLed worker leaves behind. *)
+      let lock =
+        Filename.concat
+          (Filename.concat dir "locks")
+          (Work.hash u ^ ".lock")
+      in
+      let dead_pid =
+        (* A pid that is almost surely unused; if it happens to be live,
+           walk forward. *)
+        let rec hunt p =
+          match Unix.kill p 0 with
+          | () -> hunt (p + 1)
+          | exception Unix.Unix_error (Unix.ESRCH, _, _) -> p
+          | exception Unix.Unix_error _ -> p
+        in
+        hunt 3999983
+      in
+      let oc = open_out lock in
+      Printf.fprintf oc "%d@%s\n" dead_pid (Unix.gethostname ());
+      close_out oc;
+      (match Work.claim s u with
+      | Work.Claimed -> ()
+      | Work.Busy o -> Alcotest.failf "stale lock not broken (owner %s)" o);
+      Work.release s u;
+      (* gc_locks sweeps a forged stale lock the same way. *)
+      let oc = open_out lock in
+      Printf.fprintf oc "%d@%s\n" dead_pid (Unix.gethostname ());
+      close_out oc;
+      Alcotest.(check int) "gc removed the stale lock" 1 (Work.gc_locks s);
+      Alcotest.(check int) "nothing left to gc" 0 (Work.gc_locks s))
+
+let test_gc_shards_after_merge () =
+  with_store (fun s ->
+      let trials = 128 and seed = 13 in
+      Engine.with_engine ~jobs:2 (fun e ->
+          let _ =
+            Engine.campaign_stored e ~seed ~store:s ~shard:(0, 2) ~trials spec
+          in
+          let last =
+            Engine.campaign_stored e ~seed ~store:s ~shard:(1, 2) ~trials spec
+          in
+          Alcotest.(check bool) "merged" true last.Engine.complete);
+      (match Store.gc_shards s with
+      | Ok n -> Alcotest.(check int) "both shard entries swept" 2 n
+      | Error msg -> Alcotest.fail msg);
+      (* The merged full entry survives the sweep. *)
+      Engine.with_engine ~jobs:1 (fun e ->
+          let warm = Engine.campaign_stored e ~seed ~store:s ~trials spec in
+          Alcotest.(check int) "full entry intact" 0 warm.Engine.simulated))
+
+let suite =
+  ( "store",
+    [
+      case "address golden pins" test_address_golden;
+      case "entry roundtrip and counters" test_roundtrip;
+      case "entries persist across reopen" test_reopen_persists;
+      case "corrupt / mis-addressed / wrong-version refused"
+        test_corruption_refused;
+      case "non-store directory refused" test_open_refuses_non_store;
+      case "campaign twice: zero re-simulation, bit-identical"
+        test_campaign_twice_zero_resim;
+      case "incremental extension simulates only the delta"
+        test_incremental_extend;
+      case "2-shard run merges bit-identically to 1 process"
+        test_shard_merge_matches_single;
+      case "store refuses early-stop and checkpoint combos"
+        test_store_rejects_early_stop_and_checkpoint;
+      case "work queue enqueue/claim/release" test_work_queue_and_claims;
+      case "stale lock of a dead worker is broken" test_work_stale_lock_broken;
+      case "gc sweeps merged-away shard entries" test_gc_shards_after_merge;
+    ] )
