@@ -408,6 +408,15 @@ let no_replay_arg =
   in
   Arg.(value & flag & info [ "no-replay" ] ~doc)
 
+let no_compile_arg =
+  let doc =
+    "Disable stage-2 closure compilation and run every trial on the \
+     decoded interpreter. The compiled path (the default) threads each \
+     program through pre-specialized closures; tallies are bit-identical \
+     either way, compiled is just faster."
+  in
+  Arg.(value & flag & info [ "no-compile" ] ~doc)
+
 let allow_legacy_checkpoint_arg =
   let doc =
     "Allow $(b,--resume) to load a legacy identity-less checkpoint file. \
@@ -453,8 +462,8 @@ let pp_mwtf ppf m =
 
 let campaign_cmd =
   let run bench scheme issue delay trials model ci_halfwidth checkpoint
-      checkpoint_every resume no_replay allow_legacy_checkpoint retry_budget
-      min_recovered store_dir shard jobs trace metrics =
+      checkpoint_every resume no_replay no_compile allow_legacy_checkpoint
+      retry_budget min_recovered store_dir shard jobs trace metrics =
     if resume && checkpoint = None then begin
       Printf.eprintf "casted: --resume requires --checkpoint FILE\n";
       exit 2
@@ -492,8 +501,8 @@ let campaign_cmd =
         let sc =
           Engine.campaign_stored engine ~model ?ci_halfwidth ?checkpoint
             ~checkpoint_every ~resume ~replay:(not no_replay)
-            ~allow_legacy_checkpoint ?retry_budget ?store
-            ?shard ~trials spec
+            ~compile:(not no_compile) ~allow_legacy_checkpoint ?retry_budget
+            ?store ?shard ~trials spec
         in
         let result = sc.Engine.result in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
@@ -551,9 +560,9 @@ let campaign_cmd =
     Term.(
       const run $ bench_arg $ scheme_arg $ issue_arg $ delay_arg $ trials_arg
       $ model_arg $ ci_halfwidth_arg $ checkpoint_arg $ checkpoint_every_arg
-      $ resume_arg $ no_replay_arg $ allow_legacy_checkpoint_arg
-      $ retry_budget_arg $ min_recovered_arg $ store_arg $ shard_arg
-      $ jobs_arg $ trace_arg $ metrics_arg)
+      $ resume_arg $ no_replay_arg $ no_compile_arg
+      $ allow_legacy_checkpoint_arg $ retry_budget_arg $ min_recovered_arg
+      $ store_arg $ shard_arg $ jobs_arg $ trace_arg $ metrics_arg)
 
 let recover_cmd =
   let run bench issue delay trials model retry_budget jobs trace metrics =

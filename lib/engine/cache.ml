@@ -80,6 +80,7 @@ type t = {
   table : (key, Pipeline.compiled) Hashtbl.t;
   decoded_table : (key, Casted_sim.Decode.t) Hashtbl.t;
   replay_table : (key, Casted_sim.Replay.t) Hashtbl.t;
+  compiled_table : (key, Casted_sim.Compile.t) Hashtbl.t;
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
@@ -87,6 +88,8 @@ type t = {
   mutable decoded_misses : int;
   mutable replay_hits : int;
   mutable replay_misses : int;
+  mutable compiled_hits : int;
+  mutable compiled_misses : int;
 }
 
 let create () =
@@ -94,6 +97,7 @@ let create () =
     table = Hashtbl.create 64;
     decoded_table = Hashtbl.create 64;
     replay_table = Hashtbl.create 64;
+    compiled_table = Hashtbl.create 64;
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
@@ -101,6 +105,8 @@ let create () =
     decoded_misses = 0;
     replay_hits = 0;
     replay_misses = 0;
+    compiled_hits = 0;
+    compiled_misses = 0;
   }
 
 let build k =
@@ -212,6 +218,40 @@ let replay t k =
          else "engine.cache.replay_misses");
       r
 
+(* Stage-2 compiled programs complete the per-key artifact chain:
+   schedule -> decoded -> compiled. The compiled form holds no mutable
+   state (a [cctx] is built per run), so one program is shared by every
+   trial of every campaign and pool domain on the engine. Same
+   discipline: compile outside the lock, first insert wins. *)
+let compiled t k =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.compiled_table k with
+  | Some c ->
+      t.compiled_hits <- t.compiled_hits + 1;
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr "engine.cache.compiled_hits";
+      c
+  | None ->
+      Mutex.unlock t.mutex;
+      let d = decoded t k in
+      let c = Casted_sim.Compile.of_decoded d in
+      Mutex.lock t.mutex;
+      let c, hit =
+        match Hashtbl.find_opt t.compiled_table k with
+        | Some prior ->
+            t.compiled_hits <- t.compiled_hits + 1;
+            (prior, true)
+        | None ->
+            t.compiled_misses <- t.compiled_misses + 1;
+            Hashtbl.add t.compiled_table k c;
+            (c, false)
+      in
+      Mutex.unlock t.mutex;
+      Casted_obs.Metrics.incr
+        (if hit then "engine.cache.compiled_hits"
+         else "engine.cache.compiled_misses");
+      c
+
 type stats = {
   hits : int;
   misses : int;
@@ -222,6 +262,9 @@ type stats = {
   replay_hits : int;
   replay_misses : int;
   replay_entries : int;
+  compiled_hits : int;
+  compiled_misses : int;
+  compiled_entries : int;
 }
 
 let stats t =
@@ -237,6 +280,9 @@ let stats t =
       replay_hits = t.replay_hits;
       replay_misses = t.replay_misses;
       replay_entries = Hashtbl.length t.replay_table;
+      compiled_hits = t.compiled_hits;
+      compiled_misses = t.compiled_misses;
+      compiled_entries = Hashtbl.length t.compiled_table;
     }
   in
   Mutex.unlock t.mutex;

@@ -78,6 +78,15 @@ val decoded : t -> key -> Casted_sim.Decode.t
     {!compile}. *)
 val replay : t -> key -> Casted_sim.Replay.t
 
+(** [compiled t key] returns the memoized stage-2 compiled program
+    ({!Casted_sim.Compile.of_decoded} over {!decoded}) for [key],
+    compiling it on first use. The program is immutable (per-run state
+    lives in the run's own context); repeated lookups return the
+    physically equal value, so every trial of every campaign and pool
+    worker on one engine threads through the same closures. Same
+    locking discipline as {!compile}. *)
+val compiled : t -> key -> Casted_sim.Compile.t
+
 type stats = {
   hits : int;
   misses : int;
@@ -88,6 +97,9 @@ type stats = {
   replay_hits : int;  (** {!replay} lookups served from the table *)
   replay_misses : int;  (** snapshot captures actually performed *)
   replay_entries : int;
+  compiled_hits : int;  (** {!compiled} lookups served from the table *)
+  compiled_misses : int;  (** stage-2 compiles actually performed *)
+  compiled_entries : int;
 }
 
 val stats : t -> stats

@@ -254,31 +254,86 @@ let check_golden_agreement ~what (e : Store.entry) (r : Montecarlo.result) =
 let store_fail msg = invalid_arg ("Engine.campaign: result store: " ^ msg)
 let store_get = function Ok v -> v | Error msg -> store_fail msg
 
+(* The absolute 64-trial chunk grid (see Montecarlo): shard [k] of [n]
+   owns the chunks whose index is congruent to [k] mod [n]. A banked
+   partial shard entry holds a whole number of owned chunks, so its
+   resume point is found by walking the grid until the owned-trial
+   count matches the banked tally. *)
+let owned_chunks ~shard:(k, n) ~trials =
+  let chunk = Montecarlo.chunk_trials in
+  let rec go lo acc =
+    if lo >= trials then List.rev acc
+    else
+      let hi = min trials (lo + chunk) in
+      go hi (if lo / chunk mod n = k then (lo, hi) :: acc else acc)
+  in
+  go 0 []
+
+let shard_share ~shard ~trials =
+  List.fold_left
+    (fun acc (lo, hi) -> acc + (hi - lo))
+    0
+    (owned_chunks ~shard ~trials)
+
+(* Trial index at which a partial shard tally of [banked] owned trials
+   resumes: the end of the owned chunk where the running count reaches
+   [banked]. The partial entries written by the campaign's bank hook
+   always land on chunk boundaries; anything else is a corrupt store. *)
+let shard_resume_index ~shard ~trials banked =
+  let rec go acc = function
+    | _ when acc = banked -> 0
+    | [] ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine.campaign: partial shard entry banked %d trials, more \
+              than the shard owns — corrupt store"
+             banked)
+    | (lo, hi) :: rest ->
+        let acc = acc + (hi - lo) in
+        if acc = banked then hi
+        else if acc > banked then
+          invalid_arg
+            (Printf.sprintf
+               "Engine.campaign: partial shard entry banked %d trials, not \
+                a whole number of 64-trial chunks — corrupt store"
+               banked)
+        else go acc rest
+  in
+  go 0 (owned_chunks ~shard ~trials)
+
 let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Casted_sim.Fault.Reg_bit) ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?(resume = false) ?(replay = true) ?retry_budget
+    ?checkpoint_every ?(resume = false) ?(replay = true)
+    ?compile:(use_compiled = true) ?retry_budget
     ?(allow_legacy_checkpoint = false) ?store ?(shard = (0, 1)) ~trials key =
   let retry_budget = resolve_retry_budget key retry_budget in
   let identity = campaign_identity key model in
   (* Compile (cached) under the compile timer, then hand the memoized
      decoded program — and, with replay on, the memoized golden-run
-     snapshot set — to the campaign: thousands of trials, one decode,
-     one capture, shared read-only across pool domains and across
+     snapshot set, plus the memoized stage-2 compiled program — to the
+     campaign: thousands of trials, one decode, one capture, one
+     stage-2 compile, shared read-only across pool domains and across
      campaigns revisiting this configuration. The store's full-hit path
      never gets here: a banked tally costs no compile, no decode, no
      golden run. *)
-  let simulate ?prior ~shard n_trials =
+  let simulate ?prior ?bank ~shard n_trials =
     let (_ : Pipeline.compiled) = compile t key in
     let decoded = Cache.decoded t.cache key in
     let replay = replay && retry_budget = None in
     let replay_set =
       if replay then Some (Cache.replay t.cache key) else None
     in
+    let compiled =
+      if use_compiled && retry_budget = None then
+        Some (Cache.compiled t.cache key)
+      else None
+    in
     timed t `Campaign (fun () ->
         Montecarlo.run_decoded ~pool:t.pool ~seed ~fuel_factor ~model
           ?ci_halfwidth ?checkpoint ?checkpoint_every ~resume ~identity
-          ~replay ?replay_set ?retry_budget ~allow_legacy_checkpoint ~shard
-          ?prior ~trials:n_trials decoded)
+          ~replay ?replay_set ~compile:use_compiled ?compiled ?retry_budget
+          ~allow_legacy_checkpoint ~shard ?prior ?bank ~trials:n_trials
+          decoded)
   in
   match store with
   | None ->
@@ -405,8 +460,15 @@ let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
       end
       else begin
         (* Shard worker: serve the cell if it is already complete,
-           otherwise fill this shard and merge if that was the last
-           one. *)
+           otherwise fill this shard — banking the partial tally at
+           every owned 64-trial chunk so a killed worker's finished
+           chunks survive — and merge if that was the last one. *)
+        let share = shard_share ~shard ~trials in
+        let bank ~next:_ r =
+          Store.put s (entry_of_result ~spec skey r);
+          bump_store t (fun c ->
+              { c with store_writes = c.store_writes + 1 })
+        in
         let full_key = { skey with Store.shard = (0, 1) } in
         match store_get (Store.find s full_key) with
         | Some e when e.Store.trials_done = trials ->
@@ -420,9 +482,9 @@ let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
             serve e ~complete:true
         | _ -> (
             match store_get (Store.find s skey) with
-            | Some own -> (
-                (* This shard is banked; the cell completes when the
-                   others land. *)
+            | Some own when own.Store.trials_done = share -> (
+                (* This shard is banked in full; the cell completes
+                   when the others land. *)
                 bump_store t (fun c ->
                     {
                       c with
@@ -433,8 +495,48 @@ let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
                 match write_merged () with
                 | Some merged -> serve merged ~complete:true
                 | None -> serve own ~complete:false)
+            | Some own -> (
+                (* Partial shard entry — a previous worker was killed
+                   mid-campaign. Resume after its last banked chunk. *)
+                let start =
+                  shard_resume_index ~shard ~trials own.Store.trials_done
+                in
+                let result =
+                  simulate ~shard ~prior:(start, own.Store.counts) ~bank
+                    trials
+                in
+                check_golden_agreement ~what:"partial shard resume" own
+                  result;
+                Store.put s (entry_of_result ~spec skey result);
+                bump_store t (fun c ->
+                    {
+                      c with
+                      partial_hits = c.partial_hits + 1;
+                      store_writes = c.store_writes + 1;
+                      trials_served = c.trials_served + own.Store.trials_done;
+                      trials_simulated =
+                        c.trials_simulated
+                        + (share - own.Store.trials_done);
+                    });
+                Casted_obs.Metrics.incr "engine.store.partial_hits";
+                let simulated = share - own.Store.trials_done in
+                match write_merged () with
+                | Some merged ->
+                    {
+                      result = result_of_entry ~model merged;
+                      simulated;
+                      served = trials - simulated;
+                      complete = true;
+                    }
+                | None ->
+                    {
+                      result;
+                      simulated;
+                      served = own.Store.trials_done;
+                      complete = false;
+                    })
             | None -> (
-                let result = simulate ~shard trials in
+                let result = simulate ~shard ~bank trials in
                 Store.put s (entry_of_result ~spec skey result);
                 bump_store t (fun c ->
                     {
@@ -463,11 +565,11 @@ let campaign_stored t ?(seed = 0xCA57ED) ?(fuel_factor = 10)
       end
 
 let campaign t ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?replay ?retry_budget ?allow_legacy_checkpoint
-    ?store ?shard ~trials key =
+    ?checkpoint_every ?resume ?replay ?compile ?retry_budget
+    ?allow_legacy_checkpoint ?store ?shard ~trials key =
   (campaign_stored t ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-     ?checkpoint_every ?resume ?replay ?retry_budget ?allow_legacy_checkpoint
-     ?store ?shard ~trials key)
+     ?checkpoint_every ?resume ?replay ?compile ?retry_budget
+     ?allow_legacy_checkpoint ?store ?shard ~trials key)
     .result
 
 (* One grid cell: NOED/SCED are single-core, so they are measured once
@@ -605,5 +707,8 @@ let utilisation t =
          cs.Cache.decoded_misses;
        Printf.sprintf "replay:  %d snapshot sets, %d hits, %d captures"
          cs.Cache.replay_entries cs.Cache.replay_hits cs.Cache.replay_misses;
+       Printf.sprintf "threaded: %d programs, %d hits, %d compiles"
+         cs.Cache.compiled_entries cs.Cache.compiled_hits
+         cs.Cache.compiled_misses;
      ]
     @ store_lines @ [ "" ])

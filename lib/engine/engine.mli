@@ -94,7 +94,13 @@ val simulate :
     [checkpoint_every], [resume], [replay], [allow_legacy_checkpoint])
     are forwarded to it. With [replay] on (the default) the golden-run
     snapshot set comes from the engine cache ({!Cache.replay}), so
-    campaigns revisiting a configuration share one capture.
+    campaigns revisiting a configuration share one capture. With
+    [compile] on (the default) trials run on the stage-2
+    closure-threaded engine ({!Casted_sim.Simulator.run_compiled}) and
+    the compiled program comes from the engine cache
+    ({!Cache.compiled}) — bit-identical tallies, one stage-2 compile
+    per configuration. [~compile:false] is the [--no-compile] escape
+    hatch back to the decoded interpreter.
 
     A {!Casted_detect.Scheme.Rollback} spec automatically runs every
     trial through {!Casted_sim.Simulator.run_recovering} with
@@ -115,6 +121,7 @@ val campaign :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?replay:bool ->
+  ?compile:bool ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   ?store:Casted_store.Store.t ->
@@ -163,7 +170,11 @@ type stored_campaign = {
     entries into the full entry. [complete = false] means other shards
     are still outstanding; re-running any shard once they land (or
     {!Casted_store.Store.merge_shards}) produces the merged tally,
-    bit-identical to an unsharded run.
+    bit-identical to an unsharded run. A shard worker also banks its
+    partial tally after {e every} finished owned chunk, so a worker
+    killed mid-campaign leaves its completed chunks in the store;
+    re-running that shard resumes after the last banked chunk instead
+    of starting over (counted as a partial hit).
 
     Store-backed campaigns refuse [ci_halfwidth] (early stopping would
     make the banked trial count depend on the sampling path) and
@@ -183,6 +194,7 @@ val campaign_stored :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?replay:bool ->
+  ?compile:bool ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   ?store:Casted_store.Store.t ->

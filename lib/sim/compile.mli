@@ -1,0 +1,49 @@
+(** Stage-2 compilation of a pre-decoded program into threaded code:
+    one pre-bound closure per instruction, with the opcode arm, operand
+    register indices and classes, latency, immediates, branch/callee
+    targets and fault-site hooks all resolved at compile time. The hot
+    loop is a flat array walk — no per-instruction opcode or class
+    dispatch, no fault-option matching, no bounds checks (proven at
+    compile time), no allocation beyond what the simulated machine
+    itself demands.
+
+    Outcomes are bit-identical to the interpreter ([Simulator.run_decoded]):
+    both engines mutate the same [State.t] with the same event ordering,
+    and the verify oracle cross-checks them over the whole example
+    matrix. Compiled programs are immutable and domain-safe: compile
+    once, run from any number of domains concurrently (each run carries
+    its own [State.t]). *)
+
+type t
+(** A compiled program: the decoded form plus per-function closure
+    arrays. Safe to share read-only across domains. *)
+
+val of_decoded : Decode.t -> t
+(** Lower a decoded program to threaded code. Costs one pass over the
+    program; memoized per schedule in [Engine.Cache]. *)
+
+val decoded : t -> Decode.t
+(** The decoded program this was compiled from (shared, not copied). *)
+
+val run :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  t ->
+  Outcome.run
+(** Execute a compiled program from a fresh machine state. Same
+    semantics and same results as [Simulator.run_decoded] on the
+    underlying decoded program (modulo the profile/on_block hooks, which
+    the compiled path does not offer). *)
+
+val run_replayed :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  snapshot:State.snapshot ->
+  t ->
+  Outcome.run
+(** Restore a golden-prefix snapshot (captured on the decoded
+    interpreter — snapshots are engine independent) and execute only the
+    suffix on the compiled path. Same results as
+    [Simulator.run_replayed] with the same snapshot and fault. *)

@@ -21,7 +21,11 @@ type dinsn = {
 
 type dbundle = { at : int; slots : dinsn array array }
 type dblock = { label : string; bundles : dbundle array; checkpoint : bool }
-type dfunc = { func : Casted_ir.Func.t; blocks : dblock array }
+type dfunc = {
+  func : Casted_ir.Func.t;
+  params : Casted_ir.Reg.t array;
+  blocks : dblock array;
+}
 
 type t = {
   sched : Casted_sched.Schedule.t;
@@ -128,7 +132,11 @@ let of_schedule (sched : Schedule.t) : t =
         if Array.length fs.Schedule.blocks = 0 then
           invalid_arg
             (Printf.sprintf "Decode: function %S has no blocks" fname);
-        { func = fs.Schedule.func; blocks = Array.map decode_block fs.Schedule.blocks }
+        {
+          func = fs.Schedule.func;
+          params = Array.of_list fs.Schedule.func.Func.params;
+          blocks = Array.map decode_block fs.Schedule.blocks;
+        }
       in
       let dfuncs = Array.map decode_func funcs in
       let program = sched.Schedule.program in

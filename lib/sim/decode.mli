@@ -59,6 +59,9 @@ type dblock = {
 
 type dfunc = {
   func : Casted_ir.Func.t;
+  params : Casted_ir.Reg.t array;
+      (** [func.params] as an array, so call-argument binding is an
+          index loop instead of a [List.iter2] *)
   blocks : dblock array;  (** same order as the schedule's blocks *)
 }
 

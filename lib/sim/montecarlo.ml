@@ -146,7 +146,8 @@ let golden ?fuel_factor sched =
    the trial restores the latest snapshot preceding its fault's trigger
    event and executes only the suffix — bit-identical to the full run
    (Simulator.run_replayed), just cheaper. *)
-let trial_instrumented ?retry_budget ~model ~golden:g ~seed ~index decoded =
+let trial_instrumented ?retry_budget ?compiled ~model ~golden:g ~seed ~index
+    decoded =
   if Fault.population_size model g.pop = 0 then
     (* The fault path does not exist in this configuration (e.g. no
        cross-cluster reads on a single-cluster scheme): nothing to
@@ -178,14 +179,25 @@ let trial_instrumented ?retry_budget ~model ~golden:g ~seed ~index decoded =
         let c =
           classify_result ~golden:g.run
             (try
-               Ok (Simulator.run_replayed ~fault ~fuel:g.fuel ~snapshot decoded)
+               Ok
+                 (match compiled with
+                 | Some p ->
+                     Simulator.run_compiled_replayed ~fault ~fuel:g.fuel
+                       ~snapshot p
+                 | None ->
+                     Simulator.run_replayed ~fault ~fuel:g.fuel ~snapshot
+                       decoded)
              with e -> Error e)
         in
         (c, Replay.suffix_fraction (Option.get g.replay) snapshot, true)
     | None ->
         let c =
           classify_result ~golden:g.run
-            (try Ok (Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
+            (try
+               Ok
+                 (match compiled with
+                 | Some p -> Simulator.run_compiled ~fault ~fuel:g.fuel p
+                 | None -> Simulator.run_decoded ~fault ~fuel:g.fuel decoded)
              with e -> Error e)
         in
         (c, 1.0, false))
@@ -201,6 +213,13 @@ let trial_decoded ?retry_budget ?(model = Fault.Reg_bit) ~golden ~seed ~index
 let trial ?retry_budget ?model ~golden ~seed ~index sched =
   trial_decoded ?retry_budget ?model ~golden ~seed ~index
     (Decode.of_schedule sched)
+
+let trial_compiled ?(model = Fault.Reg_bit) ~golden ~seed ~index ~compiled
+    decoded =
+  let c, _, _ =
+    trial_instrumented ~compiled ~model ~golden ~seed ~index decoded
+  in
+  c
 
 let idx = function
   | Benign -> 0
@@ -243,8 +262,8 @@ let chunk_trials = 64
 let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     ?(model = Fault.Reg_bit) ?ci_halfwidth ?checkpoint
     ?(checkpoint_every = 256) ?(resume = false) ?(identity = "")
-    ?(replay = true) ?replay_set ?retry_budget
-    ?(allow_legacy_checkpoint = false) ?(shard = (0, 1)) ?prior ~trials
+    ?(replay = true) ?replay_set ?(compile = true) ?compiled ?retry_budget
+    ?(allow_legacy_checkpoint = false) ?(shard = (0, 1)) ?prior ?bank ~trials
     decoded =
   (match ci_halfwidth with
   | Some w when w <= 0.0 ->
@@ -255,18 +274,35 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   (* Sharded and store-resumed campaigns own their merge bookkeeping
      (the result store); mixing them with the checkpoint file or the
      early stop would make the tally depend on which mechanism fired
-     first, so the combinations are rejected outright. *)
+     first, so the combinations are rejected outright. A [prior] is
+     fine with a shard: it resumes the shard's own banked chunks. *)
   let shard_k, shard_n = shard in
   if shard_n < 1 || shard_k < 0 || shard_k >= shard_n then
     invalid_arg
       (Printf.sprintf "Montecarlo.run: shard %d/%d is malformed" shard_k
          shard_n);
-  if shard_n > 1 && (ci_halfwidth <> None || checkpoint <> None || prior <> None)
-  then
+  if shard_n > 1 && (ci_halfwidth <> None || checkpoint <> None) then
     invalid_arg
       "Montecarlo.run: a sharded campaign cannot combine with \
-       ci_halfwidth, checkpoint or prior (shards merge through the result \
-       store)";
+       ci_halfwidth or checkpoint (shards merge through the result store)";
+  (* A shard owns the chunks whose index (on the absolute grid anchored
+     at trial 0) is congruent to it modulo the shard count. The grid is
+     identical for every shard, so the union of all shards' trials is
+     exactly [0, trials) with no overlap, and summed tallies are
+     bit-identical to the single-process campaign. *)
+  let owned lo = shard_n = 1 || lo / chunk_trials mod shard_n = shard_k in
+  (* Trials this process owns on the grid strictly below [start] — what
+     a resumed shard's prior counts must sum to (for an unsharded
+     campaign this is just [start]). *)
+  let owned_below start =
+    let rec go lo acc =
+      if lo >= start then acc
+      else
+        let hi = min start (lo + chunk_trials) in
+        go (lo + chunk_trials) (if owned lo then acc + (hi - lo) else acc)
+    in
+    go 0 0
+  in
   (match prior with
   | None -> ()
   | Some (start, counts) ->
@@ -285,13 +321,13 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
           (Printf.sprintf
              "Montecarlo.run: prior carries %d outcome classes, expected %d"
              (Array.length counts) n_classes);
-      if Array.fold_left ( + ) 0 counts <> start then
+      if Array.fold_left ( + ) 0 counts <> owned_below start then
         invalid_arg
           (Printf.sprintf
              "Montecarlo.run: prior counts sum to %d but %d trials are \
               recorded"
              (Array.fold_left ( + ) 0 counts)
-             start));
+             (owned_below start)));
   (* Rollback trials restore their own region checkpoints mid-run, which
      golden-prefix replay's restored-suffix execution cannot express:
      replay is forced off for recovering campaigns. *)
@@ -348,8 +384,21 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   let n_replayed = ref 0 in
   let n_full = ref 0 in
   let suffix_sum = ref 0.0 in
+  (* Stage-2 compile: trials run on the closure-threaded engine unless
+     the caller opted out. Rollback campaigns stay on the interpreter —
+     run_recovering needs its on_block snapshot hook, which the compiled
+     path does not offer. A pre-compiled program (the engine cache's
+     memoized one) wins over compiling here. *)
+  let compiled =
+    if retry_budget <> None then None
+    else
+      match compiled with
+      | Some _ as p -> p
+      | None -> if compile then Some (Compile.of_decoded decoded) else None
+  in
   let one index =
-    trial_instrumented ?retry_budget ~model ~golden:g ~seed ~index decoded
+    trial_instrumented ?retry_budget ?compiled ~model ~golden:g ~seed ~index
+      decoded
   in
   let map_chunk lo hi =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.chunk"
@@ -385,12 +434,6 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
              ~trials:done_ ()
         <= target
   in
-  (* A shard owns the chunks whose index (on the absolute grid anchored
-     at trial 0) is congruent to it modulo the shard count. The grid is
-     identical for every shard, so the union of all shards' trials is
-     exactly [0, trials) with no overlap, and summed tallies are
-     bit-identical to the single-process campaign. *)
-  let owned lo = shard_n = 1 || lo / chunk_trials mod shard_n = shard_k in
   let rec go lo last_saved =
     if lo >= trials || narrow_enough lo then begin
       if lo > last_saved then save_checkpoint lo;
@@ -398,7 +441,7 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
     end
     else begin
       let hi = min trials (lo + chunk_trials) in
-      if owned lo then
+      if owned lo then begin
         Array.iter
           (fun (c, suffix, replayed) ->
             counts.(idx c) <- counts.(idx c) + 1;
@@ -412,6 +455,17 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
               end
             end)
           (map_chunk lo hi);
+        (* Bank the partial tally at every finished owned chunk (the
+           final tally is returned normally): a killed worker's
+           completed chunks survive and get served on restart. *)
+        match bank with
+        | Some f when hi < trials ->
+            f ~next:hi
+              (result_of_counts ~golden:g ~model
+                 ~trials:(Array.fold_left ( + ) 0 counts)
+                 counts)
+        | _ -> ()
+      end;
       let last_saved =
         if checkpoint <> None && (hi - last_saved >= checkpoint_every || hi = trials)
         then begin
@@ -449,10 +503,10 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
 (* Decode once per campaign, not once per trial: the decoded program is
    immutable and shared read-only by every pool domain. *)
 let run ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ?replay ?retry_budget
+    ?checkpoint_every ?resume ?identity ?replay ?compile ?retry_budget
     ?allow_legacy_checkpoint ?shard ?prior ~trials sched =
   run_decoded ?pool ?seed ?fuel_factor ?model ?ci_halfwidth ?checkpoint
-    ?checkpoint_every ?resume ?identity ?replay ?retry_budget
+    ?checkpoint_every ?resume ?identity ?replay ?compile ?retry_budget
     ?allow_legacy_checkpoint ?shard ?prior ~trials
     (Decode.of_schedule sched)
 

@@ -154,6 +154,18 @@ val trial_decoded :
   Decode.t ->
   classification
 
+(** One trial on the stage-2 compiled engine, with replay composition
+    when the golden carries a snapshot set — what campaigns run by
+    default. Bit-identical to {!trial_decoded} on the same arguments. *)
+val trial_compiled :
+  ?model:Fault.model ->
+  golden:golden ->
+  seed:int ->
+  index:int ->
+  compiled:Compile.t ->
+  Decode.t ->
+  classification
+
 (** Fold per-trial classifications into a campaign result. *)
 val tally :
   ?model:Fault.model -> golden:golden -> classification array -> result
@@ -219,6 +231,10 @@ val chunk_trials : int
     @param allow_legacy_checkpoint accept resuming from an
       identity-less legacy checkpoint file (default false: such files
       are rejected loudly — see {!Checkpoint.load}).
+    @param compile run every trial on the stage-2 closure-threaded
+      engine ({!Simulator.run_compiled}, default true) — bit-identical
+      tallies to the interpreter, only faster. Rollback campaigns
+      ([retry_budget]) always stay on the interpreter.
     @param shard [(k, n)]: simulate only the chunks whose index on the
       absolute chunk grid is congruent to [k] modulo [n] (default
       [(0, 1)] — everything). The grid is anchored at trial 0 and
@@ -226,12 +242,14 @@ val chunk_trials : int
       [0, trials) exactly and sum to the single-process tally
       bit-for-bit (the result store performs that merge). A sharded
       campaign's [result.trials] counts only its own trials. [n > 1]
-      cannot combine with [ci_halfwidth], [checkpoint] or [prior].
+      cannot combine with [ci_halfwidth] or [checkpoint].
     @param prior [(done, counts)]: resume from a persisted tally —
       start at trial index [done] with per-class [counts] (checkpoint
       order) pre-seeded, exactly as a checkpoint resume would. This is
       the result store's incremental path: a cell with [done] trials
-      banked simulates only [done, trials). Cannot combine with
+      banked simulates only [done, trials). With a shard, [counts] must
+      cover exactly the shard's own chunks below [done] (the banked
+      partial entry of a killed worker). Cannot combine with
       [checkpoint] (two resume sources) or [ci_halfwidth]. *)
 val run :
   ?pool:Casted_exec.Pool.t ->
@@ -244,6 +262,7 @@ val run :
   ?resume:bool ->
   ?identity:string ->
   ?replay:bool ->
+  ?compile:bool ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   ?shard:int * int ->
@@ -260,7 +279,15 @@ val run :
 
     @param replay_set start trials from this pre-captured snapshot set
       (the engine passes its memoized one) instead of capturing afresh.
-      Supplying it enables replay regardless of the [replay] flag. *)
+      Supplying it enables replay regardless of the [replay] flag.
+    @param compiled run trials on this stage-2-compiled program (the
+      engine passes its memoized one) instead of compiling afresh; wins
+      over the [compile] flag.
+    @param bank called after every finished owned chunk except the last
+      with the next trial index and the partial tally so far — the
+      result store's partial-banking hook: a SIGKILLed worker's
+      completed chunks survive and are served on restart. The final
+      tally is returned normally, not banked. *)
 val run_decoded :
   ?pool:Casted_exec.Pool.t ->
   ?seed:int ->
@@ -273,10 +300,13 @@ val run_decoded :
   ?identity:string ->
   ?replay:bool ->
   ?replay_set:Replay.t ->
+  ?compile:bool ->
+  ?compiled:Compile.t ->
   ?retry_budget:int ->
   ?allow_legacy_checkpoint:bool ->
   ?shard:int * int ->
   ?prior:int * int array ->
+  ?bank:(next:int -> result -> unit) ->
   trials:int ->
   Decode.t ->
   result

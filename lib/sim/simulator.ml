@@ -9,15 +9,22 @@ module Latency = Casted_machine.Latency
 module Schedule = Casted_sched.Schedule
 module Hierarchy = Casted_cache.Hierarchy
 
-exception Halted of int
-exception Check_failed of int
-exception Out_of_fuel
+(* The engine exceptions and run-assembly machinery live in Runtime,
+   shared with the closure-threaded compiled engine (Compile); the
+   historical names are re-exported here. *)
+exception Halted = Runtime.Halted
+exception Check_failed = Runtime.Check_failed
+exception Out_of_fuel = Runtime.Out_of_fuel
 
 (* All run-mutable machine state (counters, clock, control transfer,
    memory arena, cache model, register files) lives in State; the ctx
    only carries the run's immutable configuration plus the state. This
    split is what makes golden-prefix replay possible: State.snapshot at
-   an entry-function block boundary captures the whole machine. *)
+   an entry-function block boundary captures the whole machine.
+   [args_scratch] is the one exception: a reusable buffer for call
+   arguments (consumed by the callee before it executes anything, so
+   nested calls can reuse it freely) — the call path allocates no
+   argument list. *)
 type ctx = {
   d : Decode.t;
   config : Config.t;
@@ -26,13 +33,8 @@ type ctx = {
   profile : Profile.t option;
   on_block : (State.t -> State.regfile -> int -> unit) option;
   st : State.t;
+  mutable args_scratch : State.value array;
 }
-
-let role_index = function
-  | Insn.Original -> 0
-  | Insn.Replica -> 1
-  | Insn.Check -> 2
-  | Insn.Shadow_copy -> 3
 
 (* Operand access. *)
 
@@ -160,32 +162,35 @@ let touch_mem ctx addr =
         ~bit
   | Some _ | None -> ()
 
-let max_call_depth = 10_000
-
-let addr_int addr =
-  (* The cache model indexes by machine address; negative or huge
-     addresses would have trapped in Memory first, but the cache access
-     happens before the bounds check for loads, so clamp defensively. *)
-  if Int64.compare addr 0L < 0 then 0
-  else Int64.to_int (Int64.logand addr 0x3FFF_FFFFL)
+let max_call_depth = Runtime.max_call_depth
+let addr_int = Runtime.addr_int
 
 (* The interpreter proper, over the pre-decoded form (Decode.t): branch
    targets and callees are indices, latencies and role indices are
    baked into each dinsn, and bundle issue runs as plain for-loops over
    state fields — no per-bundle closures or refs, so the hot loop
    allocates only what the simulated machine itself demands (call
-   frames, call argument lists, the rare Ret value). *)
+   frames, boxed call-boundary values, the rare Ret value).
 
-let rec exec_func ctx (df : Decode.dfunc) (args : State.value list) :
-    State.value option =
+   [exec_func] consumes the first [nargs] entries of [ctx.args_scratch],
+   written by the call site; they are bound into the fresh frame before
+   any callee instruction runs, so a nested call overwriting the scratch
+   cannot clobber a live argument. *)
+
+let rec exec_func ctx (df : Decode.dfunc) ~nargs : State.value option =
   let st = ctx.st in
   st.State.depth <- st.State.depth + 1;
   if st.State.depth > max_call_depth then raise (Trap.Trap Trap.Stack_overflow);
   let func = df.Decode.func in
-  let fr = State.make_regfile func ~time:(st.State.time + 1) in
-  List.iter2
-    (fun r v -> write_value fr r v ~ready:(st.State.time + 1) ~home:(-1))
-    func.Func.params args;
+  let ready = st.State.time + 1 in
+  let fr = State.make_regfile func ~time:ready in
+  let params = df.Decode.params in
+  if Array.length params <> nargs then
+    invalid_arg "Simulator: call arity mismatch";
+  let scratch = ctx.args_scratch in
+  for i = 0 to nargs - 1 do
+    write_value fr params.(i) scratch.(i) ~ready ~home:(-1)
+  done;
   let result = exec_blocks ctx fr df ~start:0 in
   st.State.depth <- st.State.depth - 1;
   result
@@ -271,14 +276,18 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
   let uses = di.Decode.uses in
   let defs = di.Decode.defs in
   let latency = di.Decode.latency in
+  (* Two-operand arms read left to right through explicit lets: OCaml
+     evaluates function arguments in an unspecified order, and the
+     cross-cluster read counter (the Xcluster fault's trigger) must tick
+     in a well-defined order that the compiled engine can mirror. *)
   (match di.Decode.op with
   | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
   | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
   | Opcode.Sra ->
+      let a = use_gp ctx fr ~cluster uses.(0) in
+      let b = use_gp ctx fr ~cluster uses.(1) in
       write_gp fr defs.(0)
-        (Alu.int_binop di.Decode.op
-           (use_gp ctx fr ~cluster uses.(0))
-           (use_gp ctx fr ~cluster uses.(1)))
+        (Alu.int_binop di.Decode.op a b)
         ~ready:(t + latency) ~home:cluster
   | Opcode.Addi | Opcode.Muli | Opcode.Andi | Opcode.Xori | Opcode.Shli
   | Opcode.Shri | Opcode.Srai ->
@@ -294,11 +303,10 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
   | Opcode.Movi ->
       write_gp fr defs.(0) di.Decode.imm ~ready:(t + latency) ~home:cluster
   | Opcode.Cmp c ->
-      write_pr fr defs.(0)
-        (Cond.eval_int c
-           (use_gp ctx fr ~cluster uses.(0))
-           (use_gp ctx fr ~cluster uses.(1)))
-        ~ready:(t + latency) ~home:cluster
+      let a = use_gp ctx fr ~cluster uses.(0) in
+      let b = use_gp ctx fr ~cluster uses.(1) in
+      write_pr fr defs.(0) (Cond.eval_int c a b) ~ready:(t + latency)
+        ~home:cluster
   | Opcode.Cmpi c ->
       write_pr fr defs.(0)
         (Cond.eval_int c (use_gp ctx fr ~cluster uses.(0)) di.Decode.imm)
@@ -322,10 +330,10 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
       then st.State.corrections <- st.State.corrections + 1;
       write_gp fr defs.(0) v ~ready:(t + latency) ~home:cluster
   | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv ->
+      let a = use_fp ctx fr ~cluster uses.(0) in
+      let b = use_fp ctx fr ~cluster uses.(1) in
       write_fp fr defs.(0)
-        (Alu.float_binop di.Decode.op
-           (use_fp ctx fr ~cluster uses.(0))
-           (use_fp ctx fr ~cluster uses.(1)))
+        (Alu.float_binop di.Decode.op a b)
         ~ready:(t + latency) ~home:cluster
   | Opcode.Fmov ->
       write_fp fr defs.(0)
@@ -334,11 +342,10 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
   | Opcode.Fmovi ->
       write_fp fr defs.(0) di.Decode.fimm ~ready:(t + latency) ~home:cluster
   | Opcode.Fcmp c ->
-      write_pr fr defs.(0)
-        (Cond.eval_float c
-           (use_fp ctx fr ~cluster uses.(0))
-           (use_fp ctx fr ~cluster uses.(1)))
-        ~ready:(t + latency) ~home:cluster
+      let a = use_fp ctx fr ~cluster uses.(0) in
+      let b = use_fp ctx fr ~cluster uses.(1) in
+      write_pr fr defs.(0) (Cond.eval_float c a b) ~ready:(t + latency)
+        ~home:cluster
   | Opcode.Itof ->
       write_fp fr defs.(0)
         (Int64.to_float (use_gp ctx fr ~cluster uses.(0)))
@@ -385,17 +392,17 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
       let ok =
         match Reg.cls uses.(0) with
         | Reg.Gp ->
-            Int64.equal
-              (use_gp ctx fr ~cluster uses.(0))
-              (use_gp ctx fr ~cluster uses.(1))
+            let a = use_gp ctx fr ~cluster uses.(0) in
+            let b = use_gp ctx fr ~cluster uses.(1) in
+            Int64.equal a b
         | Reg.Fp ->
-            Int64.equal
-              (Int64.bits_of_float (use_fp ctx fr ~cluster uses.(0)))
-              (Int64.bits_of_float (use_fp ctx fr ~cluster uses.(1)))
+            let a = use_fp ctx fr ~cluster uses.(0) in
+            let b = use_fp ctx fr ~cluster uses.(1) in
+            Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
         | Reg.Pr ->
-            Bool.equal
-              (use_pr ctx fr ~cluster uses.(0))
-              (use_pr ctx fr ~cluster uses.(1))
+            let a = use_pr ctx fr ~cluster uses.(0) in
+            let b = use_pr ctx fr ~cluster uses.(1) in
+            Bool.equal a b
       in
       if not ok then raise (Check_failed di.Decode.id)
   | Opcode.Br -> st.State.xfer <- di.Decode.target
@@ -427,14 +434,18 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
       raise (Halted code)
   | Opcode.Call ->
       let callee = ctx.d.Decode.funcs.(di.Decode.target) in
-      let args =
-        List.map (use_value ctx fr ~cluster) (Array.to_list uses)
-      in
+      let nargs = Array.length uses in
+      if Array.length ctx.args_scratch < nargs then
+        ctx.args_scratch <- Array.make (max 8 nargs) (State.V_gp 0L);
+      let scratch = ctx.args_scratch in
+      for i = 0 to nargs - 1 do
+        scratch.(i) <- use_value ctx fr ~cluster uses.(i)
+      done;
       (* The callee drives xfer/retv for its own blocks; restore the
          caller's pending transfer around the nested execution. *)
       let saved_xfer = st.State.xfer in
       let saved_retv = st.State.retv in
-      let result = exec_func ctx callee args in
+      let result = exec_func ctx callee ~nargs in
       st.State.xfer <- saved_xfer;
       st.State.retv <- saved_retv;
       (match (Array.length defs, result) with
@@ -453,83 +464,13 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
     inject_slot ctx fr defs.(i)
   done
 
-(* Surface one finished run into the metrics registry. Runs entirely on
-   the calling domain's shard, after the simulation is done, so it can
-   never perturb the simulation itself. *)
-let record_metrics (r : Outcome.run) =
-  let module M = Casted_obs.Metrics in
-  if M.enabled () then begin
-    M.incr "sim.runs";
-    M.incr ~by:r.Outcome.cycles "sim.cycles";
-    M.incr ~by:r.Outcome.dyn_insns "sim.insns";
-    M.incr ~by:r.Outcome.dyn_mem "sim.mem_accesses";
-    M.incr ~by:r.Outcome.dyn_branches "sim.branches";
-    M.incr ~by:r.Outcome.dyn_xreads "sim.xcluster_reads";
-    M.incr ~by:r.Outcome.dyn_checks "sim.checks_executed";
-    M.incr ~by:r.Outcome.slots_total "sim.slots_offered";
-    M.incr ~by:(Outcome.trapped r) "sim.traps";
-    (match r.Outcome.termination with
-    | Outcome.Detected _ -> M.incr "sim.detections"
-    | _ -> ());
-    M.observe "sim.occupancy" (Outcome.occupancy r);
-    let c = r.Outcome.cache in
-    M.incr ~by:c.Casted_cache.Hierarchy.l1_hits "cache.l1.hits";
-    M.incr ~by:c.Casted_cache.Hierarchy.l1_misses "cache.l1.misses";
-    M.incr ~by:c.Casted_cache.Hierarchy.l2_hits "cache.l2.hits";
-    M.incr ~by:c.Casted_cache.Hierarchy.l2_misses "cache.l2.misses";
-    M.incr ~by:c.Casted_cache.Hierarchy.l3_hits "cache.l3.hits";
-    M.incr ~by:c.Casted_cache.Hierarchy.l3_misses "cache.l3.misses";
-    M.incr ~by:c.Casted_cache.Hierarchy.writebacks "cache.writebacks"
-  end
-
-(* Assemble the Outcome.run from a finished (or trapped) machine. Shared
-   by the full-execution and replayed paths so the two can only differ
-   through State itself. *)
+(* Run assembly (Outcome.run from a finished machine, metrics surface)
+   is shared with the compiled engine through Runtime. *)
 let finish ctx ~with_mem_digest termination =
-  let st = ctx.st in
-  let d = ctx.d in
-  let output =
-    Memory.extract st.State.mem ~base:d.Decode.output_base
-      ~len:d.Decode.output_len
-  in
-  let cycles = st.State.time + 1 in
-  let r =
-    {
-      Outcome.termination;
-      cycles;
-      dyn_insns = st.State.dyn;
-      dyn_defs = st.State.defs;
-      dyn_mem = st.State.mems;
-      dyn_branches = st.State.branches;
-      dyn_xreads = st.State.xreads;
-      dyn_checks = st.State.roles.(role_index Insn.Check);
-      dyn_corrections = st.State.corrections;
-      dyn_by_role = st.State.roles;
-      slots_total =
-        cycles * ctx.config.Config.clusters * ctx.config.Config.issue_width;
-      output;
-      exit_code =
-        (match termination with
-        | Outcome.Exit c | Outcome.Recovered { exit_code = c; _ } -> c
-        | _ -> -1);
-      cache = Hierarchy.stats st.State.hier;
-      mem_digest =
-        (if with_mem_digest then
-           Digest.string
-             (Memory.extract st.State.mem ~base:0
-                ~len:(Memory.size st.State.mem))
-         else "");
-    }
-  in
-  record_metrics r;
-  r
+  Runtime.finish ~config:ctx.config ~output_base:ctx.d.Decode.output_base
+    ~output_len:ctx.d.Decode.output_len ~with_mem_digest ctx.st termination
 
-let termination_of f =
-  try f () with
-  | Halted code -> Outcome.Exit code
-  | Check_failed id -> Outcome.Detected id
-  | Trap.Trap t -> Outcome.Trapped t
-  | Out_of_fuel -> Outcome.Timeout
+let termination_of = Runtime.termination_of
 
 let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
     ?(with_mem_digest = false) ?on_block (d : Decode.t) =
@@ -538,12 +479,13 @@ let run_decoded ?fault ?(fuel = max_int) ?(perfect_cache = false) ?profile
       ~perfect:perfect_cache
   in
   let ctx =
-    { d; config = d.Decode.config; fuel; fault; profile; on_block; st }
+    { d; config = d.Decode.config; fuel; fault; profile; on_block; st;
+      args_scratch = [||] }
   in
   let entry = d.Decode.funcs.(d.Decode.entry) in
   let termination =
     termination_of (fun () ->
-        let (_ : State.value option) = exec_func ctx entry [] in
+        let (_ : State.value option) = exec_func ctx entry ~nargs:0 in
         (* Entry returned instead of halting: treat as exit 0. *)
         Outcome.Exit 0)
   in
@@ -560,7 +502,7 @@ let run_replayed ?fault ?(fuel = max_int) ?(with_mem_digest = false)
   let st, fr = State.restore ~cache:d.Decode.config.Config.cache snapshot in
   let ctx =
     { d; config = d.Decode.config; fuel; fault; profile = None;
-      on_block = None; st }
+      on_block = None; st; args_scratch = [||] }
   in
   let entry = d.Decode.funcs.(d.Decode.entry) in
   let termination =
@@ -605,7 +547,7 @@ let run_recovering ?fault ?(fuel = max_int) ?(with_mem_digest = false)
           in
           ( st,
             fun ctx ->
-              let (_ : State.value option) = exec_func ctx entry [] in
+              let (_ : State.value option) = exec_func ctx entry ~nargs:0 in
               () )
       | Some snap ->
           let st, fr =
@@ -620,7 +562,7 @@ let run_recovering ?fault ?(fuel = max_int) ?(with_mem_digest = false)
     in
     let ctx =
       { d; config = d.Decode.config; fuel; fault; profile = None;
-        on_block = Some on_block; st }
+        on_block = Some on_block; st; args_scratch = [||] }
     in
     let assemble termination =
       let r = finish ctx ~with_mem_digest termination in
@@ -667,3 +609,11 @@ let run_recovering ?fault ?(fuel = max_int) ?(with_mem_digest = false)
 let run ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest sched =
   run_decoded ?fault ?fuel ?perfect_cache ?profile ?with_mem_digest
     (Decode.of_schedule sched)
+
+(* Stage-2 execution: the closure-threaded engine (Compile), re-exported
+   here so every run entry point lives behind one module. *)
+let run_compiled ?fault ?fuel ?with_mem_digest p =
+  Compile.run ?fault ?fuel ?with_mem_digest p
+
+let run_compiled_replayed ?fault ?fuel ?with_mem_digest ~snapshot p =
+  Compile.run_replayed ?fault ?fuel ?with_mem_digest ~snapshot p

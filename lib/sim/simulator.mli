@@ -107,3 +107,29 @@ val run_recovering :
   retry_budget:int ->
   Decode.t ->
   Outcome.run
+
+(** [run_compiled compiled] executes a stage-2-compiled program
+    ({!Compile.of_decoded}) on the closure-threaded engine.
+    Bit-identical to [run_decoded] on the underlying decoded program —
+    same {!Outcome.run} field for field — but with every per-instruction
+    dispatch decision resolved at compile time; the verify oracle's
+    four-way cross-check holds the engines to that contract. Campaigns
+    compile once (memoized in [Engine.Cache]) and run trials on this
+    path by default. *)
+val run_compiled :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  Compile.t ->
+  Outcome.run
+
+(** [run_compiled_replayed ~snapshot compiled] is {!run_replayed} on the
+    compiled engine: restore a golden-prefix snapshot (snapshots are
+    engine independent) and execute only the suffix as threaded code. *)
+val run_compiled_replayed :
+  ?fault:Fault.t ->
+  ?fuel:int ->
+  ?with_mem_digest:bool ->
+  snapshot:State.snapshot ->
+  Compile.t ->
+  Outcome.run

@@ -394,6 +394,16 @@ let merge_shards ?(chunk = 64) t k =
   match gather 0 [] with
   | Error msg -> Error msg
   | Ok None -> Ok None
+  | Ok (Some shards)
+    when List.exists
+           (fun e ->
+             let s, _ = e.key.shard in
+             e.trials_done < shard_share ~chunk ~trials:k.trials ~n s)
+           shards ->
+      (* A shard below its share is a partial tally banked by a worker
+         still running (or killed mid-campaign) — the cell is simply
+         not complete yet, same as a missing shard entry. *)
+      Ok None
   | Ok (Some shards) ->
       let reference = List.hd shards in
       let counts = Array.make (Array.length reference.counts) 0 in
@@ -407,7 +417,7 @@ let merge_shards ?(chunk = 64) t k =
               Error
                 (Printf.sprintf
                    "shard %d/%d of %S tallied %d trials, expected %d — \
-                    incomplete or from a different chunk grid"
+                    banked from a different chunk grid"
                    s n k.identity e.trials_done expected)
             else if Array.length e.counts <> Array.length counts then
               Error

@@ -137,7 +137,10 @@ val list : t -> ((entry, string) result list, string) result
     looks up all [n] shard entries of the cell and, when every one is
     present and complete, returns the summed tally as a full entry
     (shard [(0, 1)], [trials_done = trials]). Returns [Ok None] while
-    shards are missing; [Error] on corrupt entries or on shards that
+    shards are missing or still partial (a shard worker banks its
+    running tally after every finished chunk, so an entry below its
+    share just means that worker has not finished); [Error] on corrupt
+    entries or on shards that
     disagree about golden cycles / population (which would mean the
     shards did not run the same cell). [chunk] is the campaign chunk
     size the shards split on (pass

@@ -65,10 +65,10 @@ let reference ?options ?fuel program =
   Simulator.run ?fuel ~with_mem_digest:true c.Pipeline.schedule
 
 (* Field-for-field comparison of two runs of the same cell: [run],
-   [run_decoded] and [run_replayed] all promise bit-identical results,
-   and a fault-free run is deterministic, so any difference is a
-   simulator bug. [label] names the pair being compared, e.g.
-   ["run vs run_decoded"]. *)
+   [run_decoded], [run_replayed] and [run_compiled] all promise
+   bit-identical results, and a fault-free run is deterministic, so any
+   difference is a simulator bug. [label] names the pair being
+   compared, e.g. ["run vs run_decoded"]. *)
 let cross_check_with ~label cell (a : Outcome.run) (b : Outcome.run) =
   let d field reference got = { cell; field; reference; got } in
   let int field x y acc =
@@ -112,13 +112,15 @@ let cross_check_with ~label cell (a : Outcome.run) (b : Outcome.run) =
 
 let cross_check cell a b = cross_check_with ~label:"run vs run_decoded" cell a b
 
-(* The replay leg of the three-way check: capture a small snapshot set
+(* The replay legs of the four-way check: capture a small snapshot set
    on the cell's program (dense stride, so the thinning path is
-   exercised too) and replay the fault-free run from EVERY snapshot.
+   exercised too) and replay the fault-free run from EVERY snapshot —
+   on both the decoded interpreter and the stage-2 compiled engine.
    Each replayed suffix must land on the decoded run field for field —
    cycles, every counter, output, cache stats, the whole memory image.
-   Any miss means State.snapshot/restore lost a piece of the machine. *)
-let replay_cross_check ?fuel cell (decoded_run : Outcome.run) decoded =
+   Any miss means State.snapshot/restore lost a piece of the machine
+   (or the compiled engine resumes it differently). *)
+let replay_cross_check ?fuel cell (decoded_run : Outcome.run) decoded stage2 =
   let r = Replay.capture ~init_stride:32 ~target:4 ?fuel decoded in
   Replay.snapshots r |> Array.to_list
   |> List.concat_map (fun snapshot ->
@@ -126,17 +128,27 @@ let replay_cross_check ?fuel cell (decoded_run : Outcome.run) decoded =
            Simulator.run_replayed ?fuel ~with_mem_digest:true ~snapshot
              decoded
          in
+         let compiled_replayed =
+           Simulator.run_compiled_replayed ?fuel ~with_mem_digest:true
+             ~snapshot stage2
+         in
          cross_check_with ~label:"run_decoded vs run_replayed" cell
-           decoded_run replayed)
+           decoded_run replayed
+         @ cross_check_with ~label:"run_decoded vs compiled_replayed" cell
+             decoded_run compiled_replayed)
 
 let check_cell ?options ?fuel ~reference:(ref_run : Outcome.run) program cell
     =
   let compiled = compile ?options cell program in
   let sched = compiled.Pipeline.schedule in
   let decoded = Decode.of_schedule sched in
+  let stage2 = Casted_sim.Compile.of_decoded decoded in
   let run = Simulator.run ?fuel ~with_mem_digest:true sched in
   let decoded_run =
     Simulator.run_decoded ?fuel ~with_mem_digest:true decoded
+  in
+  let compiled_run =
+    Simulator.run_compiled ?fuel ~with_mem_digest:true stage2
   in
   let d field reference got = { cell; field; reference; got } in
   let archi =
@@ -167,7 +179,9 @@ let check_cell ?options ?fuel ~reference:(ref_run : Outcome.run) program cell
       ]
   in
   archi @ cross_check cell run decoded_run
-  @ replay_cross_check ?fuel cell decoded_run decoded
+  @ cross_check_with ~label:"run_decoded vs run_compiled" cell decoded_run
+      compiled_run
+  @ replay_cross_check ?fuel cell decoded_run decoded stage2
 
 let differential ?pool ?issue_widths ?delays ?options ?fuel program =
   let ref_run = reference ?options ?fuel program in

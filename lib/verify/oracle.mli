@@ -7,13 +7,16 @@
     a compiler or simulator bug, RepTFD-style: the reference execution
     is the oracle.
 
-    Each cell additionally cross-checks the three execution paths
+    Each cell additionally cross-checks the four execution paths
     against each other, field for field: [Simulator.run] vs
     [Simulator.run_decoded] on the schedule (the pre-decoded
-    interpreter must be bit-identical to the direct one), and
-    [Simulator.run_replayed] from {e every} snapshot of a dense
-    {!Casted_sim.Replay.capture} vs the decoded run (golden-prefix
-    replay must lose no piece of the machine state). *)
+    interpreter must be bit-identical to the direct one),
+    [Simulator.run_compiled] on the stage-2 compiled program (the
+    closure-threaded engine must be bit-identical to the interpreter),
+    and [Simulator.run_replayed] / [Simulator.run_compiled_replayed]
+    from {e every} snapshot of a dense {!Casted_sim.Replay.capture} vs
+    the decoded run (golden-prefix replay must lose no piece of the
+    machine state, on either engine). *)
 
 type cell = {
   scheme : Casted_detect.Scheme.t;
@@ -50,8 +53,8 @@ val reference :
 (** [check_cell ?options ?fuel ~reference program cell] compiles
     [program] for [cell], runs it fault-free, and returns every
     divergence: architectural outcome vs the reference, plus the
-    three-way [run] / [run_decoded] / [run_replayed] cross-check on the
-    cell's own schedule. *)
+    four-way [run] / [run_decoded] / [run_replayed] / [run_compiled]
+    cross-check on the cell's own schedule. *)
 val check_cell :
   ?options:Casted_detect.Options.t ->
   ?fuel:int ->

@@ -6,11 +6,14 @@ Usage: perf_check.py BENCH.json scripts/perf_baseline.json
 Reads sections of BENCH.json (see EXPERIMENTS.md) and compares each
 metric named in the baseline against `baseline * (1 - margin)`. The
 baseline's top-level "min" table applies to the `sim_throughput`
-section (its historical shape); a top-level "recovery_overhead" object
-carries its own "min" (and optional "margin") table for the
-`recovery_overhead` section. Exits non-zero on any regression past the
-margin, so CI fails when the pre-decoded core loses its speedup or a
-recovery scheme stops recovering.
+section (its historical shape); a top-level "floor" table applies to
+the same section but without a margin, for machine-independent ratios
+whose acceptance bar is the floor itself; a top-level
+"recovery_overhead" object carries its own "min" (and optional
+"margin") table for the `recovery_overhead` section. Exits non-zero on
+any regression past the margin, so CI fails when the pre-decoded core
+or the closure-threaded engine loses its speedup or a recovery scheme
+stops recovering.
 
 The committed baseline values are deliberately conservative (shared CI
 runners are slower and noisier than a dev box); they are floors against
@@ -33,7 +36,7 @@ def lookup(section, doc, dotted):
     return float(node)
 
 
-def check_section(bench, section, mins, margin, failures):
+def check_section(bench, section, mins, margin, failures, floors=None):
     doc = bench.get(section)
     if not isinstance(doc, dict):
         sys.exit(
@@ -51,6 +54,19 @@ def check_section(bench, section, mins, margin, failures):
         )
         if not ok:
             failures.append(f"{section}.{dotted}")
+    # The "floor" table carries hard minimums applied without a margin:
+    # machine-independent ratios (two rates measured on the same box)
+    # where the acceptance bar itself is the floor.
+    for dotted, floor_value in (floors or {}).items():
+        measured = lookup(section, doc, dotted)
+        floor = float(floor_value)
+        ok = measured >= floor
+        print(
+            f"{section}.{dotted}: measured {measured:.3f}, "
+            f"hard floor {floor:.3f} [{'ok' if ok else 'REGRESSED'}]"
+        )
+        if not ok:
+            failures.append(f"{section}.{dotted}")
 
 
 def main():
@@ -63,7 +79,14 @@ def main():
 
     margin = float(base.get("margin", 0.30))
     failures = []
-    check_section(bench, "sim_throughput", base["min"], margin, failures)
+    check_section(
+        bench,
+        "sim_throughput",
+        base["min"],
+        margin,
+        failures,
+        floors=base.get("floor", {}),
+    )
     recovery = base.get("recovery_overhead")
     if isinstance(recovery, dict):
         check_section(

@@ -4,10 +4,11 @@
 #   1. zero-resimulation fast path — a campaign run cold into a store
 #      and rerun warm must serve every trial from disk (0 simulated)
 #      with a tally bit-identical to a storeless reference run;
-#   2. crash-tolerant sharding — of a 2-worker sharded run, one worker
-#      is SIGKILLed mid-flight; re-running the killed shard completes
-#      the cell and the merged tally matches the uninterrupted
-#      reference bit-for-bit;
+#   2. crash-tolerant sharding — a shard worker is SIGKILLed
+#      mid-flight after banking its first partial chunk; re-running the
+#      killed shard serves the banked chunks (nonzero served trials),
+#      simulates only the rest, completes the cell, and the merged
+#      tally matches the uninterrupted reference bit-for-bit;
 #   3. store hygiene — `casted store gc` sweeps the killed worker's
 #      debris and `casted store audit` re-simulates a banked entry and
 #      agrees with it;
@@ -17,13 +18,13 @@
 # Knobs:
 #   CASTED_BIN  path to the casted binary
 #               (default _build/default/bin/casted.exe)
-#   TRIALS      campaign length (default 6000; must be long enough that
-#               the shard kill lands before that worker finishes)
+#   TRIALS      campaign length (default 24000; must be long enough
+#               that the shard kill lands before that worker finishes)
 #   MODEL       fault model to campaign under (default reg-bit)
 set -euo pipefail
 
 BIN=${CASTED_BIN:-_build/default/bin/casted.exe}
-TRIALS=${TRIALS:-6000}
+TRIALS=${TRIALS:-24000}
 MODEL=${MODEL:-reg-bit}
 ARGS=(campaign -w cjpeg -s casted --issue 2 --delay 2
       --trials "$TRIALS" --fault-model "$MODEL")
@@ -67,32 +68,40 @@ echo "== warm rerun must simulate zero trials"
 must_serve "$workdir/warm.out" "$TRIALS" 0 "warm rerun"
 must_match "$workdir/reference.tally" "$workdir/warm.out" "warm rerun"
 
-echo "== 2-worker sharded run, shard 0 SIGKILLed mid-flight"
+echo "== shard drill: shard 0 SIGKILLed after banking a partial chunk"
 store2="$workdir/store2"
 "$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 0/2 \
   > "$workdir/shard0.out" 2>&1 &
 pid0=$!
-"$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 1/2 \
-  > "$workdir/shard1.out" 2>&1 &
-pid1=$!
-sleep 0.2
+# A shard worker banks its running tally after every finished owned
+# 64-trial chunk. Poll for the first banked partial entry, then kill
+# the worker mid-campaign.
+banked=0
+for _ in $(seq 1 400); do
+  banked=$(find "$store2/entries" -name '*.entry' 2>/dev/null | wc -l)
+  [ "$banked" -ge 1 ] && break
+  sleep 0.05
+done
 kill -9 "$pid0" 2>/dev/null || true
 wait "$pid0" 2>/dev/null || true
-if ! wait "$pid1"; then
-  echo "store_check: the surviving shard worker failed:" >&2
+if [ "$banked" -lt 1 ]; then
+  echo "store_check: shard 0 exited without banking a partial entry —" >&2
+  echo "             partial-chunk banking is broken (or TRIALS too low)" >&2
+  cat "$workdir/shard0.out" >&2
+  exit 1
+fi
+echo "   killed shard 0 with its partial tally banked"
+
+echo "== the surviving shard completes its half"
+"$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 1/2 \
+  > "$workdir/shard1.out"
+if ! grep -q "other shards outstanding" "$workdir/shard1.out"; then
+  echo "store_check: shard 1 merged against shard 0's partial entry" >&2
   cat "$workdir/shard1.out" >&2
   exit 1
 fi
 
-banked=$(find "$store2/entries" -name '*.entry' | wc -l)
-if [ "$banked" -ge 2 ]; then
-  echo "store_check: shard 0 finished before the kill ($banked entries);" >&2
-  echo "             raise TRIALS so the kill lands mid-run" >&2
-  exit 1
-fi
-echo "   killed shard 0 mid-flight ($banked of 2 shard entries banked)"
-
-echo "== re-run the killed shard: completes the cell and merges"
+echo "== re-run the killed shard: serves banked chunks, completes, merges"
 "$BIN" "${ARGS[@]}" --jobs 1 --store "$store2" --shard 0/2 \
   > "$workdir/shard0.resumed.out"
 if grep -q "other shards outstanding" "$workdir/shard0.resumed.out"; then
@@ -100,6 +109,22 @@ if grep -q "other shards outstanding" "$workdir/shard0.resumed.out"; then
   cat "$workdir/shard0.resumed.out" >&2
   exit 1
 fi
+served=$(grep -oE '[0-9]+ trials served' "$workdir/shard0.resumed.out" \
+  | grep -oE '[0-9]+' | head -1)
+simulated=$(grep -oE '[0-9]+ simulated' "$workdir/shard0.resumed.out" \
+  | grep -oE '[0-9]+' | head -1)
+if [ "${served:-0}" -eq 0 ]; then
+  echo "store_check: resumed shard served zero trials — the killed" >&2
+  echo "             worker's banked chunks were not reused" >&2
+  cat "$workdir/shard0.resumed.out" >&2
+  exit 1
+fi
+if [ "${simulated:-0}" -eq 0 ]; then
+  echo "store_check: resumed shard simulated nothing — shard 0 finished" >&2
+  echo "             before the kill; raise TRIALS" >&2
+  exit 1
+fi
+echo "   resumed shard served $served banked trials, simulated $simulated"
 must_match "$workdir/reference.tally" "$workdir/shard0.resumed.out" \
   "resumed shard merge"
 
@@ -127,5 +152,5 @@ if ! grep -q "4 units run (480 trials served from the store, 0 simulated)" \
 fi
 
 echo "store_check: OK — warm store serves campaigns with zero simulation,"
-echo "             and a SIGKILLed sharded run resumes to the bit-identical"
-echo "             merged tally"
+echo "             and a SIGKILLed shard worker's banked chunks are reused"
+echo "             on the way to the bit-identical merged tally"

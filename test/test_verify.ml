@@ -491,6 +491,26 @@ let test_fuzz_small_campaign_clean () =
   | None -> ()
   | Some f -> Alcotest.failf "fuzz failure: %a" Fuzz.pp_failure f
 
+let test_fuzz_four_way_includes_compiled () =
+  (* The oracle's cross-check is four-way (run / run_decoded /
+     run_replayed / run_compiled) — a fuzz-generated program must come
+     back clean on a cell of each flavour, which fails if the stage-2
+     compiled engine diverges from the interpreter on any field. *)
+  let program = Fuzz.emit_program (Fuzz.recipe ~seed:0xC0DE 1) in
+  let reference = Oracle.reference program in
+  List.iter
+    (fun cell ->
+      match Oracle.check_cell ~reference program cell with
+      | [] -> ()
+      | divs ->
+          Alcotest.failf "%a: %d divergences, first: %a" Oracle.pp_cell cell
+            (List.length divs) Oracle.pp_divergence (List.hd divs))
+    [
+      { Oracle.scheme = Scheme.Casted; issue_width = 2; delay = 2 };
+      { Oracle.scheme = Scheme.Tmr; issue_width = 2; delay = 1 };
+      { Oracle.scheme = Scheme.Rollback; issue_width = 1; delay = 1 };
+    ]
+
 let test_fuzz_programs_run () =
   (* Generated programs execute to a clean exit under NOED. *)
   for index = 0 to 4 do
@@ -537,5 +557,7 @@ let suite =
       case "matrix: rejects unknown benchmarks" test_matrix_rejects_unknown;
       case "fuzz: generation is deterministic" test_fuzz_deterministic;
       case "fuzz: small campaign is clean" test_fuzz_small_campaign_clean;
+      case "fuzz: four-way oracle includes the compiled engine"
+        test_fuzz_four_way_includes_compiled;
       case "fuzz: generated programs exit cleanly" test_fuzz_programs_run;
     ] )
