@@ -81,7 +81,8 @@ let all_sections =
   [
     "table1"; "table2"; "table3"; "fig6_7"; "fig8"; "fig9"; "fig10";
     "ablations"; "placement"; "recovery"; "recovery_overhead";
-    "cse_on_hardened"; "selective"; "sim_throughput"; "store"; "microbench";
+    "dme_coverage"; "cse_on_hardened"; "selective"; "sim_throughput";
+    "store"; "microbench";
   ]
 
 let sections =
@@ -334,6 +335,44 @@ let section_recovery_overhead () =
          ("noed_cycles", Obs.Json.Int base);
        ]
       @ rows)
+
+(* DME escape coverage: how much of the silent corruption that escapes
+   CASTED's bit-identical replication under the shared-resource fault
+   models (mem, xcluster) does the decorrelated multi-version scheme
+   convert into detections? Feeds the `dme_coverage` section of
+   BENCH.json; the mem caught-fraction floor is checked by
+   scripts/perf_check.py in CI. *)
+let dme_coverage_json : Obs.Json.t ref = ref Obs.Json.Null
+
+let section_dme_coverage () =
+  banner "DME escape coverage: CASTED vs DME (cjpeg, issue 2 delay 2)";
+  (* The xcluster SDC pool is small (a few per hundred trials), so the
+     section keeps a statistically meaningful trial count even in fast
+     mode. *)
+  let n = max trials 300 in
+  let rows =
+    Report.Coverage.dme_coverage ~engine ~seed ~trials:n ~benchmark:"cjpeg" ()
+  in
+  print_string (Report.Coverage.render_dme rows);
+  dme_coverage_json :=
+    Obs.Json.Obj
+      ([
+         ("workload", Obs.Json.String "cjpeg");
+         ("issue", Obs.Json.Int 2);
+         ("delay", Obs.Json.Int 2);
+         ("trials", Obs.Json.Int n);
+       ]
+      @ List.map
+          (fun (r : Report.Coverage.dme_escape) ->
+            ( Casted_sim.Fault.model_name r.Report.Coverage.escape_model,
+              Obs.Json.Obj
+                [
+                  ("casted_sdc", Obs.Json.Int r.Report.Coverage.casted_sdc);
+                  ("dme_sdc", Obs.Json.Int r.Report.Coverage.dme_sdc);
+                  ( "caught_fraction",
+                    Obs.Json.Float r.Report.Coverage.caught_fraction );
+                ] ))
+          rows)
 
 let section_cse_on_hardened () =
   banner "Ablation: late CSE/DCE on hardened code (SS IV-A)";
@@ -807,6 +846,7 @@ let write_bench_json ~total_s =
         ("sim_throughput", !sim_throughput_json);
         ("store", !store_json);
         ("recovery_overhead", !recovery_overhead_json);
+        ("dme_coverage", !dme_coverage_json);
         ("engine", engine_json);
         ("total_seconds", f total_s);
       ]
@@ -833,6 +873,7 @@ let () =
   run "placement" section_placement;
   run "recovery" section_recovery;
   run "recovery_overhead" section_recovery_overhead;
+  run "dme_coverage" section_dme_coverage;
   run "cse_on_hardened" section_cse_on_hardened;
   run "selective" section_selective;
   run "sim_throughput" section_sim_throughput;

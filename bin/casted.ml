@@ -385,6 +385,27 @@ let faults_cmd =
       const run $ fig $ trials_arg $ bench_arg $ model_arg $ jobs_arg
       $ trace_arg $ metrics_arg)
 
+let dme_cmd =
+  let run bench trials issue delay jobs trace metrics =
+    with_obs ~trace ~metrics (fun () ->
+        with_engine jobs (fun engine ->
+            let rows =
+              Report.Coverage.dme_coverage ~engine ~trials ~issue ~delay
+                ~benchmark:bench ()
+            in
+            print_string (Report.Coverage.render_dme rows));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "dme"
+       ~doc:
+         "DME escape coverage: the fraction of mem/xcluster silent data \
+          corruptions that escape CASTED's bit-identical replication but \
+          are caught by the decorrelated multi-version scheme")
+    Term.(
+      const run $ bench_arg $ trials_arg $ issue_arg $ delay_arg $ jobs_arg
+      $ trace_arg $ metrics_arg)
+
 let tables_cmd =
   let run issue delay =
     let config = Casted_machine.Config.dual_core ~issue_width:issue ~delay in
@@ -507,6 +528,17 @@ let campaign_cmd =
         let result = sc.Engine.result in
         Format.printf "%s / %s issue %d delay %d (%d jobs)@." bench
           (Scheme.name scheme) issue delay (Engine.jobs engine);
+        if Montecarlo.inapplicable result then begin
+          (* No injection sites for this model in this cell (e.g. an
+             xcluster campaign on a single-cluster scheme): a clean
+             skip, distinct from both success (0) and a failed
+             coverage gate (1). *)
+          Format.printf
+            "model %s inapplicable: no injection sites in this cell \
+             (population 0) — skipped@."
+            (Casted_sim.Fault.model_name model);
+          exit 3
+        end;
         if ci_halfwidth <> None && result.Montecarlo.trials < trials then
           Format.printf
             "stopped early at %d/%d trials (detected-rate CI half-width ≤ \
@@ -1319,7 +1351,8 @@ let main =
     (Cmd.info "casted" ~doc ~version)
     [
       list_cmd; compile_cmd; run_cmd; sweep_cmd; scaling_cmd; faults_cmd;
-      campaign_cmd; tables_cmd; recover_cmd; placement_cmd; profile_cmd;
+      campaign_cmd; dme_cmd; tables_cmd; recover_cmd; placement_cmd;
+      profile_cmd;
       pressure_cmd; asm_cmd; trace_cmd; verify_cmd; fuzz_cmd; store_cmd;
       work_cmd; version_cmd;
     ]

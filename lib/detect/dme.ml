@@ -1,0 +1,63 @@
+module Reg = Casted_ir.Reg
+module Func = Casted_ir.Func
+module Program = Casted_ir.Program
+module Clone = Casted_ir.Clone
+module Rewrite = Casted_ir.Rewrite
+
+(* Decorrelated multi-version execution.
+
+   CASTED-style replication runs two bit-identical instruction streams:
+   the replica reads the same registers-by-construction, the same memory
+   lines, the same cross-cluster wires. A fault model that corrupts a
+   resource *shared* by both copies — a memory line after the master's
+   access, a store whose corrupted value both copies later reload —
+   therefore corrupts master and replica identically, and every check
+   compares two equally-wrong values: a silent data corruption.
+
+   DME breaks the symmetry structurally, not probabilistically:
+
+   - the replica stream is produced from the same deep-cloned IR, but
+     stores are replicated too, so the replica keeps its own complete
+     memory image;
+   - every replica memory access is shifted by [shadow_base] into the
+     upper half of a doubled arena (whose data segments are mirrored at
+     [+shadow_base]), so no memory line carries both copies' data;
+   - the replica's shadow registers are drawn from a seeded shuffled
+     assignment, so a burst striking "the same" register file location
+     in both copies hits different logical values.
+
+   Semantics are unchanged: the shuffle is a bijection of the shadow
+   space and the shifted image is initialised identically, so the
+   architectural state over [0, shadow_base) — which is all the digest
+   and the output comparison look at — is bit-for-bit the unhardened
+   program's. *)
+
+let default_seed = 0xD31CA57
+
+let program ?(seed = default_seed) options (p : Program.t) =
+  let p = Clone.program p in
+  let offset = p.Program.mem_size in
+  let stats =
+    List.fold_left
+      (fun acc (f : Func.t) ->
+        (* The register counters before the pass runs bound the master's
+           register space; everything the pass allocates above them is
+           shadow space and fair game for the shuffle. *)
+        let lo = Array.copy f.Func.next_reg in
+        let s =
+          Transform.func ~replicate_stores:true
+            ~mem_offset:(Int64.of_int offset) options f
+        in
+        if f.Func.protect then Rewrite.permute_shadow_regs ~seed ~lo f;
+        Transform.add_stats acc s)
+      Transform.zero_stats p.Program.funcs
+  in
+  let p =
+    {
+      p with
+      Program.mem_size = 2 * offset;
+      data = p.Program.data @ Rewrite.offset_data ~offset p.Program.data;
+      shadow_base = Some offset;
+    }
+  in
+  (p, stats)

@@ -1,0 +1,34 @@
+(** Decorrelated multi-version execution (DME).
+
+    A variant of the detection pass in which the replica stream is made
+    {e structurally different} from the master while computing the same
+    values: stores are replicated into a private memory image at
+    [shadow_base = mem_size] (the arena is doubled and its data
+    segments mirrored), and the shadow registers are drawn from a
+    seeded, deterministic shuffled assignment
+    ({!Casted_ir.Rewrite.permute_shadow_regs}).
+
+    The point: a fault on a resource shared by two bit-identical copies
+    (a memory line both copies read, a corrupted store both copies
+    reload, a cross-cluster wire carrying "the same" value) corrupts
+    master and replica identically and slips every check. Under DME no
+    memory line and no shadow register position carries both copies'
+    data, so such faults diverge the streams and trap at a [Chk].
+
+    The transformed program records [shadow_base], which makes the
+    simulator's architectural memory digest cover only the master image
+    — the replica half is intentionally layout-divergent, not
+    architectural state. *)
+
+val default_seed : int
+
+(** [program ?seed options p] clones [p], hardens every protected
+    function with replicated stores, shifted replica memory traffic and
+    a [seed]-derived shadow-register shuffle, and returns the doubled
+    program with aggregate statistics. Deterministic in [(seed, p)];
+    the input program is not modified. *)
+val program :
+  ?seed:int ->
+  Options.t ->
+  Casted_ir.Program.t ->
+  Casted_ir.Program.t * Transform.stats

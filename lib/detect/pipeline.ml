@@ -38,6 +38,7 @@ let compile ?(options = Options.default) ?bug_options ?(optimize = false)
                 (Casted_ir.Clone.program program, Transform.zero_stats)
             | Scheme.Sced | Scheme.Dced | Scheme.Casted ->
                 Transform.program options program
+            | Scheme.Dme -> Dme.program options program
             | Scheme.Tmr ->
                 let p, s = Recover.program options program in
                 ( p,

@@ -2,15 +2,16 @@ module Config = Casted_machine.Config
 module Assign = Casted_sched.Assign
 module Bug = Casted_sched.Bug
 
-type t = Noed | Sced | Dced | Casted | Tmr | Rollback
+type t = Noed | Sced | Dced | Casted | Dme | Tmr | Rollback
 
-let all = [ Noed; Sced; Dced; Casted; Tmr; Rollback ]
+let all = [ Noed; Sced; Dced; Casted; Dme; Tmr; Rollback ]
 
 let name = function
   | Noed -> "NOED"
   | Sced -> "SCED"
   | Dced -> "DCED"
   | Casted -> "CASTED"
+  | Dme -> "DME"
   | Tmr -> "TMR"
   | Rollback -> "ROLLBACK"
 
@@ -20,24 +21,25 @@ let of_string s =
   | "SCED" -> Some Sced
   | "DCED" -> Some Dced
   | "CASTED" -> Some Casted
+  | "DME" -> Some Dme
   | "TMR" -> Some Tmr
   | "ROLLBACK" -> Some Rollback
   | _ -> None
 
 let hardened = function
   | Noed -> false
-  | Sced | Dced | Casted | Tmr | Rollback -> true
+  | Sced | Dced | Casted | Dme | Tmr | Rollback -> true
 
 let recovers = function
   | Tmr | Rollback -> true
-  | Noed | Sced | Dced | Casted -> false
+  | Noed | Sced | Dced | Casted | Dme -> false
 
 let machine t ~issue_width ~delay =
   match t with
   | Noed | Sced -> Config.single_core ~issue_width
-  | Dced | Casted | Tmr | Rollback -> Config.dual_core ~issue_width ~delay
+  | Dced | Casted | Dme | Tmr | Rollback -> Config.dual_core ~issue_width ~delay
 
 let strategy = function
   | Noed | Sced -> Assign.Single_cluster
   | Dced -> Assign.Dual_fixed
-  | Casted | Tmr | Rollback -> Assign.Adaptive Bug.default_options
+  | Casted | Dme | Tmr | Rollback -> Assign.Adaptive Bug.default_options

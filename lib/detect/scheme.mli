@@ -8,6 +8,12 @@
       stream on cluster 1 (fixed placement);
     - [Casted]: detection code, adaptive BUG placement over both
       clusters;
+    - [Dme]: decorrelated multi-version execution ({!Dme}): CASTED's
+      adaptive placement, but the replica stream keeps a private
+      shifted memory image and a seed-shuffled register assignment, so
+      a fault on a {e shared} resource (one memory line, one
+      cross-cluster operand) cannot corrupt master and replica
+      bit-identically;
     - [Tmr]: SWIFT-R-style triplication with majority voting
       ({!Recover}): a single corrupted copy is voted out and repaired
       in place, so faults are {e corrected}, not just trapped;
@@ -15,7 +21,7 @@
       ({!Rollback}): a fired check restores the last region snapshot
       and re-executes instead of trapping. *)
 
-type t = Noed | Sced | Dced | Casted | Tmr | Rollback
+type t = Noed | Sced | Dced | Casted | Dme | Tmr | Rollback
 
 val all : t list
 val name : t -> string

@@ -39,13 +39,16 @@ type ctx = {
   shadow : Reg.t Reg.Tbl.t;  (* original register -> shadow register *)
   options : Options.t;
   slice : (int, unit) Hashtbl.t;  (* replication scope (Store_slice mode) *)
+  replicate_stores : bool;  (* DME: stores get replicas too *)
+  mem_offset : int64;  (* DME: replica memory traffic lands at +offset *)
   mutable n_replicas : int;
   mutable n_checks : int;
   mutable n_copies : int;
 }
 
 let should_replicate ctx (insn : Insn.t) =
-  Opcode.replicable insn.Insn.op
+  (Opcode.replicable insn.Insn.op
+  || (ctx.replicate_stores && Opcode.is_store insn.Insn.op))
   &&
   match ctx.options.Options.scope with
   | Options.Full -> true
@@ -130,7 +133,16 @@ let rename_block ctx block =
     | Insn.Replica ->
         let def r = ensure_shadow ctx r in
         let use r = Option.value ~default:r (soft_shadow ctx r) in
-        [ Insn.map_uses use (Insn.map_defs def insn) ]
+        let insn = Insn.map_uses use (Insn.map_defs def insn) in
+        (* Decorrelated mode: the replica stream's loads and stores hit
+           the shifted image, so no single memory line is shared with
+           the master's traffic. *)
+        let insn =
+          if ctx.mem_offset <> 0L && Opcode.is_mem insn.Insn.op then
+            { insn with Insn.imm = Int64.add insn.Insn.imm ctx.mem_offset }
+          else insn
+        in
+        [ insn ]
     | Insn.Original when Array.length insn.Insn.defs > 0
                          && not (Opcode.replicable insn.Insn.op) ->
         insn
@@ -186,7 +198,7 @@ let check_block ctx block =
   (* The terminator's operands are checked at the end of the body. *)
   block.Block.body <- body @ checks_for ctx block.Block.term
 
-let func options f =
+let func ?(replicate_stores = false) ?(mem_offset = 0L) options f =
   if not f.Func.protect then zero_stats
   else begin
     let slice =
@@ -200,6 +212,8 @@ let func options f =
         shadow = Reg.Tbl.create 64;
         options;
         slice;
+        replicate_stores;
+        mem_offset;
         n_replicas = 0;
         n_checks = 0;
         n_copies = 0;

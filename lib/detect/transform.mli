@@ -34,8 +34,22 @@ val expansion : stats -> float
 
 (** [func options f] transforms [f] in place (blocks are replaced;
     fresh registers and ids are drawn from [f]'s counters) and returns
-    the instrumentation statistics. *)
-val func : Options.t -> Casted_ir.Func.t -> stats
+    the instrumentation statistics.
+
+    [replicate_stores] additionally replicates store instructions —
+    used by the decorrelated multi-version (DME) pass, where the
+    replica stream keeps its own memory image. The master store is
+    still non-replicable for check purposes, so it keeps its [Chk]
+    guards. [mem_offset] shifts the integer immediate of every
+    {e replica} memory access by that many bytes, relocating the
+    replica's traffic into a disjoint image; [0L] (the default) leaves
+    addresses untouched. *)
+val func :
+  ?replicate_stores:bool ->
+  ?mem_offset:int64 ->
+  Options.t ->
+  Casted_ir.Func.t ->
+  stats
 
 (** [program options p] clones [p], hardens every protected function of
     the clone and returns it with aggregate statistics. The input program

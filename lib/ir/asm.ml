@@ -100,8 +100,11 @@ let hex_of_string s =
 let print (p : Program.t) =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
-    (spf "program entry=%s mem=%d output=%d:%d\n" p.Program.entry
-       p.Program.mem_size p.Program.output_base p.Program.output_len);
+    (spf "program entry=%s mem=%d output=%d:%d%s\n" p.Program.entry
+       p.Program.mem_size p.Program.output_base p.Program.output_len
+       (match p.Program.shadow_base with
+       | None -> ""
+       | Some b -> spf " shadow=%d" b));
   List.iter
     (fun (addr, bytes) ->
       Buffer.add_string buf (spf "data %d hex:%s\n" addr (hex_of_string bytes)))
@@ -404,6 +407,7 @@ let string_of_hex line s =
 let parse_lines lines =
   let entry = ref "" in
   let mem_size = ref (1 lsl 20) in
+  let shadow_base = ref None in
   let output = ref (0, 0) in
   let data = ref [] in
   let funcs = ref [] in
@@ -492,6 +496,9 @@ let parse_lines lines =
             | "output" :: "=" :: base :: ":" :: len :: rest' ->
                 output := (int_of_string base, int_of_string len);
                 scan rest'
+            | "shadow" :: "=" :: v :: rest' ->
+                shadow_base := Some (int_of_string v);
+                scan rest'
             | t :: _ -> fail line "bad program header near %S" t
             | [] -> ()
           in
@@ -565,7 +572,8 @@ let parse_lines lines =
   if !entry = "" then fail 0 "missing program header";
   let output_base, output_len = !output in
   Program.make ~funcs:(List.rev !funcs) ~entry:!entry ~mem_size:!mem_size
-    ~data:(List.rev !data) ~output_base ~output_len ()
+    ~data:(List.rev !data) ~output_base ~output_len ?shadow_base:!shadow_base
+    ()
 
 let parse text =
   try Ok (parse_lines (String.split_on_char '\n' text)) with

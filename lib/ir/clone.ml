@@ -1,5 +1,15 @@
+(* A clone must be physically disjoint from its source: passes rewrite
+   their input in place (block bodies, instruction operand arrays), so
+   any structure shared with the original would alias the source
+   program. Instruction records are immutable, but their [defs]/[uses]
+   arrays are not — they are copied too. *)
+let insn (i : Insn.t) =
+  { i with Insn.defs = Array.copy i.Insn.defs; uses = Array.copy i.Insn.uses }
+
 let block (b : Block.t) =
-  Block.make ~label:b.Block.label ~body:b.Block.body ~term:b.Block.term
+  Block.make ~label:b.Block.label
+    ~body:(List.map insn b.Block.body)
+    ~term:(insn b.Block.term)
 
 let func (f : Func.t) =
   {

@@ -1,10 +1,15 @@
-(** Deep copies of functions and programs.
+(** Deep copies of instructions, blocks, functions and programs.
 
-    Instructions are immutable, so cloning only needs to rebuild the
-    mutable block and function shells. Passes clone their input and
-    transform the copy, leaving the original available for differential
-    testing (original vs. hardened program must compute the same
-    output). *)
+    A clone shares {e no} mutable structure with its source: block
+    bodies and terminators are rebuilt, and every instruction's
+    [defs]/[uses] arrays are copied (the [Insn.t] record itself is
+    immutable, but its operand arrays are not). Passes clone their
+    input and transform the copy — including in-place operand rewrites
+    such as the DME register permutation — leaving the original
+    available for differential testing (original vs. hardened program
+    must compute the same output). *)
 
+val insn : Insn.t -> Insn.t
+val block : Block.t -> Block.t
 val func : Func.t -> Func.t
 val program : Program.t -> Program.t

@@ -5,11 +5,12 @@ type t = {
   data : (int * string) list;
   output_base : int;
   output_len : int;
+  shadow_base : int option;
 }
 
 let make ~funcs ~entry ?(mem_size = 1 lsl 20) ?(data = []) ?(output_base = 0)
-    ?(output_len = 0) () =
-  { funcs; entry; mem_size; data; output_base; output_len }
+    ?(output_len = 0) ?shadow_base () =
+  { funcs; entry; mem_size; data; output_base; output_len; shadow_base }
 
 let find_func t name =
   match List.find_opt (fun f -> f.Func.name = name) t.funcs with

@@ -13,6 +13,12 @@ type t = {
   data : (int * string) list;  (** (address, bytes) initial memory image *)
   output_base : int;
   output_len : int;
+  shadow_base : int option;
+      (** [Some base] when the upper half of the arena, [base, mem_size),
+          is a decorrelated replica image (the DME pass): architectural
+          comparisons — the whole-memory digest in particular — must
+          cover only [0, base), exactly the arena an unhardened build of
+          the same program would have. [None] for every other program. *)
 }
 
 val make :
@@ -22,6 +28,7 @@ val make :
   ?data:(int * string) list ->
   ?output_base:int ->
   ?output_len:int ->
+  ?shadow_base:int ->
   unit ->
   t
 

@@ -1,0 +1,104 @@
+(* Deterministic structural rewrites for decorrelated replication.
+
+   The DME pass wants the replica stream to be structurally different
+   from the master while computing the same values: its registers drawn
+   from a shuffled assignment, its memory traffic shifted into a
+   disjoint image. Both rewrites live here because they are pure IR
+   surgery — the detection pass decides *what* is a replica, this
+   module only remaps names.
+
+   Everything is seeded and self-contained (a splitmix64-style mixer, no
+   dependency on the simulator's RNG) so the same (seed, function)
+   always produces the same permutation, on every box and at any domain
+   count. *)
+
+(* splitmix64 finalizer: a full-avalanche mix of one 64-bit word. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* A tiny splitmix64 stream: state advances by the golden-gamma, each
+   draw mixes the new state. *)
+type stream = { mutable state : int64 }
+
+let stream_of_seed seed = { state = mix64 (Int64.of_int seed) }
+
+let next s =
+  s.state <- Int64.add s.state 0x9E3779B97F4A7C15L;
+  mix64 s.state
+
+(* Uniform draw in [0, n) by 64-bit modulo — bias is irrelevant here
+   (the permutation only needs to be deterministic and well mixed, not
+   statistically perfect). *)
+let below s n =
+  if n <= 0 then invalid_arg "Rewrite.below: empty range";
+  Int64.to_int (Int64.unsigned_rem (next s) (Int64.of_int n))
+
+(* FNV-1a over a string: derives a per-function seed from the global
+   one, so two functions of the same program get unrelated shuffles. *)
+let fnv1a s =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  Int64.to_int !h
+
+let derive_seed ~seed name = seed lxor fnv1a name
+
+(* Seeded Fisher-Yates permutation of [0, n). *)
+let permutation ~seed n =
+  let p = Array.init n Fun.id in
+  let s = stream_of_seed seed in
+  for i = n - 1 downto 1 do
+    let j = below s (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+(* Remap every register of [f] through [remap] (blanket, defs and
+   uses). Blocks are mutable and instruction records are not, so the
+   bodies are rebuilt with functionally-updated instructions. *)
+let map_regs remap (f : Func.t) =
+  let fix insn = Insn.map_uses remap (Insn.map_defs remap insn) in
+  List.iter
+    (fun (b : Block.t) ->
+      b.Block.body <- List.map fix b.Block.body;
+      b.Block.term <- fix b.Block.term)
+    f.Func.blocks
+
+(* Shuffle the register assignment of the index range [lo.(cls),
+   f.next_reg.(cls)) per class — the registers a hardening pass
+   allocated on top of the [lo] counters (its shadow space). The
+   remap is a bijection of that range, so isolation is preserved:
+   master registers (index < lo) are never touched, and two distinct
+   shadow registers stay distinct. Deterministic in (seed, f.name). *)
+let permute_shadow_regs ~seed ~lo (f : Func.t) =
+  if Array.length lo <> 3 then
+    invalid_arg "Rewrite.permute_shadow_regs: lo must have 3 class counters";
+  let fseed = derive_seed ~seed f.Func.name in
+  let perms =
+    Array.init 3 (fun k ->
+        let n = f.Func.next_reg.(k) - lo.(k) in
+        if n <= 1 then [||]
+        else permutation ~seed:(fseed + (k * 0x9E3779B9)) n)
+  in
+  let remap r =
+    let k = Reg.cls_index (Reg.cls r) in
+    let idx = Reg.idx r in
+    if idx < lo.(k) || Array.length perms.(k) = 0 then r
+    else Reg.make (Reg.cls r) (lo.(k) + perms.(k).(idx - lo.(k)))
+  in
+  map_regs remap f
+
+(* Shift every data segment by [offset] — the replica's initial image,
+   byte-identical to the master's, at the top half of a doubled
+   arena. *)
+let offset_data ~offset data =
+  List.map (fun (addr, bytes) -> (addr + offset, bytes)) data

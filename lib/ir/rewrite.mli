@@ -1,0 +1,27 @@
+(** Deterministic structural rewrites for decorrelated replication
+    (the DME scheme's register shuffle and memory-image shift).
+
+    All rewrites are pure IR surgery, seeded and reproducible: the same
+    [(seed, function name)] pair yields the same shuffle forever, with
+    no dependency on the simulator's RNG. *)
+
+(** Seeded Fisher-Yates permutation of [0, n) (exposed for tests). *)
+val permutation : seed:int -> int -> int array
+
+(** Derive a per-function seed from the campaign seed and the function
+    name (FNV-1a), so sibling functions get unrelated shuffles. *)
+val derive_seed : seed:int -> string -> int
+
+(** [permute_shadow_regs ~seed ~lo f] remaps, in place, every register
+    of [f] whose index is at or above [lo.(cls)] (the per-class
+    register counters {e before} the hardening pass ran — everything
+    above them is shadow space) through a seeded bijection of
+    [lo.(cls), f.next_reg.(cls)). Master registers are untouched;
+    distinct shadow registers stay distinct, so the pass's isolation
+    invariant survives the shuffle. Raises [Invalid_argument] unless
+    [lo] carries the 3 class counters. *)
+val permute_shadow_regs : seed:int -> lo:int array -> Func.t -> unit
+
+(** Shift every [(addr, bytes)] data segment by [offset] — the replica
+    image's seed data in the doubled arena. *)
+val offset_data : offset:int -> (int * string) list -> (int * string) list

@@ -171,6 +171,22 @@ let check_program program =
     || program.Program.output_base + program.Program.output_len
        > program.Program.mem_size
   then add [ err "output region out of bounds" ];
+  (match program.Program.shadow_base with
+  | None -> ()
+  | Some b ->
+      if b <= 0 || b > program.Program.mem_size then
+        add [ err "shadow base %d out of bounds" b ]
+      else if
+        program.Program.output_base + program.Program.output_len > b
+      then
+        add
+          [
+            err
+              "output region overlaps the shadow image (ends at %d, shadow \
+               base %d)"
+              (program.Program.output_base + program.Program.output_len)
+              b;
+          ]);
   List.rev !errs
 
 let check_exn program =

@@ -74,11 +74,16 @@ let render rows =
     ]
   in
   let row r =
-    (* Each class rate with its 95% Wilson half-width, e.g. "54.3±5.6". *)
+    (* Each class rate with its 95% Wilson half-width, e.g. "54.3±5.6".
+       A cell the model does not apply to (empty injection population,
+       zero trials) renders as "n/a" rather than a fake all-zero
+       breakdown. *)
     let p c =
-      Printf.sprintf "%.1f±%.1f"
-        (Montecarlo.percent r.result c)
-        (Montecarlo.halfwidth r.result c)
+      if Montecarlo.inapplicable r.result then "n/a"
+      else
+        Printf.sprintf "%.1f±%.1f"
+          (Montecarlo.percent r.result c)
+          (Montecarlo.halfwidth r.result c)
     in
     [
       r.benchmark;
@@ -91,6 +96,69 @@ let render rows =
       p Montecarlo.Exception;
       p Montecarlo.Data_corrupt;
       p Montecarlo.Timeout;
+    ]
+  in
+  Table.render ~headers (List.map row rows)
+
+(* DME escape coverage: how much of the silent corruption that escapes
+   CASTED does the decorrelated scheme catch? These are the shared-
+   resource fault models — a corrupted memory line or cross-cluster
+   operand hits both of CASTED's bit-identical copies the same way, so
+   CASTED misclassifies the fault as benign-looking SDC; DME's replica
+   reads a physically distinct line, diverges and traps. *)
+type dme_escape = {
+  escape_benchmark : string;
+  escape_model : Fault.model;
+  escape_trials : int;
+  casted_sdc : int;  (* data-corrupt count under CASTED *)
+  dme_sdc : int;  (* data-corrupt count under DME *)
+  caught_fraction : float;  (* (casted - dme) / casted SDC rate, >= 0 *)
+}
+
+let dme_coverage_on engine ?(seed = 0xCA57ED)
+    ?(models = [ Fault.Mem; Fault.Xcluster ]) ?(trials = 2000) ?(issue = 2)
+    ?(delay = 2) ~benchmark () =
+  List.map
+    (fun model ->
+      let run scheme =
+        (campaign_on engine ~seed ~model ~trials ~benchmark ~scheme ~issue
+           ~delay ())
+          .result
+      in
+      let c = run Scheme.Casted and d = run Scheme.Dme in
+      let cr = Montecarlo.percent c Montecarlo.Data_corrupt in
+      let dr = Montecarlo.percent d Montecarlo.Data_corrupt in
+      let caught =
+        if cr <= 0.0 then 0.0 else Float.max 0.0 ((cr -. dr) /. cr)
+      in
+      {
+        escape_benchmark = benchmark;
+        escape_model = model;
+        escape_trials = c.Montecarlo.trials;
+        casted_sdc = Montecarlo.count c Montecarlo.Data_corrupt;
+        dme_sdc = Montecarlo.count d Montecarlo.Data_corrupt;
+        caught_fraction = caught;
+      })
+    models
+
+let dme_coverage ?engine ?seed ?models ?trials ?issue ?delay ~benchmark () =
+  with_engine ?engine (fun e ->
+      dme_coverage_on e ?seed ?models ?trials ?issue ?delay ~benchmark ())
+
+let render_dme rows =
+  let headers =
+    [
+      "benchmark"; "model"; "trials"; "casted-sdc"; "dme-sdc"; "caught";
+    ]
+  in
+  let row r =
+    [
+      r.escape_benchmark;
+      Fault.model_name r.escape_model;
+      string_of_int r.escape_trials;
+      string_of_int r.casted_sdc;
+      string_of_int r.dme_sdc;
+      Printf.sprintf "%.1f%%" (100.0 *. r.caught_fraction);
     ]
   in
   Table.render ~headers (List.map row rows)

@@ -62,5 +62,33 @@ val fig10 :
   row list
 
 (** Render the rows; every class rate carries its 95% Wilson half-width
-    ("54.3±5.6"). *)
+    ("54.3±5.6"). A row whose fault model has no injection sites in its
+    cell (zero population, zero trials) renders as "n/a" cells. *)
 val render : row list -> string
+
+(** DME escape coverage on one benchmark: for each shared-resource
+    fault model (default [mem] and [xcluster]), the silent-corruption
+    counts under CASTED and under DME at the same configuration, and
+    the fraction of CASTED-escaping SDCs that DME converts into
+    detections ([max 0 ((casted - dme) / casted)] on SDC rates). *)
+type dme_escape = {
+  escape_benchmark : string;
+  escape_model : Casted_sim.Fault.model;
+  escape_trials : int;
+  casted_sdc : int;
+  dme_sdc : int;
+  caught_fraction : float;
+}
+
+val dme_coverage :
+  ?engine:Casted_engine.Engine.t ->
+  ?seed:int ->
+  ?models:Casted_sim.Fault.model list ->
+  ?trials:int ->
+  ?issue:int ->
+  ?delay:int ->
+  benchmark:string ->
+  unit ->
+  dme_escape list
+
+val render_dme : dme_escape list -> string

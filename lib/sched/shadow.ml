@@ -1,0 +1,61 @@
+module Reg = Casted_ir.Reg
+module Insn = Casted_ir.Insn
+module Func = Casted_ir.Func
+
+(* The shadow map of a hardened function, reconstructed from the
+   emitted artifacts rather than trusted from the pass: a replica's
+   defs are (positionally) the shadows of its original's defs, and a
+   shadow copy maps its source to its destination. Anything a transform
+   claims to protect must be derivable this way — which is what makes
+   the map usable by the verifier, and what keeps it valid under the
+   DME register shuffle (the shuffle rewrites replica defs and copy
+   destinations alike, so the reconstruction simply reads the permuted
+   names). *)
+
+let by_id (f : Func.t) =
+  let tbl = Hashtbl.create 64 in
+  Func.iter_insns f (fun _ i -> Hashtbl.replace tbl i.Insn.id i);
+  tbl
+
+let reconstruct (f : Func.t) =
+  let ids = by_id f in
+  let shadow = Reg.Tbl.create 64 in
+  Func.iter_insns f (fun _ i ->
+      match i.Insn.role with
+      | Insn.Replica -> (
+          match Hashtbl.find_opt ids i.Insn.replica_of with
+          | Some orig ->
+              let n =
+                min (Array.length orig.Insn.defs) (Array.length i.Insn.defs)
+              in
+              for k = 0 to n - 1 do
+                if not (Reg.Tbl.mem shadow orig.Insn.defs.(k)) then
+                  Reg.Tbl.replace shadow orig.Insn.defs.(k) i.Insn.defs.(k)
+              done
+          | None -> ())
+      | Insn.Shadow_copy ->
+          if
+            Array.length i.Insn.uses >= 1
+            && Array.length i.Insn.defs >= 1
+            && not (Reg.Tbl.mem shadow i.Insn.uses.(0))
+          then Reg.Tbl.replace shadow i.Insn.uses.(0) i.Insn.defs.(0)
+      | Insn.Original | Insn.Check -> ());
+  (ids, shadow)
+
+let collisions shadow =
+  let rev = Reg.Tbl.create (Reg.Tbl.length shadow) in
+  let clashes = ref [] in
+  Reg.Tbl.iter
+    (fun orig sh ->
+      match Reg.Tbl.find_opt rev sh with
+      | Some other -> clashes := (orig, other, sh) :: !clashes
+      | None -> Reg.Tbl.replace rev sh orig)
+    shadow;
+  (* Hash-table iteration order is unspecified; pin the report order so
+     diagnostics are stable across runs. *)
+  List.sort
+    (fun (a, b, c) (a', b', c') ->
+      match Reg.compare a a' with
+      | 0 -> ( match Reg.compare b b' with 0 -> Reg.compare c c' | n -> n)
+      | n -> n)
+    !clashes

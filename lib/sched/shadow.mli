@@ -1,0 +1,29 @@
+(** Artifact-derived shadow map of a hardened function.
+
+    The detection passes maintain an original-register → shadow-register
+    map internally, but the verifier must not trust it: this module
+    reconstructs the map from the emitted instructions alone — a
+    replica's defs are positionally the shadows of its original's defs,
+    a shadow copy maps its source to its destination. The
+    reconstruction is layout-blind, so it stays correct under the DME
+    register shuffle: it simply reads the permuted names. *)
+
+(** Index a function's instructions by id. *)
+val by_id : Casted_ir.Func.t -> (int, Casted_ir.Insn.t) Hashtbl.t
+
+(** [reconstruct f] is [(by_id f, shadow)] where [shadow] maps each
+    protected original register to its shadow as evidenced by the
+    emitted replicas and shadow copies. First evidence wins. *)
+val reconstruct :
+  Casted_ir.Func.t ->
+  (int, Casted_ir.Insn.t) Hashtbl.t * Casted_ir.Reg.t Casted_ir.Reg.Tbl.t
+
+(** Pairs of distinct originals whose shadows collide —
+    [(orig, earlier_orig, shared_shadow)], sorted for stable reporting.
+    A sound shadow map is injective (the DME shuffle in particular is a
+    bijection of the shadow space); any collision means one shadow
+    register carries two protected values and checks can falsely
+    pass. *)
+val collisions :
+  Casted_ir.Reg.t Casted_ir.Reg.Tbl.t ->
+  (Casted_ir.Reg.t * Casted_ir.Reg.t * Casted_ir.Reg.t) list

@@ -818,7 +818,8 @@ let run ?fault ?(fuel = max_int) ?(with_mem_digest = false) (p : t) =
         Outcome.Exit 0)
   in
   Runtime.finish ~config:d.Decode.config ~output_base:d.Decode.output_base
-    ~output_len:d.Decode.output_len ~with_mem_digest st termination
+    ~output_len:d.Decode.output_len ~digest_len:d.Decode.digest_len
+    ~with_mem_digest st termination
 
 (* Replay composition: restore a golden-prefix snapshot (captured by the
    decoded interpreter — block boundaries and counters are engine
@@ -840,4 +841,5 @@ let run_replayed ?fault ?(fuel = max_int) ?(with_mem_digest = false) ~snapshot
   let module M = Casted_obs.Metrics in
   if M.enabled () then M.incr "sim.replays";
   Runtime.finish ~config:d.Decode.config ~output_base:d.Decode.output_base
-    ~output_len:d.Decode.output_len ~with_mem_digest st termination
+    ~output_len:d.Decode.output_len ~digest_len:d.Decode.digest_len
+    ~with_mem_digest st termination

@@ -35,6 +35,7 @@ type t = {
   image : Bytes.t;
   output_base : int;
   output_len : int;
+  digest_len : int;
 }
 
 let role_index = function
@@ -159,4 +160,8 @@ let of_schedule (sched : Schedule.t) : t =
         image;
         output_base = program.Program.output_base;
         output_len = program.Program.output_len;
+        digest_len =
+          (match program.Program.shadow_base with
+          | Some base -> base
+          | None -> program.Program.mem_size);
       })

@@ -75,6 +75,11 @@ type t = {
           loaded) — read-only, shared across trials and domains *)
   output_base : int;
   output_len : int;
+  digest_len : int;
+      (** prefix of the arena covered by the architectural memory
+          digest: [shadow_base] for DME programs (the replica image
+          above it is intentionally divergent layout, not architectural
+          state), [mem_size] otherwise *)
 }
 
 (** [of_schedule sched] compiles the schedule into its execution-ready

@@ -101,8 +101,15 @@ let pp ppf = function
   | Reg_flip { target_slot; bit } ->
       Format.fprintf ppf "reg-bit@@slot#%d bit %d" target_slot bit
   | Burst_flip { target_slot; bit; width } ->
-      Format.fprintf ppf "burst@@slot#%d bits %d..%d" target_slot bit
-        (bit + width - 1)
+      (* [burst_mask] wraps each bit position at 64, so a burst starting
+         near bit 63 corrupts the low bits too — print the mask that is
+         actually applied, not the out-of-range arithmetic range. *)
+      let last = bit + max 1 width - 1 in
+      if last > 63 then
+        Format.fprintf ppf "burst@@slot#%d bits %d..63,0..%d (wrapped)"
+          target_slot bit (last land 63)
+      else
+        Format.fprintf ppf "burst@@slot#%d bits %d..%d" target_slot bit last
   | Mem_flip { target_access; offset; bit } ->
       Format.fprintf ppf "mem@@access#%d line-offset %d bit %d" target_access
         offset bit

@@ -55,6 +55,8 @@ let percent r c =
   if r.trials = 0 then 0.0
   else 100.0 *. float_of_int (count r c) /. float_of_int r.trials
 
+let inapplicable r = r.population = 0
+
 let interval ?z r c =
   let lo, hi = Stats.wilson ?z ~successes:(count r c) ~trials:r.trials () in
   (100.0 *. lo, 100.0 *. hi)
@@ -336,6 +338,15 @@ let run_decoded ?pool ?(seed = 0xCA57ED) ?(fuel_factor = 10)
   let g =
     Casted_obs.Trace.with_span ~cat:"mc" "mc.golden" (fun () ->
         golden_decoded ~fuel_factor ~replay ?replay_set decoded)
+  in
+  (* A program with no fault sites for this model (no memory traffic
+     for [Mem], a single cluster for [Xcluster], ...) has nothing to
+     sample: the model is inapplicable to this cell. Clamp the trial
+     count to zero so the campaign reports an empty-but-well-formed
+     result ([population] = 0, see {!inapplicable}) instead of each
+     trial raising [Invalid_argument] out of [Fault.random]. *)
+  let trials =
+    if Fault.population_size model g.pop = 0 then 0 else trials
   in
   let counts = Array.make n_classes 0 in
   let start =

@@ -68,6 +68,15 @@ val count : result -> classification -> int
 (** Percentage of trials in a class. *)
 val percent : result -> classification -> float
 
+(** True when the fault model has no injection sites in this cell
+    ([population] = 0) — e.g. a mem campaign over a program with no
+    memory traffic, or an xcluster campaign on a single-cluster
+    machine. Such a result carries zero trials by construction (the
+    campaign clamps the trial count rather than raising out of
+    {!Fault.random}); callers should report the cell as skipped, not
+    as a 0%-coverage data point. *)
+val inapplicable : result -> bool
+
 (** 95% (or [z]-score) Wilson interval on a class rate, in percent. *)
 val interval : ?z:float -> result -> classification -> float * float
 

@@ -60,8 +60,8 @@ let record_metrics (r : Outcome.run) =
 (* Assemble the Outcome.run from a finished (or trapped) machine. Shared
    by the full, replayed and compiled paths so they can only differ
    through State itself. *)
-let finish ~config ~output_base ~output_len ~with_mem_digest (st : State.t)
-    termination =
+let finish ~config ~output_base ~output_len ~digest_len ~with_mem_digest
+    (st : State.t) termination =
   let output = Memory.extract st.State.mem ~base:output_base ~len:output_len in
   let cycles = st.State.time + 1 in
   let r =
@@ -84,11 +84,13 @@ let finish ~config ~output_base ~output_len ~with_mem_digest (st : State.t)
         | Outcome.Exit c | Outcome.Recovered { exit_code = c; _ } -> c
         | _ -> -1);
       cache = Hierarchy.stats st.State.hier;
+      (* Digest only the architectural prefix: a DME program's replica
+         image above [digest_len] differs from the golden layout by
+         construction and must not count as corruption. *)
       mem_digest =
         (if with_mem_digest then
            Digest.string
-             (Memory.extract st.State.mem ~base:0
-                ~len:(Memory.size st.State.mem))
+             (Memory.extract st.State.mem ~base:0 ~len:digest_len)
          else "");
     }
   in

@@ -468,7 +468,8 @@ and exec_insn ctx fr ~cluster ~t (di : Decode.dinsn) =
    is shared with the compiled engine through Runtime. *)
 let finish ctx ~with_mem_digest termination =
   Runtime.finish ~config:ctx.config ~output_base:ctx.d.Decode.output_base
-    ~output_len:ctx.d.Decode.output_len ~with_mem_digest ctx.st termination
+    ~output_len:ctx.d.Decode.output_len
+    ~digest_len:ctx.d.Decode.digest_len ~with_mem_digest ctx.st termination
 
 let termination_of = Runtime.termination_of
 

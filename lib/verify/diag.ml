@@ -11,6 +11,8 @@ type rule =
   | Partial_vote_rewrite
   | Missing_checkpoint
   | Misplaced_checkpoint
+  | Shadow_collision
+  | Decorrelation_violation
 
 let rule_name = function
   | Replica_overlap -> "replica-overlap"
@@ -25,6 +27,8 @@ let rule_name = function
   | Partial_vote_rewrite -> "partial-vote-rewrite"
   | Missing_checkpoint -> "missing-checkpoint"
   | Misplaced_checkpoint -> "misplaced-checkpoint"
+  | Shadow_collision -> "shadow-collision"
+  | Decorrelation_violation -> "decorrelation-violation"
 
 let all_rules =
   [
@@ -40,6 +44,8 @@ let all_rules =
     Partial_vote_rewrite;
     Missing_checkpoint;
     Misplaced_checkpoint;
+    Shadow_collision;
+    Decorrelation_violation;
   ]
 
 type t = {

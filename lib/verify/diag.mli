@@ -50,6 +50,16 @@ type rule =
   | Misplaced_checkpoint
       (** Rollback: a [Cpt] marker outside the entry function, not at
           the head of its block's body, or duplicated within a block *)
+  | Shadow_collision
+      (** DME: two distinct protected registers map to the same shadow
+          register — the shuffle must stay a bijection of the shadow
+          space, or one shadow carries two values and checks can
+          falsely pass *)
+  | Decorrelation_violation
+      (** DME: a decorrelation invariant broke — a replica memory
+          access whose immediate is not the original's shifted by
+          exactly [shadow_base], or a DME program without a recorded
+          [shadow_base] *)
 
 val rule_name : rule -> string
 val all_rules : rule list

@@ -183,6 +183,8 @@ let default_cells =
     { Oracle.scheme = Scheme.Casted; issue_width = 1; delay = 1 };
     { Oracle.scheme = Scheme.Casted; issue_width = 2; delay = 4 };
     { Oracle.scheme = Scheme.Casted; issue_width = 3; delay = 2 };
+    { Oracle.scheme = Scheme.Dme; issue_width = 1; delay = 1 };
+    { Oracle.scheme = Scheme.Dme; issue_width = 2; delay = 2 };
     { Oracle.scheme = Scheme.Tmr; issue_width = 2; delay = 2 };
     { Oracle.scheme = Scheme.Rollback; issue_width = 2; delay = 2 };
   ]

@@ -17,36 +17,9 @@ type acc = { mutable diags : Diag.t list }
 let add acc ?block ?insn ?cycle ~func rule message =
   acc.diags <- Diag.make ?block ?insn ?cycle ~func rule message :: acc.diags
 
-(* The shadow map of a hardened function, reconstructed from the
-   emitted artifacts rather than trusted from the pass: a replica's
-   defs are (positionally) the shadows of its original's defs, and a
-   shadow copy maps its source to its destination. Anything the
-   transform claims to protect must be derivable this way. *)
-let reconstruct_shadows (f : Func.t) =
-  let by_id = Hashtbl.create 64 in
-  Func.iter_insns f (fun _ i -> Hashtbl.replace by_id i.Insn.id i);
-  let shadow = Reg.Tbl.create 64 in
-  Func.iter_insns f (fun _ i ->
-      match i.Insn.role with
-      | Insn.Replica -> (
-          match Hashtbl.find_opt by_id i.Insn.replica_of with
-          | Some orig ->
-              let n =
-                min (Array.length orig.Insn.defs) (Array.length i.Insn.defs)
-              in
-              for k = 0 to n - 1 do
-                if not (Reg.Tbl.mem shadow orig.Insn.defs.(k)) then
-                  Reg.Tbl.replace shadow orig.Insn.defs.(k) i.Insn.defs.(k)
-              done
-          | None -> ())
-      | Insn.Shadow_copy ->
-          if
-            Array.length i.Insn.uses >= 1
-            && Array.length i.Insn.defs >= 1
-            && not (Reg.Tbl.mem shadow i.Insn.uses.(0))
-          then Reg.Tbl.replace shadow i.Insn.uses.(0) i.Insn.defs.(0)
-      | Insn.Original | Insn.Check -> ());
-  (by_id, shadow)
+(* The shadow map is reconstructed from the emitted artifacts rather
+   than trusted from the pass — see {!Casted_sched.Shadow}. *)
+module Shadow = Casted_sched.Shadow
 
 (* Register isolation: the shadow stream's defs must never collide with
    a register the original stream defines or reads (or a parameter) —
@@ -97,8 +70,8 @@ let wants_check (options : Options.t) (i : Insn.t) =
    protected function. All three rules work per block, because the
    transform emits replicas, checks and copies into the block of the
    instruction they serve. *)
-let lint_coverage acc ~fname ~voting (options : Options.t) (f : Func.t) shadow
-    =
+let lint_coverage acc ~fname ~voting ~decorrelated (options : Options.t)
+    (f : Func.t) shadow =
   let block_rules (b : Block.t) =
     let insns = Block.insns b in
     let replicas_of = Hashtbl.create 16 in
@@ -115,10 +88,13 @@ let lint_coverage acc ~fname ~voting (options : Options.t) (f : Func.t) shadow
     List.iter
       (fun (i : Insn.t) ->
         if i.Insn.role = Insn.Original then begin
-          (* Full scope: every replicable original has a replica. *)
+          (* Full scope: every replicable original has a replica —
+             and under DME stores do too (the replica stream keeps its
+             own memory image). *)
           if
             options.Options.scope = Options.Full
-            && Opcode.replicable i.Insn.op
+            && (Opcode.replicable i.Insn.op
+               || (decorrelated && Opcode.is_store i.Insn.op))
             && not (Hashtbl.mem replicas_of i.Insn.id)
           then
             add acc ~block:b.Block.label ~insn:i.Insn.id ~func:fname
@@ -229,6 +205,44 @@ let lint_coverage acc ~fname ~voting (options : Options.t) (f : Func.t) shadow
                Reg.pp p))
       f.Func.params
   end
+
+(* Decorrelation invariants under DME, recomputed from the emitted
+   code: the artifact-derived shadow map must be injective (the
+   register shuffle is a bijection of the shadow space — a collision
+   means one shadow register carries two protected values), and every
+   replica memory access must address the original's location shifted
+   by exactly [shadow_base] (anything else either re-shares a line
+   with the master or reads garbage). *)
+let lint_decorrelation acc ~fname ~shadow_base (f : Func.t) by_id shadow =
+  List.iter
+    (fun (orig, other, sh) ->
+      add acc ~func:fname Diag.Shadow_collision
+        (Format.asprintf
+           "shadow register %a covers both %a and %a: the decorrelated \
+            shadow map must be injective"
+           Reg.pp sh Reg.pp orig Reg.pp other))
+    (Shadow.collisions shadow);
+  let offset = Int64.of_int shadow_base in
+  Func.iter_insns f (fun block i ->
+      if i.Insn.role = Insn.Replica && Opcode.is_mem i.Insn.op then
+        match Hashtbl.find_opt by_id i.Insn.replica_of with
+        | None ->
+            add acc ~block:block.Block.label ~insn:i.Insn.id ~func:fname
+              Diag.Decorrelation_violation
+              (Format.asprintf
+                 "replica memory access %a has no original (replica_of %d)"
+                 Insn.pp i i.Insn.replica_of)
+        | Some (orig : Insn.t) ->
+            let want = Int64.add orig.Insn.imm offset in
+            if i.Insn.imm <> want then
+              add acc ~block:block.Block.label ~insn:i.Insn.id ~func:fname
+                Diag.Decorrelation_violation
+                (Format.asprintf
+                   "replica memory access %a offsets the original's \
+                    immediate %Ld by %Ld, expected shadow base %d"
+                   Insn.pp i orig.Insn.imm
+                   (Int64.sub i.Insn.imm orig.Insn.imm)
+                   shadow_base))
 
 (* Vote integrity under TMR: every majority vote (a Check-role [Sel],
    emitted only by the recovery pass) must rewrite all three copies —
@@ -535,8 +549,8 @@ let lint_timing acc ~fname ~voting (config : Config.t)
                     guards (insn %d) issues at cycle %d"
                    required i.Insn.protects pc))
 
-let lint_func acc ~options ~hardened ~voting (config : Config.t)
-    (callees : (string, unit) Hashtbl.t) fname
+let lint_func acc ~options ~hardened ~voting ~decorrelated ~shadow_base
+    (config : Config.t) (callees : (string, unit) Hashtbl.t) fname
     (fs : Schedule.func_schedule) =
   let f = fs.Schedule.func in
   let ir_blocks = Array.of_list f.Func.blocks in
@@ -557,16 +571,29 @@ let lint_func acc ~options ~hardened ~voting (config : Config.t)
     lint_timing acc ~fname ~voting config bs position
   done;
   if hardened && f.Func.protect then begin
-    let _by_id, shadow = reconstruct_shadows f in
+    let by_id, shadow = Shadow.reconstruct f in
     lint_isolation acc ~fname f;
-    lint_coverage acc ~fname ~voting options f shadow;
-    if voting then lint_votes acc ~fname f
+    lint_coverage acc ~fname ~voting ~decorrelated options f shadow;
+    if voting then lint_votes acc ~fname f;
+    if decorrelated then
+      lint_decorrelation acc ~fname ~shadow_base f by_id shadow
   end
 
 let schedule ?(options = Options.default) ~scheme (s : Schedule.t) =
   let acc = { diags = [] } in
   let hardened = Scheme.hardened scheme in
   let voting = scheme = Scheme.Tmr in
+  let decorrelated = scheme = Scheme.Dme in
+  let shadow_base =
+    match s.Schedule.program.Program.shadow_base with
+    | Some b -> b
+    | None -> 0
+  in
+  if decorrelated && s.Schedule.program.Program.shadow_base = None then
+    add acc ~func:s.Schedule.program.Program.entry
+      Diag.Decorrelation_violation
+      "DME program carries no shadow base: the replica image boundary is \
+       unrecoverable and the memory digest would cover the replica half";
   let config = s.Schedule.config in
   let callees = Hashtbl.create 8 in
   List.iter (fun (name, _) -> Hashtbl.replace callees name ()) s.Schedule.funcs;
@@ -582,7 +609,8 @@ let schedule ?(options = Options.default) ~scheme (s : Schedule.t) =
     s.Schedule.program.Program.funcs;
   List.iter
     (fun (fname, fs) ->
-      lint_func acc ~options ~hardened ~voting config callees fname fs)
+      lint_func acc ~options ~hardened ~voting ~decorrelated ~shadow_base
+        config callees fname fs)
     s.Schedule.funcs;
   if scheme = Scheme.Rollback then
     lint_checkpoints acc ~entry

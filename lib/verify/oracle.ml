@@ -22,6 +22,7 @@ let cells ?(issue_widths = [ 1; 2; 4 ]) ?(delays = [ 1; 2 ]) () =
              [
                { scheme = Scheme.Dced; issue_width; delay };
                { scheme = Scheme.Casted; issue_width; delay };
+               { scheme = Scheme.Dme; issue_width; delay };
                { scheme = Scheme.Tmr; issue_width; delay };
                { scheme = Scheme.Rollback; issue_width; delay };
              ])

@@ -96,6 +96,16 @@ def main():
             float(recovery.get("margin", margin)),
             failures,
         )
+    dme = base.get("dme_coverage")
+    if isinstance(dme, dict):
+        check_section(
+            bench,
+            "dme_coverage",
+            dme.get("min", {}),
+            float(dme.get("margin", margin)),
+            failures,
+            floors=dme.get("floor", {}),
+        )
 
     if failures:
         sys.exit(

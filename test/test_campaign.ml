@@ -139,11 +139,38 @@ let test_empty_population_is_benign () =
   let g = Montecarlo.golden s in
   Alcotest.(check int) "no cross-cluster reads on one cluster" 0
     g.Montecarlo.pop.Fault.xcluster_reads;
+  (* A single trial forced through an empty pool still classifies
+     benign (the per-trial guard)... *)
   Alcotest.(check string) "trial is benign" "benign"
     (Montecarlo.class_name
        (Montecarlo.trial ~model:Fault.Xcluster ~golden:g ~seed:3 ~index:0 s));
+  (* ...but a campaign reports the model as inapplicable: zero trials
+     run, population recorded as empty, no exception escapes. *)
   let r = Montecarlo.run ~model:Fault.Xcluster ~seed:3 ~trials:10 s in
-  Alcotest.(check int) "campaign is all benign" 10 r.Montecarlo.benign
+  Alcotest.(check int) "campaign runs no trials" 0 r.Montecarlo.trials;
+  Alcotest.(check int) "population is empty" 0 r.Montecarlo.population;
+  Alcotest.(check bool) "result is inapplicable" true
+    (Montecarlo.inapplicable r)
+
+(* An inapplicable cell is reported identically whatever the pool
+   size: zero trials, empty population, bit-identical results at
+   jobs=1 and jobs=4 — never a crash from drawing on an empty pool. *)
+let test_inapplicable_skip_across_pools () =
+  let c =
+    Pipeline.compile ~scheme:Scheme.Noed ~issue_width:2 ~delay:1 (kernel ())
+  in
+  let s = c.Pipeline.schedule in
+  let run jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Montecarlo.run ~pool ~model:Fault.Xcluster ~seed:5 ~trials:50 s)
+  in
+  let seq = run 1 and par = run 4 in
+  same_result "inapplicable cell jobs=4 vs jobs=1" par seq;
+  Alcotest.(check int) "jobs=1 runs no trials" 0 seq.Montecarlo.trials;
+  Alcotest.(check bool) "jobs=1 is inapplicable" true
+    (Montecarlo.inapplicable seq);
+  Alcotest.(check bool) "jobs=4 is inapplicable" true
+    (Montecarlo.inapplicable par)
 
 (* Early stopping fires at the same chunk boundary whatever the pool
    size, and only runs fewer trials than requested. *)
@@ -403,6 +430,26 @@ let test_recovery_campaign_deterministic () =
         (seq.Montecarlo.recovered > 0))
     [ Scheme.Tmr; Scheme.Rollback ]
 
+(* DME keeps the determinism contract under the model it decorrelates
+   against: a mem-model campaign is bit-identical whatever the pool
+   size, and converts CASTED-escaping shared-line SDCs into detections
+   (strictly fewer corrupt trials than CASTED on the same cell). *)
+let test_dme_campaign_deterministic () =
+  let key scheme =
+    Casted_engine.Cache.key ~workload:"cjpeg" ~size:Workload.Fault ~scheme
+      ~issue_width:2 ~delay:2 ()
+  in
+  let run jobs scheme =
+    Casted_engine.Engine.with_engine ~jobs (fun e ->
+        Casted_engine.Engine.campaign e ~seed:13 ~model:Fault.Mem ~trials:200
+          (key scheme))
+  in
+  let seq = run 1 Scheme.Dme and par = run 4 Scheme.Dme in
+  same_result "DME mem campaign jobs=4 vs jobs=1" par seq;
+  let casted = run 2 Scheme.Casted in
+  Alcotest.(check bool) "DME sheds CASTED-escaping mem SDCs" true
+    (seq.Montecarlo.corrupt < casted.Montecarlo.corrupt)
+
 (* Pool.map_result: raising tasks land as Error in their own slot;
    every other task still completes. *)
 let test_pool_map_result () =
@@ -432,6 +479,8 @@ let suite =
       case "wilson rejects bad counts" test_wilson_rejects_bad_counts;
       case "raising trial is tallied" test_raising_trial_is_tallied;
       case "empty population is benign" test_empty_population_is_benign;
+      case "inapplicable cells skip identically across pools"
+        test_inapplicable_skip_across_pools;
       case "early stop deterministic across pools"
         test_early_stop_deterministic;
       case "early stop rejects bad target" test_early_stop_rejects_bad_target;
@@ -449,5 +498,7 @@ let suite =
         test_checkpoint_written_and_final;
       case "recovery campaigns are pool-size independent"
         test_recovery_campaign_deterministic;
+      case "DME campaigns are pool-size independent and shed mem SDCs"
+        test_dme_campaign_deterministic;
       case "pool map_result isolates raising tasks" test_pool_map_result;
     ] )

@@ -1,0 +1,275 @@
+(* The decorrelated multi-version (DME) scheme and its IR machinery:
+   deep clones share nothing with their source, the seeded rewrites
+   are deterministic bijections, the register shuffle never touches a
+   master instruction, and the hardened program still computes the
+   golden output. *)
+
+open Helpers
+module Asm = Casted_ir.Asm
+module Clone = Casted_ir.Clone
+module Rewrite = Casted_ir.Rewrite
+module Dme = Casted_detect.Dme
+module Transform = Casted_detect.Transform
+
+(* A program with two functions (one a protected helper), loads,
+   stores and a loop — enough structure that a shallow clone would
+   alias something. *)
+let sample () =
+  let helper =
+    let a = Reg.gp 0 in
+    let b = B.create ~name:"helper" ~params:[ a ] ~ret_cls:(Some Reg.Gp) () in
+    let r = B.muli b a 3L in
+    B.ret b ~value:r ();
+    B.finish b
+  in
+  let b = B.create ~name:"main" () in
+  let base = B.movi b 0x1000L in
+  let acc = B.movi b 0L in
+  B.counted_loop b ~from:0L ~until:8L (fun b i ->
+      let off = B.muli b i 8L in
+      let at = B.add b base off in
+      let v = B.ld b Opcode.W8 at 0L in
+      let t = B.gp b in
+      B.call b ~dst:t "helper" [ v ];
+      let (_ : Reg.t) = B.add b ~dst:acc acc t in
+      B.st b Opcode.W8 ~value:acc ~base 0x100L);
+  let out = B.movi b 0x40L in
+  B.st b Opcode.W8 ~value:acc ~base:out 0L;
+  let zero = B.movi b 0L in
+  B.halt b ~code:zero ();
+  let p =
+    Program.make
+      ~funcs:[ B.finish b; helper ]
+      ~entry:"main" ~mem_size:(1 lsl 16)
+      ~data:[ (0x1000, Casted_workloads.Gen.le64 (List.init 8 Int64.of_int)) ]
+      ~output_base:0x40 ~output_len:8 ()
+  in
+  Casted_ir.Validate.check_exn p;
+  p
+
+(* ---------- deep clone: physical disjointness ---------- *)
+
+(* Clone.block used to share the body instruction list (and the
+   instructions' operand arrays) with its source, so an in-place pass
+   on the clone corrupted the original. Regression: the clone must be
+   textually identical but share no mutable structure. *)
+let test_clone_physically_disjoint () =
+  let p = sample () in
+  let c = Clone.program p in
+  Alcotest.(check string) "clone prints identically" (Asm.print p)
+    (Asm.print c);
+  List.iter2
+    (fun (f : Func.t) (cf : Func.t) ->
+      Alcotest.(check bool) "funcs are distinct" false (f == cf);
+      Alcotest.(check bool) "next_reg arrays are distinct" false
+        (f.Func.next_reg == cf.Func.next_reg);
+      List.iter2
+        (fun (b : Block.t) (cb : Block.t) ->
+          Alcotest.(check bool) "blocks are distinct" false (b == cb);
+          Alcotest.(check bool) "bodies are distinct lists" false
+            (b.Block.body == cb.Block.body);
+          Alcotest.(check bool) "terminators are distinct" false
+            (b.Block.term == cb.Block.term);
+          List.iter2
+            (fun (i : Insn.t) (ci : Insn.t) ->
+              Alcotest.(check bool) "insns are distinct" false (i == ci);
+              if Array.length i.Insn.defs > 0 then
+                Alcotest.(check bool) "defs arrays are distinct" false
+                  (i.Insn.defs == ci.Insn.defs);
+              if Array.length i.Insn.uses > 0 then
+                Alcotest.(check bool) "uses arrays are distinct" false
+                  (i.Insn.uses == ci.Insn.uses))
+            b.Block.body cb.Block.body)
+        f.Func.blocks cf.Func.blocks)
+    p.Program.funcs c.Program.funcs
+
+(* Mutating the clone in place — exactly what the hardening passes do —
+   leaves the original byte-identical. *)
+let test_clone_mutation_isolated () =
+  let p = sample () in
+  let before = Asm.print p in
+  let c = Clone.program p in
+  (match c.Program.funcs with
+  | f :: _ ->
+      let (_ : Transform.stats) =
+        Transform.func ~replicate_stores:true ~mem_offset:64L Options.default
+          f
+      in
+      ()
+  | [] -> Alcotest.fail "clone has no funcs");
+  List.iter
+    (fun (f : Func.t) ->
+      List.iter
+        (fun (b : Block.t) ->
+          List.iter
+            (fun (i : Insn.t) ->
+              Array.iteri (fun k _ -> i.Insn.defs.(k) <- Reg.gp 999) i.Insn.defs)
+            b.Block.body)
+        f.Func.blocks)
+    c.Program.funcs;
+  Alcotest.(check string) "original survives clone surgery" before
+    (Asm.print p)
+
+(* ---------- seeded rewrites ---------- *)
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all (fun x -> x >= 0 && x < n && not seen.(x) && (seen.(x) <- true; true)) a
+
+let test_permutation_is_bijection () =
+  List.iter
+    (fun n ->
+      let a = Rewrite.permutation ~seed:42 n in
+      Alcotest.(check int) (Printf.sprintf "length %d" n) n (Array.length a);
+      Alcotest.(check bool)
+        (Printf.sprintf "bijection of [0,%d)" n)
+        true (is_permutation a);
+      Alcotest.(check bool)
+        (Printf.sprintf "deterministic at n=%d" n)
+        true
+        (a = Rewrite.permutation ~seed:42 n))
+    [ 0; 1; 2; 3; 17; 64; 257 ];
+  Alcotest.(check bool) "seeds decorrelate" true
+    (Rewrite.permutation ~seed:1 64 <> Rewrite.permutation ~seed:2 64);
+  Alcotest.(check bool) "function names decorrelate" true
+    (Rewrite.derive_seed ~seed:7 "main" <> Rewrite.derive_seed ~seed:7 "helper")
+
+(* The shuffle remaps only the shadow space: hardening two clones
+   identically and shuffling one must leave every master (Original /
+   Check / Shadow_copy source side) instruction's operands equal, and
+   the replica defs must be a permutation of the unshuffled ones. *)
+let test_shuffle_masters_untouched () =
+  let harden p =
+    let p = Clone.program p in
+    let los =
+      List.map (fun (f : Func.t) -> Array.copy f.Func.next_reg)
+        p.Program.funcs
+    in
+    List.iter
+      (fun (f : Func.t) ->
+        let (_ : Transform.stats) =
+          Transform.func ~replicate_stores:true ~mem_offset:65536L
+            Options.default f
+        in
+        ())
+      p.Program.funcs;
+    (p, los)
+  in
+  let plain, los = harden (sample ()) in
+  let shuffled, _ = harden (sample ()) in
+  List.iter2
+    (fun (f : Func.t) lo ->
+      if f.Func.protect then Rewrite.permute_shadow_regs ~seed:99 ~lo f)
+    shuffled.Program.funcs los;
+  let rec iter3 f a b c =
+    match (a, b, c) with
+    | [], [], [] -> ()
+    | x :: a, y :: b, z :: c -> f x y z; iter3 f a b c
+    | _ -> Alcotest.fail "function lists diverge"
+  in
+  iter3
+    (fun (pf : Func.t) (sf : Func.t) lo ->
+      let originals (f : Func.t) =
+        let acc = ref [] in
+        Func.iter_insns f (fun _ i ->
+            if i.Insn.role = Insn.Original then acc := i :: !acc);
+        List.rev !acc
+      in
+      (* Every register defined in the shadow space (replicas and
+         shadow copies alike — anything at or above the pre-hardening
+         counters). *)
+      let shadow_defs (f : Func.t) =
+        let acc = ref [] in
+        Func.iter_insns f (fun _ i ->
+            Array.iter
+              (fun r ->
+                if Reg.idx r >= lo.(Reg.cls_index (Reg.cls r)) then
+                  acc := r :: !acc)
+              i.Insn.defs);
+        List.sort Reg.compare !acc
+      in
+      List.iter2
+        (fun (a : Insn.t) (b : Insn.t) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: master insn #%d operands unchanged"
+               pf.Func.name a.Insn.id)
+            true
+            (a.Insn.defs = b.Insn.defs && a.Insn.uses = b.Insn.uses))
+        (originals pf) (originals sf);
+      (* A bijection of the shadow space: the set of shadow registers
+         in use and the number of shadow definitions are preserved
+         (multiplicities travel with the relabelling, the registers
+         themselves do not change). *)
+      let pd = shadow_defs pf and sd = shadow_defs sf in
+      Alcotest.(check int)
+        (pf.Func.name ^ ": shadow def count preserved")
+        (List.length pd) (List.length sd);
+      Alcotest.(check bool)
+        (pf.Func.name ^ ": shadow register set preserved")
+        true
+        (List.sort_uniq Reg.compare pd = List.sort_uniq Reg.compare sd))
+    plain.Program.funcs shuffled.Program.funcs los
+
+(* ---------- the full DME pass ---------- *)
+
+(* Deterministic in (seed, program); a different seed yields a
+   different shadow assignment; the input is never modified. *)
+let test_dme_deterministic () =
+  let p = sample () in
+  let before = Asm.print p in
+  let once, _ = Dme.program Options.default p in
+  let twice, _ = Dme.program Options.default p in
+  let other, _ = Dme.program ~seed:1234 Options.default p in
+  Alcotest.(check string) "same seed, same program" (Asm.print once)
+    (Asm.print twice);
+  Alcotest.(check bool) "different seed, different shuffle" true
+    (Asm.print once <> Asm.print other);
+  Alcotest.(check string) "input program untouched" before (Asm.print p)
+
+(* The doubled arena: shadow_base = the original mem_size, the arena
+   doubles, and the replica image starts with the mirrored seed data. *)
+let test_dme_arena_layout () =
+  let p = sample () in
+  let d, _ = Dme.program Options.default p in
+  Alcotest.(check int) "arena doubled" (2 * p.Program.mem_size)
+    d.Program.mem_size;
+  (match d.Program.shadow_base with
+  | Some base ->
+      Alcotest.(check int) "shadow_base = original mem_size"
+        p.Program.mem_size base
+  | None -> Alcotest.fail "DME program has no shadow_base");
+  Alcotest.(check int) "data segments mirrored"
+    (2 * List.length p.Program.data)
+    (List.length d.Program.data)
+
+(* End to end: the DME-hardened program still computes the golden
+   output under a fault-free run, at several machine shapes. *)
+let test_dme_preserves_output () =
+  let p = sample () in
+  let golden = out64 (run_noed p) in
+  List.iter
+    (fun (issue_width, delay) ->
+      let r = run_scheme ~issue_width ~delay Scheme.Dme p in
+      (match r.Outcome.termination with
+      | Outcome.Exit 0 -> ()
+      | t ->
+          Alcotest.failf "DME i%d/d%d did not exit cleanly: %a" issue_width
+            delay Outcome.pp_termination t);
+      Alcotest.(check int64)
+        (Printf.sprintf "DME i%d/d%d output" issue_width delay)
+        golden (out64 r))
+    [ (1, 1); (2, 2); (4, 3) ]
+
+let suite =
+  ( "dme",
+    [
+      case "clone is physically disjoint" test_clone_physically_disjoint;
+      case "clone surgery leaves the original intact"
+        test_clone_mutation_isolated;
+      case "seeded permutation is a bijection" test_permutation_is_bijection;
+      case "shuffle leaves masters untouched" test_shuffle_masters_untouched;
+      case "pass is deterministic in (seed, program)" test_dme_deterministic;
+      case "doubled arena and mirrored data" test_dme_arena_layout;
+      case "fault-free DME output matches golden" test_dme_preserves_output;
+    ] )

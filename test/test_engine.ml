@@ -264,7 +264,7 @@ let test_identity_golden_matrix () =
         List.map
           (fun m -> Printf.sprintf "cjpeg/fault/%s/i2/d2/%s" s m)
           [ "reg-bit"; "burst"; "mem"; "control"; "xcluster" ])
-      [ "NOED"; "SCED"; "DCED"; "CASTED"; "TMR"; "ROLLBACK" ]
+      [ "NOED"; "SCED"; "DCED"; "CASTED"; "DME"; "TMR"; "ROLLBACK" ]
   in
   let actual =
     List.concat_map

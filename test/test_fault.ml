@@ -90,6 +90,32 @@ let test_model_names_round_trip () =
   Alcotest.(check bool) "junk rejected" true
     (Fault.model_of_string "gamma-ray" = None)
 
+(* The printer reports the bits a burst actually flips. [flip_burst]
+   wraps at bit 63 ([(bit + k) land 63]), so a burst starting near the
+   top must print the wrapped positions — not phantom bits above 63. *)
+let test_burst_pp_golden () =
+  let pp f = Format.asprintf "%a" Fault.pp f in
+  Alcotest.(check string) "interior burst" "burst@slot#3 bits 12..14"
+    (pp (Fault.Burst_flip { target_slot = 3; bit = 12; width = 3 }));
+  Alcotest.(check string) "single bit at the top" "burst@slot#0 bits 63..63"
+    (pp (Fault.Burst_flip { target_slot = 0; bit = 63; width = 1 }));
+  Alcotest.(check string) "wrapped burst"
+    "burst@slot#7 bits 62..63,0..1 (wrapped)"
+    (pp (Fault.Burst_flip { target_slot = 7; bit = 62; width = 4 }));
+  Alcotest.(check string) "wrap by one"
+    "burst@slot#1 bits 63..63,0..0 (wrapped)"
+    (pp (Fault.Burst_flip { target_slot = 1; bit = 63; width = 2 }))
+
+let prop_burst_pp_wraps_iff_mask_wraps =
+  qcheck "pp says (wrapped) exactly when the burst mask wraps"
+    QCheck2.Gen.(triple (int_bound 7) (int_bound 63) (int_range 1 4))
+    (fun (slot, bit, width) ->
+      let s =
+        Format.asprintf "%a" Fault.pp
+          (Fault.Burst_flip { target_slot = slot; bit; width })
+      in
+      contains s "(wrapped)" = (bit + width - 1 > 63))
+
 let test_rng_deterministic () =
   let draw seed =
     let rng = Rng.create ~seed in
@@ -235,6 +261,8 @@ let suite =
         test_random_fault_in_population;
       case "empty population is rejected" test_random_fault_empty_population;
       case "model names round-trip" test_model_names_round_trip;
+      case "burst printer golden strings" test_burst_pp_golden;
+      prop_burst_pp_wraps_iff_mask_wraps;
       case "rng is deterministic" test_rng_deterministic;
       case "NOED faults corrupt, never detect" test_injection_changes_something;
       case "hardened program has no silent corruption"

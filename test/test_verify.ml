@@ -108,6 +108,7 @@ let test_lint_clean_all_schemes () =
       (Scheme.Sced, 2, 1); (Scheme.Dced, 2, 3); (Scheme.Casted, 1, 1);
       (Scheme.Casted, 2, 2); (Scheme.Casted, 4, 4); (Scheme.Tmr, 1, 1);
       (Scheme.Tmr, 2, 2); (Scheme.Rollback, 2, 2); (Scheme.Rollback, 4, 1);
+      (Scheme.Dme, 1, 1); (Scheme.Dme, 2, 2); (Scheme.Dme, 4, 3);
     ]
 
 let test_lint_clean_workload () =
@@ -125,8 +126,8 @@ let test_lint_clean_workload () =
         (Scheme.name scheme ^ " clean")
         0 (List.length diags))
     [
-      Scheme.Noed; Scheme.Sced; Scheme.Dced; Scheme.Casted; Scheme.Tmr;
-      Scheme.Rollback;
+      Scheme.Noed; Scheme.Sced; Scheme.Dced; Scheme.Casted; Scheme.Dme;
+      Scheme.Tmr; Scheme.Rollback;
     ]
 
 (* ---------- mutation self-tests: each dropped artifact produces
@@ -307,6 +308,79 @@ let test_mutation_duplicate_checkpoint () =
   only_diag ~rule:Diag.Misplaced_checkpoint
     (Lint.schedule ~scheme:Scheme.Rollback s)
 
+(* ---------- mutation self-tests: DME decorrelation rules ---------- *)
+
+(* Swap instruction [id] of [fname] for [repl] in the IR block bodies
+   and the schedule bundles consistently, so only the semantic rule
+   under test fires (same discipline as [drop_insn]). *)
+let replace_insn (s : Schedule.t) fname ~id repl =
+  let fs = Schedule.find_func s fname in
+  List.iter
+    (fun (b : Block.t) ->
+      b.Block.body <-
+        List.map (fun i -> if i.Insn.id = id then repl else i) b.Block.body)
+    fs.Schedule.func.Func.blocks;
+  Array.iter
+    (fun (bs : Schedule.block_schedule) ->
+      Array.iter
+        (fun bundle ->
+          Array.iteri
+            (fun cl slots ->
+              bundle.(cl) <-
+                Array.map (fun i -> if i.Insn.id = id then repl else i) slots)
+            bundle)
+        bs.Schedule.bundles)
+    fs.Schedule.blocks
+
+(* Pull a replica memory access back onto the master image: its
+   immediate no longer leads the original's by shadow_base, so the
+   replica re-shares a line with the master and the decorrelation rule
+   fires. *)
+let test_mutation_correlated_replica_imm () =
+  let c =
+    compile ~scheme:Scheme.Dme ~issue_width:2 ~delay:2 (mutation_program ())
+  in
+  let s = c.Pipeline.schedule in
+  let replica_mem =
+    match
+      find_insns s "main" (fun i ->
+          i.Insn.role = Insn.Replica && Opcode.is_mem i.Insn.op)
+    with
+    | i :: _ -> i
+    | [] -> Alcotest.fail "no replica memory access in the DME main"
+  in
+  replace_insn s "main" ~id:replica_mem.Insn.id
+    { replica_mem with Insn.imm = Int64.sub replica_mem.Insn.imm 8L };
+  only_diag ~rule:Diag.Decorrelation_violation
+    (Lint.schedule ~scheme:Scheme.Dme s)
+
+(* Merge two shadow definitions onto one register: the reconstructed
+   shadow map stops being injective, so one shadow register carries
+   two protected values and the collision rule fires. *)
+let test_mutation_shadow_collision () =
+  let c =
+    compile ~scheme:Scheme.Dme ~issue_width:2 ~delay:2 (mutation_program ())
+  in
+  let s = c.Pipeline.schedule in
+  let replicas =
+    find_insns s "main" (fun i ->
+        i.Insn.role = Insn.Replica
+        && Array.length i.Insn.defs = 1
+        && Reg.cls_equal (Reg.cls i.Insn.defs.(0)) Reg.Gp)
+  in
+  match replicas with
+  | a :: b :: _ ->
+      (* The instruction is shared physically between the IR body and
+         the schedule bundles, so mutating its defs array tampers both
+         views at once. *)
+      b.Insn.defs.(0) <- a.Insn.defs.(0);
+      let diags = Lint.schedule ~scheme:Scheme.Dme s in
+      Alcotest.(check bool) "shadow-collision fires" true
+        (List.exists
+           (fun d -> d.Diag.rule = Diag.Shadow_collision)
+           diags)
+  | _ -> Alcotest.fail "fewer than two gp replicas in the DME main"
+
 (* ---------- hand-built schedules for the machine-shape rules ---------- *)
 
 (* A two-cluster schedule built by hand: producer on cluster 0,
@@ -441,9 +515,9 @@ let test_oracle_clean () =
 
 let test_oracle_matrix_shape () =
   let cells = Oracle.cells ~issue_widths:[ 1; 2 ] ~delays:[ 1; 3 ] () in
-  (* Per issue width: NOED + SCED once; DCED, CASTED, TMR and ROLLBACK
-     per delay. *)
-  Alcotest.(check int) "cell count" (2 * (2 + (4 * 2))) (List.length cells)
+  (* Per issue width: NOED + SCED once; DCED, CASTED, DME, TMR and
+     ROLLBACK per delay. *)
+  Alcotest.(check int) "cell count" (2 * (2 + (5 * 2))) (List.length cells)
 
 let test_oracle_detects_output_divergence () =
   (* Two different programs pushed through the same oracle must
@@ -546,6 +620,10 @@ let suite =
         test_mutation_sink_checkpoint;
       case "mutation: checkpoint in a callee -> misplaced-checkpoint"
         test_mutation_duplicate_checkpoint;
+      case "mutation: correlated replica imm -> decorrelation-violation"
+        test_mutation_correlated_replica_imm;
+      case "mutation: merged shadows -> shadow-collision"
+        test_mutation_shadow_collision;
       case "lint: bundle overflow" test_bundle_overflow;
       case "lint: unresolved branch target" test_unresolved_target;
       case "lint: replica clobbering a master register" test_replica_overlap;
